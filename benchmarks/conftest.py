@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark suite.
+
+Every experiment benchmark runs the experiment exactly once under
+``pytest-benchmark`` timing (``rounds=1``) — the experiments are
+deterministic end-to-end sweeps, so repeating them only to tighten timing
+statistics would waste minutes — and then prints the experiment's table with
+capture disabled so the rows land in the terminal and in
+``bench_output.txt`` alongside the timing summary.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """Print an ExperimentResult through the capture barrier."""
+
+    def _report(result) -> None:
+        with capsys.disabled():
+            print()
+            print(result)
+            print()
+
+    return _report

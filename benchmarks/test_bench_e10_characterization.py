@@ -1,0 +1,14 @@
+"""Benchmark E10 — which problems collapse under the average measure."""
+
+from repro.experiments import characterization
+
+
+def test_bench_e10_characterization(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: characterization.run(n=192, samples=6), rounds=1, iterations=1
+    )
+    report(result)
+    assert result.experiment_id == "E10"
+    classifications = {row["algorithm"]: row["classification"] for row in result.table.rows}
+    assert classifications["largest-id"] == "collapses"
+    assert classifications["cole-vishkin"] == "stable"

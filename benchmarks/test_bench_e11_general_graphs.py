@@ -1,0 +1,12 @@
+"""Benchmark E11 — the average measure beyond cycles (further-work experiment)."""
+
+from repro.experiments import general_graphs
+
+
+def test_bench_e11_general_graphs(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: general_graphs.run(n=144, samples=4), rounds=1, iterations=1
+    )
+    report(result)
+    assert result.experiment_id == "E11"
+    assert len(result.table) >= 6

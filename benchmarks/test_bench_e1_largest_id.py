@@ -1,0 +1,19 @@
+"""Benchmark E1 — largest-ID on a cycle: Theta(log n) average vs Theta(n) worst case.
+
+Regenerates the Section 2 comparison: for each ring size, the average radius
+on the worst identifier arrangement (with the exact recurrence bound next to
+it), the average on random identifiers, and the linear classic measure.
+"""
+
+from repro.experiments import largest_id
+
+SIZES = [16, 32, 64, 128, 256, 512, 1024]
+
+
+def test_bench_e1_largest_id(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: largest_id.run(sizes=SIZES), rounds=1, iterations=1
+    )
+    report(result)
+    assert result.experiment_id == "E1"
+    assert len(result.table) == len(SIZES)

@@ -1,0 +1,14 @@
+"""Benchmark E2 — the segment recurrence a(p), OEIS A000788 and Theta(p log p)."""
+
+from repro.experiments import recurrence
+
+SIZES = [16, 64, 256, 1024, 4096, 16384]
+
+
+def test_bench_e2_recurrence(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: recurrence.run(sizes=SIZES), rounds=1, iterations=1
+    )
+    report(result)
+    assert result.experiment_id == "E2"
+    assert all(row["a(p)"] == row["A000788(p)"] for row in result.table.rows)

@@ -1,0 +1,14 @@
+"""Benchmark E3 — 3-colouring the ring: both measures sit at Theta(log* n)."""
+
+from repro.experiments import coloring
+
+SIZES = [16, 32, 64, 128, 256, 512, 1024, 2048]
+
+
+def test_bench_e3_coloring(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: coloring.run(sizes=SIZES), rounds=1, iterations=1
+    )
+    report(result)
+    assert result.experiment_id == "E3"
+    assert len(result.table) == len(SIZES)

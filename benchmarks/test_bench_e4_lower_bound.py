@@ -1,0 +1,16 @@
+"""Benchmark E4 — Theorem 1: the slice construction keeps the average at Omega(log* n)."""
+
+from repro.experiments import lower_bound
+
+SIZES = [16, 32, 64, 128]
+
+
+def test_bench_e4_lower_bound(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: lower_bound.run(sizes=SIZES), rounds=1, iterations=1
+    )
+    report(result)
+    assert result.experiment_id == "E4"
+    assert all(
+        row["avg_on_construction"] >= row["linial_threshold"] for row in result.table.rows
+    )

@@ -1,0 +1,15 @@
+"""Benchmark E5 — the regularity lemmas (Lemmas 2 and 3) on real executions."""
+
+from repro.experiments import regularity
+
+SIZES = [16, 32, 64, 128]
+
+
+def test_bench_e5_regularity(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: regularity.run(sizes=SIZES), rounds=1, iterations=1
+    )
+    report(result)
+    assert result.experiment_id == "E5"
+    cv_rows = [row for row in result.table.rows if row["algorithm"] == "cole-vishkin"]
+    assert all(row["lemma2_violations"] == 0 for row in cv_rows)

@@ -1,0 +1,14 @@
+"""Benchmark E6 — expected complexity under uniformly random identifiers."""
+
+from repro.experiments import random_ids
+
+SIZES = [16, 32, 64, 128, 256, 512]
+
+
+def test_bench_e6_random_ids(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: random_ids.run(sizes=SIZES, samples=16), rounds=1, iterations=1
+    )
+    report(result)
+    assert result.experiment_id == "E6"
+    assert len(result.table) == len(SIZES)

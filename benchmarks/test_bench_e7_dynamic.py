@@ -1,0 +1,16 @@
+"""Benchmark E7 — dynamic networks: repair cost after a change at a random node."""
+
+from repro.experiments import dynamic
+
+SIZES = [64, 128, 256, 512]
+
+
+def test_bench_e7_dynamic(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: dynamic.run(sizes=SIZES, churn_events=24), rounds=1, iterations=1
+    )
+    report(result)
+    assert result.experiment_id == "E7"
+    assert all(
+        row["worst_case_estimate"] > row["repair_measured_churn"] for row in result.table.rows
+    )

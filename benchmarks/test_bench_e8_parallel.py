@@ -1,0 +1,20 @@
+"""Benchmark E8 — parallel simulation: early-stopping nodes free processors."""
+
+from repro.experiments import parallel
+
+SIZES = [128, 256, 512, 1024]
+
+
+def test_bench_e8_parallel(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: parallel.run(sizes=SIZES, processor_counts=(4, 16, 64)),
+        rounds=1,
+        iterations=1,
+    )
+    report(result)
+    assert result.experiment_id == "E8"
+    assert all(
+        row["speedup"] >= 2.0
+        for row in result.table.rows
+        if row["n"] >= 8 * row["processors"]
+    )

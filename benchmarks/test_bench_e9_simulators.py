@@ -1,0 +1,14 @@
+"""Benchmark E9 — equivalence of the ball view and the round view."""
+
+from repro.experiments import simulators
+
+SIZES = [16, 32, 64, 128]
+
+
+def test_bench_e9_simulators(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: simulators.run(sizes=SIZES), rounds=1, iterations=1
+    )
+    report(result)
+    assert result.experiment_id == "E9"
+    assert all(row["outputs_agree"] for row in result.table.rows)

@@ -1,0 +1,46 @@
+"""Micro-benchmarks of the library's hot paths.
+
+Unlike the experiment benchmarks (one deterministic sweep each), these use
+pytest-benchmark's repeated timing to characterise the cost of the
+simulator's inner loops: ball extraction, a full largest-ID run, one
+Cole–Vishkin round execution and the recurrence evaluation.
+"""
+
+from repro.algorithms.cole_vishkin import ColeVishkinRing
+from repro.algorithms.largest_id import LargestIdAlgorithm
+from repro.core.runner import run_ball_algorithm
+from repro.model.ball import extract_ball
+from repro.model.identifiers import random_assignment
+from repro.model.rounds import run_round_algorithm
+from repro.theory.recurrence import worst_case_segment_sum
+from repro.topology.cycle import cycle_graph
+
+RING = cycle_graph(256)
+IDS = random_assignment(256, seed=99)
+
+
+def test_bench_extract_ball_radius_8(benchmark):
+    ball = benchmark(extract_ball, RING, IDS, 17, 8)
+    assert ball.size == 17
+
+
+def test_bench_largest_id_full_run(benchmark):
+    trace = benchmark(run_ball_algorithm, RING, IDS, LargestIdAlgorithm())
+    assert trace.max_radius == 128
+
+
+def test_bench_cole_vishkin_round_execution(benchmark):
+    trace = benchmark(run_round_algorithm, RING, IDS, ColeVishkinRing(256))
+    assert trace.max_radius == trace.average_radius
+
+
+def test_bench_recurrence_4096(benchmark):
+    def compute():
+        # Bypass the module-level cache so the benchmark measures real work.
+        from repro.theory import recurrence
+
+        recurrence._A_CACHE[:] = [0, 1]
+        return worst_case_segment_sum(4096)
+
+    value = benchmark(compute)
+    assert value == 24577

@@ -1,0 +1,54 @@
+"""Beyond the ring: the average measure on general graphs (further work).
+
+The paper's conclusion notes that results for more general graphs are
+missing.  This example runs the largest-ID algorithm on several topology
+families of comparable size, prints both measures for each, and draws a
+small ASCII plot of how the two measures diverge with the ring size — the
+picture behind the "exponential separation" headline.
+
+Run with:  python examples/beyond_the_ring.py
+"""
+
+from repro import LargestIdAlgorithm, certify, cycle_graph, random_assignment, run_ball_algorithm
+from repro.experiments import general_graphs
+from repro.theory.bounds import largest_id_average_upper_bound, largest_id_worst_case_bound
+from repro.utils.ascii_plot import ascii_plot
+
+
+def topology_sweep() -> None:
+    result = general_graphs.run(n=100, samples=3)
+    print(result)
+    print()
+
+
+def ring_scaling_plot() -> None:
+    sizes = [16, 32, 64, 128, 256, 512]
+    averages = []
+    maxima = []
+    for n in sizes:
+        graph = cycle_graph(n)
+        ids = random_assignment(n, seed=n)
+        trace = run_ball_algorithm(graph, ids, LargestIdAlgorithm())
+        certify("largest-id", graph, ids, trace)
+        averages.append(trace.average_radius)
+        maxima.append(float(trace.max_radius))
+    print(
+        ascii_plot(
+            sizes,
+            {"max radius (classic)": maxima, "average radius": averages},
+            title="largest-ID on the n-cycle, random identifiers",
+        )
+    )
+    print()
+    print("analytic bounds at n=512:",
+          f"classic {largest_id_worst_case_bound(512)},",
+          f"average {largest_id_average_upper_bound(512):.2f}")
+
+
+def main() -> None:
+    topology_sweep()
+    ring_scaling_plot()
+
+
+if __name__ == "__main__":
+    main()

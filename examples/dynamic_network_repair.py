@@ -1,0 +1,49 @@
+"""Dynamic networks: repair cost after identifier churn at random nodes.
+
+The paper motivates the average measure by dynamic networks: after a change
+at a random node, only the nodes whose view contained that node must
+recompute their label.  This example maintains the largest-ID labelling of a
+ring under a sequence of churn events and compares the observed repair cost
+with the paper's estimate (twice the average radius, plus one) and with the
+far larger estimate the classic worst-case measure would suggest.
+
+Run with:  python examples/dynamic_network_repair.py
+"""
+
+from repro import LargestIdAlgorithm, cycle_graph, random_assignment
+from repro.applications.dynamic_networks import (
+    DynamicRepairSimulator,
+    average_repair_cost,
+    expected_repair_cost,
+)
+
+
+def main() -> None:
+    n = 256
+    events = 40
+    graph = cycle_graph(n)
+    ids = random_assignment(n, seed=7)
+    simulator = DynamicRepairSimulator(graph, ids, LargestIdAlgorithm())
+
+    initial = simulator.trace
+    print(f"ring of {n} nodes, largest-ID labelling")
+    print(f"  average radius                  : {initial.average_radius:.3f}")
+    print(f"  classic (max) radius            : {initial.max_radius}")
+    print(f"  predicted repair cost (2*avg+1) : {2 * initial.average_radius + 1:.3f}")
+    print(f"  analytic expected repair cost   : {expected_repair_cost(initial, graph):.3f}")
+    print(f"  worst-case estimate (2*max+1)   : {2 * initial.max_radius + 1}")
+    print()
+
+    reports = simulator.random_churn(events, seed=99)
+    print(f"after {events} churn events at uniformly random nodes:")
+    print(f"  mean nodes recomputed per event : {average_repair_cost(reports):.3f}")
+    print(f"  largest single repair           : {max(r.total_work for r in reports)}")
+    print(f"  mean repair latency (radius)    : "
+          f"{sum(r.repair_latency for r in reports) / len(reports):.3f}")
+    print()
+    print("The measured repair cost tracks the average-radius estimate; the")
+    print("worst-case estimate is two orders of magnitude too pessimistic.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Leader election on a ring: the exponential gap between the two measures.
+
+Reproduces the paper's Section 2 story end to end:
+
+* evaluates the largest-ID algorithm on the provably worst identifier
+  arrangement (built from the segment recurrence), on random identifiers,
+  and on the best assignment an adversarial local search can find;
+* compares the measured averages with the exact recurrence bound
+  ``(floor(n/2) + a(n-1)) / n`` and the measured maxima with ``floor(n/2)``;
+* prints the growth of both measures so the Theta(n) / Theta(log n)
+  separation is visible directly.
+
+Run with:  python examples/leader_election.py
+"""
+
+from repro import (
+    IdentifierAssignment,
+    LargestIdAlgorithm,
+    LocalSearchAdversary,
+    cycle_graph,
+    random_assignment,
+    run_ball_algorithm,
+)
+from repro.theory.bounds import largest_id_average_upper_bound, largest_id_worst_case_bound
+from repro.theory.recurrence import worst_case_cycle_arrangement
+from repro.utils.tables import Table
+
+
+def main() -> None:
+    algorithm = LargestIdAlgorithm()
+    table = Table(
+        columns=("n", "avg worst ids", "avg bound", "avg random ids", "avg adversary", "max", "max bound"),
+        title="largest-ID on the n-cycle: average vs classic measure",
+    )
+    for n in (16, 32, 64, 128, 256):
+        graph = cycle_graph(n)
+        worst_ids = IdentifierAssignment(worst_case_cycle_arrangement(n))
+        worst = run_ball_algorithm(graph, worst_ids, algorithm)
+        random_trace = run_ball_algorithm(graph, random_assignment(n, seed=n), algorithm)
+        adversary = LocalSearchAdversary(restarts=2, swaps_per_step=12, max_steps=12, seed=n)
+        found = adversary.maximise(graph, algorithm, objective="average")
+        table.add_row(
+            **{
+                "n": n,
+                "avg worst ids": worst.average_radius,
+                "avg bound": largest_id_average_upper_bound(n),
+                "avg random ids": random_trace.average_radius,
+                "avg adversary": found.value,
+                "max": worst.max_radius,
+                "max bound": largest_id_worst_case_bound(n),
+            }
+        )
+    print(table)
+    print()
+    print("The classic measure doubles with n (linear); the average barely moves")
+    print("(logarithmic) — the exponential separation announced by the paper.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Parallel simulation of a distributed algorithm on a small processor pool.
+
+The paper's second application: when ``p`` processors simulate the ``n``
+nodes of a LOCAL algorithm and a node's job ends as soon as it outputs, the
+makespan is governed by the *average* radius (total work divided by ``p``),
+not by the worst-case radius.  This example schedules the node-jobs of the
+largest-ID algorithm with the greedy list scheduler and compares against the
+lock-step simulator that cannot exploit early stopping.
+
+Run with:  python examples/parallel_simulation.py
+"""
+
+from repro import LargestIdAlgorithm, cycle_graph, random_assignment, run_ball_algorithm
+from repro.applications.parallel_sim import list_schedule, naive_makespan
+from repro.utils.tables import Table
+
+
+def main() -> None:
+    n = 512
+    graph = cycle_graph(n)
+    ids = random_assignment(n, seed=13)
+    trace = run_ball_algorithm(graph, ids, LargestIdAlgorithm())
+    durations = [max(1, radius) for radius in trace.radii().values()]
+
+    print(f"simulating the {n} node-jobs of largest-ID (avg radius "
+          f"{trace.average_radius:.2f}, max radius {trace.max_radius})")
+    table = Table(
+        columns=("processors", "greedy makespan", "ideal sum/p + max", "lock-step makespan", "speed-up", "utilisation"),
+        title="greedy list scheduling vs lock-step simulation",
+    )
+    for processors in (2, 4, 8, 16, 32):
+        greedy = list_schedule(durations, processors)
+        naive = naive_makespan(durations, processors)
+        table.add_row(
+            **{
+                "processors": processors,
+                "greedy makespan": greedy.makespan,
+                "ideal sum/p + max": sum(durations) / processors + max(durations),
+                "lock-step makespan": naive,
+                "speed-up": naive / greedy.makespan,
+                "utilisation": greedy.utilisation,
+            }
+        )
+    print(table)
+    print()
+    print("Reusing processors freed by early-stopping nodes keeps the makespan")
+    print("near total-work / p, i.e. near n * average_radius / p — the average")
+    print("measure is the relevant one, exactly as the paper argues.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""Quickstart: run a LOCAL algorithm and read both complexity measures.
+
+This is the smallest end-to-end use of the library: build a ring, assign
+random identifiers, run the paper's largest-ID algorithm, certify the output
+and print the classic (max) and average radii that the paper compares.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import (
+    LargestIdAlgorithm,
+    certify,
+    cycle_graph,
+    random_assignment,
+    run_ball_algorithm,
+)
+
+
+def main() -> None:
+    n = 128
+    graph = cycle_graph(n)
+    ids = random_assignment(n, seed=2026)
+    algorithm = LargestIdAlgorithm()
+
+    trace = run_ball_algorithm(graph, ids, algorithm)
+    certify("largest-id", graph, ids, trace)
+
+    print(f"largest-ID on the {n}-cycle with random identifiers")
+    print(f"  classic measure (max radius) : {trace.max_radius}")
+    print(f"  average measure (mean radius): {trace.average_radius:.3f}")
+    print(f"  radius histogram             : {trace.radius_histogram()}")
+    leader = [p for p, out in trace.outputs_by_position().items() if out][0]
+    print(f"  elected leader               : position {leader} (identifier {ids[leader]})")
+    print()
+    print("The single vertex holding the maximum identifier pays the linear")
+    print("worst case; almost every other vertex stops after a couple of")
+    print("rounds, which is why the average sits near log(n).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""3-colouring a ring: why averaging cannot beat Linial's lower bound.
+
+Runs the Cole–Vishkin algorithm on rings of increasing size, certifies the
+colourings, and prints the measured radii next to the Linial threshold
+``ceil((1/2) log*(n/2))`` that the paper's Theorem 1 shows no algorithm can
+beat even on average.  Also runs the slice-concatenation construction from
+the proof of Theorem 1 and evaluates the algorithm on the resulting "hard"
+identifier permutation.
+
+Run with:  python examples/ring_coloring.py
+"""
+
+from repro import (
+    BallSimulationOfRounds,
+    ColeVishkinRing,
+    certify,
+    cycle_graph,
+    random_assignment,
+    run_ball_algorithm,
+    run_round_algorithm,
+)
+from repro.theory.linial import linial_lower_bound_radius
+from repro.theory.lower_bound import build_hard_assignment
+from repro.utils.math_functions import log_star
+from repro.utils.tables import Table
+
+
+def main() -> None:
+    table = Table(
+        columns=("n", "log*", "linial threshold", "CV avg radius", "CV max radius", "avg on hard pi"),
+        title="3-colouring the n-ring with Cole-Vishkin",
+    )
+    for n in (16, 32, 64, 128):
+        graph = cycle_graph(n)
+        ids = random_assignment(n, seed=n)
+        round_trace = run_round_algorithm(graph, ids, ColeVishkinRing(n))
+        certify("3-coloring", graph, ids, round_trace)
+
+        ball_algorithm = BallSimulationOfRounds(ColeVishkinRing(n))
+        construction = build_hard_assignment(n, ball_algorithm, seed=n)
+        hard_trace = run_ball_algorithm(graph, construction.assignment, ball_algorithm)
+        certify("3-coloring", graph, construction.assignment, hard_trace)
+
+        table.add_row(
+            **{
+                "n": n,
+                "log*": log_star(n),
+                "linial threshold": linial_lower_bound_radius(n),
+                "CV avg radius": round_trace.average_radius,
+                "CV max radius": round_trace.max_radius,
+                "avg on hard pi": hard_trace.average_radius,
+            }
+        )
+    print(table)
+    print()
+    print("Unlike largest-ID, the average and the classic measure coincide here:")
+    print("every vertex of Cole-Vishkin stops at the same log*-sized radius, and")
+    print("Theorem 1 says no 3-colouring algorithm can push the *average* below")
+    print("the Linial threshold either.")
+
+
+if __name__ == "__main__":
+    main()

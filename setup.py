@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so
+that fully offline environments (no access to the ``wheel`` package that
+``pip install -e .`` needs for PEP 660 editable builds) can still install
+the library in development mode with ``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

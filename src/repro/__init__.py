@@ -1,0 +1,117 @@
+"""repro — Average complexity for the LOCAL model.
+
+A Python reproduction of Feuilloley, *Brief Announcement: Average Complexity
+for the LOCAL Model* (PODC 2015).  The library provides:
+
+* a LOCAL-model simulator in both of the paper's formulations (ball views
+  and synchronous message passing), with per-node radius accounting;
+* the paper's algorithms (largest-ID on a cycle, Cole–Vishkin 3-colouring)
+  plus greedy baselines;
+* the *average* and *classic* complexity measures, worst-case over
+  identifier assignments, with exhaustive and heuristic adversaries;
+* the theory toolkit behind the paper's two results (the segment recurrence
+  and OEIS A000788; Linial's threshold, the regularity lemmas and the slice
+  construction of Theorem 1); and
+* the applications sketched in the introduction (dynamic-network repair and
+  parallel simulation), an experiment harness (E1-E9) and benchmarks.
+
+Quick start::
+
+    from repro import LargestIdAlgorithm, cycle_graph, random_assignment, run_ball_algorithm
+
+    graph = cycle_graph(64)
+    ids = random_assignment(64, seed=1)
+    trace = run_ball_algorithm(graph, ids, LargestIdAlgorithm())
+    print(trace.average_radius, trace.max_radius)
+"""
+
+from repro.algorithms import (
+    BallSimulationOfRounds,
+    ColeVishkinRing,
+    FullGatherRoundAlgorithm,
+    GreedyColoringByID,
+    GreedyMISByID,
+    LargestIdAlgorithm,
+    make_algorithm,
+)
+from repro.core import (
+    BallAlgorithm,
+    ExhaustiveAdversary,
+    LocalSearchAdversary,
+    RandomSearchAdversary,
+    certify,
+    evaluate_assignment,
+    fit_growth,
+    run_ball_algorithm,
+    worst_case_over_assignments,
+)
+from repro.errors import (
+    AlgorithmError,
+    AnalysisError,
+    CertificationError,
+    ConfigurationError,
+    ExperimentError,
+    IdentifierError,
+    ReproError,
+    TopologyError,
+)
+from repro.model import (
+    BallView,
+    ExecutionTrace,
+    Graph,
+    IdentifierAssignment,
+    RoundAlgorithm,
+    extract_ball,
+    random_assignment,
+    run_round_algorithm,
+)
+from repro.topology import (
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    random_tree,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlgorithmError",
+    "AnalysisError",
+    "BallAlgorithm",
+    "BallSimulationOfRounds",
+    "BallView",
+    "CertificationError",
+    "ColeVishkinRing",
+    "ConfigurationError",
+    "ExecutionTrace",
+    "ExhaustiveAdversary",
+    "ExperimentError",
+    "FullGatherRoundAlgorithm",
+    "Graph",
+    "GreedyColoringByID",
+    "GreedyMISByID",
+    "IdentifierAssignment",
+    "IdentifierError",
+    "LargestIdAlgorithm",
+    "LocalSearchAdversary",
+    "RandomSearchAdversary",
+    "ReproError",
+    "RoundAlgorithm",
+    "TopologyError",
+    "__version__",
+    "certify",
+    "complete_graph",
+    "cycle_graph",
+    "evaluate_assignment",
+    "extract_ball",
+    "fit_growth",
+    "grid_graph",
+    "make_algorithm",
+    "path_graph",
+    "random_assignment",
+    "random_tree",
+    "run_ball_algorithm",
+    "run_round_algorithm",
+    "worst_case_over_assignments",
+]

@@ -1,0 +1,46 @@
+"""Distributed algorithms.
+
+This package contains the algorithms the paper discusses plus the baselines
+needed for the experiments:
+
+* :mod:`largest_id` — the paper's Section 2 algorithm (grow the ball until a
+  larger identifier, or the whole graph, is visible);
+* :mod:`cole_vishkin` — the Cole–Vishkin 3-colouring of the oriented ring
+  (the paper's Section 3 upper bound);
+* :mod:`color_reduction` — the bit-trick colour-reduction step and the
+  6 -> 3 palette reduction used by Cole–Vishkin;
+* :mod:`greedy_coloring`, :mod:`mis` — greedy-by-identifier baselines whose
+  average radius is also much smaller than their worst case;
+* :mod:`full_gather` — the two compilers between the ball view and the
+  round (message-passing) view of the LOCAL model.
+"""
+
+from repro.algorithms.cole_vishkin import ColeVishkinRing, cv_rounds_needed
+from repro.algorithms.color_reduction import (
+    cv_step,
+    iterations_until_six_colors,
+    palette_after_iterations,
+)
+from repro.algorithms.full_gather import BallSimulationOfRounds, FullGatherRoundAlgorithm
+from repro.algorithms.greedy_coloring import GreedyColoringByID
+from repro.algorithms.largest_id import LargestIdAlgorithm, predicted_largest_id_radii
+from repro.algorithms.mis import GreedyMISByID
+from repro.algorithms.registry import algorithm_registry, make_algorithm
+from repro.algorithms.ring_coloring_via_mis import RingColoringViaMIS
+
+__all__ = [
+    "BallSimulationOfRounds",
+    "ColeVishkinRing",
+    "FullGatherRoundAlgorithm",
+    "GreedyColoringByID",
+    "GreedyMISByID",
+    "LargestIdAlgorithm",
+    "RingColoringViaMIS",
+    "algorithm_registry",
+    "cv_rounds_needed",
+    "cv_step",
+    "iterations_until_six_colors",
+    "make_algorithm",
+    "palette_after_iterations",
+    "predicted_largest_id_radii",
+]

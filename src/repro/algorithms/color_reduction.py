@@ -1,0 +1,89 @@
+"""Colour-reduction primitives used by the Cole–Vishkin algorithm.
+
+The Cole–Vishkin "deterministic coin tossing" step takes a node's current
+colour ``x`` and the colour ``y`` of its predecessor on an oriented ring
+(with ``x != y``), finds the lowest bit position ``i`` where the two colours
+differ, and recolours the node ``2 * i + bit_i(x)``.  One application shrinks
+a palette of ``c`` colours to roughly ``2 * log2(c)``; iterating reaches a
+six-colour palette after ``O(log* c)`` applications, after which the palette
+cannot shrink further by this method and the explicit 6 -> 3 reduction of
+:mod:`repro.algorithms.cole_vishkin` takes over.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AlgorithmError
+from repro.utils.validation import require_positive_int
+
+
+def cv_step(own_color: int, other_color: int) -> int:
+    """One Cole–Vishkin recolouring step.
+
+    Parameters
+    ----------
+    own_color, other_color:
+        Current colours of the node and of its reference neighbour (the
+        predecessor on an oriented ring).  They must differ; equal colours
+        indicate the caller's colouring was already improper.
+    """
+    if own_color == other_color:
+        raise AlgorithmError(
+            f"cv_step requires distinct colours, got {own_color} twice"
+        )
+    if own_color < 0 or other_color < 0:
+        raise AlgorithmError("cv_step requires non-negative colours")
+    differing = own_color ^ other_color
+    index = (differing & -differing).bit_length() - 1
+    bit = (own_color >> index) & 1
+    return 2 * index + bit
+
+
+def palette_after_iterations(palette_size: int, iterations: int) -> int:
+    """Upper bound on the palette size after ``iterations`` Cole–Vishkin steps.
+
+    Starting from colours in ``0 .. palette_size - 1``, one step maps colours
+    into ``0 .. 2 * bit_length - 1``.  The bound is exact in the worst case
+    and never drops below 6 (three bit positions keep regenerating
+    themselves).
+    """
+    require_positive_int(palette_size, "palette_size")
+    size = palette_size
+    for _ in range(iterations):
+        if size <= 6:
+            return size
+        bits = max((size - 1).bit_length(), 1)
+        size = 2 * bits
+    return size
+
+
+def iterations_until_six_colors(palette_size: int) -> int:
+    """Number of Cole–Vishkin steps needed to certainly reach at most 6 colours.
+
+    This is the ``O(log*)`` quantity: it grows extremely slowly (for example
+    it is 3 for a palette of 2^16 colours and 5 for a palette of 2^65536).
+    """
+    require_positive_int(palette_size, "palette_size")
+    size = palette_size
+    iterations = 0
+    while size > 6:
+        size = palette_after_iterations(size, 1)
+        iterations += 1
+        if iterations > 64:
+            raise AlgorithmError(
+                f"colour reduction failed to converge from palette {palette_size}"
+            )
+    return iterations
+
+
+def free_color(neighbor_colors: set[int], palette: int = 3) -> int:
+    """Smallest colour in ``0..palette-1`` unused by the given neighbours.
+
+    Used by the final 6 -> 3 reduction (a node with two neighbours always
+    finds a free colour among three) and by the greedy colouring baseline.
+    """
+    for candidate in range(palette):
+        if candidate not in neighbor_colors:
+            return candidate
+    raise AlgorithmError(
+        f"no free colour in a palette of {palette} given neighbours {sorted(neighbor_colors)}"
+    )

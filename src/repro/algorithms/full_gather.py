@@ -1,0 +1,209 @@
+"""Compilers between the two views of the LOCAL model.
+
+The paper treats the round-based (message-passing) description and the
+ball-based description of the LOCAL model as interchangeable.  This module
+makes the equivalence executable in both directions:
+
+* :class:`BallSimulationOfRounds` turns a round-based algorithm into a
+  ball-based one: a node holding its radius-``r`` ball can replay, for every
+  visible node ``u``, the first ``r - dist(u)`` rounds of the message-passing
+  execution, and in particular its own first ``r`` rounds.  The compiled
+  algorithm therefore outputs at radius exactly the round at which the
+  original algorithm commits (or earlier, when the ball already covers the
+  whole graph).
+
+* :class:`FullGatherRoundAlgorithm` turns a ball-based algorithm into a
+  round-based one by flooding everything every round.  After ``r`` rounds a
+  node has certainly learnt its induced ball of radius ``r - 1`` (edges
+  between two nodes at distance exactly ``r`` are not yet visible), so the
+  compiled algorithm commits at most one round after the ball algorithm's
+  radius.  Experiment E9 quantifies this off-by-at-most-one relationship.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional
+
+from repro.core.algorithm import BallAlgorithm
+from repro.errors import AlgorithmError
+from repro.model.ball import BallView
+from repro.model.rounds import RoundAlgorithm
+
+
+class BallSimulationOfRounds(BallAlgorithm):
+    """Run a :class:`RoundAlgorithm` by local replay inside each ball."""
+
+    def __init__(self, round_algorithm: RoundAlgorithm, problem: str | None = None) -> None:
+        self.round_algorithm = round_algorithm
+        self.name = f"ball-simulation({round_algorithm.name})"
+        self.problem = problem if problem is not None else getattr(
+            round_algorithm, "problem", "unspecified"
+        )
+
+    def decide(self, ball: BallView) -> Optional[Any]:
+        algorithm = self.round_algorithm
+        members = sorted(ball.ids())
+        covers_all = ball.covers_whole_graph()
+        # How many rounds of node u's execution this ball can replay faithfully.
+        if covers_all:
+            limit = {u: 2 * ball.size + 2 for u in members}
+        else:
+            limit = {u: ball.radius - ball.distance(u) for u in members}
+        states: dict[int, Any] = {}
+        committed: dict[int, Any] = {}
+        for u in members:
+            states[u] = algorithm.initialize(u, ball.degree(u))
+            initial = algorithm.decide_initially(states[u])
+            if initial is not None:
+                committed[u] = initial
+        if ball.center_id in committed:
+            return committed[ball.center_id]
+        neighbors = {u: ball.neighbors_in_ball(u) for u in members}
+        max_rounds = limit[ball.center_id]
+        for round_number in range(1, max_rounds + 1):
+            # A node's round-k message is a function of its state after k-1
+            # rounds, so every node whose state is valid through round k-1 can
+            # act as a sender; only nodes valid through round k may update.
+            senders = [u for u in members if limit[u] >= round_number - 1]
+            receivers = [u for u in members if limit[u] >= round_number]
+            outboxes = {
+                u: dict(algorithm.send(states[u], round_number)) for u in senders
+            }
+            for u in receivers:
+                # Every neighbour of a receiver is visible and valid one round
+                # behind it (triangle inequality), hence always a sender.
+                inbox: dict[int, Any] = {}
+                for w in neighbors[u]:
+                    payload = outboxes.get(w, {})
+                    port_on_w = ball.port(w, u)
+                    if port_on_w in payload:
+                        inbox[ball.port(u, w)] = payload[port_on_w]
+                new_state, output = algorithm.receive(states[u], inbox, round_number)
+                states[u] = new_state
+                if output is not None and u not in committed:
+                    committed[u] = output
+            if ball.center_id in committed:
+                return committed[ball.center_id]
+        if covers_all and ball.center_id not in committed:
+            raise AlgorithmError(
+                f"round algorithm {algorithm.name!r} did not commit within "
+                f"{max_rounds} simulated rounds despite seeing the whole graph"
+            )
+        return None
+
+
+@dataclass
+class _GatherMemory:
+    """Everything a flooding node has learnt so far."""
+
+    own_id: int
+    degree_by_id: dict[int, int] = field(default_factory=dict)
+    ports: dict[tuple[int, int], int] = field(default_factory=dict)
+    rounds_elapsed: int = 0
+
+
+class FullGatherRoundAlgorithm(RoundAlgorithm):
+    """Flood all knowledge every round and feed growing balls to a ball algorithm."""
+
+    def __init__(self, ball_algorithm: BallAlgorithm) -> None:
+        self.ball_algorithm = ball_algorithm
+        self.name = f"full-gather({ball_algorithm.name})"
+        self.problem = ball_algorithm.problem
+
+    # ------------------------------------------------------------------
+    # RoundAlgorithm interface
+    # ------------------------------------------------------------------
+    def initialize(self, identifier: int, degree: int) -> _GatherMemory:
+        memory = _GatherMemory(own_id=identifier)
+        memory.degree_by_id[identifier] = degree
+        return memory
+
+    def decide_initially(self, memory: _GatherMemory) -> Optional[Any]:
+        return self.ball_algorithm.decide(self._ball(memory, radius=0))
+
+    def send(self, memory: _GatherMemory, round_number: int) -> Mapping[int, Any]:
+        payload = {
+            "sender": memory.own_id,
+            "degrees": dict(memory.degree_by_id),
+            "ports": dict(memory.ports),
+        }
+        degree = memory.degree_by_id[memory.own_id]
+        return {port: dict(payload, sender_port=port) for port in range(degree)}
+
+    def receive(
+        self, memory: _GatherMemory, inbox: Mapping[int, Any], round_number: int
+    ) -> tuple[_GatherMemory, Optional[Any]]:
+        for receiver_port, payload in inbox.items():
+            sender = payload["sender"]
+            memory.degree_by_id.update(payload["degrees"])
+            memory.ports.update(payload["ports"])
+            memory.ports[(memory.own_id, sender)] = receiver_port
+            memory.ports[(sender, memory.own_id)] = payload["sender_port"]
+        memory.rounds_elapsed = round_number
+        output = self.ball_algorithm.decide(self._best_known_ball(memory))
+        return memory, output
+
+    # ------------------------------------------------------------------
+    # knowledge -> BallView reconstruction
+    # ------------------------------------------------------------------
+    def _known_edges(self, memory: _GatherMemory) -> set[frozenset[int]]:
+        return {frozenset(pair) for pair in memory.ports}
+
+    def _distances(self, memory: _GatherMemory) -> dict[int, int]:
+        """BFS over the knowledge graph from the node's own identifier."""
+        adjacency: dict[int, set[int]] = {}
+        for a, b in memory.ports:
+            adjacency.setdefault(a, set()).add(b)
+            adjacency.setdefault(b, set()).add(a)
+        distances = {memory.own_id: 0}
+        frontier = [memory.own_id]
+        while frontier:
+            next_frontier = []
+            for node in frontier:
+                for neighbor in adjacency.get(node, ()):
+                    if neighbor not in distances:
+                        distances[neighbor] = distances[node] + 1
+                        next_frontier.append(neighbor)
+            frontier = next_frontier
+        return distances
+
+    def _ball(self, memory: _GatherMemory, radius: int) -> BallView:
+        distances = self._distances(memory)
+        members = {u for u, d in distances.items() if d <= radius}
+        edges = frozenset(
+            edge for edge in self._known_edges(memory) if edge <= members
+        )
+        return BallView(
+            center_id=memory.own_id,
+            radius=radius,
+            distance_by_id={u: distances[u] for u in members},
+            degree_by_id={u: memory.degree_by_id[u] for u in members},
+            edges=edges,
+            port_by_pair={
+                pair: port
+                for pair, port in memory.ports.items()
+                if pair[0] in members and pair[1] in members
+            },
+        )
+
+    def _best_known_ball(self, memory: _GatherMemory) -> BallView:
+        """The largest ball that is certainly complete after the rounds so far.
+
+        After ``r`` rounds the node knows every edge incident to a node at
+        distance at most ``r - 1``, hence the induced ball of radius
+        ``r - 1`` is complete.  If the knowledge graph is already saturated
+        (every known node has all its edges known), the whole graph is known
+        and the maximal ball is returned instead.
+        """
+        distances = self._distances(memory)
+        known_degree: dict[int, int] = {u: 0 for u in distances}
+        for a, b in self._known_edges(memory):
+            known_degree[a] = known_degree.get(a, 0) + 1
+            known_degree[b] = known_degree.get(b, 0) + 1
+        saturated = all(
+            known_degree.get(u, 0) == memory.degree_by_id.get(u, -1) for u in distances
+        )
+        if saturated:
+            return self._ball(memory, radius=max(distances.values(), default=0))
+        return self._ball(memory, radius=max(0, memory.rounds_elapsed - 1))

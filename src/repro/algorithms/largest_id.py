@@ -1,0 +1,63 @@
+"""The largest-ID algorithm (Section 2 of the paper).
+
+Every node must output ``True`` if it carries the largest identifier of the
+whole graph and ``False`` otherwise — "a classic way to elect a leader".
+The paper's algorithm is the obvious one: *each node increases its radius
+until it discovers an identifier larger than its own, or until it has seen
+the whole graph*.
+
+On a cycle the worst-case radius of this algorithm is linear (the maximum
+node must see everything) while its **average** radius is logarithmic — the
+exponential gap the paper uses to motivate the average measure.  The
+algorithm itself is correct on every connected graph, so the experiments can
+also exercise it on trees, grids and random graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.algorithm import BallAlgorithm
+from repro.model.ball import BallView
+from repro.model.graph import Graph
+from repro.model.identifiers import IdentifierAssignment
+
+
+class LargestIdAlgorithm(BallAlgorithm):
+    """Grow the ball until a larger identifier or the whole graph is visible."""
+
+    name = "largest-id"
+    problem = "largest-id"
+
+    def decide(self, ball: BallView) -> Optional[bool]:
+        if ball.contains_id_larger_than(ball.center_id):
+            return False
+        if ball.covers_whole_graph():
+            return True
+        return None
+
+
+def predicted_largest_id_radii(graph: Graph, ids: IdentifierAssignment) -> dict[int, int]:
+    """Closed-form radii of :class:`LargestIdAlgorithm` on any connected graph.
+
+    The node with the globally largest identifier stops when its ball covers
+    the whole graph, i.e. at its eccentricity.  Every other node stops at
+    the distance to the nearest node with a larger identifier.  Used as an
+    oracle in tests to validate the ball simulator end to end.
+    """
+    radii: dict[int, int] = {}
+    for position in graph.positions():
+        own = ids[position]
+        distances = graph.distances_from(position)
+        larger = [d for u, d in distances.items() if ids[u] > own]
+        if larger:
+            radii[position] = min(larger)
+        else:
+            radii[position] = graph.eccentricity(position)
+    return radii
+
+
+def predicted_average_radius(graph: Graph, ids: IdentifierAssignment) -> float:
+    """Average of :func:`predicted_largest_id_radii` (per-assignment, no max)."""
+    radii = predicted_largest_id_radii(graph, ids)
+    return sum(radii.values()) / graph.n

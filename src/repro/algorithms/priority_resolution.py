@@ -1,0 +1,82 @@
+"""Resolution of greedy-by-identifier algorithms inside a ball.
+
+Several classic LOCAL algorithms (greedy colouring, greedy maximal
+independent set) define a node's output by recursion over *higher-identifier
+neighbours*: the node with the locally largest identifier decides first, and
+every other node decides once all of its higher neighbours have.  A node can
+therefore compute its own output as soon as its ball contains the whole
+"dependency cone" of increasing-identifier paths leaving it.
+
+:func:`resolve_by_descending_id` implements that computation once, so the
+individual algorithms only supply the combination rule ("my output given my
+higher neighbours' outputs").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from repro.model.ball import BallView
+
+#: Combination rule: ``(node_id, {higher_neighbour_id: output}) -> output``.
+CombineRule = Callable[[int, Mapping[int, Any]], Any]
+
+
+def resolve_by_descending_id(ball: BallView, combine: CombineRule) -> dict[int, Any]:
+    """Outputs determined *within* ``ball`` for the greedy-by-ID recursion.
+
+    A ball member is determined when (a) all of its graph neighbours are
+    visible in the ball — otherwise an unseen higher neighbour could change
+    its output — and (b) every visible neighbour with a higher identifier is
+    itself determined.  Members are processed in decreasing identifier order,
+    which resolves the recursion in a single pass.
+
+    Returns a mapping from identifier to output for every determined member;
+    undetermined members are simply absent.
+    """
+    adjacency: dict[int, set[int]] = {identifier: set() for identifier in ball.ids()}
+    for edge in ball.edges:
+        a, b = tuple(edge)
+        adjacency[a].add(b)
+        adjacency[b].add(a)
+    determined: dict[int, Any] = {}
+    for identifier in sorted(adjacency, reverse=True):
+        if len(adjacency[identifier]) != ball.degree(identifier):
+            continue
+        higher_neighbors = [n for n in adjacency[identifier] if n > identifier]
+        if any(neighbor not in determined for neighbor in higher_neighbors):
+            continue
+        determined[identifier] = combine(
+            identifier, {neighbor: determined[neighbor] for neighbor in higher_neighbors}
+        )
+    return determined
+
+
+def dependency_depth(ball: BallView, identifier: int) -> int | None:
+    """Length of the longest strictly-increasing-identifier path from ``identifier``.
+
+    Only computable when the whole cone is visible; returns ``None``
+    otherwise.  This is the radius (up to the +1 needed to confirm the last
+    node's neighbourhood) at which the greedy-by-ID algorithms decide, and
+    tests use it as an independent oracle.
+    """
+    cache: dict[int, int | None] = {}
+
+    def depth(node: int) -> int | None:
+        if node in cache:
+            return cache[node]
+        if ball.degree_inside(node) != ball.degree(node):
+            cache[node] = None
+            return None
+        best = 0
+        for neighbor in ball.neighbors_in_ball(node):
+            if neighbor > node:
+                sub = depth(neighbor)
+                if sub is None:
+                    cache[node] = None
+                    return None
+                best = max(best, sub + 1)
+        cache[node] = best
+        return best
+
+    return depth(identifier)

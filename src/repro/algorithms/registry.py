@@ -1,0 +1,59 @@
+"""Registry of the library's named algorithms.
+
+Experiments, benchmarks and the examples refer to algorithms by short names
+("largest-id", "greedy-coloring", ...).  The registry centralises the
+mapping from name to factory so new algorithms become available everywhere
+by registering them once.
+
+Factories take the instance size ``n`` because some algorithms (notably
+Cole–Vishkin) need it; size-independent algorithms simply ignore it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Union
+
+from repro.algorithms.cole_vishkin import ColeVishkinRing
+from repro.algorithms.full_gather import BallSimulationOfRounds
+from repro.algorithms.greedy_coloring import GreedyColoringByID
+from repro.algorithms.largest_id import LargestIdAlgorithm
+from repro.algorithms.mis import GreedyMISByID
+from repro.algorithms.ring_coloring_via_mis import RingColoringViaMIS
+from repro.core.algorithm import BallAlgorithm
+from repro.errors import ConfigurationError
+from repro.model.rounds import RoundAlgorithm
+
+AlgorithmFactory = Callable[[int], Union[BallAlgorithm, RoundAlgorithm]]
+
+_REGISTRY: dict[str, AlgorithmFactory] = {}
+
+
+def register_algorithm(name: str, factory: AlgorithmFactory) -> None:
+    """Register (or replace) a named algorithm factory."""
+    _REGISTRY[name] = factory
+
+
+def algorithm_registry() -> dict[str, AlgorithmFactory]:
+    """A copy of the current name -> factory mapping."""
+    return dict(_REGISTRY)
+
+
+def make_algorithm(name: str, n: int) -> Union[BallAlgorithm, RoundAlgorithm]:
+    """Instantiate a registered algorithm for an instance of size ``n``."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown algorithm {name!r}; registered algorithms: {sorted(_REGISTRY)}"
+        ) from exc
+    return factory(n)
+
+
+register_algorithm("largest-id", lambda n: LargestIdAlgorithm())
+register_algorithm("greedy-coloring", lambda n: GreedyColoringByID())
+register_algorithm("greedy-mis", lambda n: GreedyMISByID())
+register_algorithm("cole-vishkin", lambda n: ColeVishkinRing(n))
+register_algorithm(
+    "cole-vishkin-ball", lambda n: BallSimulationOfRounds(ColeVishkinRing(n))
+)
+register_algorithm("ring-coloring-via-mis", lambda n: RingColoringViaMIS())

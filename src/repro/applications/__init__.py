@@ -1,0 +1,33 @@
+"""Applications sketched in the paper's introduction.
+
+The paper motivates the average measure with two scenarios:
+
+* **Dynamic networks** (:mod:`repro.applications.dynamic_networks`): after a
+  change at a random node, only the nodes whose view contained the changed
+  node must recompute, so the expected repair cost is governed by the
+  average radius rather than the worst-case radius.
+* **Parallel simulation** (:mod:`repro.applications.parallel_sim`): when a
+  pool of processors simulates the nodes of a distributed algorithm, a node
+  that outputs early frees its processor for another node, so the makespan
+  is governed by the *sum* (equivalently the average) of the radii.
+"""
+
+from repro.applications.dynamic_networks import (
+    DynamicRepairSimulator,
+    RepairReport,
+    expected_repair_cost,
+)
+from repro.applications.parallel_sim import (
+    ScheduleResult,
+    list_schedule,
+    simulation_speedup,
+)
+
+__all__ = [
+    "DynamicRepairSimulator",
+    "RepairReport",
+    "ScheduleResult",
+    "expected_repair_cost",
+    "list_schedule",
+    "simulation_speedup",
+]

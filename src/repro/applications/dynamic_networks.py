@@ -1,0 +1,141 @@
+"""Label repair in dynamic networks.
+
+The paper remarks that "the average time to update the labels of the graph
+after a change at a random node, can be estimated using the average
+measure".  The model implemented here makes that estimate concrete:
+
+* run a ball-based algorithm once to obtain every node's output and radius;
+* change the identifier of one node (the "churn event");
+* a node must recompute exactly when the changed node lies inside the ball
+  it had used (or inside the ball it now needs) — everyone else's view, and
+  hence output, is untouched.
+
+The *repair cost* of a change is the number of nodes that must recompute
+(total work) and the largest radius among them (repair latency).  Averaged
+over a uniformly random changed node, the total work equals
+``(1/n) * sum_v |B(v, r(v))|``, which on a cycle is ``2 * average_radius + 1``
+— exactly the paper's claim that the average measure is the right estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.algorithm import BallAlgorithm
+from repro.core.runner import run_ball_algorithm
+from repro.errors import ConfigurationError, IdentifierError
+from repro.model.graph import Graph
+from repro.model.identifiers import IdentifierAssignment
+from repro.model.trace import ExecutionTrace
+from repro.utils.rng import SeedLike, make_rng
+
+
+@dataclass(frozen=True)
+class RepairReport:
+    """Cost of repairing the labelling after one identifier change."""
+
+    changed_position: int
+    old_identifier: int
+    new_identifier: int
+    affected_positions: tuple[int, ...]
+    repair_latency: int
+    total_work: int
+
+    @property
+    def affected_count(self) -> int:
+        """Number of nodes that had to recompute their output."""
+        return len(self.affected_positions)
+
+
+class DynamicRepairSimulator:
+    """Maintains outputs of a ball algorithm under single-node identifier churn."""
+
+    def __init__(
+        self, graph: Graph, ids: IdentifierAssignment, algorithm: BallAlgorithm
+    ) -> None:
+        self.graph = graph
+        self.algorithm = algorithm
+        self.ids = ids
+        self.trace: ExecutionTrace = run_ball_algorithm(graph, ids, algorithm)
+
+    def affected_by_change(self, position: int, trace: ExecutionTrace | None = None) -> list[int]:
+        """Positions whose used ball contains ``position`` (they must recompute)."""
+        reference = trace if trace is not None else self.trace
+        radii = reference.radii()
+        affected = []
+        for v in self.graph.positions():
+            if self.graph.distance(v, position) <= radii[v]:
+                affected.append(v)
+        return affected
+
+    def apply_change(self, position: int, new_identifier: int) -> RepairReport:
+        """Change one node's identifier, recompute, and report the repair cost.
+
+        The new identifier must not collide with any existing identifier
+        (other than the one being replaced).
+        """
+        if not 0 <= position < self.graph.n:
+            raise ConfigurationError(f"position {position} outside 0..{self.graph.n - 1}")
+        old_identifier = self.ids[position]
+        others = set(self.ids.identifiers()) - {old_identifier}
+        if new_identifier in others:
+            raise IdentifierError(
+                f"identifier {new_identifier} is already used elsewhere in the graph"
+            )
+        before = self.trace
+        new_ids = list(self.ids.identifiers())
+        new_ids[position] = new_identifier
+        self.ids = IdentifierAssignment(new_ids)
+        self.trace = run_ball_algorithm(self.graph, self.ids, self.algorithm)
+        # A node must recompute if the changed node was in the ball it had
+        # used before the change, or is in the ball it needs afterwards.
+        affected = sorted(
+            set(self.affected_by_change(position, before))
+            | set(self.affected_by_change(position, self.trace))
+        )
+        radii_after = self.trace.radii()
+        latency = max((radii_after[v] for v in affected), default=0)
+        return RepairReport(
+            changed_position=position,
+            old_identifier=old_identifier,
+            new_identifier=new_identifier,
+            affected_positions=tuple(affected),
+            repair_latency=latency,
+            total_work=len(affected),
+        )
+
+    def random_churn(self, events: int, seed: SeedLike = None) -> list[RepairReport]:
+        """Apply ``events`` successive changes at uniformly random positions.
+
+        Each event assigns a fresh identifier strictly above every identifier
+        currently in use, which keeps identifiers distinct without renaming
+        other nodes.
+        """
+        rng = make_rng(seed)
+        reports = []
+        for _ in range(events):
+            position = rng.randrange(self.graph.n)
+            new_identifier = max(self.ids.identifiers()) + 1
+            reports.append(self.apply_change(position, new_identifier))
+        return reports
+
+
+def expected_repair_cost(trace: ExecutionTrace, graph: Graph) -> float:
+    """Expected recomputation work for a change at a uniformly random node.
+
+    Equals ``(1/n) * sum_v |B(v, r(v))|``: node ``v`` recomputes whenever the
+    changed node falls inside the ball it used, which happens with
+    probability ``|B(v, r(v))| / n``.
+    """
+    radii = trace.radii()
+    total = sum(len(graph.ball_positions(v, radii[v])) for v in graph.positions())
+    return total / graph.n
+
+
+def average_repair_cost(reports: Iterable[RepairReport]) -> float:
+    """Mean total work over a sequence of observed repair reports."""
+    reports = list(reports)
+    if not reports:
+        raise ConfigurationError("average_repair_cost needs at least one report")
+    return sum(report.total_work for report in reports) / len(reports)

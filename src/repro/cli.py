@@ -1,0 +1,205 @@
+"""Command-line interface.
+
+``python -m repro`` exposes the library's main entry points without writing
+any Python:
+
+* ``list-algorithms``              — the registered algorithm names;
+* ``list-experiments``             — the experiment index (E1-E11);
+* ``run-experiment E1 [--small]``  — run one experiment and print its table;
+* ``simulate --algorithm largest-id --n 64 --topology cycle [--ids random]``
+                                   — one simulation run with both measures;
+* ``gap --n 256``                  — the headline numbers of the paper in one line.
+
+The CLI prints plain text only (tables and, where helpful, ASCII plots), so
+its output can be piped into files or diffed between runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable, Sequence
+
+from repro.algorithms.registry import algorithm_registry, make_algorithm
+from repro.core.certification import certify
+from repro.core.runner import run_ball_algorithm
+from repro.errors import ConfigurationError
+from repro.model.identifiers import (
+    IdentifierAssignment,
+    bit_reversal_assignment,
+    identity_assignment,
+    random_assignment,
+    reversed_assignment,
+)
+from repro.model.rounds import run_round_algorithm
+from repro.theory.bounds import largest_id_average_upper_bound, largest_id_worst_case_bound
+from repro.theory.recurrence import worst_case_cycle_arrangement
+from repro.topology.complete import complete_graph
+from repro.topology.cycle import cycle_graph
+from repro.topology.grid import grid_graph
+from repro.topology.path import path_graph
+from repro.topology.random_graphs import gnp_random_graph, random_tree
+from repro.utils.ascii_plot import plot_experiment_column
+
+#: Identifier-family names accepted by ``simulate``.
+ID_FAMILIES: dict[str, Callable[[int, int], IdentifierAssignment]] = {
+    "random": lambda n, seed: random_assignment(n, seed=seed),
+    "sorted": lambda n, seed: identity_assignment(n),
+    "reversed": lambda n, seed: reversed_assignment(n),
+    "bit-reversal": lambda n, seed: bit_reversal_assignment(n),
+    "worst-largest-id": lambda n, seed: IdentifierAssignment(worst_case_cycle_arrangement(n)),
+}
+
+#: Topology names accepted by ``simulate``.
+TOPOLOGIES: dict[str, Callable[[int, int], object]] = {
+    "cycle": lambda n, seed: cycle_graph(n),
+    "path": lambda n, seed: path_graph(n),
+    "grid": lambda n, seed: grid_graph(max(2, int(round(n**0.5))), max(2, int(round(n**0.5)))),
+    "complete": lambda n, seed: complete_graph(n),
+    "random-tree": lambda n, seed: random_tree(n, seed=seed),
+    "gnp": lambda n, seed: gnp_random_graph(n, min(0.9, 8.0 / n), seed=seed),
+}
+
+
+def _experiment_modules():
+    from repro.experiments import (
+        characterization,
+        coloring,
+        dynamic,
+        general_graphs,
+        largest_id,
+        lower_bound,
+        parallel,
+        random_ids,
+        recurrence,
+        regularity,
+        simulators,
+    )
+
+    return {
+        "E1": largest_id,
+        "E2": recurrence,
+        "E3": coloring,
+        "E4": lower_bound,
+        "E5": regularity,
+        "E6": random_ids,
+        "E7": dynamic,
+        "E8": parallel,
+        "E9": simulators,
+        "E10": characterization,
+        "E11": general_graphs,
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Average complexity for the LOCAL model — simulator, experiments, bounds.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list-algorithms", help="print the registered algorithm names")
+    commands.add_parser("list-experiments", help="print the experiment index")
+
+    run_parser = commands.add_parser("run-experiment", help="run one experiment (E1-E11)")
+    run_parser.add_argument("experiment", help="experiment id, e.g. E1")
+    run_parser.add_argument("--small", action="store_true", help="use reduced instance sizes")
+    run_parser.add_argument(
+        "--plot",
+        nargs=2,
+        metavar=("X_COLUMN", "Y_COLUMN"),
+        help="also print an ASCII plot of one table column against another",
+    )
+
+    simulate_parser = commands.add_parser("simulate", help="run one algorithm on one instance")
+    simulate_parser.add_argument("--algorithm", default="largest-id", help="registered algorithm name")
+    simulate_parser.add_argument("--n", type=int, default=64, help="number of nodes")
+    simulate_parser.add_argument("--topology", default="cycle", choices=sorted(TOPOLOGIES))
+    simulate_parser.add_argument("--ids", default="random", choices=sorted(ID_FAMILIES))
+    simulate_parser.add_argument("--seed", type=int, default=0)
+
+    gap_parser = commands.add_parser("gap", help="print the paper's headline gap at one size")
+    gap_parser.add_argument("--n", type=int, default=256)
+
+    return parser
+
+
+def _cmd_list_algorithms() -> int:
+    for name in sorted(algorithm_registry()):
+        print(name)
+    return 0
+
+
+def _cmd_list_experiments() -> int:
+    for experiment_id, module in _experiment_modules().items():
+        summary = (module.__doc__ or "").strip().splitlines()[0]
+        print(f"{experiment_id}: {summary}")
+    return 0
+
+
+def _cmd_run_experiment(args: argparse.Namespace) -> int:
+    modules = _experiment_modules()
+    experiment_id = args.experiment.upper()
+    if experiment_id not in modules:
+        raise ConfigurationError(
+            f"unknown experiment {args.experiment!r}; known: {', '.join(modules)}"
+        )
+    result = modules[experiment_id].run(small=args.small)
+    print(result)
+    if args.plot:
+        x_column, y_column = args.plot
+        print()
+        print(
+            plot_experiment_column(
+                result.table.rows, x_column, [y_column], title=f"{experiment_id}: {y_column}"
+            )
+        )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    graph = TOPOLOGIES[args.topology](args.n, args.seed)
+    ids = ID_FAMILIES[args.ids](graph.n, args.seed)
+    algorithm = make_algorithm(args.algorithm, graph.n)
+    if hasattr(algorithm, "decide"):
+        trace = run_ball_algorithm(graph, ids, algorithm)
+    else:
+        trace = run_round_algorithm(graph, ids, algorithm)
+    certify(algorithm.problem, graph, ids, trace)
+    print(f"algorithm        : {args.algorithm}")
+    print(f"graph            : {graph.name} ({graph.n} nodes, {graph.m} edges)")
+    print(f"identifiers      : {args.ids}")
+    print(f"classic measure  : {trace.max_radius}")
+    print(f"average measure  : {trace.average_radius:.4f}")
+    print(f"radius histogram : {trace.radius_histogram()}")
+    print("output certified : yes")
+    return 0
+
+
+def _cmd_gap(args: argparse.Namespace) -> int:
+    n = args.n
+    average = largest_id_average_upper_bound(n)
+    worst = largest_id_worst_case_bound(n)
+    print(
+        f"largest-ID on the {n}-cycle: classic measure {worst}, "
+        f"average measure {average:.3f}, gap {worst / average:.1f}x"
+    )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point used by ``python -m repro`` and the console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list-algorithms":
+        return _cmd_list_algorithms()
+    if args.command == "list-experiments":
+        return _cmd_list_experiments()
+    if args.command == "run-experiment":
+        return _cmd_run_experiment(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "gap":
+        return _cmd_gap(args)
+    parser.error(f"unhandled command {args.command!r}")
+    return 2

@@ -1,0 +1,64 @@
+"""The paper's primary contribution: complexity measures for LOCAL algorithms.
+
+The core package defines the ball-based algorithm interface
+(:class:`~repro.core.algorithm.BallAlgorithm`), the deterministic runner that
+records the radius at which every node outputs, the *average* and *classic*
+complexity measures (worst case over identifier assignments), adversaries
+that search for bad identifier assignments, output certifiers, and the
+growth-rate analysis used to compare measured series against the paper's
+asymptotic claims.
+"""
+
+from repro.core.algorithm import BallAlgorithm, FunctionBallAlgorithm
+from repro.core.adversary import (
+    AdversaryResult,
+    ExhaustiveAdversary,
+    LocalSearchAdversary,
+    RandomSearchAdversary,
+    RotationAdversary,
+)
+from repro.core.analysis import GrowthFit, fit_growth, growth_candidates, ratio_series
+from repro.core.certification import (
+    certify,
+    certify_largest_id,
+    certify_leader_election,
+    certify_maximal_independent_set,
+    certify_proper_coloring,
+    register_certifier,
+)
+from repro.core.measures import (
+    ComplexityReport,
+    average_complexity,
+    classic_complexity,
+    evaluate_assignment,
+    worst_case_over_assignments,
+)
+from repro.core.runner import run_ball_algorithm, run_on_assignments
+
+__all__ = [
+    "AdversaryResult",
+    "BallAlgorithm",
+    "ComplexityReport",
+    "ExhaustiveAdversary",
+    "FunctionBallAlgorithm",
+    "GrowthFit",
+    "LocalSearchAdversary",
+    "RandomSearchAdversary",
+    "RotationAdversary",
+    "average_complexity",
+    "certify",
+    "certify_largest_id",
+    "certify_leader_election",
+    "certify_maximal_independent_set",
+    "certify_proper_coloring",
+    "classic_complexity",
+    "evaluate_assignment",
+    "fit_growth",
+    "growth_candidates",
+    "ratio_series",
+    "ratio_series",
+    "register_certifier",
+    "run_ball_algorithm",
+    "run_on_assignments",
+    "worst_case_over_assignments",
+]

@@ -1,0 +1,267 @@
+"""Adversaries over identifier assignments.
+
+Both measures in the paper are worst cases *over the identifier assignment*.
+On small instances the maximum can be computed exhaustively (all ``n!``
+permutations); on larger instances we fall back to randomised search and
+hill climbing, whose result is a certified **lower bound** on the true worst
+case (the witness assignment is returned so callers can re-verify it).
+
+The adversaries are deliberately algorithm-agnostic: they only observe the
+scalar objective of a full run, never the algorithm's internals.
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+from dataclasses import dataclass
+
+from repro.core.algorithm import BallAlgorithm
+from repro.core.runner import run_ball_algorithm
+from repro.errors import AnalysisError, ConfigurationError
+from repro.model.graph import Graph
+from repro.model.identifiers import IdentifierAssignment, identity_assignment, random_assignment
+from repro.model.trace import ExecutionTrace
+from repro.utils.rng import SeedLike, make_rng
+from repro.utils.validation import require_positive_int
+
+#: Objectives an adversary can maximise.
+OBJECTIVES = ("average", "max", "sum")
+
+
+def trace_objective(trace: ExecutionTrace, objective: str) -> float:
+    """Scalar value of one execution trace under the chosen objective."""
+    if objective == "average":
+        return trace.average_radius
+    if objective == "max":
+        return float(trace.max_radius)
+    if objective == "sum":
+        return float(trace.sum_radius)
+    raise AnalysisError(f"unknown objective {objective!r}; expected one of {OBJECTIVES}")
+
+
+@dataclass(frozen=True)
+class AdversaryResult:
+    """Outcome of an adversarial search.
+
+    ``value`` is the objective achieved by ``assignment`` (whose full trace
+    is included), ``evaluations`` counts how many assignments were tried and
+    ``exact`` records whether the search provably covered the whole space.
+    """
+
+    assignment: IdentifierAssignment
+    trace: ExecutionTrace
+    value: float
+    objective: str
+    evaluations: int
+    exact: bool
+
+
+class Adversary(abc.ABC):
+    """Base class: search identifier assignments maximising an objective."""
+
+    @abc.abstractmethod
+    def maximise(
+        self, graph: Graph, algorithm: BallAlgorithm, objective: str = "average"
+    ) -> AdversaryResult:
+        """Return the best assignment found for the given objective."""
+
+    @staticmethod
+    def _evaluate(
+        graph: Graph, ids: IdentifierAssignment, algorithm: BallAlgorithm, objective: str
+    ) -> tuple[ExecutionTrace, float]:
+        trace = run_ball_algorithm(graph, ids, algorithm)
+        return trace, trace_objective(trace, objective)
+
+
+class ExhaustiveAdversary(Adversary):
+    """Try every permutation of ``0..n-1`` — exact, but only feasible for tiny n.
+
+    ``max_nodes`` protects against accidentally launching a factorial search
+    on a large graph.
+    """
+
+    def __init__(self, max_nodes: int = 9) -> None:
+        require_positive_int(max_nodes, "max_nodes")
+        self.max_nodes = max_nodes
+
+    def maximise(
+        self, graph: Graph, algorithm: BallAlgorithm, objective: str = "average"
+    ) -> AdversaryResult:
+        if graph.n > self.max_nodes:
+            raise ConfigurationError(
+                f"ExhaustiveAdversary is limited to {self.max_nodes} nodes "
+                f"(got {graph.n}); use RandomSearchAdversary or LocalSearchAdversary"
+            )
+        best: AdversaryResult | None = None
+        evaluations = 0
+        for permutation in itertools.permutations(range(graph.n)):
+            ids = IdentifierAssignment(permutation)
+            trace, value = self._evaluate(graph, ids, algorithm, objective)
+            evaluations += 1
+            if best is None or value > best.value:
+                best = AdversaryResult(
+                    assignment=ids,
+                    trace=trace,
+                    value=value,
+                    objective=objective,
+                    evaluations=evaluations,
+                    exact=True,
+                )
+        if best is None:
+            raise AnalysisError("cannot run an adversary on an empty graph")
+        return AdversaryResult(
+            assignment=best.assignment,
+            trace=best.trace,
+            value=best.value,
+            objective=objective,
+            evaluations=evaluations,
+            exact=True,
+        )
+
+
+class RandomSearchAdversary(Adversary):
+    """Sample ``samples`` uniformly random assignments and keep the best."""
+
+    def __init__(self, samples: int = 64, seed: SeedLike = None) -> None:
+        require_positive_int(samples, "samples")
+        self.samples = samples
+        self.seed = seed
+
+    def maximise(
+        self, graph: Graph, algorithm: BallAlgorithm, objective: str = "average"
+    ) -> AdversaryResult:
+        rng = make_rng(self.seed)
+        best: AdversaryResult | None = None
+        for index in range(self.samples):
+            ids = random_assignment(graph.n, seed=rng.getrandbits(64))
+            trace, value = self._evaluate(graph, ids, algorithm, objective)
+            if best is None or value > best.value:
+                best = AdversaryResult(
+                    assignment=ids,
+                    trace=trace,
+                    value=value,
+                    objective=objective,
+                    evaluations=index + 1,
+                    exact=False,
+                )
+        assert best is not None  # samples >= 1
+        return AdversaryResult(
+            assignment=best.assignment,
+            trace=best.trace,
+            value=best.value,
+            objective=objective,
+            evaluations=self.samples,
+            exact=False,
+        )
+
+
+class LocalSearchAdversary(Adversary):
+    """Hill climbing over pairwise identifier swaps, with random restarts.
+
+    Each restart begins from a random assignment and repeatedly applies the
+    best improving swap among a random sample of position pairs; the search
+    stops when no sampled swap improves the objective.
+    """
+
+    def __init__(
+        self,
+        restarts: int = 4,
+        swaps_per_step: int = 32,
+        max_steps: int = 64,
+        seed: SeedLike = None,
+    ) -> None:
+        require_positive_int(restarts, "restarts")
+        require_positive_int(swaps_per_step, "swaps_per_step")
+        require_positive_int(max_steps, "max_steps")
+        self.restarts = restarts
+        self.swaps_per_step = swaps_per_step
+        self.max_steps = max_steps
+        self.seed = seed
+
+    def maximise(
+        self, graph: Graph, algorithm: BallAlgorithm, objective: str = "average"
+    ) -> AdversaryResult:
+        rng = make_rng(self.seed)
+        best: AdversaryResult | None = None
+        evaluations = 0
+        for _ in range(self.restarts):
+            current = random_assignment(graph.n, seed=rng.getrandbits(64))
+            current_trace, current_value = self._evaluate(graph, current, algorithm, objective)
+            evaluations += 1
+            for _ in range(self.max_steps):
+                improved = False
+                for _ in range(self.swaps_per_step):
+                    a, b = rng.sample(range(graph.n), 2) if graph.n > 1 else (0, 0)
+                    candidate = current.with_swap(a, b)
+                    trace, value = self._evaluate(graph, candidate, algorithm, objective)
+                    evaluations += 1
+                    if value > current_value:
+                        current, current_trace, current_value = candidate, trace, value
+                        improved = True
+                if not improved:
+                    break
+            if best is None or current_value > best.value:
+                best = AdversaryResult(
+                    assignment=current,
+                    trace=current_trace,
+                    value=current_value,
+                    objective=objective,
+                    evaluations=evaluations,
+                    exact=False,
+                )
+        assert best is not None  # restarts >= 1
+        return AdversaryResult(
+            assignment=best.assignment,
+            trace=best.trace,
+            value=best.value,
+            objective=objective,
+            evaluations=evaluations,
+            exact=False,
+        )
+
+
+class RotationAdversary(Adversary):
+    """Evaluate all cyclic rotations of a base assignment.
+
+    On vertex-transitive topologies such as the cycle, rotating a fixed
+    identifier pattern explores the interesting structural variations far
+    more cheaply than permuting identifiers at random; it is also the
+    natural adversary when the base pattern is itself meaningful (sorted
+    identifiers, adversarial blocks, ...).
+    """
+
+    def __init__(self, base: IdentifierAssignment | None = None) -> None:
+        self.base = base
+
+    def maximise(
+        self, graph: Graph, algorithm: BallAlgorithm, objective: str = "average"
+    ) -> AdversaryResult:
+        base = self.base if self.base is not None else identity_assignment(graph.n)
+        if base.n != graph.n:
+            raise ConfigurationError(
+                f"base assignment covers {base.n} positions but graph has {graph.n}"
+            )
+        best: AdversaryResult | None = None
+        for shift in range(graph.n):
+            ids = base.rotated(shift)
+            trace, value = self._evaluate(graph, ids, algorithm, objective)
+            if best is None or value > best.value:
+                best = AdversaryResult(
+                    assignment=ids,
+                    trace=trace,
+                    value=value,
+                    objective=objective,
+                    evaluations=shift + 1,
+                    exact=False,
+                )
+        if best is None:
+            raise AnalysisError("cannot run an adversary on an empty graph")
+        return AdversaryResult(
+            assignment=best.assignment,
+            trace=best.trace,
+            value=best.value,
+            objective=objective,
+            evaluations=graph.n,
+            exact=False,
+        )

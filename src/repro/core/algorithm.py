@@ -1,0 +1,76 @@
+"""The ball-based algorithm interface.
+
+A deterministic LOCAL algorithm, in the paper's preferred formulation, is a
+function from *views* to either an output or "grow the ball further".  The
+runner presents a node with its radius-0 ball, then its radius-1 ball, and
+so on; the radius at which the algorithm first returns an output is the
+node's radius ``r(v)``, the quantity all complexity measures are built from.
+
+Determinism is essential (the paper's computation "is always deterministic"),
+and it is also what makes the minimality machinery of :mod:`repro.theory`
+sound: an algorithm must return the same answer whenever it is shown
+indistinguishable views.  The runner spot-checks this by construction since
+views are pure values.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable, Optional
+
+from repro.model.ball import BallView
+
+
+class BallAlgorithm(abc.ABC):
+    """A deterministic LOCAL algorithm expressed as a function of ball views.
+
+    Subclasses must implement :meth:`decide`.  Returning ``None`` means "I do
+    not have enough information yet; show me the ball of the next radius";
+    returning any other value commits the node to that output.
+    """
+
+    #: Human-readable name, used in experiment tables and error messages.
+    name: str = "ball-algorithm"
+
+    #: Key of the problem the algorithm solves (e.g. ``"largest-id"``,
+    #: ``"3-coloring"``); used to look up the matching certifier.
+    problem: str = "unspecified"
+
+    @abc.abstractmethod
+    def decide(self, ball: BallView) -> Optional[Any]:
+        """Output for the centre of ``ball``, or ``None`` to keep growing."""
+
+    def supports_graph(self, graph: Any) -> bool:
+        """Whether the algorithm's structural assumptions hold on ``graph``.
+
+        The default accepts everything; ring-only algorithms override this
+        so the runner can fail fast with a clear error instead of producing
+        meaningless radii.
+        """
+        return True
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r}, problem={self.problem!r})"
+
+
+class FunctionBallAlgorithm(BallAlgorithm):
+    """Adapter turning a plain function ``BallView -> output | None`` into an
+    algorithm object.
+
+    Handy in tests and in the minimality machinery, where modified copies of
+    an existing algorithm ("behave like A except on these views") are built
+    programmatically.
+    """
+
+    def __init__(
+        self,
+        decide: Callable[[BallView], Optional[Any]],
+        name: str = "function-algorithm",
+        problem: str = "unspecified",
+    ) -> None:
+        self._decide = decide
+        self.name = name
+        self.problem = problem
+
+    def decide(self, ball: BallView) -> Optional[Any]:
+        return self._decide(ball)

@@ -1,0 +1,133 @@
+"""Growth-rate analysis.
+
+The paper's claims are asymptotic ("the average radius is logarithmic",
+"the worst case is linear", "the lower bound is Omega(log* n)").  To compare
+a measured series against those claims we fit the series, by least squares
+on a multiplicative constant, against a family of candidate growth functions
+and report which candidate explains the data best.
+
+The fit is deliberately simple — one scale parameter per candidate, compared
+by relative root-mean-square error — because the goal is to distinguish
+log n from n, or log* n from log n, not to estimate constants precisely.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.errors import AnalysisError
+from repro.utils.math_functions import log_star
+
+
+def growth_candidates() -> dict[str, Callable[[float], float]]:
+    """The named growth functions the fitter considers."""
+    return {
+        "constant": lambda n: 1.0,
+        "log*": lambda n: float(log_star(n)) if n > 1 else 1.0,
+        "loglog": lambda n: math.log(math.log(n)) if n > math.e else 1.0,
+        "log": lambda n: math.log(n) if n > 1 else 1.0,
+        "sqrt": lambda n: math.sqrt(n),
+        "linear": lambda n: float(n),
+        "nlogn": lambda n: n * math.log(n) if n > 1 else 1.0,
+        "quadratic": lambda n: float(n) * float(n),
+    }
+
+
+@dataclass(frozen=True)
+class GrowthFit:
+    """Result of fitting one measured series."""
+
+    best_name: str
+    scale: float
+    relative_error: float
+    errors_by_name: Mapping[str, float]
+
+    def is_consistent_with(self, name: str, tolerance: float = 1.5) -> bool:
+        """Whether ``name`` explains the data nearly as well as the best fit.
+
+        A candidate is "consistent" when its relative error is within
+        ``tolerance`` times the best candidate's error; this keeps the test
+        suite robust to small-size effects where, say, ``log`` and ``loglog``
+        are hard to separate.
+        """
+        if name not in self.errors_by_name:
+            raise AnalysisError(f"unknown candidate {name!r}")
+        best_error = self.errors_by_name[self.best_name]
+        return self.errors_by_name[name] <= max(best_error * tolerance, best_error + 1e-9)
+
+
+def _fit_scale(xs: Sequence[float], ys: Sequence[float]) -> tuple[float, float]:
+    """Least-squares scale ``c`` minimising ``sum (c*x - y)^2`` and its error."""
+    denominator = sum(x * x for x in xs)
+    if denominator == 0:
+        return 0.0, math.inf
+    scale = sum(x * y for x, y in zip(xs, ys)) / denominator
+    norm = math.sqrt(sum(y * y for y in ys)) or 1.0
+    error = math.sqrt(sum((scale * x - y) ** 2 for x, y in zip(xs, ys))) / norm
+    return scale, error
+
+
+def fit_growth(
+    sizes: Sequence[float],
+    values: Sequence[float],
+    candidates: Mapping[str, Callable[[float], float]] | None = None,
+) -> GrowthFit:
+    """Fit ``values`` (indexed by ``sizes``) against the candidate growth laws."""
+    if len(sizes) != len(values):
+        raise AnalysisError(
+            f"sizes and values must have equal length, got {len(sizes)} and {len(values)}"
+        )
+    if len(sizes) < 3:
+        raise AnalysisError("growth fitting needs at least three data points")
+    if any(size <= 0 for size in sizes):
+        raise AnalysisError("sizes must be positive")
+    functions = dict(candidates) if candidates is not None else growth_candidates()
+    errors: dict[str, float] = {}
+    scales: dict[str, float] = {}
+    for name, function in functions.items():
+        xs = [function(float(size)) for size in sizes]
+        scale, error = _fit_scale(xs, [float(v) for v in values])
+        errors[name] = error
+        scales[name] = scale
+    best_name = min(errors, key=lambda name: errors[name])
+    return GrowthFit(
+        best_name=best_name,
+        scale=scales[best_name],
+        relative_error=errors[best_name],
+        errors_by_name=errors,
+    )
+
+
+def ratio_series(sizes: Sequence[float], values: Sequence[float]) -> list[float]:
+    """Successive ratios ``values[i+1] / values[i]`` (a quick doubling check).
+
+    For sizes that double at every step, a series growing like ``n`` has
+    ratios near 2, like ``log n`` ratios tending to 1, and like ``n log n``
+    ratios a bit above 2.
+    """
+    if len(sizes) != len(values):
+        raise AnalysisError("sizes and values must have equal length")
+    ratios = []
+    for previous, current in zip(values, values[1:]):
+        if previous == 0:
+            ratios.append(math.inf)
+        else:
+            ratios.append(current / previous)
+    return ratios
+
+
+def empirical_exponent(sizes: Sequence[float], values: Sequence[float]) -> float:
+    """Log-log slope estimate of the series (1.0 for linear growth, ~0 for log).
+
+    Uses the endpoints only, which is crude but monotone-robust; the full
+    fitter above should be preferred when more nuance is needed.
+    """
+    if len(sizes) < 2:
+        raise AnalysisError("empirical_exponent needs at least two points")
+    first_size, last_size = float(sizes[0]), float(sizes[-1])
+    first_value, last_value = float(values[0]), float(values[-1])
+    if min(first_size, last_size, first_value, last_value) <= 0:
+        raise AnalysisError("empirical_exponent requires positive sizes and values")
+    return math.log(last_value / first_value) / math.log(last_size / first_size)

@@ -1,0 +1,159 @@
+"""Output certifiers.
+
+Every experiment that reports radii also verifies that the outputs form a
+*correct* global solution — a fast algorithm that colours improperly or
+elects two leaders would make the complexity comparison meaningless.  Each
+certifier raises :class:`~repro.errors.CertificationError` with a precise
+description of the first violation it finds, and returns ``True`` otherwise
+so it can be used directly in assertions.
+
+A small registry maps problem keys (the ``problem`` attribute of
+:class:`~repro.core.algorithm.BallAlgorithm`) to certifiers, so harness code
+can certify any trace generically with :func:`certify`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from repro.errors import CertificationError
+from repro.model.graph import Graph
+from repro.model.identifiers import IdentifierAssignment
+from repro.model.trace import ExecutionTrace
+
+#: Signature of a certifier: (graph, ids, outputs by position) -> True or raise.
+Certifier = Callable[[Graph, IdentifierAssignment, Mapping[int, Any]], bool]
+
+_REGISTRY: dict[str, Certifier] = {}
+
+
+def register_certifier(problem: str, certifier: Certifier) -> None:
+    """Register (or replace) the certifier for a problem key."""
+    _REGISTRY[problem] = certifier
+
+
+def certify(
+    problem: str,
+    graph: Graph,
+    ids: IdentifierAssignment,
+    trace_or_outputs: ExecutionTrace | Mapping[int, Any],
+) -> bool:
+    """Certify a trace (or raw outputs) against the registered certifier."""
+    if problem not in _REGISTRY:
+        raise CertificationError(
+            f"no certifier registered for problem {problem!r}; "
+            f"known problems: {sorted(_REGISTRY)}"
+        )
+    if isinstance(trace_or_outputs, ExecutionTrace):
+        outputs = trace_or_outputs.outputs_by_position()
+    else:
+        outputs = dict(trace_or_outputs)
+    return _REGISTRY[problem](graph, ids, outputs)
+
+
+# ----------------------------------------------------------------------
+# concrete certifiers
+# ----------------------------------------------------------------------
+def certify_largest_id(
+    graph: Graph, ids: IdentifierAssignment, outputs: Mapping[int, Any]
+) -> bool:
+    """Exactly the node with the globally largest identifier answers ``True``."""
+    _check_positions(graph, outputs)
+    winner = ids.argmax_position()
+    for position, output in outputs.items():
+        if not isinstance(output, bool):
+            raise CertificationError(
+                f"largest-id outputs must be booleans, position {position} output {output!r}"
+            )
+        expected = position == winner
+        if output != expected:
+            raise CertificationError(
+                f"position {position} (id {ids[position]}) answered {output} "
+                f"but the largest identifier is {ids.max_identifier()} at position {winner}"
+            )
+    return True
+
+
+def certify_leader_election(
+    graph: Graph, ids: IdentifierAssignment, outputs: Mapping[int, Any]
+) -> bool:
+    """Exactly one node outputs ``True`` (no constraint on which one)."""
+    _check_positions(graph, outputs)
+    leaders = [position for position, output in outputs.items() if output is True]
+    if len(leaders) != 1:
+        raise CertificationError(
+            f"leader election requires exactly one leader, found {len(leaders)} "
+            f"at positions {leaders[:10]}"
+        )
+    return True
+
+
+def certify_proper_coloring(
+    graph: Graph,
+    ids: IdentifierAssignment,
+    outputs: Mapping[int, Any],
+    num_colors: int | None = None,
+) -> bool:
+    """Adjacent nodes get different colours; optionally bound the palette size."""
+    _check_positions(graph, outputs)
+    for position, colour in outputs.items():
+        if not isinstance(colour, int) or isinstance(colour, bool):
+            raise CertificationError(
+                f"colours must be integers, position {position} output {colour!r}"
+            )
+    for u, v in graph.edges():
+        if outputs[u] == outputs[v]:
+            raise CertificationError(
+                f"edge ({u}, {v}) is monochromatic with colour {outputs[u]}"
+            )
+    if num_colors is not None:
+        used = set(outputs.values())
+        if len(used) > num_colors or any(not 0 <= c < num_colors for c in used):
+            raise CertificationError(
+                f"colouring uses palette {sorted(used)} which does not fit in "
+                f"{num_colors} colours 0..{num_colors - 1}"
+            )
+    return True
+
+
+def certify_3_coloring(
+    graph: Graph, ids: IdentifierAssignment, outputs: Mapping[int, Any]
+) -> bool:
+    """Proper colouring with at most 3 colours from ``{0, 1, 2}``."""
+    return certify_proper_coloring(graph, ids, outputs, num_colors=3)
+
+
+def certify_maximal_independent_set(
+    graph: Graph, ids: IdentifierAssignment, outputs: Mapping[int, Any]
+) -> bool:
+    """Outputs are booleans forming an independent and maximal set."""
+    _check_positions(graph, outputs)
+    members = {position for position, output in outputs.items() if output is True}
+    non_members = set(graph.positions()) - members
+    for u, v in graph.edges():
+        if u in members and v in members:
+            raise CertificationError(f"MIS violated: adjacent positions {u} and {v} both selected")
+    for position in non_members:
+        if not any(neighbour in members for neighbour in graph.neighbors(position)):
+            raise CertificationError(
+                f"MIS not maximal: position {position} has no selected neighbour"
+            )
+    return True
+
+
+def _check_positions(graph: Graph, outputs: Mapping[int, Any]) -> None:
+    if set(outputs) != set(graph.positions()):
+        missing = sorted(set(graph.positions()) - set(outputs))[:10]
+        extra = sorted(set(outputs) - set(graph.positions()))[:10]
+        raise CertificationError(
+            f"outputs must cover positions 0..{graph.n - 1} exactly "
+            f"(missing {missing}, unexpected {extra})"
+        )
+
+
+# Problem keys used by the built-in algorithms.
+register_certifier("largest-id", certify_largest_id)
+register_certifier("leader-election", certify_leader_election)
+register_certifier("3-coloring", certify_3_coloring)
+register_certifier("coloring", certify_proper_coloring)
+register_certifier("mis", certify_maximal_independent_set)

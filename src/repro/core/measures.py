@@ -1,0 +1,126 @@
+"""The running-time measures compared by the paper.
+
+For a deterministic algorithm ``A`` on a fixed graph ``G`` with identifier
+assignment ``ids``, each node ``v`` outputs at some radius ``r(v)``.  The
+paper contrasts two ways of turning the collection ``{r(v)}`` into a single
+number, both taken in the worst case over identifier assignments:
+
+* the **classic** (worst-case) measure  ``max_ids max_v r(v)``, and
+* the **average** measure               ``max_ids (1/n) * sum_v r(v)``.
+
+This module evaluates both on explicit assignments and, via the adversaries
+of :mod:`repro.core.adversary`, approximates (or, for small instances,
+computes exactly) the outer maximum over assignments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.adversary import Adversary, AdversaryResult, trace_objective
+from repro.core.algorithm import BallAlgorithm
+from repro.core.runner import run_ball_algorithm
+from repro.errors import AnalysisError
+from repro.model.graph import Graph
+from repro.model.identifiers import IdentifierAssignment
+from repro.model.trace import ExecutionTrace
+
+
+@dataclass(frozen=True)
+class ComplexityReport:
+    """Both measures of a single execution, plus context for tables."""
+
+    graph_name: str
+    algorithm_name: str
+    n: int
+    max_radius: int
+    average_radius: float
+    sum_radius: int
+
+    @classmethod
+    def from_trace(
+        cls, trace: ExecutionTrace, graph: Graph, algorithm: BallAlgorithm
+    ) -> "ComplexityReport":
+        """Summarise one execution trace."""
+        return cls(
+            graph_name=graph.name,
+            algorithm_name=algorithm.name,
+            n=trace.n,
+            max_radius=trace.max_radius,
+            average_radius=trace.average_radius,
+            sum_radius=trace.sum_radius,
+        )
+
+
+def evaluate_assignment(
+    graph: Graph, ids: IdentifierAssignment, algorithm: BallAlgorithm
+) -> ComplexityReport:
+    """Run the algorithm once and report both measures."""
+    trace = run_ball_algorithm(graph, ids, algorithm)
+    return ComplexityReport.from_trace(trace, graph, algorithm)
+
+
+def classic_complexity(traces: Iterable[ExecutionTrace]) -> int:
+    """Classic measure over a set of runs: the largest ``max_radius`` seen."""
+    values = [trace.max_radius for trace in traces]
+    if not values:
+        raise AnalysisError("classic_complexity needs at least one trace")
+    return max(values)
+
+
+def average_complexity(traces: Iterable[ExecutionTrace]) -> float:
+    """Average measure over a set of runs: the largest ``average_radius`` seen.
+
+    The maximum (not the mean) over runs is intentional: the paper's measure
+    is a *worst case* over identifier assignments of the per-run average.
+    """
+    values = [trace.average_radius for trace in traces]
+    if not values:
+        raise AnalysisError("average_complexity needs at least one trace")
+    return max(values)
+
+
+def worst_case_over_assignments(
+    graph: Graph,
+    algorithm: BallAlgorithm,
+    adversary: Adversary,
+    objective: str = "average",
+) -> AdversaryResult:
+    """Approximate ``max`` over identifier assignments of the chosen measure.
+
+    The adversary searches the space of assignments; exhaustive adversaries
+    make the result exact, sampling/local-search adversaries give a lower
+    bound on the true worst case (any assignment they find is a witness).
+    """
+    return adversary.maximise(graph, algorithm, objective=objective)
+
+
+def expected_measures_over_random_ids(
+    graph: Graph,
+    algorithm: BallAlgorithm,
+    assignments: Sequence[IdentifierAssignment],
+) -> tuple[float, float]:
+    """Monte-Carlo estimate of the *expected* measures under random identifiers.
+
+    Returns ``(expected_average_radius, expected_max_radius)`` averaged over
+    the supplied assignments.  This is the quantity the paper's conclusion
+    proposes to study ("the expectancy of the running time ... where the
+    permutation of the identifiers is taken uniformly at random").
+    """
+    if not assignments:
+        raise AnalysisError("expected_measures_over_random_ids needs at least one assignment")
+    traces = [run_ball_algorithm(graph, ids, algorithm) for ids in assignments]
+    expected_average = sum(trace.average_radius for trace in traces) / len(traces)
+    expected_max = sum(trace.max_radius for trace in traces) / len(traces)
+    return expected_average, expected_max
+
+
+def measure_objective(trace: ExecutionTrace, objective: str) -> float:
+    """Extract one scalar objective from a trace.
+
+    Thin alias of :func:`repro.core.adversary.trace_objective`, re-exported
+    here because callers that only compute measures should not need to know
+    about the adversary module.
+    """
+    return trace_objective(trace, objective)

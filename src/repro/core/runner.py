@@ -1,0 +1,125 @@
+"""Deterministic execution of ball-based algorithms.
+
+For every node, the runner grows the radius from 0 upwards, handing the
+algorithm the corresponding :class:`~repro.model.ball.BallView` until the
+algorithm commits to an output.  The resulting per-node radii and outputs
+form an :class:`~repro.model.trace.ExecutionTrace`, the raw input of the
+complexity measures.
+
+A correct LOCAL algorithm must output once its ball covers the whole graph
+(there is nothing more to learn); the runner allows one extra radius beyond
+that point and then raises :class:`~repro.errors.AlgorithmError`, so that a
+buggy algorithm cannot silently spin forever.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core.algorithm import BallAlgorithm
+from repro.errors import AlgorithmError, TopologyError
+from repro.model.ball import extract_ball
+from repro.model.graph import Graph
+from repro.model.identifiers import IdentifierAssignment
+from repro.model.trace import ExecutionTrace, NodeRecord
+
+
+def run_ball_algorithm(
+    graph: Graph,
+    ids: IdentifierAssignment,
+    algorithm: BallAlgorithm,
+    max_radius: Optional[int] = None,
+) -> ExecutionTrace:
+    """Run ``algorithm`` on ``graph`` with identifiers ``ids``.
+
+    Parameters
+    ----------
+    graph, ids:
+        The instance.  The identifier assignment must cover exactly the
+        graph's positions.
+    algorithm:
+        The ball-based algorithm to execute.
+    max_radius:
+        Optional hard cap on the radius explored per node.  Defaults to one
+        more than the node's eccentricity, which is always sufficient for a
+        correct algorithm.
+
+    Returns
+    -------
+    ExecutionTrace
+        Per-node radii and outputs.
+    """
+    if ids.n != graph.n:
+        raise TopologyError(
+            f"identifier assignment covers {ids.n} positions but graph has {graph.n}"
+        )
+    if not graph.is_connected():
+        raise TopologyError("the LOCAL simulators require a connected graph")
+    if not algorithm.supports_graph(graph):
+        raise TopologyError(
+            f"algorithm {algorithm.name!r} does not support graph {graph.name!r}"
+        )
+    records: dict[int, NodeRecord] = {}
+    for position in graph.positions():
+        cap = max_radius if max_radius is not None else graph.eccentricity(position) + 1
+        output = None
+        radius_used: Optional[int] = None
+        for radius in range(cap + 1):
+            ball = extract_ball(graph, ids, position, radius)
+            output = algorithm.decide(ball)
+            if output is not None:
+                radius_used = radius
+                break
+        if radius_used is None:
+            raise AlgorithmError(
+                f"algorithm {algorithm.name!r} refused to output at position {position} "
+                f"even at radius {cap} (graph {graph.name!r}, n={graph.n})"
+            )
+        records[position] = NodeRecord(
+            position=position,
+            identifier=ids[position],
+            radius=radius_used,
+            output=output,
+        )
+    return ExecutionTrace(records)
+
+
+def run_on_assignments(
+    graph: Graph,
+    assignments: Iterable[IdentifierAssignment],
+    algorithm: BallAlgorithm,
+    max_radius: Optional[int] = None,
+) -> list[ExecutionTrace]:
+    """Run the algorithm on several identifier assignments of the same graph."""
+    return [
+        run_ball_algorithm(graph, ids, algorithm, max_radius=max_radius)
+        for ids in assignments
+    ]
+
+
+def node_radius(
+    graph: Graph,
+    ids: IdentifierAssignment,
+    algorithm: BallAlgorithm,
+    position: int,
+    max_radius: Optional[int] = None,
+) -> int:
+    """Radius at which a single node outputs (without running the other nodes).
+
+    The theory modules use this to probe individual vertices cheaply — for
+    example when scanning many identifier assignments for a vertex with a
+    large radius, as in the lower-bound construction of Theorem 1.
+    """
+    if ids.n != graph.n:
+        raise TopologyError(
+            f"identifier assignment covers {ids.n} positions but graph has {graph.n}"
+        )
+    cap = max_radius if max_radius is not None else graph.eccentricity(position) + 1
+    for radius in range(cap + 1):
+        ball = extract_ball(graph, ids, position, radius)
+        if algorithm.decide(ball) is not None:
+            return radius
+    raise AlgorithmError(
+        f"algorithm {algorithm.name!r} refused to output at position {position} "
+        f"even at radius {cap}"
+    )

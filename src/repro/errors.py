@@ -1,0 +1,49 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All errors raised intentionally by the library derive from
+:class:`ReproError`, so that callers can catch library-level failures with a
+single ``except`` clause while letting genuine bugs (``TypeError`` and
+friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the library."""
+
+
+class ConfigurationError(ReproError):
+    """A parameter combination is invalid (e.g. a negative graph size)."""
+
+
+class TopologyError(ReproError):
+    """A graph does not satisfy the structural assumptions of an algorithm.
+
+    Raised, for instance, when a cycle-only algorithm is run on a tree, or
+    when a port numbering is inconsistent.
+    """
+
+
+class IdentifierError(ReproError):
+    """An identifier assignment is malformed (duplicates, wrong domain, ...)."""
+
+
+class AlgorithmError(ReproError):
+    """An algorithm violated the execution contract.
+
+    Examples: refusing to output even after seeing the entire graph, or
+    producing an output outside the problem's output domain.
+    """
+
+
+class CertificationError(ReproError):
+    """A produced global output fails the problem's validity predicate."""
+
+
+class AnalysisError(ReproError):
+    """A statistical or curve-fitting routine received unusable data."""
+
+
+class ExperimentError(ReproError):
+    """An experiment was configured or executed inconsistently."""

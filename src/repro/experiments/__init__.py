@@ -1,0 +1,41 @@
+"""Experiment harness.
+
+The paper is a brief announcement and contains no tables or figures; its
+"evaluation" is a set of quantitative claims.  This package defines one
+experiment per claim (see ``DESIGN.md`` for the index E1-E9); each module
+exposes a ``run(...)`` function returning an
+:class:`~repro.experiments.harness.ExperimentResult` whose table the
+benchmarks print, and ``EXPERIMENTS.md`` records paper-vs-measured for every
+experiment.
+"""
+
+from repro.experiments.harness import ExperimentResult, run_all_experiments
+from repro.experiments import (
+    characterization,
+    coloring,
+    dynamic,
+    general_graphs,
+    largest_id,
+    lower_bound,
+    parallel,
+    random_ids,
+    recurrence,
+    regularity,
+    simulators,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "characterization",
+    "coloring",
+    "dynamic",
+    "general_graphs",
+    "largest_id",
+    "lower_bound",
+    "parallel",
+    "random_ids",
+    "recurrence",
+    "regularity",
+    "run_all_experiments",
+    "simulators",
+]

@@ -1,0 +1,97 @@
+"""Shared infrastructure for the experiments.
+
+An :class:`ExperimentResult` bundles the experiment's identifier (E1-E9 as
+listed in ``DESIGN.md``), a human-readable claim, the measured table and any
+free-form notes (growth fits, pass/fail of shape checks).  The benchmarks
+simply run an experiment and print ``str(result)``, so the same rows appear
+in the terminal, in ``bench_output.txt`` and in ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.errors import ExperimentError
+from repro.utils.tables import Table
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment run."""
+
+    experiment_id: str
+    title: str
+    claim: str
+    table: Table
+    notes: list[str] = field(default_factory=list)
+
+    def add_note(self, note: str) -> None:
+        """Attach a free-form observation (growth fit, shape check, ...)."""
+        self.notes.append(note)
+
+    def require(self, condition: bool, description: str) -> None:
+        """Record a shape check; raise if it fails.
+
+        Experiments use this for the qualitative statements the paper makes
+        ("average grows like log n", "lower bound not beaten"), so that a
+        benchmark run fails loudly when the reproduction stops reproducing.
+        """
+        if not condition:
+            raise ExperimentError(f"{self.experiment_id}: shape check failed — {description}")
+        self.notes.append(f"check passed: {description}")
+
+    def __str__(self) -> str:
+        lines = [
+            f"=== {self.experiment_id}: {self.title} ===",
+            f"claim: {self.claim}",
+            str(self.table),
+        ]
+        if self.notes:
+            lines.append("notes:")
+            lines.extend(f"  - {note}" for note in self.notes)
+        return "\n".join(lines)
+
+
+def default_ring_sizes(small: bool = False) -> list[int]:
+    """Ring sizes shared by the ring experiments (powers of two)."""
+    if small:
+        return [16, 32, 64, 128]
+    return [16, 32, 64, 128, 256, 512, 1024]
+
+
+def run_all_experiments(small: bool = False) -> list[ExperimentResult]:
+    """Run every experiment with default parameters and return their results.
+
+    ``small=True`` shrinks the instance sizes so the full sweep stays fast
+    enough for the test suite; the benchmarks use the full sizes.
+    """
+    # Imported here to keep module import light and avoid import cycles.
+    from repro.experiments import (
+        characterization,
+        coloring,
+        dynamic,
+        general_graphs,
+        largest_id,
+        lower_bound,
+        parallel,
+        random_ids,
+        recurrence,
+        regularity,
+        simulators,
+    )
+
+    runners: Sequence[Callable[[], ExperimentResult]] = (
+        lambda: largest_id.run(sizes=default_ring_sizes(small)),
+        lambda: recurrence.run(small=small),
+        lambda: coloring.run(sizes=default_ring_sizes(small)),
+        lambda: lower_bound.run(small=small),
+        lambda: regularity.run(small=small),
+        lambda: random_ids.run(small=small),
+        lambda: dynamic.run(small=small),
+        lambda: parallel.run(small=small),
+        lambda: simulators.run(small=small),
+        lambda: characterization.run(small=small),
+        lambda: general_graphs.run(small=small),
+    )
+    return [runner() for runner in runners]

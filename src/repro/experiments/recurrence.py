@@ -1,0 +1,81 @@
+"""Experiment E2 — the segment recurrence, OEIS A000788 and Theta(p log p).
+
+Paper claim (Section 2): the worst-case sum of radii ``a(p)`` on a
+``p``-vertex segment satisfies
+``a(p) = max_{1<=k<=ceil(p/2)} {k + a(k-1) + a(p-k)}`` and "is known to be in
+Theta(n ln n) (see for example the sequence A000788 of the OEIS)".
+
+The experiment evaluates the recurrence, compares it term by term against
+A000788, cross-checks tiny sizes against an exhaustive search over all
+identifier orders, and verifies the ``Theta(p log p)`` growth.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.core.analysis import fit_growth
+from repro.experiments.harness import ExperimentResult
+from repro.theory.oeis import A000788_closed_form
+from repro.theory.recurrence import (
+    brute_force_segment_maximum,
+    segment_radius_sum,
+    worst_case_segment_arrangement,
+    worst_case_segment_sum,
+)
+from repro.utils.tables import Table
+
+
+def run(sizes: Sequence[int] | None = None, small: bool = False) -> ExperimentResult:
+    """Run E2 for the given segment sizes."""
+    if sizes is None:
+        sizes = [16, 64, 256, 1024] if small else [16, 64, 256, 1024, 4096]
+    sizes = list(sizes)
+    table = Table(
+        columns=("p", "a(p)", "A000788(p)", "a(p)/(p*log2(p))", "arrangement_sum"),
+        title="E2: the segment recurrence a(p)",
+    )
+    result = ExperimentResult(
+        experiment_id="E2",
+        title="segment recurrence and A000788",
+        claim="a(p) equals A000788(p) and grows as Theta(p log p)",
+        table=table,
+    )
+    values = []
+    for p in sizes:
+        a_p = worst_case_segment_sum(p)
+        oeis = A000788_closed_form(p)
+        arrangement = worst_case_segment_arrangement(range(p))
+        table.add_row(
+            p=p,
+            **{
+                "a(p)": a_p,
+                "A000788(p)": oeis,
+                "a(p)/(p*log2(p))": a_p / (p * math.log2(p)),
+                "arrangement_sum": segment_radius_sum(arrangement),
+            },
+        )
+        values.append(float(a_p))
+    result.require(
+        all(row["a(p)"] == row["A000788(p)"] for row in table.rows),
+        "the recurrence coincides with OEIS A000788 at every tested size",
+    )
+    result.require(
+        all(row["arrangement_sum"] == row["a(p)"] for row in table.rows),
+        "the explicit worst-case arrangement achieves a(p) exactly",
+    )
+    brute_limit = 7 if small else 8
+    exhaustive_matches = all(
+        brute_force_segment_maximum(p) == worst_case_segment_sum(p)
+        for p in range(brute_limit + 1)
+    )
+    result.require(
+        exhaustive_matches,
+        f"exhaustive search over all orders matches a(p) for p <= {brute_limit}",
+    )
+    if len(sizes) >= 3:
+        fit = fit_growth(sizes, values)
+        result.add_note(f"a(p) growth fit: {fit.best_name}")
+        result.require(fit.is_consistent_with("nlogn"), "a(p) grows like p log p")
+    return result

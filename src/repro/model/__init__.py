@@ -1,0 +1,48 @@
+"""The LOCAL-model substrate.
+
+This package implements the two equivalent views of the LOCAL model used in
+the paper:
+
+* the **ball view** (:mod:`repro.model.ball`): a node grows the radius of the
+  ball it sees around itself until it has enough information to output; and
+* the **round view** (:mod:`repro.model.rounds`): synchronous message passing
+  where each round every node sends to, and receives from, its neighbours.
+
+Shared infrastructure lives in :mod:`repro.model.graph` (port-numbered
+graphs), :mod:`repro.model.identifiers` (identifier assignments) and
+:mod:`repro.model.trace` (per-node radius/round records).
+"""
+
+from repro.model.ball import BallView, extract_ball
+from repro.model.graph import Graph
+from repro.model.identifiers import (
+    IdentifierAssignment,
+    adversarial_block_assignment,
+    bit_reversal_assignment,
+    identity_assignment,
+    random_assignment,
+    reversed_assignment,
+)
+from repro.model.messages import Message
+from repro.model.node import NodeState
+from repro.model.rounds import RoundAlgorithm, SynchronousExecution, run_round_algorithm
+from repro.model.trace import ExecutionTrace, NodeRecord
+
+__all__ = [
+    "BallView",
+    "ExecutionTrace",
+    "Graph",
+    "IdentifierAssignment",
+    "Message",
+    "NodeRecord",
+    "NodeState",
+    "RoundAlgorithm",
+    "SynchronousExecution",
+    "adversarial_block_assignment",
+    "bit_reversal_assignment",
+    "extract_ball",
+    "identity_assignment",
+    "random_assignment",
+    "reversed_assignment",
+    "run_round_algorithm",
+]

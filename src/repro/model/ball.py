@@ -1,0 +1,233 @@
+"""Ball views: what a node sees at a given radius.
+
+The paper describes the LOCAL model as "every node gathers all the
+information in a ball around itself and outputs a function of this ball".
+:class:`BallView` is that ball: the subgraph induced by the positions within
+distance ``r`` of the centre, where nodes are exposed only through their
+identifiers (never through global positions), together with each node's
+degree *in the full graph*.
+
+Including the full-graph degree of every ball member is the standard
+convention that lets a node detect when its ball already covers the whole
+connected graph (every member's degree inside the ball equals its true
+degree), which is exactly the stopping criterion the paper's largest-ID
+algorithm uses ("until it has seen all the cycle") in the setting where ``n``
+is unknown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.errors import TopologyError
+from repro.model.graph import Graph
+from repro.model.identifiers import IdentifierAssignment
+
+
+@dataclass(frozen=True)
+class BallView:
+    """The radius-``radius`` view of a node, keyed by identifiers.
+
+    Attributes
+    ----------
+    center_id:
+        Identifier of the node at the centre of the ball.
+    radius:
+        Radius at which the ball was collected.
+    distance_by_id:
+        Identifier -> distance from the centre (``0`` for the centre itself).
+    degree_by_id:
+        Identifier -> degree of that node in the *full* graph.
+    edges:
+        Frozenset of unordered identifier pairs present inside the ball.
+    port_by_pair:
+        ``(from_id, to_id) -> port`` for every edge of the ball, in both
+        directions.  Ports are part of a node's view in the LOCAL model and
+        are required to simulate round-based (message-passing) algorithms
+        from a ball (:mod:`repro.algorithms.full_gather`).
+    """
+
+    center_id: int
+    radius: int
+    distance_by_id: Mapping[int, int]
+    degree_by_id: Mapping[int, int]
+    edges: frozenset[frozenset[int]]
+    port_by_pair: Mapping[tuple[int, int], int]
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of nodes visible in the ball."""
+        return len(self.distance_by_id)
+
+    def ids(self) -> frozenset[int]:
+        """Identifiers of all visible nodes."""
+        return frozenset(self.distance_by_id)
+
+    def distance(self, identifier: int) -> int:
+        """Distance from the centre to ``identifier`` (must be in the ball)."""
+        return self.distance_by_id[identifier]
+
+    def degree(self, identifier: int) -> int:
+        """Full-graph degree of ``identifier`` (must be in the ball)."""
+        return self.degree_by_id[identifier]
+
+    def degree_inside(self, identifier: int) -> int:
+        """Degree of ``identifier`` counting only edges inside the ball."""
+        return sum(1 for edge in self.edges if identifier in edge)
+
+    def neighbors_in_ball(self, identifier: int) -> frozenset[int]:
+        """Identifiers adjacent to ``identifier`` inside the ball."""
+        result = set()
+        for edge in self.edges:
+            if identifier in edge:
+                (other,) = edge - {identifier}
+                result.add(other)
+        return frozenset(result)
+
+    def port(self, from_id: int, to_id: int) -> int:
+        """Port through which ``from_id`` reaches its ball neighbour ``to_id``."""
+        return self.port_by_pair[(from_id, to_id)]
+
+    def neighbor_by_port(self, identifier: int, port: int) -> Optional[int]:
+        """Ball member reached from ``identifier`` through ``port``, if visible."""
+        for (source, target), p in self.port_by_pair.items():
+            if source == identifier and p == port:
+                return target
+        return None
+
+    def max_id(self) -> int:
+        """Largest identifier visible in the ball."""
+        return max(self.distance_by_id)
+
+    def contains_id_larger_than(self, identifier: int) -> bool:
+        """Whether some visible node carries an identifier above ``identifier``."""
+        return self.max_id() > identifier
+
+    def covers_whole_graph(self) -> bool:
+        """Whether the ball provably contains the entire connected graph.
+
+        True exactly when every visible node's full-graph degree equals its
+        degree inside the ball, i.e. no visible node has an edge leading
+        outside the ball.
+        """
+        return all(
+            self.degree_inside(identifier) == self.degree_by_id[identifier]
+            for identifier in self.distance_by_id
+        )
+
+    # ------------------------------------------------------------------
+    # path/cycle helpers (used by the ring algorithms)
+    # ------------------------------------------------------------------
+    def as_path_sequence(self) -> Optional[tuple[int, ...]]:
+        """If the ball induces a simple path, return its identifiers in order.
+
+        Returns ``None`` when the induced subgraph is not a path (for
+        example, when the ball has wrapped all the way around a cycle, or on
+        non-ring topologies).  The centre sits somewhere in the returned
+        sequence; callers can locate it with ``index(center_id)``.
+        """
+        if self.size == 1:
+            return (self.center_id,)
+        inside_degree = {identifier: self.degree_inside(identifier) for identifier in self.ids()}
+        endpoints = [identifier for identifier, d in inside_degree.items() if d == 1]
+        if len(endpoints) != 2 or any(d > 2 for d in inside_degree.values()):
+            return None
+        # Walk from one endpoint to the other.
+        sequence = [min(endpoints)]
+        previous = None
+        while True:
+            current = sequence[-1]
+            next_candidates = [
+                u for u in self.neighbors_in_ball(current) if u != previous
+            ]
+            if not next_candidates:
+                break
+            previous = current
+            sequence.append(next_candidates[0])
+        if len(sequence) != self.size:
+            return None
+        return tuple(sequence)
+
+    def as_cycle_sequence(self) -> Optional[tuple[int, ...]]:
+        """If the ball induces a single cycle, return its identifiers in order."""
+        if self.size < 3:
+            return None
+        if any(self.degree_inside(identifier) != 2 for identifier in self.ids()):
+            return None
+        start = self.center_id
+        sequence = [start]
+        previous = None
+        while True:
+            current = sequence[-1]
+            candidates = [u for u in self.neighbors_in_ball(current) if u != previous]
+            if not candidates:
+                return None
+            nxt = candidates[0]
+            if nxt == start:
+                break
+            previous = current
+            sequence.append(nxt)
+            if len(sequence) > self.size:
+                return None
+        if len(sequence) != self.size:
+            return None
+        return tuple(sequence)
+
+    # ------------------------------------------------------------------
+    # canonical form
+    # ------------------------------------------------------------------
+    def canonical_key(self) -> tuple:
+        """A hashable canonical encoding of the view.
+
+        Two balls with the same canonical key are indistinguishable to a
+        deterministic LOCAL algorithm, so an algorithm *must* behave
+        identically on them.  Used by the minimality and lower-bound
+        machinery in :mod:`repro.theory`.
+        """
+        nodes = tuple(
+            sorted(
+                (identifier, self.distance_by_id[identifier], self.degree_by_id[identifier])
+                for identifier in self.distance_by_id
+            )
+        )
+        edges = tuple(sorted(tuple(sorted(edge)) for edge in self.edges))
+        ports = tuple(sorted(self.port_by_pair.items()))
+        return (self.center_id, self.radius, nodes, edges, ports)
+
+
+def extract_ball(
+    graph: Graph, ids: IdentifierAssignment, position: int, radius: int
+) -> BallView:
+    """Collect the :class:`BallView` of ``position`` at the given ``radius``."""
+    if ids.n != graph.n:
+        raise TopologyError(
+            f"identifier assignment covers {ids.n} positions but graph has {graph.n}"
+        )
+    if not 0 <= position < graph.n:
+        raise TopologyError(f"position {position} outside 0..{graph.n - 1}")
+    members = graph.ball_positions(position, radius)
+    distance_by_id = {ids[u]: d for u, d in members.items()}
+    degree_by_id = {ids[u]: graph.degree(u) for u in members}
+    ball_edges = [
+        (u, v)
+        for u in members
+        for v in graph.neighbors(u)
+        if u < v and v in members
+    ]
+    edges = frozenset(frozenset((ids[u], ids[v])) for u, v in ball_edges)
+    port_by_pair: dict[tuple[int, int], int] = {}
+    for u, v in ball_edges:
+        port_by_pair[(ids[u], ids[v])] = graph.port_to(u, v)
+        port_by_pair[(ids[v], ids[u])] = graph.port_to(v, u)
+    return BallView(
+        center_id=ids[position],
+        radius=radius,
+        distance_by_id=distance_by_id,
+        degree_by_id=degree_by_id,
+        edges=edges,
+        port_by_pair=port_by_pair,
+    )

@@ -1,0 +1,181 @@
+"""Identifier assignments.
+
+In the LOCAL model every node carries a globally unique identifier.  The
+paper's complexity measures take a *worst case over the identifier
+assignment*, so the library treats the assignment as a first-class object
+that adversaries (:mod:`repro.core.adversary`) can permute and that
+experiments can sample.
+
+An :class:`IdentifierAssignment` maps graph positions ``0..n-1`` to distinct
+integer identifiers.  Several deterministic families (identity, reversed,
+bit-reversal, adversarial blocks) plus uniform random assignments are
+provided; all of them draw identifiers from ``0..n-1`` unless an explicit
+identifier pool is supplied.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Sequence
+
+from repro.errors import IdentifierError
+from repro.utils.rng import SeedLike, make_rng
+from repro.utils.validation import require_positive_int
+
+
+class IdentifierAssignment(Mapping[int, int]):
+    """An injective map from positions ``0..n-1`` to integer identifiers."""
+
+    def __init__(self, ids: Sequence[int]) -> None:
+        self._ids: tuple[int, ...] = tuple(ids)
+        self._validate()
+        self._position_of = {identifier: pos for pos, identifier in enumerate(self._ids)}
+
+    def _validate(self) -> None:
+        for identifier in self._ids:
+            if not isinstance(identifier, int) or isinstance(identifier, bool) or identifier < 0:
+                raise IdentifierError(f"identifiers must be non-negative ints, got {identifier!r}")
+        if len(set(self._ids)) != len(self._ids):
+            raise IdentifierError("identifiers must be pairwise distinct")
+
+    # ------------------------------------------------------------------
+    # Mapping interface (position -> identifier)
+    # ------------------------------------------------------------------
+    def __getitem__(self, position: int) -> int:
+        return self._ids[position]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(len(self._ids)))
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    # ------------------------------------------------------------------
+    # extra queries
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of positions covered by the assignment."""
+        return len(self._ids)
+
+    def identifiers(self) -> tuple[int, ...]:
+        """Identifiers listed by position (position ``i`` -> ``identifiers()[i]``)."""
+        return self._ids
+
+    def position_of(self, identifier: int) -> int:
+        """Position carrying ``identifier``; raises if the identifier is unused."""
+        try:
+            return self._position_of[identifier]
+        except KeyError as exc:
+            raise IdentifierError(f"identifier {identifier} is not assigned") from exc
+
+    def max_identifier(self) -> int:
+        """The largest identifier in use."""
+        if not self._ids:
+            raise IdentifierError("empty assignment has no maximum identifier")
+        return max(self._ids)
+
+    def argmax_position(self) -> int:
+        """The position that carries the largest identifier."""
+        return self.position_of(self.max_identifier())
+
+    # ------------------------------------------------------------------
+    # transformations (used by adversarial search)
+    # ------------------------------------------------------------------
+    def with_swap(self, position_a: int, position_b: int) -> "IdentifierAssignment":
+        """Return a copy with the identifiers of two positions exchanged."""
+        ids = list(self._ids)
+        ids[position_a], ids[position_b] = ids[position_b], ids[position_a]
+        return IdentifierAssignment(ids)
+
+    def permuted(self, permutation: Sequence[int]) -> "IdentifierAssignment":
+        """Return the assignment ``position i -> self[permutation[i]]``."""
+        if sorted(permutation) != list(range(self.n)):
+            raise IdentifierError("permutation must be a rearrangement of 0..n-1")
+        return IdentifierAssignment([self._ids[p] for p in permutation])
+
+    def rotated(self, shift: int) -> "IdentifierAssignment":
+        """Return the assignment cyclically shifted by ``shift`` positions."""
+        if self.n == 0:
+            return self
+        shift %= self.n
+        return IdentifierAssignment(self._ids[shift:] + self._ids[:shift])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IdentifierAssignment):
+            return NotImplemented
+        return self._ids == other._ids
+
+    def __hash__(self) -> int:
+        return hash(self._ids)
+
+    def __repr__(self) -> str:
+        preview = ", ".join(str(i) for i in self._ids[:8])
+        suffix = ", ..." if self.n > 8 else ""
+        return f"IdentifierAssignment([{preview}{suffix}], n={self.n})"
+
+
+# ----------------------------------------------------------------------
+# assignment families
+# ----------------------------------------------------------------------
+def identity_assignment(n: int) -> IdentifierAssignment:
+    """Position ``i`` carries identifier ``i``."""
+    require_positive_int(n, "n")
+    return IdentifierAssignment(range(n))
+
+
+def reversed_assignment(n: int) -> IdentifierAssignment:
+    """Position ``i`` carries identifier ``n - 1 - i``."""
+    require_positive_int(n, "n")
+    return IdentifierAssignment(range(n - 1, -1, -1))
+
+
+def random_assignment(n: int, seed: SeedLike = None) -> IdentifierAssignment:
+    """A uniformly random permutation of ``0..n-1``."""
+    require_positive_int(n, "n")
+    rng = make_rng(seed)
+    ids = list(range(n))
+    rng.shuffle(ids)
+    return IdentifierAssignment(ids)
+
+
+def bit_reversal_assignment(n: int) -> IdentifierAssignment:
+    """Identifiers ordered by the bit-reversal of their position.
+
+    Bit-reversal orderings spread large identifiers roughly evenly around the
+    graph, a classical "hard-ish but structured" input for comparison against
+    adversarial and random assignments.
+    """
+    require_positive_int(n, "n")
+    width = max(1, (n - 1).bit_length())
+    reversed_rank = sorted(
+        range(n), key=lambda pos: int(format(pos, f"0{width}b")[::-1], 2)
+    )
+    ids = [0] * n
+    for identifier, position in enumerate(reversed_rank):
+        ids[position] = identifier
+    return IdentifierAssignment(ids)
+
+
+def adversarial_block_assignment(n: int, block: int = 2) -> IdentifierAssignment:
+    """A structured assignment that interleaves blocks of small and large IDs.
+
+    Positions are filled block by block, alternately taking the smallest and
+    the largest unused identifiers.  On cycles this creates long stretches in
+    which a node must travel far before meeting a larger identifier, which
+    stresses the largest-ID algorithm more than a random permutation does.
+    """
+    require_positive_int(n, "n")
+    require_positive_int(block, "block")
+    low, high = 0, n - 1
+    ids: list[int] = []
+    take_low = True
+    while len(ids) < n:
+        for _ in range(min(block, n - len(ids))):
+            if take_low:
+                ids.append(low)
+                low += 1
+            else:
+                ids.append(high)
+                high -= 1
+        take_low = not take_low
+    return IdentifierAssignment(ids)

@@ -1,0 +1,37 @@
+"""Messages exchanged in the round-based (message-passing) view.
+
+The LOCAL model places no bound on message size, so a message is simply an
+arbitrary (hashable or not) payload tagged with the port it was sent through
+and the port it arrives on.  Keeping the tags explicit lets tests assert that
+the simulator delivers messages on the correct ports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Message:
+    """A single point-to-point message.
+
+    Attributes
+    ----------
+    payload:
+        Arbitrary content chosen by the sending algorithm.
+    sender_port:
+        Port through which the *sender* emitted the message.
+    receiver_port:
+        Port through which the *receiver* sees the message arrive.
+    """
+
+    payload: Any
+    sender_port: int
+    receiver_port: int
+
+    def __repr__(self) -> str:
+        return (
+            f"Message(payload={self.payload!r}, "
+            f"sender_port={self.sender_port}, receiver_port={self.receiver_port})"
+        )

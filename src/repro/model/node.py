@@ -1,0 +1,59 @@
+"""Per-node state carried by the round-based simulator.
+
+A :class:`NodeState` bundles the immutable facts a node knows at start-up
+(its identifier and degree) with the algorithm-defined mutable state and the
+output bookkeeping.  Crucially — and following the paper's setting where
+``n`` is unknown — a node that has *output* does **not** halt: it keeps
+relaying messages in later rounds, it has merely committed to its answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+@dataclass
+class NodeState:
+    """The complete state of one simulated node.
+
+    Attributes
+    ----------
+    identifier:
+        The node's globally unique identifier.
+    degree:
+        Number of incident edges (and therefore of ports).
+    memory:
+        Algorithm-defined state; the simulator never inspects it.
+    output:
+        The committed output, or ``None`` while undecided.
+    output_round:
+        Round index (0-based, counted as "number of completed communication
+        rounds") at which the node committed, or ``None`` while undecided.
+    """
+
+    identifier: int
+    degree: int
+    memory: Any = None
+    output: Optional[Any] = None
+    output_round: Optional[int] = None
+    halted: bool = field(default=False)
+
+    @property
+    def has_output(self) -> bool:
+        """Whether the node has already committed to an output."""
+        return self.output_round is not None
+
+    def commit(self, output: Any, round_number: int) -> None:
+        """Record the node's output at ``round_number``.
+
+        Committing twice is a programming error in the algorithm and raises
+        ``ValueError`` so that buggy algorithms fail loudly in tests.
+        """
+        if self.has_output:
+            raise ValueError(
+                f"node {self.identifier} attempted to output twice "
+                f"(first at round {self.output_round}, again at round {round_number})"
+            )
+        self.output = output
+        self.output_round = round_number

@@ -1,0 +1,163 @@
+"""Synchronous round-based simulator (the classic view of the LOCAL model).
+
+Each round, every node sends one (unbounded) message through each of its
+ports, receives the messages sent to it, and updates its state.  A node may
+*commit* to an output at any round; following the paper's setting, a
+committed node does not halt — it keeps participating in later rounds so
+that information can still flow through it.
+
+The number of the round at which a node commits is exactly the "radius" used
+by the complexity measures: after ``r`` communication rounds a node's state
+is a function of its radius-``r`` ball, and conversely.
+:mod:`repro.algorithms.full_gather` exploits this equivalence to compile any
+ball-based algorithm into a round-based one.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Mapping, Optional
+
+from repro.errors import AlgorithmError, TopologyError
+from repro.model.graph import Graph
+from repro.model.identifiers import IdentifierAssignment
+from repro.model.node import NodeState
+from repro.model.trace import ExecutionTrace, NodeRecord
+
+
+class RoundAlgorithm(abc.ABC):
+    """A synchronous message-passing algorithm.
+
+    Subclasses implement three hooks.  ``initialize`` builds the node's
+    private memory from the only facts available before communication (its
+    identifier and degree).  ``send`` produces the payloads for the current
+    round, keyed by port.  ``receive`` consumes the inbox and returns the new
+    memory together with the node's output (or ``None`` to stay undecided).
+
+    The simulator also consults :meth:`decide_initially` before any
+    communication, so algorithms whose nodes can answer with radius 0 are
+    measured correctly.
+    """
+
+    #: Human-readable name used in experiment tables.
+    name: str = "round-algorithm"
+
+    @abc.abstractmethod
+    def initialize(self, identifier: int, degree: int) -> Any:
+        """Return the initial private memory of a node."""
+
+    def decide_initially(self, memory: Any) -> Optional[Any]:
+        """Output decided before any communication (radius 0), or ``None``."""
+        return None
+
+    @abc.abstractmethod
+    def send(self, memory: Any, round_number: int) -> Mapping[int, Any]:
+        """Payloads to emit this round, keyed by port number."""
+
+    @abc.abstractmethod
+    def receive(
+        self, memory: Any, inbox: Mapping[int, Any], round_number: int
+    ) -> tuple[Any, Optional[Any]]:
+        """Consume the inbox; return ``(new_memory, output_or_None)``."""
+
+
+class SynchronousExecution:
+    """Drives a :class:`RoundAlgorithm` on a graph with identifiers."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        ids: IdentifierAssignment,
+        algorithm: RoundAlgorithm,
+        max_rounds: Optional[int] = None,
+    ) -> None:
+        if ids.n != graph.n:
+            raise TopologyError(
+                f"identifier assignment covers {ids.n} positions but graph has {graph.n}"
+            )
+        self.graph = graph
+        self.ids = ids
+        self.algorithm = algorithm
+        # Any correct LOCAL algorithm outputs once it has seen the whole
+        # graph, i.e. within diameter(G) rounds; the default cap leaves
+        # generous slack and exists only to turn non-terminating algorithm
+        # bugs into clear errors.
+        self.max_rounds = max_rounds if max_rounds is not None else 2 * graph.n + 2
+        self.states: dict[int, NodeState] = {}
+        self.current_round = 0
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _initialize_states(self) -> None:
+        self.states = {}
+        for position in self.graph.positions():
+            identifier = self.ids[position]
+            degree = self.graph.degree(position)
+            memory = self.algorithm.initialize(identifier, degree)
+            state = NodeState(identifier=identifier, degree=degree, memory=memory)
+            initial_output = self.algorithm.decide_initially(memory)
+            if initial_output is not None:
+                state.commit(initial_output, round_number=0)
+            self.states[position] = state
+
+    def _run_one_round(self) -> None:
+        self.current_round += 1
+        outboxes: dict[int, Mapping[int, Any]] = {}
+        for position, state in self.states.items():
+            outboxes[position] = dict(self.algorithm.send(state.memory, self.current_round))
+            for port in outboxes[position]:
+                if not 0 <= port < self.graph.degree(position):
+                    raise AlgorithmError(
+                        f"node {state.identifier} sent through invalid port {port}"
+                    )
+        inboxes: dict[int, dict[int, Any]] = {position: {} for position in self.states}
+        for sender, outbox in outboxes.items():
+            for port, payload in outbox.items():
+                receiver = self.graph.neighbors(sender)[port]
+                receiver_port = self.graph.port_to(receiver, sender)
+                inboxes[receiver][receiver_port] = payload
+        for position, state in self.states.items():
+            new_memory, output = self.algorithm.receive(
+                state.memory, inboxes[position], self.current_round
+            )
+            state.memory = new_memory
+            if output is not None and not state.has_output:
+                state.commit(output, round_number=self.current_round)
+
+    def run(self) -> ExecutionTrace:
+        """Run until every node has committed; return the execution trace."""
+        self._initialize_states()
+        self.current_round = 0
+        while any(not state.has_output for state in self.states.values()):
+            if self.current_round >= self.max_rounds:
+                undecided = [
+                    state.identifier
+                    for state in self.states.values()
+                    if not state.has_output
+                ]
+                raise AlgorithmError(
+                    f"algorithm {self.algorithm.name!r} did not terminate within "
+                    f"{self.max_rounds} rounds; undecided identifiers: {undecided[:10]}"
+                )
+            self._run_one_round()
+        records = {
+            position: NodeRecord(
+                position=position,
+                identifier=state.identifier,
+                radius=state.output_round if state.output_round is not None else 0,
+                output=state.output,
+            )
+            for position, state in self.states.items()
+        }
+        return ExecutionTrace(records)
+
+
+def run_round_algorithm(
+    graph: Graph,
+    ids: IdentifierAssignment,
+    algorithm: RoundAlgorithm,
+    max_rounds: Optional[int] = None,
+) -> ExecutionTrace:
+    """Convenience wrapper: build a :class:`SynchronousExecution` and run it."""
+    return SynchronousExecution(graph, ids, algorithm, max_rounds=max_rounds).run()

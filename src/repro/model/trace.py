@@ -1,0 +1,107 @@
+"""Execution traces: the raw material of the complexity measures.
+
+Running an algorithm (in either the ball view or the round view) produces,
+for every position, the radius/round at which that node committed to its
+output and the output itself.  :class:`ExecutionTrace` stores those records
+and exposes the two quantities the paper compares:
+
+* ``max_radius``     — the classic worst-case-over-nodes running time, and
+* ``average_radius`` — the paper's average-over-nodes running time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Mapping
+
+from repro.errors import AlgorithmError
+
+
+@dataclass(frozen=True)
+class NodeRecord:
+    """Outcome of one node's execution."""
+
+    position: int
+    identifier: int
+    radius: int
+    output: Any
+
+
+class ExecutionTrace:
+    """Per-node radii and outputs for one (graph, identifiers, algorithm) run."""
+
+    def __init__(self, records: Mapping[int, NodeRecord]) -> None:
+        if not records:
+            raise AlgorithmError("an execution trace must contain at least one node")
+        expected = set(range(len(records)))
+        if set(records) != expected:
+            raise AlgorithmError(
+                "trace records must cover positions 0..n-1 exactly; "
+                f"got positions {sorted(records)}"
+            )
+        self._records: dict[int, NodeRecord] = dict(sorted(records.items()))
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of nodes in the run."""
+        return len(self._records)
+
+    def record(self, position: int) -> NodeRecord:
+        """The record of one position."""
+        return self._records[position]
+
+    def __iter__(self) -> Iterator[NodeRecord]:
+        return iter(self._records.values())
+
+    def radii(self) -> dict[int, int]:
+        """Position -> radius at which that node output."""
+        return {position: record.radius for position, record in self._records.items()}
+
+    def radius_of_identifier(self, identifier: int) -> int:
+        """Radius used by the node carrying ``identifier``."""
+        for record in self._records.values():
+            if record.identifier == identifier:
+                return record.radius
+        raise AlgorithmError(f"no node carries identifier {identifier}")
+
+    def outputs_by_position(self) -> dict[int, Any]:
+        """Position -> committed output."""
+        return {position: record.output for position, record in self._records.items()}
+
+    def outputs_by_identifier(self) -> dict[int, Any]:
+        """Identifier -> committed output."""
+        return {record.identifier: record.output for record in self._records.values()}
+
+    # ------------------------------------------------------------------
+    # the two running-time measures
+    # ------------------------------------------------------------------
+    @property
+    def max_radius(self) -> int:
+        """Classic measure: the largest radius over all nodes."""
+        return max(record.radius for record in self._records.values())
+
+    @property
+    def sum_radius(self) -> int:
+        """Sum of all radii (the quantity bounded by the paper's recurrence)."""
+        return sum(record.radius for record in self._records.values())
+
+    @property
+    def average_radius(self) -> float:
+        """The paper's measure: the average radius over all nodes."""
+        return self.sum_radius / self.n
+
+    def radius_histogram(self) -> dict[int, int]:
+        """Radius value -> how many nodes used exactly that radius."""
+        histogram: dict[int, int] = {}
+        for record in self._records.values():
+            histogram[record.radius] = histogram.get(record.radius, 0) + 1
+        return dict(sorted(histogram.items()))
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecutionTrace(n={self.n}, max_radius={self.max_radius}, "
+            f"average_radius={self.average_radius:.3f})"
+        )

@@ -1,0 +1,64 @@
+"""Theory toolkit.
+
+Everything quantitative the paper states without running code lives here:
+the iterated logarithm and Linial's lower-bound threshold, OEIS A000788 and
+the segment recurrence of Section 2, empirical checkers for the minimality
+lemmas (Lemmas 2 and 3), the slice-concatenation construction used in the
+proof of Theorem 1, and closed-form bound predictions used by the
+experiments to compare measurement against theory.
+"""
+
+from repro.theory.bounds import (
+    coloring_average_lower_bound,
+    largest_id_average_upper_bound,
+    largest_id_worst_case_bound,
+)
+from repro.theory.linial import (
+    linial_lower_bound_radius,
+    neighborhood_graph,
+    neighborhood_graph_chromatic_number,
+)
+from repro.theory.log_star import log_star, log_star_table, power_tower
+from repro.theory.lower_bound import SliceConstruction, build_hard_assignment
+from repro.theory.minimality import (
+    lemma2_violations,
+    lemma3_local_average,
+    radii_between,
+)
+from repro.theory.oeis import A000788, A000788_closed_form, popcount
+from repro.theory.recurrence import (
+    average_radius_upper_bound,
+    brute_force_segment_maximum,
+    segment_radii,
+    segment_radius_sum,
+    worst_case_cycle_arrangement,
+    worst_case_segment_arrangement,
+    worst_case_segment_sum,
+)
+
+__all__ = [
+    "A000788",
+    "A000788_closed_form",
+    "SliceConstruction",
+    "average_radius_upper_bound",
+    "brute_force_segment_maximum",
+    "build_hard_assignment",
+    "coloring_average_lower_bound",
+    "largest_id_average_upper_bound",
+    "largest_id_worst_case_bound",
+    "lemma2_violations",
+    "lemma3_local_average",
+    "linial_lower_bound_radius",
+    "log_star",
+    "log_star_table",
+    "neighborhood_graph",
+    "neighborhood_graph_chromatic_number",
+    "popcount",
+    "power_tower",
+    "radii_between",
+    "segment_radii",
+    "segment_radius_sum",
+    "worst_case_cycle_arrangement",
+    "worst_case_segment_arrangement",
+    "worst_case_segment_sum",
+]

@@ -1,0 +1,91 @@
+"""Closed-form bound predictions used in the experiment tables.
+
+Each function evaluates one of the paper's asymptotic statements at a
+concrete size ``n`` so the experiment harness can print "paper prediction"
+next to "measured value".  Constants hidden inside Theta/Omega are of course
+not specified by the paper; the experiments therefore compare *shapes*
+(growth fits, ratios) rather than absolute values, and these functions
+return the natural constant-free representative of each bound.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.theory.linial import linial_lower_bound_radius
+from repro.theory.recurrence import average_radius_upper_bound, worst_case_segment_sum
+from repro.utils.math_functions import harmonic_number
+from repro.utils.validation import require_positive_int
+
+
+def largest_id_worst_case_bound(n: int) -> int:
+    """Classic measure of largest-ID on the ``n``-cycle: ``floor(n/2)`` (linear).
+
+    The vertex with the maximum identifier must see the entire cycle, whose
+    eccentricity is ``floor(n/2)``.
+    """
+    require_positive_int(n, "n")
+    return n // 2
+
+
+def largest_id_average_upper_bound(n: int) -> float:
+    """Average measure of largest-ID on the ``n``-cycle (worst case over IDs).
+
+    Exactly ``(floor(n/2) + a(n-1)) / n`` where ``a`` is the paper's segment
+    recurrence — a ``Theta(log n)`` quantity.
+    """
+    require_positive_int(n, "n")
+    return average_radius_upper_bound(n)
+
+
+def largest_id_sum_upper_bound(n: int) -> int:
+    """Worst-case total radius of largest-ID on the ``n``-cycle."""
+    require_positive_int(n, "n")
+    return n // 2 + worst_case_segment_sum(n - 1)
+
+
+def largest_id_random_ids_expected_average(n: int) -> float:
+    """Expected average radius of largest-ID under uniformly random identifiers.
+
+    For a uniformly random permutation, the distance from a vertex to the
+    nearest larger identifier has expectation ``Theta(H_n)``; the constant-
+    free representative used in the tables is the harmonic number ``H_n``,
+    against which the Monte-Carlo estimates of experiment E6 are compared.
+    """
+    require_positive_int(n, "n")
+    return harmonic_number(n)
+
+
+def coloring_average_lower_bound(n: int) -> float:
+    """Theorem 1's lower bound on the average radius of 3-colouring the ring.
+
+    Constant-free representative: the Linial black-box threshold
+    ``ceil((1/2) log*(n/2))`` that each slice centre must reach.
+    """
+    require_positive_int(n, "n")
+    return float(linial_lower_bound_radius(n))
+
+
+def coloring_classic_upper_bound(n: int) -> float:
+    """The ``O(log* n)`` classic upper bound achieved by Cole–Vishkin.
+
+    Constant-free representative: ``log*(n) + 3`` (bit-reduction iterations
+    plus the three palette-reduction rounds).
+    """
+    require_positive_int(n, "n")
+    from repro.algorithms.cole_vishkin import cv_rounds_needed
+
+    return float(cv_rounds_needed(n)) if n >= 3 else 1.0
+
+
+def exponential_gap(n: int) -> float:
+    """Ratio between the classic and the average bound for largest-ID.
+
+    The paper's headline: the average complexity can be exponentially
+    smaller.  The ratio ``(n/2) / Theta(log n)`` grows like ``n / log n``.
+    """
+    require_positive_int(n, "n")
+    average = largest_id_average_upper_bound(n)
+    if average == 0:
+        return math.inf
+    return largest_id_worst_case_bound(n) / average

@@ -1,0 +1,28 @@
+"""The iterated logarithm and its inverse.
+
+Linial's lower bound, and hence the paper's Theorem 1, are stated in terms
+of ``log* n``, the number of times the logarithm must be applied to ``n``
+before the value drops to at most 1.  The function grows so slowly that its
+value is at most 5 for every input a simulation can ever touch, which is why
+the experiments validate the lower bound through its *structure* (the slice
+construction and the regularity lemmas) rather than by watching ``log*``
+grow.
+"""
+
+from __future__ import annotations
+
+from repro.utils.math_functions import log_star, power_tower
+
+__all__ = ["log_star", "log_star_table", "power_tower"]
+
+
+def log_star_table(max_exponent: int = 20) -> list[tuple[int, int]]:
+    """Tabulate ``(n, log* n)`` for ``n = 2^k``, ``k = 0..max_exponent``.
+
+    A convenience for experiment output: it makes visually explicit how flat
+    the lower-bound threshold is over the range of sizes the benchmarks can
+    reach.
+    """
+    if max_exponent < 0:
+        raise ValueError(f"max_exponent must be non-negative, got {max_exponent}")
+    return [(2**k, log_star(2**k)) for k in range(max_exponent + 1)]

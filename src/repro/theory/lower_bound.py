@@ -1,0 +1,163 @@
+"""The slice-concatenation construction from the proof of Theorem 1.
+
+The proof builds an identifier permutation ``pi`` on which *any* minimal
+3-colouring algorithm has average radius ``Omega(log* n)``:
+
+1.  find an identifier arrangement of the currently unused identifiers on a
+    cycle for which some vertex needs a large radius (the Linial black box
+    guarantees one exists as long as more than ``n/2`` identifiers remain);
+2.  cut out the *slice* of identifiers in that vertex's ball and append it
+    to ``pi`` — the vertex at the centre of the slice keeps exactly the same
+    neighbourhood in ``pi``, hence the same radius;
+3.  repeat until fewer than ``n/2`` identifiers remain, then append the rest
+    in arbitrary order.
+
+Because every slice centre retains a large radius and Lemma 3 spreads that
+radius over its neighbours, the average over ``pi`` is ``Omega(log* n)``.
+
+The executable version below mirrors this construction for a concrete
+algorithm: the "large radius vertex" of step 1 is found by probing random
+arrangements (exact existence is Linial's theorem; the search only needs to
+find a witness), and the returned assignment can then be evaluated by the
+experiment harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.algorithm import BallAlgorithm
+from repro.core.runner import run_ball_algorithm
+from repro.errors import ConfigurationError
+from repro.model.graph import Graph
+from repro.model.identifiers import IdentifierAssignment
+from repro.theory.linial import linial_lower_bound_radius
+from repro.topology.cycle import cycle_graph
+from repro.utils.rng import SeedLike, make_rng
+from repro.utils.validation import require_positive_int
+
+
+@dataclass(frozen=True)
+class SliceConstruction:
+    """Result of the slice-concatenation construction."""
+
+    assignment: IdentifierAssignment
+    slices: tuple[tuple[int, ...], ...]
+    threshold: int
+    achieved_center_radii: tuple[int, ...]
+
+    @property
+    def slice_count(self) -> int:
+        """Number of slices extracted before fewer than n/2 identifiers remained."""
+        return len(self.slices)
+
+
+def _arrange_on_cycle(identifiers: Sequence[int], rng) -> list[int]:
+    """A random arrangement of the given identifiers around a cycle."""
+    arrangement = list(identifiers)
+    rng.shuffle(arrangement)
+    return arrangement
+
+
+def _find_high_radius_slice(
+    identifiers: Sequence[int],
+    algorithm: BallAlgorithm,
+    threshold: int,
+    rng,
+    attempts: int,
+) -> tuple[tuple[int, ...], int]:
+    """A slice of ``2*threshold + 1`` identifiers centred on a high-radius vertex.
+
+    Tries random arrangements of ``identifiers`` on a cycle and returns the
+    ball slice around the vertex with the largest observed radius; the
+    search stops early once the threshold is met.  Returns the slice (in
+    ring order) and the radius achieved by its centre.
+    """
+    pool = list(identifiers)
+    if len(pool) < 2 * threshold + 1:
+        raise ConfigurationError(
+            f"cannot cut a radius-{threshold} slice out of {len(pool)} identifiers"
+        )
+    best_slice: tuple[int, ...] | None = None
+    best_radius = -1
+    for _ in range(attempts):
+        arrangement = _arrange_on_cycle(pool, rng)
+        graph = cycle_graph(len(arrangement))
+        ids = IdentifierAssignment(arrangement)
+        trace = run_ball_algorithm(graph, ids, algorithm)
+        radii = trace.radii()
+        center = max(radii, key=lambda position: radii[position])
+        radius = radii[center]
+        if radius > best_radius:
+            best_radius = radius
+            half = threshold
+            length = len(arrangement)
+            window = [
+                arrangement[(center + offset) % length] for offset in range(-half, half + 1)
+            ]
+            best_slice = tuple(window)
+        if best_radius >= threshold:
+            break
+    assert best_slice is not None  # attempts >= 1 and pool large enough
+    return best_slice, best_radius
+
+
+def build_hard_assignment(
+    n: int,
+    algorithm: BallAlgorithm,
+    threshold: int | None = None,
+    seed: SeedLike = None,
+    attempts_per_slice: int = 8,
+) -> SliceConstruction:
+    """Build the Theorem 1 permutation ``pi`` for an ``n``-cycle.
+
+    Parameters
+    ----------
+    n:
+        Cycle length; identifiers are ``0..n-1``.
+    algorithm:
+        The 3-colouring (or 4-colouring) algorithm under attack.
+    threshold:
+        Target radius per slice; defaults to the Linial black-box value
+        ``ceil((1/2) log*(n/2))``.
+    seed, attempts_per_slice:
+        Control the randomised witness search of step 1.
+    """
+    require_positive_int(n, "n")
+    if n < 8:
+        raise ConfigurationError("the slice construction needs a cycle of at least 8 nodes")
+    rng = make_rng(seed)
+    target = threshold if threshold is not None else linial_lower_bound_radius(n)
+    require_positive_int(target, "threshold")
+    remaining = list(range(n))
+    prefix: list[int] = []
+    slices: list[tuple[int, ...]] = []
+    center_radii: list[int] = []
+    slice_length = 2 * target + 1
+    while len(remaining) > n // 2 and len(remaining) >= max(slice_length, 3):
+        slice_ids, achieved = _find_high_radius_slice(
+            remaining, algorithm, target, rng, attempts_per_slice
+        )
+        slices.append(slice_ids)
+        center_radii.append(achieved)
+        prefix.extend(slice_ids)
+        used = set(slice_ids)
+        remaining = [identifier for identifier in remaining if identifier not in used]
+    # Remaining identifiers are appended in arbitrary (here: sorted) order.
+    assignment = IdentifierAssignment(prefix + sorted(remaining))
+    return SliceConstruction(
+        assignment=assignment,
+        slices=tuple(slices),
+        threshold=target,
+        achieved_center_radii=tuple(center_radii),
+    )
+
+
+def evaluate_hard_assignment(
+    construction: SliceConstruction, algorithm: BallAlgorithm
+) -> float:
+    """Average radius of ``algorithm`` on the constructed assignment's cycle."""
+    graph = cycle_graph(construction.assignment.n)
+    trace = run_ball_algorithm(graph, construction.assignment, algorithm)
+    return trace.average_radius

@@ -1,0 +1,147 @@
+"""Empirical checkers for the regularity lemmas (Lemmas 2 and 3).
+
+The proof of Theorem 1 works with *minimal* algorithms — algorithms whose
+radius cannot be strictly decreased on any view without increasing it on
+another — and establishes two regularity properties of their radius
+distribution on cycles:
+
+* **Lemma 2.**  For a minimal 4-colouring algorithm, the radii of the
+  vertices lying between two vertices ``x`` and ``y`` that are ``k`` apart
+  are at most ``max(r(x), r(y)) + k``.
+* **Lemma 3.**  If a vertex uses radius ``r``, the average radius of the
+  vertices within distance ``r/2`` of it is ``Omega(r)``.
+
+The checkers below measure both properties on concrete executions.  They do
+not (and cannot) *prove* minimality of an algorithm; they quantify how far a
+given execution is from violating the lemmas, which is the empirical
+counterpart the experiments report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import TopologyError
+from repro.model.graph import Graph
+from repro.model.trace import ExecutionTrace
+from repro.utils.validation import require_non_negative_int
+
+
+def _cycle_order(graph: Graph) -> list[int]:
+    """Positions of a cycle listed in ring order starting from position 0."""
+    if not graph.is_cycle():
+        raise TopologyError("the regularity lemmas are stated for cycles")
+    order = [0]
+    previous = None
+    while len(order) < graph.n:
+        current = order[-1]
+        nxt = [u for u in graph.neighbors(current) if u != previous][0]
+        order.append(nxt)
+        previous = current
+    return order
+
+
+def positions_between(graph: Graph, x: int, y: int) -> list[int]:
+    """Positions strictly between ``x`` and ``y`` along the shorter arc."""
+    order = _cycle_order(graph)
+    index_of = {position: index for index, position in enumerate(order)}
+    ix, iy = index_of[x], index_of[y]
+    n = graph.n
+    forward = [(ix + step) % n for step in range(1, (iy - ix) % n)]
+    backward = [(iy + step) % n for step in range(1, (ix - iy) % n)]
+    arc = forward if len(forward) <= len(backward) else backward
+    return [order[index] for index in arc]
+
+
+def radii_between(trace: ExecutionTrace, graph: Graph, x: int, y: int) -> list[int]:
+    """Radii of the vertices strictly between ``x`` and ``y`` (shorter arc)."""
+    radii = trace.radii()
+    return [radii[position] for position in positions_between(graph, x, y)]
+
+
+@dataclass(frozen=True)
+class Lemma2Violation:
+    """One pair of anchors whose in-between radii exceed the Lemma 2 threshold."""
+
+    x: int
+    y: int
+    separation: int
+    threshold: int
+    worst_radius: int
+
+
+def lemma2_violations(
+    trace: ExecutionTrace, graph: Graph, max_separation: int | None = None
+) -> list[Lemma2Violation]:
+    """All anchor pairs violating the Lemma 2 bound in this execution.
+
+    For every pair of vertices ``x`` and ``y`` separated by ``k`` vertices
+    (up to ``max_separation``), checks that every vertex between them has
+    radius at most ``max(r(x), r(y)) + k``.  An empty result means the
+    execution is consistent with the radius profile of a minimal algorithm.
+    """
+    order = _cycle_order(graph)
+    radii = trace.radii()
+    n = graph.n
+    cap = max_separation if max_separation is not None else n - 2
+    require_non_negative_int(cap, "max_separation")
+    violations: list[Lemma2Violation] = []
+    for start_index in range(n):
+        for separation in range(1, min(cap, n - 2) + 1):
+            x = order[start_index]
+            y = order[(start_index + separation + 1) % n]
+            between = [order[(start_index + offset) % n] for offset in range(1, separation + 1)]
+            threshold = max(radii[x], radii[y]) + separation
+            worst = max(radii[position] for position in between)
+            if worst > threshold:
+                violations.append(
+                    Lemma2Violation(
+                        x=x,
+                        y=y,
+                        separation=separation,
+                        threshold=threshold,
+                        worst_radius=worst,
+                    )
+                )
+    return violations
+
+
+@dataclass(frozen=True)
+class Lemma3Report:
+    """Local average of radii around a vertex, as in Lemma 3."""
+
+    position: int
+    radius: int
+    window: int
+    local_average: float
+
+    @property
+    def ratio(self) -> float:
+        """``local_average / radius`` — Lemma 3 asserts this is bounded below."""
+        if self.radius == 0:
+            return 1.0
+        return self.local_average / self.radius
+
+
+def lemma3_local_average(trace: ExecutionTrace, graph: Graph, position: int) -> Lemma3Report:
+    """Average radius of the vertices within distance ``r(position)/2``."""
+    radii = trace.radii()
+    radius = radii[position]
+    window = radius // 2
+    members = graph.ball_positions(position, window)
+    local_average = sum(radii[u] for u in members) / len(members)
+    return Lemma3Report(
+        position=position, radius=radius, window=window, local_average=local_average
+    )
+
+
+def lemma3_reports(trace: ExecutionTrace, graph: Graph) -> list[Lemma3Report]:
+    """Lemma 3 reports for every vertex (sorted by decreasing radius)."""
+    reports = [lemma3_local_average(trace, graph, position) for position in graph.positions()]
+    return sorted(reports, key=lambda report: report.radius, reverse=True)
+
+
+def minimum_lemma3_ratio(trace: ExecutionTrace, graph: Graph) -> float:
+    """The smallest Lemma 3 ratio over all vertices of an execution."""
+    return min(report.ratio for report in lemma3_reports(trace, graph))

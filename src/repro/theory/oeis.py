@@ -1,0 +1,59 @@
+"""OEIS sequence A000788 and binary-digit-sum helpers.
+
+The paper analyses the largest-ID algorithm through the recurrence
+
+    a(p) = max_{1 <= k <= ceil(p/2)} { k + a(k-1) + a(p-k) },
+
+and notes that this sequence "is known to be in Theta(n ln n) (see for
+example the sequence A000788 of the OEIS)".  A000788(n) is the total number
+of ones in the binary expansions of ``0, 1, ..., n``; this module provides
+both the naive definition and the classical closed-form digit-counting
+formula, and :mod:`repro.theory.recurrence` verifies that the recurrence and
+the sequence agree term by term.
+"""
+
+from __future__ import annotations
+
+from repro.utils.validation import require_non_negative_int
+
+
+def popcount(value: int) -> int:
+    """Number of ones in the binary expansion of ``value`` (A000120)."""
+    require_non_negative_int(value, "value")
+    return value.bit_count()
+
+
+def A000788(n: int) -> int:
+    """Total number of ones in the binary expansions of ``0..n`` (naive sum)."""
+    require_non_negative_int(n, "n")
+    return sum(popcount(k) for k in range(n + 1))
+
+
+def A000788_closed_form(n: int) -> int:
+    """A000788 by per-bit counting, in ``O(log n)`` arithmetic operations.
+
+    For bit position ``b`` (value ``2^b``), the numbers ``0..n`` contain
+    ``(n + 1) // 2^(b+1)`` complete blocks of ``2^b`` ones plus a partial
+    block of ``max(0, (n + 1) mod 2^(b+1) - 2^b)`` ones.
+    """
+    require_non_negative_int(n, "n")
+    total = 0
+    block = 2
+    bit_value = 1
+    while bit_value <= n:
+        full_blocks, remainder = divmod(n + 1, block)
+        total += full_blocks * bit_value + max(0, remainder - bit_value)
+        bit_value = block
+        block *= 2
+    return total
+
+
+def A000788_prefix(count: int) -> list[int]:
+    """The first ``count`` terms ``A000788(0), ..., A000788(count-1)``."""
+    require_non_negative_int(count, "count")
+    terms: list[int] = []
+    running = 0
+    for k in range(count):
+        running += popcount(k)
+        terms.append(running)
+    return terms

@@ -1,0 +1,30 @@
+"""Complete and star graphs.
+
+These dense/centralised extremes are useful sanity checks for the measures:
+on the complete graph every reasonable algorithm finishes with radius 1, so
+the average and the worst-case measures coincide; on a star the centre and
+the leaves can behave very differently.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.model.graph import Graph
+from repro.utils.validation import require_positive_int
+
+
+def complete_graph(n: int) -> Graph:
+    """Build ``K_n``: every pair of distinct positions is adjacent."""
+    require_positive_int(n, "n")
+    adjacency = [tuple(u for u in range(n) if u != v) for v in range(n)]
+    return Graph(adjacency, name=f"complete-{n}")
+
+
+def star_graph(leaves: int) -> Graph:
+    """Build a star with one centre (position 0) and ``leaves`` leaves."""
+    require_positive_int(leaves, "leaves")
+    if leaves < 1:
+        raise ConfigurationError("a star needs at least one leaf")
+    adjacency: list[tuple[int, ...]] = [tuple(range(1, leaves + 1))]
+    adjacency.extend((0,) for _ in range(leaves))
+    return Graph(adjacency, name=f"star-{leaves}")

@@ -1,0 +1,40 @@
+"""The cycle (ring) topology — the graph family studied by the paper.
+
+Positions are laid out in cyclic order ``0, 1, ..., n-1, 0``.  The port
+numbering is globally consistent: port 0 of position ``i`` leads to its
+*successor* ``(i + 1) mod n`` and port 1 to its *predecessor*
+``(i - 1) mod n``.  A consistent orientation is the standard assumption of
+the Cole–Vishkin algorithm; algorithms that do not need it (largest-ID,
+greedy colouring) simply ignore the port semantics.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.model.graph import Graph
+from repro.utils.validation import require_positive_int
+
+#: Port number that leads to the successor on a cycle built by :func:`cycle_graph`.
+SUCCESSOR_PORT = 0
+#: Port number that leads to the predecessor on a cycle built by :func:`cycle_graph`.
+PREDECESSOR_PORT = 1
+
+
+def cycle_graph(n: int) -> Graph:
+    """Build the ``n``-node cycle ``C_n`` (``n`` must be at least 3)."""
+    require_positive_int(n, "n")
+    if n < 3:
+        raise ConfigurationError(f"a cycle needs at least 3 nodes, got n={n}")
+    adjacency = [((i + 1) % n, (i - 1) % n) for i in range(n)]
+    return Graph(adjacency, name=f"cycle-{n}")
+
+
+def cycle_successor_ports(n: int) -> dict[int, int]:
+    """Map every position of :func:`cycle_graph` to its successor port.
+
+    Provided for symmetry with future topologies whose orientation is not
+    globally uniform; for the builder above the successor port is always
+    :data:`SUCCESSOR_PORT`.
+    """
+    require_positive_int(n, "n")
+    return {position: SUCCESSOR_PORT for position in range(n)}

@@ -1,0 +1,51 @@
+"""Two-dimensional grid and torus topologies.
+
+Grids are the simplest family beyond rings on which the paper's "further
+work" question (does the average measure help on more general graphs?) can
+be explored experimentally.
+"""
+
+from __future__ import annotations
+
+from repro.model.graph import Graph
+from repro.utils.validation import require_positive_int
+
+
+def _index(row: int, column: int, columns: int) -> int:
+    return row * columns + column
+
+
+def grid_graph(rows: int, columns: int) -> Graph:
+    """Build the ``rows x columns`` grid with 4-neighbourhood adjacency."""
+    require_positive_int(rows, "rows")
+    require_positive_int(columns, "columns")
+    edges: list[tuple[int, int]] = []
+    for row in range(rows):
+        for column in range(columns):
+            here = _index(row, column, columns)
+            if column + 1 < columns:
+                edges.append((here, _index(row, column + 1, columns)))
+            if row + 1 < rows:
+                edges.append((here, _index(row + 1, column, columns)))
+    return Graph.from_edges(rows * columns, edges, name=f"grid-{rows}x{columns}")
+
+
+def torus_graph(rows: int, columns: int) -> Graph:
+    """Build the ``rows x columns`` torus (grid with wrap-around edges).
+
+    Both dimensions must be at least 3 so the graph stays simple (no
+    parallel edges from wrapping a dimension of length 2).
+    """
+    require_positive_int(rows, "rows")
+    require_positive_int(columns, "columns")
+    if rows < 3 or columns < 3:
+        raise ValueError("torus dimensions must both be at least 3")
+    edges: set[tuple[int, int]] = set()
+    for row in range(rows):
+        for column in range(columns):
+            here = _index(row, column, columns)
+            right = _index(row, (column + 1) % columns, columns)
+            down = _index((row + 1) % rows, column, columns)
+            edges.add((min(here, right), max(here, right)))
+            edges.add((min(here, down), max(here, down)))
+    return Graph.from_edges(rows * columns, sorted(edges), name=f"torus-{rows}x{columns}")

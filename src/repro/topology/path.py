@@ -1,0 +1,34 @@
+"""The path topology.
+
+The paper's analysis of the largest-ID algorithm decomposes the cycle into
+*segments*, which are paths: once a node knows it is not the global maximum,
+the remaining question ("how far until I see a larger identifier or an
+endpoint?") lives on a path.  Having paths as first-class graphs lets the
+tests exercise that decomposition directly.
+"""
+
+from __future__ import annotations
+
+from repro.model.graph import Graph
+from repro.utils.validation import require_positive_int
+
+
+def path_graph(n: int) -> Graph:
+    """Build the ``n``-node path ``P_n`` with positions in line order.
+
+    Interior position ``i`` has port 0 towards ``i + 1`` and port 1 towards
+    ``i - 1``; the endpoints have a single port 0 towards their unique
+    neighbour.
+    """
+    require_positive_int(n, "n")
+    if n == 1:
+        return Graph([()], name="path-1")
+    adjacency: list[tuple[int, ...]] = []
+    for i in range(n):
+        if i == 0:
+            adjacency.append((1,))
+        elif i == n - 1:
+            adjacency.append((n - 2,))
+        else:
+            adjacency.append((i + 1, i - 1))
+    return Graph(adjacency, name=f"path-{n}")

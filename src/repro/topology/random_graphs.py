@@ -1,0 +1,66 @@
+"""Random graph families, built on top of :mod:`networkx` generators.
+
+All builders are deterministic given a seed, return connected graphs, and
+relabel nodes to ``0..n-1`` so the resulting :class:`repro.model.graph.Graph`
+has the canonical position set.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.errors import ConfigurationError
+from repro.model.graph import Graph
+from repro.utils.rng import SeedLike, make_rng
+from repro.utils.validation import require_positive_int, require_probability
+
+
+def _largest_connected_component(graph: nx.Graph) -> nx.Graph:
+    """Return the largest connected component relabelled to 0..k-1."""
+    if graph.number_of_nodes() == 0:
+        return graph
+    component = max(nx.connected_components(graph), key=len)
+    subgraph = graph.subgraph(component).copy()
+    return nx.convert_node_labels_to_integers(subgraph, ordering="sorted")
+
+
+def gnp_random_graph(n: int, p: float, seed: SeedLike = None) -> Graph:
+    """Erdős–Rényi ``G(n, p)``, restricted to its largest connected component.
+
+    The returned graph may therefore have fewer than ``n`` nodes when ``p``
+    is below the connectivity threshold; experiments that need an exact size
+    should pick ``p`` comfortably above ``ln(n)/n``.
+    """
+    require_positive_int(n, "n")
+    require_probability(p, "p")
+    rng = make_rng(seed)
+    generated = nx.gnp_random_graph(n, p, seed=rng.getrandbits(32))
+    component = _largest_connected_component(generated)
+    if component.number_of_nodes() == 0:
+        raise ConfigurationError("random graph came out empty; increase n or p")
+    return Graph.from_networkx(component, name=f"gnp-{n}-{p}")
+
+
+def random_regular_graph(degree: int, n: int, seed: SeedLike = None) -> Graph:
+    """A uniformly random ``degree``-regular simple graph on ``n`` nodes."""
+    require_positive_int(degree, "degree")
+    require_positive_int(n, "n")
+    if degree >= n or (degree * n) % 2 != 0:
+        raise ConfigurationError(
+            f"no {degree}-regular simple graph exists on {n} nodes"
+        )
+    rng = make_rng(seed)
+    generated = nx.random_regular_graph(degree, n, seed=rng.getrandbits(32))
+    component = _largest_connected_component(generated)
+    return Graph.from_networkx(component, name=f"regular-{degree}-{n}")
+
+
+def random_tree(n: int, seed: SeedLike = None) -> Graph:
+    """A uniformly random labelled tree on ``n`` nodes (Prüfer sampling)."""
+    require_positive_int(n, "n")
+    rng = make_rng(seed)
+    if n <= 2:
+        generated = nx.path_graph(n)
+    else:
+        generated = nx.random_labeled_tree(n, seed=rng.getrandbits(32))
+    return Graph.from_networkx(generated, name=f"random-tree-{n}")

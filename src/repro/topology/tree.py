@@ -1,0 +1,64 @@
+"""Tree topologies: balanced trees, caterpillars and spiders.
+
+Trees give graphs with very heterogeneous eccentricities, which is where the
+gap between the average and the worst-case measures can be large even for
+simple problems, mirroring the paper's motivation.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.model.graph import Graph
+from repro.utils.validation import require_non_negative_int, require_positive_int
+
+
+def balanced_tree(branching: int, height: int) -> Graph:
+    """Build the complete ``branching``-ary tree of the given ``height``.
+
+    Height 0 is a single root.  Positions follow breadth-first order, with
+    the root at position 0.
+    """
+    require_positive_int(branching, "branching")
+    require_non_negative_int(height, "height")
+    edges: list[tuple[int, int]] = []
+    current_level = [0]
+    next_position = 1
+    for _ in range(height):
+        next_level = []
+        for parent in current_level:
+            for _ in range(branching):
+                edges.append((parent, next_position))
+                next_level.append(next_position)
+                next_position += 1
+        current_level = next_level
+    return Graph.from_edges(next_position, edges, name=f"tree-b{branching}-h{height}")
+
+
+def caterpillar_tree(spine: int, legs_per_node: int) -> Graph:
+    """Build a caterpillar: a path of ``spine`` nodes, each with pendant legs."""
+    require_positive_int(spine, "spine")
+    require_non_negative_int(legs_per_node, "legs_per_node")
+    edges: list[tuple[int, int]] = [(i, i + 1) for i in range(spine - 1)]
+    next_position = spine
+    for spine_node in range(spine):
+        for _ in range(legs_per_node):
+            edges.append((spine_node, next_position))
+            next_position += 1
+    return Graph.from_edges(next_position, edges, name=f"caterpillar-{spine}x{legs_per_node}")
+
+
+def spider_tree(legs: int, leg_length: int) -> Graph:
+    """Build a spider: ``legs`` disjoint paths of length ``leg_length`` sharing one centre."""
+    require_positive_int(legs, "legs")
+    require_positive_int(leg_length, "leg_length")
+    if legs < 2:
+        raise ConfigurationError("a spider needs at least two legs")
+    edges: list[tuple[int, int]] = []
+    next_position = 1
+    for _ in range(legs):
+        previous = 0
+        for _ in range(leg_length):
+            edges.append((previous, next_position))
+            previous = next_position
+            next_position += 1
+    return Graph.from_edges(next_position, edges, name=f"spider-{legs}x{leg_length}")

@@ -1,0 +1,22 @@
+"""Shared utilities: validation helpers, deterministic RNG management and
+plain-text table rendering used by the experiment harness."""
+
+from repro.utils.rng import make_rng, spawn_rngs
+from repro.utils.tables import Table, format_table
+from repro.utils.validation import (
+    require,
+    require_non_negative_int,
+    require_positive_int,
+    require_probability,
+)
+
+__all__ = [
+    "Table",
+    "format_table",
+    "make_rng",
+    "require",
+    "require_non_negative_int",
+    "require_positive_int",
+    "require_probability",
+    "spawn_rngs",
+]

@@ -1,0 +1,93 @@
+"""Dependency-free ASCII plots for experiment series.
+
+The experiment harness is deliberately plot-library-free (the reproduction
+environment has no display and no matplotlib), but growth shapes are much
+easier to read as a picture than as a column of numbers.  This module renders
+one or more series against a shared x-axis as a fixed-size character grid,
+which the CLI and the examples print under the corresponding table.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import AnalysisError
+
+#: Characters used for the successive series, in order.
+SERIES_MARKERS = "*o+x#@"
+
+
+def _scale(value: float, low: float, high: float, cells: int) -> int:
+    """Map ``value`` in ``[low, high]`` to a cell index in ``[0, cells - 1]``."""
+    if high == low:
+        return 0
+    position = (value - low) / (high - low)
+    return min(cells - 1, max(0, round(position * (cells - 1))))
+
+
+def ascii_plot(
+    xs: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 60,
+    height: int = 16,
+    title: str | None = None,
+) -> str:
+    """Render ``series`` (name -> y-values over the shared ``xs``) as text.
+
+    The plot is a scatter of one marker character per series on a
+    ``height`` x ``width`` grid, with the y-range annotated on the left and
+    the x-range underneath, followed by a legend.  Values are plotted on
+    linear axes; callers who want a log-scale picture can transform their
+    data first.
+    """
+    if not series:
+        raise AnalysisError("ascii_plot needs at least one series")
+    if width < 10 or height < 4:
+        raise AnalysisError("ascii_plot needs a grid of at least 10x4 characters")
+    for name, values in series.items():
+        if len(values) != len(xs):
+            raise AnalysisError(
+                f"series {name!r} has {len(values)} points but there are {len(xs)} x-values"
+            )
+    if len(xs) == 0:
+        raise AnalysisError("ascii_plot needs at least one data point")
+    all_values = [float(v) for values in series.values() for v in values]
+    y_low, y_high = min(all_values), max(all_values)
+    x_low, x_high = float(min(xs)), float(max(xs))
+    grid = [[" "] * width for _ in range(height)]
+    for marker, (name, values) in zip(SERIES_MARKERS, series.items()):
+        for x, y in zip(xs, values):
+            column = _scale(float(x), x_low, x_high, width)
+            row = height - 1 - _scale(float(y), y_low, y_high, height)
+            grid[row][column] = marker
+    left_labels = [f"{y_high:>10.3g} |", *[" " * 10 + " |"] * (height - 2), f"{y_low:>10.3g} |"]
+    lines = []
+    if title:
+        lines.append(title)
+    for label, row in zip(left_labels, grid):
+        lines.append(label + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    lines.append(" " * 12 + f"{x_low:<.4g}" + " " * max(1, width - 16) + f"{x_high:>.4g}")
+    legend = "   ".join(
+        f"{marker} {name}" for marker, name in zip(SERIES_MARKERS, series.keys())
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def plot_experiment_column(
+    table_rows: Sequence[Mapping[str, float]],
+    x_column: str,
+    y_columns: Sequence[str],
+    title: str | None = None,
+    width: int = 60,
+    height: int = 16,
+) -> str:
+    """Plot chosen numeric columns of an experiment table against ``x_column``."""
+    if not table_rows:
+        raise AnalysisError("plot_experiment_column needs at least one row")
+    xs = [float(row[x_column]) for row in table_rows]
+    series = {
+        column: [float(row[column]) for row in table_rows] for column in y_columns
+    }
+    return ascii_plot(xs, series, width=width, height=height, title=title)

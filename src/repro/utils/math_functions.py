@@ -1,0 +1,62 @@
+"""Small mathematical helpers shared across layers.
+
+The iterated logarithm lives here (rather than only in :mod:`repro.theory`)
+because the analysis layer uses it as one of its candidate growth functions
+and the theory layer builds the Linial bound on top of it; keeping the
+definition in a leaf module avoids an import cycle between those packages.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def log_star(value: float, base: float = 2.0) -> int:
+    """The iterated logarithm ``log*``: how many times ``log`` must be applied
+    to ``value`` before the result drops to at most 1.
+
+    ``log*`` of anything at most 1 is 0.  For base 2: ``log*(2) = 1``,
+    ``log*(4) = 2``, ``log*(16) = 3``, ``log*(65536) = 4`` and ``log*`` of
+    every astronomically larger practical input is 5.
+    """
+    if base <= 1:
+        raise ValueError(f"base must exceed 1, got {base}")
+    if value != value:  # NaN
+        raise ValueError("log_star is undefined for NaN")
+    count = 0
+    current = float(value)
+    while current > 1.0:
+        current = math.log(current, base)
+        count += 1
+        if count > 256:  # unreachable for finite floats; guards against bugs
+            raise ValueError(f"log_star did not converge for value {value!r}")
+    return count
+
+
+def power_tower(height: int, base: float = 2.0) -> float:
+    """The tower function ``base ^ base ^ ... ^ base`` of the given height.
+
+    ``power_tower(0) == 1``; the tower function is the inverse of
+    :func:`log_star` in the sense that ``log_star(power_tower(h)) == h``
+    for small heights.  Overflows to ``math.inf`` for heights above 5.
+    """
+    if height < 0:
+        raise ValueError(f"height must be non-negative, got {height}")
+    result = 1.0
+    for _ in range(height):
+        try:
+            result = base**result
+        except OverflowError:
+            return math.inf
+    return result
+
+
+def harmonic_number(n: int) -> float:
+    """The ``n``-th harmonic number ``H_n = 1 + 1/2 + ... + 1/n``.
+
+    Appears in the exact expectation of the largest-ID algorithm's average
+    radius under a uniformly random identifier permutation.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    return sum(1.0 / k for k in range(1, n + 1))

@@ -1,0 +1,93 @@
+"""Plain-text table rendering for the experiment harness.
+
+The benchmarks print the same rows that the paper's claims describe (size,
+worst-case radius, average radius, fitted growth rate, ...).  The helpers
+here render a list of dictionaries as an aligned monospace table without any
+third-party dependency, so the output reads well both in a terminal and in
+``EXPERIMENTS.md`` code blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+
+def _format_cell(value: Any) -> str:
+    """Render a single cell: floats get four significant decimals."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000 or (value != 0 and abs(value) < 0.001):
+            return f"{value:.4g}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Format ``rows`` (dictionaries) as an aligned plain-text table.
+
+    ``columns`` fixes the column order; when omitted, the keys of the first
+    row are used.  Missing values render as an empty cell.
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    header = [str(c) for c in columns]
+    body = [[_format_cell(row.get(c, "")) for c in columns] for row in rows]
+    widths = [
+        max(len(header[i]), *(len(line[i]) for line in body)) for i in range(len(columns))
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append(sep)
+    for line in body:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(line, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class Table:
+    """A mutable collection of result rows with a fixed column order.
+
+    The experiment modules accumulate one row per parameter setting and then
+    either print the table or feed the rows to the analysis helpers.
+    """
+
+    columns: Sequence[str]
+    title: str | None = None
+    rows: list[dict[str, Any]] = field(default_factory=list)
+
+    def add_row(self, **values: Any) -> None:
+        """Append a row; unexpected column names raise ``KeyError``."""
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise KeyError(f"unknown columns {sorted(unknown)}; declared {list(self.columns)}")
+        self.rows.append(dict(values))
+
+    def column(self, name: str) -> list[Any]:
+        """Return all values of one column, in insertion order."""
+        if name not in self.columns:
+            raise KeyError(f"unknown column {name!r}")
+        return [row.get(name) for row in self.rows]
+
+    def extend(self, rows: Iterable[Mapping[str, Any]]) -> None:
+        """Append many rows at once (each validated like :meth:`add_row`)."""
+        for row in rows:
+            self.add_row(**dict(row))
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __str__(self) -> str:
+        return format_table(self.rows, self.columns, self.title)

@@ -1,0 +1,43 @@
+"""Small argument-validation helpers.
+
+These helpers keep constructor bodies flat: each check raises
+:class:`repro.errors.ConfigurationError` with a message naming the offending
+parameter, which is considerably more useful than a bare ``assert``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ConfigurationError
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ConfigurationError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise ConfigurationError(message)
+
+
+def require_positive_int(value: Any, name: str) -> int:
+    """Validate that ``value`` is an ``int`` strictly greater than zero."""
+    if not isinstance(value, int) or isinstance(value, bool) or value <= 0:
+        raise ConfigurationError(f"{name} must be a positive integer, got {value!r}")
+    return value
+
+
+def require_non_negative_int(value: Any, name: str) -> int:
+    """Validate that ``value`` is an ``int`` greater than or equal to zero."""
+    if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+        raise ConfigurationError(f"{name} must be a non-negative integer, got {value!r}")
+    return value
+
+
+def require_probability(value: Any, name: str) -> float:
+    """Validate that ``value`` is a real number in the closed interval [0, 1]."""
+    try:
+        as_float = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ConfigurationError(f"{name} must be a probability in [0, 1], got {value!r}") from exc
+    if not 0.0 <= as_float <= 1.0:
+        raise ConfigurationError(f"{name} must be a probability in [0, 1], got {value!r}")
+    return as_float

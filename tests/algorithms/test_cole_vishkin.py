@@ -1,0 +1,95 @@
+"""Tests for the Cole–Vishkin 3-colouring of the oriented ring."""
+
+import pytest
+
+from repro.algorithms.cole_vishkin import (
+    ColeVishkinRing,
+    cv_rounds_needed,
+    is_consistently_oriented_ring,
+)
+from repro.core.certification import certify
+from repro.errors import AlgorithmError, TopologyError
+from repro.model.identifiers import identity_assignment, random_assignment, reversed_assignment
+from repro.model.rounds import run_round_algorithm
+from repro.topology.cycle import cycle_graph
+from repro.topology.path import path_graph
+from repro.utils.math_functions import log_star
+
+
+class TestOrientation:
+    def test_builder_cycles_are_consistently_oriented(self):
+        assert is_consistently_oriented_ring(cycle_graph(9))
+
+    def test_paths_are_not_oriented_rings(self):
+        assert not is_consistently_oriented_ring(path_graph(9))
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [3, 4, 5, 8, 16, 37, 100, 257])
+    def test_produces_a_proper_three_coloring(self, n):
+        graph = cycle_graph(n)
+        ids = random_assignment(n, seed=n)
+        trace = run_round_algorithm(graph, ids, ColeVishkinRing(n))
+        assert certify("3-coloring", graph, ids, trace)
+
+    @pytest.mark.parametrize("builder", [identity_assignment, reversed_assignment])
+    def test_structured_identifier_orders_are_handled(self, builder):
+        n = 64
+        graph = cycle_graph(n)
+        ids = builder(n)
+        trace = run_round_algorithm(graph, ids, ColeVishkinRing(n))
+        assert certify("3-coloring", graph, ids, trace)
+
+    def test_colors_are_in_the_three_colour_palette(self):
+        n = 50
+        graph = cycle_graph(n)
+        ids = random_assignment(n, seed=1)
+        trace = run_round_algorithm(graph, ids, ColeVishkinRing(n))
+        assert set(trace.outputs_by_position().values()) <= {0, 1, 2}
+
+
+class TestRadii:
+    @pytest.mark.parametrize("n", [8, 64, 512])
+    def test_every_node_commits_at_the_predicted_round(self, n):
+        graph = cycle_graph(n)
+        ids = random_assignment(n, seed=3)
+        trace = run_round_algorithm(graph, ids, ColeVishkinRing(n))
+        assert set(trace.radii().values()) == {cv_rounds_needed(n)}
+
+    def test_average_equals_max_radius(self):
+        n = 128
+        graph = cycle_graph(n)
+        ids = random_assignment(n, seed=4)
+        trace = run_round_algorithm(graph, ids, ColeVishkinRing(n))
+        assert trace.average_radius == trace.max_radius
+
+    def test_round_count_grows_like_log_star(self):
+        # Over a 2^16-fold size increase the number of rounds changes by at
+        # most a couple of units.
+        assert cv_rounds_needed(2**20) - cv_rounds_needed(16) <= 3
+        assert cv_rounds_needed(2**20) >= log_star(2**20)
+
+
+class TestValidation:
+    def test_rejects_rings_smaller_than_three(self):
+        with pytest.raises(AlgorithmError):
+            ColeVishkinRing(2)
+
+    def test_rejects_nodes_of_wrong_degree(self):
+        graph = path_graph(5)
+        ids = identity_assignment(5)
+        with pytest.raises(TopologyError, match="rings only"):
+            run_round_algorithm(graph, ids, ColeVishkinRing(5))
+
+    def test_rejects_identifiers_outside_the_declared_range(self):
+        graph = cycle_graph(4)
+        from repro.model.identifiers import IdentifierAssignment
+
+        ids = IdentifierAssignment([0, 1, 2, 99])
+        with pytest.raises(AlgorithmError, match="outside"):
+            run_round_algorithm(graph, ids, ColeVishkinRing(4))
+
+    def test_cv_rounds_needed_small_values(self):
+        assert cv_rounds_needed(3) == 3
+        assert cv_rounds_needed(6) == 3
+        assert cv_rounds_needed(7) == 4

@@ -1,0 +1,89 @@
+"""Tests for the Cole–Vishkin colour-reduction primitives."""
+
+import itertools
+
+import pytest
+
+from repro.algorithms.color_reduction import (
+    cv_step,
+    free_color,
+    iterations_until_six_colors,
+    palette_after_iterations,
+)
+from repro.errors import AlgorithmError
+
+
+class TestCvStep:
+    def test_known_example(self):
+        # 6 = 0b110, 5 = 0b101 differ first at bit 0; bit 0 of 6 is 0 -> colour 0.
+        assert cv_step(6, 5) == 0
+        # 6 = 0b110, 2 = 0b010 differ first at bit 2; bit 2 of 6 is 1 -> colour 5.
+        assert cv_step(6, 2) == 5
+
+    def test_result_depends_on_own_bit(self):
+        assert cv_step(5, 6) != cv_step(6, 5)
+
+    def test_equal_colours_rejected(self):
+        with pytest.raises(AlgorithmError, match="distinct"):
+            cv_step(4, 4)
+
+    def test_negative_colours_rejected(self):
+        with pytest.raises(AlgorithmError):
+            cv_step(-1, 3)
+
+    def test_properness_is_preserved_for_all_small_pairs(self):
+        # For every chain x -> y -> z of distinct colours the recoloured pair
+        # (f(x,y), f(y,z)) is again distinct — the key Cole–Vishkin invariant.
+        for x, y, z in itertools.permutations(range(16), 3):
+            assert cv_step(x, y) != cv_step(y, z)
+
+    def test_mutual_reference_also_stays_proper(self):
+        for x, y in itertools.permutations(range(16), 2):
+            assert cv_step(x, y) != cv_step(y, x)
+
+    def test_output_range_shrinks_with_palette(self):
+        for x, y in itertools.permutations(range(64), 2):
+            assert 0 <= cv_step(x, y) < 2 * 6  # 64 colours = 6 bits
+
+
+class TestPaletteIteration:
+    def test_palette_after_zero_iterations_is_unchanged(self):
+        assert palette_after_iterations(100, 0) == 100
+
+    def test_single_iteration_shrinks_to_two_bits_worth(self):
+        assert palette_after_iterations(2**20, 1) == 40
+
+    def test_never_drops_below_six(self):
+        assert palette_after_iterations(1000, 50) == 6
+        assert palette_after_iterations(5, 3) == 5
+
+    @pytest.mark.parametrize(
+        ("palette", "expected"),
+        [(6, 0), (7, 1), (8, 1), (16, 2), (64, 3), (2**16, 4), (2**64, 4)],
+    )
+    def test_iterations_until_six(self, palette, expected):
+        assert iterations_until_six_colors(palette) == expected
+
+    def test_iterations_grow_extremely_slowly(self):
+        assert iterations_until_six_colors(10**9) <= 4
+
+    def test_iterations_consistent_with_palette_function(self):
+        for palette in (10, 100, 1000, 10**6):
+            iterations = iterations_until_six_colors(palette)
+            assert palette_after_iterations(palette, iterations) <= 6
+
+
+class TestFreeColor:
+    def test_picks_smallest_unused(self):
+        assert free_color({0, 2}) == 1
+        assert free_color({1, 2}) == 0
+        assert free_color(set()) == 0
+
+    def test_two_neighbours_always_leave_a_colour_in_three(self):
+        for a in range(6):
+            for b in range(6):
+                assert free_color({a, b}, palette=3) in {0, 1, 2}
+
+    def test_full_palette_raises(self):
+        with pytest.raises(AlgorithmError, match="no free colour"):
+            free_color({0, 1, 2}, palette=3)

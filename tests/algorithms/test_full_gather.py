@@ -1,0 +1,92 @@
+"""Tests for the ball <-> round compilers."""
+
+import pytest
+
+from repro.algorithms.cole_vishkin import ColeVishkinRing, cv_rounds_needed
+from repro.algorithms.full_gather import BallSimulationOfRounds, FullGatherRoundAlgorithm
+from repro.algorithms.greedy_coloring import GreedyColoringByID
+from repro.algorithms.largest_id import LargestIdAlgorithm
+from repro.core.certification import certify
+from repro.core.runner import run_ball_algorithm
+from repro.model.identifiers import random_assignment
+from repro.model.rounds import run_round_algorithm
+from repro.topology.cycle import cycle_graph
+from repro.topology.grid import grid_graph
+
+
+class TestBallSimulationOfRounds:
+    @pytest.mark.parametrize("n", [8, 32, 100])
+    def test_replayed_cole_vishkin_matches_the_round_execution_exactly(self, n):
+        graph = cycle_graph(n)
+        ids = random_assignment(n, seed=n)
+        round_trace = run_round_algorithm(graph, ids, ColeVishkinRing(n))
+        ball_trace = run_ball_algorithm(graph, ids, BallSimulationOfRounds(ColeVishkinRing(n)))
+        assert ball_trace.outputs_by_position() == round_trace.outputs_by_position()
+        assert ball_trace.radii() == round_trace.radii()
+
+    def test_radius_equals_the_commit_round_of_the_wrapped_algorithm(self):
+        n = 64
+        graph = cycle_graph(n)
+        ids = random_assignment(n, seed=1)
+        trace = run_ball_algorithm(graph, ids, BallSimulationOfRounds(ColeVishkinRing(n)))
+        assert set(trace.radii().values()) == {cv_rounds_needed(n)}
+
+    def test_problem_key_is_inherited(self):
+        compiled = BallSimulationOfRounds(ColeVishkinRing(8))
+        assert compiled.problem == "3-coloring"
+        assert "cole-vishkin" in compiled.name
+
+    def test_problem_key_can_be_overridden(self):
+        compiled = BallSimulationOfRounds(ColeVishkinRing(8), problem="coloring")
+        assert compiled.problem == "coloring"
+
+
+class TestFullGatherRoundAlgorithm:
+    @pytest.mark.parametrize("n", [6, 12, 24])
+    def test_outputs_match_the_native_ball_execution(self, n):
+        graph = cycle_graph(n)
+        ids = random_assignment(n, seed=n)
+        ball_trace = run_ball_algorithm(graph, ids, LargestIdAlgorithm())
+        round_trace = run_round_algorithm(graph, ids, FullGatherRoundAlgorithm(LargestIdAlgorithm()))
+        assert round_trace.outputs_by_position() == ball_trace.outputs_by_position()
+        assert certify("largest-id", graph, ids, round_trace)
+
+    @pytest.mark.parametrize("n", [6, 12, 24])
+    def test_round_counts_exceed_ball_radii_by_at_most_one(self, n):
+        graph = cycle_graph(n)
+        ids = random_assignment(n, seed=n + 1)
+        ball_trace = run_ball_algorithm(graph, ids, LargestIdAlgorithm())
+        round_trace = run_round_algorithm(graph, ids, FullGatherRoundAlgorithm(LargestIdAlgorithm()))
+        for position in graph.positions():
+            ball_radius = ball_trace.radii()[position]
+            round_radius = round_trace.radii()[position]
+            assert ball_radius <= round_radius <= ball_radius + 1
+
+    def test_works_with_the_greedy_coloring_algorithm(self):
+        graph = cycle_graph(10)
+        ids = random_assignment(10, seed=2)
+        round_trace = run_round_algorithm(graph, ids, FullGatherRoundAlgorithm(GreedyColoringByID()))
+        assert certify("coloring", graph, ids, round_trace)
+
+    def test_works_beyond_cycles(self):
+        graph = grid_graph(3, 3)
+        ids = random_assignment(9, seed=4)
+        round_trace = run_round_algorithm(graph, ids, FullGatherRoundAlgorithm(LargestIdAlgorithm()))
+        assert certify("largest-id", graph, ids, round_trace)
+
+    def test_name_mentions_the_wrapped_algorithm(self):
+        compiled = FullGatherRoundAlgorithm(LargestIdAlgorithm())
+        assert "largest-id" in compiled.name
+        assert compiled.problem == "largest-id"
+
+
+class TestRoundTrip:
+    def test_ball_to_round_to_ball_preserves_outputs(self):
+        n = 12
+        graph = cycle_graph(n)
+        ids = random_assignment(n, seed=9)
+        native = run_ball_algorithm(graph, ids, LargestIdAlgorithm())
+        round_tripped = run_ball_algorithm(
+            graph, ids, BallSimulationOfRounds(FullGatherRoundAlgorithm(LargestIdAlgorithm()))
+        )
+        assert native.outputs_by_position() == round_tripped.outputs_by_position()

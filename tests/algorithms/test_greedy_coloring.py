@@ -1,0 +1,89 @@
+"""Tests for the greedy-by-identifier colouring."""
+
+import pytest
+
+from repro.algorithms.greedy_coloring import GreedyColoringByID
+from repro.core.certification import certify, certify_proper_coloring
+from repro.core.runner import run_ball_algorithm
+from repro.model.identifiers import IdentifierAssignment, identity_assignment, random_assignment
+from repro.topology.complete import star_graph
+from repro.topology.cycle import cycle_graph
+from repro.topology.grid import grid_graph
+from repro.topology.path import path_graph
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [3, 6, 17, 48])
+    def test_colouring_is_proper_on_cycles(self, n):
+        graph = cycle_graph(n)
+        ids = random_assignment(n, seed=n)
+        trace = run_ball_algorithm(graph, ids, GreedyColoringByID())
+        assert certify("coloring", graph, ids, trace)
+
+    @pytest.mark.parametrize(
+        "builder", [lambda: path_graph(12), lambda: grid_graph(4, 5), lambda: star_graph(6)]
+    )
+    def test_colouring_is_proper_on_other_topologies(self, builder):
+        graph = builder()
+        ids = random_assignment(graph.n, seed=5)
+        trace = run_ball_algorithm(graph, ids, GreedyColoringByID())
+        assert certify("coloring", graph, ids, trace)
+
+    def test_palette_is_bounded_by_max_degree_plus_one(self):
+        graph = grid_graph(4, 4)
+        ids = random_assignment(16, seed=9)
+        trace = run_ball_algorithm(graph, ids, GreedyColoringByID())
+        certify_proper_coloring(graph, ids, trace.outputs_by_position(), num_colors=graph.max_degree() + 1)
+
+    def test_cycle_uses_at_most_three_colours(self):
+        graph = cycle_graph(21)
+        ids = random_assignment(21, seed=2)
+        trace = run_ball_algorithm(graph, ids, GreedyColoringByID())
+        assert set(trace.outputs_by_position().values()) <= {0, 1, 2}
+
+
+class TestGreedyRule:
+    def test_colour_equals_sequential_greedy_in_decreasing_id_order(self):
+        graph = cycle_graph(9)
+        ids = random_assignment(9, seed=7)
+        trace = run_ball_algorithm(graph, ids, GreedyColoringByID())
+        outputs = trace.outputs_by_identifier()
+        # Recompute the global rule directly.
+        expected: dict[int, int] = {}
+        for identifier in sorted(ids.identifiers(), reverse=True):
+            position = ids.position_of(identifier)
+            used = {
+                expected[ids[w]]
+                for w in graph.neighbors(position)
+                if ids[w] > identifier
+            }
+            colour = 0
+            while colour in used:
+                colour += 1
+            expected[identifier] = colour
+        assert outputs == expected
+
+    def test_global_maximum_gets_colour_zero(self):
+        graph = cycle_graph(11)
+        ids = random_assignment(11, seed=13)
+        trace = run_ball_algorithm(graph, ids, GreedyColoringByID())
+        assert trace.outputs_by_identifier()[ids.max_identifier()] == 0
+
+
+class TestRadii:
+    def test_sorted_identifiers_force_linear_worst_case(self):
+        n = 24
+        graph = cycle_graph(n)
+        trace = run_ball_algorithm(graph, identity_assignment(n), GreedyColoringByID())
+        assert trace.max_radius >= n // 2
+
+    def test_random_identifiers_keep_the_average_small(self):
+        n = 96
+        graph = cycle_graph(n)
+        trace = run_ball_algorithm(graph, random_assignment(n, seed=3), GreedyColoringByID())
+        assert trace.average_radius < 6
+
+    def test_radius_is_at_least_one_on_cycles(self):
+        graph = cycle_graph(8)
+        trace = run_ball_algorithm(graph, random_assignment(8, seed=1), GreedyColoringByID())
+        assert min(trace.radii().values()) >= 1

@@ -1,0 +1,91 @@
+"""Tests for the greedy-by-identifier maximal independent set."""
+
+import pytest
+
+from repro.algorithms.mis import GreedyMISByID
+from repro.core.certification import certify
+from repro.core.runner import run_ball_algorithm
+from repro.model.identifiers import IdentifierAssignment, identity_assignment, random_assignment
+from repro.topology.complete import complete_graph, star_graph
+from repro.topology.cycle import cycle_graph
+from repro.topology.grid import grid_graph
+from repro.topology.path import path_graph
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [3, 7, 20, 45])
+    def test_mis_is_valid_on_cycles(self, n):
+        graph = cycle_graph(n)
+        ids = random_assignment(n, seed=n)
+        trace = run_ball_algorithm(graph, ids, GreedyMISByID())
+        assert certify("mis", graph, ids, trace)
+
+    @pytest.mark.parametrize(
+        "builder",
+        [lambda: path_graph(11), lambda: grid_graph(3, 5), lambda: star_graph(7), lambda: complete_graph(6)],
+    )
+    def test_mis_is_valid_on_other_topologies(self, builder):
+        graph = builder()
+        ids = random_assignment(graph.n, seed=3)
+        trace = run_ball_algorithm(graph, ids, GreedyMISByID())
+        assert certify("mis", graph, ids, trace)
+
+
+class TestGreedyRule:
+    def test_membership_matches_the_sequential_greedy_rule(self):
+        graph = cycle_graph(10)
+        ids = random_assignment(10, seed=21)
+        trace = run_ball_algorithm(graph, ids, GreedyMISByID())
+        outputs = trace.outputs_by_identifier()
+        expected: dict[int, bool] = {}
+        for identifier in sorted(ids.identifiers(), reverse=True):
+            position = ids.position_of(identifier)
+            higher_in = [
+                expected[ids[w]] for w in graph.neighbors(position) if ids[w] > identifier
+            ]
+            expected[identifier] = not any(higher_in)
+        assert outputs == expected
+
+    def test_global_maximum_always_joins(self):
+        graph = cycle_graph(9)
+        ids = random_assignment(9, seed=5)
+        trace = run_ball_algorithm(graph, ids, GreedyMISByID())
+        assert trace.outputs_by_identifier()[ids.max_identifier()] is True
+
+    def test_complete_graph_selects_exactly_the_maximum(self):
+        graph = complete_graph(8)
+        ids = random_assignment(8, seed=2)
+        trace = run_ball_algorithm(graph, ids, GreedyMISByID())
+        members = [p for p, selected in trace.outputs_by_position().items() if selected]
+        assert members == [ids.argmax_position()]
+
+    def test_star_graph_selects_leaves_when_centre_is_not_maximum(self):
+        graph = star_graph(4)
+        ids = IdentifierAssignment([0, 1, 2, 3, 4])  # centre carries the smallest identifier
+        trace = run_ball_algorithm(graph, ids, GreedyMISByID())
+        outputs = trace.outputs_by_position()
+        assert outputs[0] is False
+        assert all(outputs[p] is True for p in range(1, 5))
+
+
+class TestRadii:
+    def test_sorted_identifiers_force_long_dependency_chains(self):
+        n = 20
+        graph = cycle_graph(n)
+        trace = run_ball_algorithm(graph, identity_assignment(n), GreedyMISByID())
+        assert trace.max_radius >= n // 2
+
+    def test_random_identifiers_keep_the_average_small(self):
+        n = 80
+        graph = cycle_graph(n)
+        trace = run_ball_algorithm(graph, random_assignment(n, seed=6), GreedyMISByID())
+        assert trace.average_radius < 6
+
+    def test_mis_and_coloring_share_the_dependency_structure(self):
+        from repro.algorithms.greedy_coloring import GreedyColoringByID
+
+        graph = cycle_graph(14)
+        ids = random_assignment(14, seed=10)
+        mis_trace = run_ball_algorithm(graph, ids, GreedyMISByID())
+        col_trace = run_ball_algorithm(graph, ids, GreedyColoringByID())
+        assert mis_trace.radii() == col_trace.radii()

@@ -1,0 +1,69 @@
+"""Tests for the greedy-by-identifier dependency resolution."""
+
+from repro.algorithms.priority_resolution import dependency_depth, resolve_by_descending_id
+from repro.model.ball import extract_ball
+from repro.model.identifiers import IdentifierAssignment, identity_assignment
+from repro.topology.cycle import cycle_graph
+from repro.topology.path import path_graph
+
+
+def count_higher(identifier, higher):
+    return len(higher)
+
+
+class TestResolveByDescendingId:
+    def test_nothing_is_determined_at_radius_zero(self):
+        graph = cycle_graph(6)
+        ball = extract_ball(graph, identity_assignment(6), 2, 0)
+        assert resolve_by_descending_id(ball, count_higher) == {}
+
+    def test_local_maximum_is_determined_once_its_neighbourhood_is_visible(self):
+        graph = cycle_graph(6)
+        ids = IdentifierAssignment([0, 5, 1, 2, 3, 4])
+        ball = extract_ball(graph, ids, 1, 1)  # centre id 5 sees 0 and 1
+        determined = resolve_by_descending_id(ball, count_higher)
+        assert determined[5] == 0  # the maximum has no higher neighbours
+        assert 0 not in determined  # frontier nodes lack their full neighbourhood
+
+    def test_chain_resolution_follows_decreasing_identifiers(self):
+        graph = path_graph(4)
+        ids = IdentifierAssignment([3, 2, 1, 0])
+        ball = extract_ball(graph, ids, 0, 3)  # the whole path is visible
+        determined = resolve_by_descending_id(ball, count_higher)
+        assert determined == {3: 0, 2: 1, 1: 1, 0: 1}
+
+    def test_undetermined_when_a_higher_neighbour_is_hidden(self):
+        graph = path_graph(5)
+        ids = IdentifierAssignment([0, 1, 2, 3, 4])
+        ball = extract_ball(graph, ids, 1, 1)  # id 1 sees 0 and 2; 2's neighbour 3 is hidden
+        determined = resolve_by_descending_id(ball, count_higher)
+        assert 1 not in determined
+        assert 2 not in determined
+
+    def test_whole_graph_view_determines_everyone(self):
+        graph = cycle_graph(7)
+        ids = IdentifierAssignment([3, 6, 1, 5, 0, 2, 4])
+        ball = extract_ball(graph, ids, 0, 3)
+        determined = resolve_by_descending_id(ball, count_higher)
+        assert set(determined) == set(range(7))
+
+
+class TestDependencyDepth:
+    def test_depth_zero_for_a_visible_local_maximum(self):
+        graph = cycle_graph(5)
+        ids = IdentifierAssignment([4, 0, 1, 2, 3])
+        ball = extract_ball(graph, ids, 0, 1)
+        assert dependency_depth(ball, 4) == 0
+
+    def test_depth_counts_the_longest_increasing_path(self):
+        graph = path_graph(4)
+        ids = IdentifierAssignment([0, 1, 2, 3])
+        ball = extract_ball(graph, ids, 0, 3)
+        assert dependency_depth(ball, 0) == 3
+        assert dependency_depth(ball, 2) == 1
+
+    def test_depth_is_none_when_the_cone_leaves_the_ball(self):
+        graph = path_graph(6)
+        ids = IdentifierAssignment([0, 1, 2, 3, 4, 5])
+        ball = extract_ball(graph, ids, 0, 2)
+        assert dependency_depth(ball, 0) is None

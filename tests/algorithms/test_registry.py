@@ -1,0 +1,37 @@
+"""Tests for the named-algorithm registry."""
+
+import pytest
+
+from repro.algorithms.cole_vishkin import ColeVishkinRing
+from repro.algorithms.largest_id import LargestIdAlgorithm
+from repro.algorithms.registry import algorithm_registry, make_algorithm, register_algorithm
+from repro.errors import ConfigurationError
+
+
+class TestRegistry:
+    def test_built_in_names_are_present(self):
+        names = set(algorithm_registry())
+        assert {"largest-id", "greedy-coloring", "greedy-mis", "cole-vishkin", "cole-vishkin-ball"} <= names
+
+    def test_make_algorithm_instantiates_with_the_instance_size(self):
+        algorithm = make_algorithm("cole-vishkin", 32)
+        assert isinstance(algorithm, ColeVishkinRing)
+        assert algorithm.n == 32
+
+    def test_size_independent_algorithms_ignore_n(self):
+        assert isinstance(make_algorithm("largest-id", 5), LargestIdAlgorithm)
+        assert isinstance(make_algorithm("largest-id", 500), LargestIdAlgorithm)
+
+    def test_unknown_name_raises_with_suggestions(self):
+        with pytest.raises(ConfigurationError, match="registered algorithms"):
+            make_algorithm("quicksort", 8)
+
+    def test_custom_registration_is_visible(self):
+        register_algorithm("custom-test-algorithm", lambda n: LargestIdAlgorithm())
+        assert "custom-test-algorithm" in algorithm_registry()
+        assert isinstance(make_algorithm("custom-test-algorithm", 3), LargestIdAlgorithm)
+
+    def test_registry_returns_a_copy(self):
+        snapshot = algorithm_registry()
+        snapshot["transient"] = lambda n: LargestIdAlgorithm()
+        assert "transient" not in algorithm_registry()

@@ -1,0 +1,82 @@
+"""Tests for the uniform MIS-based ring 3-colouring."""
+
+import itertools
+
+import pytest
+
+from repro.algorithms.mis import GreedyMISByID
+from repro.algorithms.ring_coloring_via_mis import RingColoringViaMIS
+from repro.core.certification import certify
+from repro.core.runner import run_ball_algorithm
+from repro.model.identifiers import IdentifierAssignment, identity_assignment, random_assignment
+from repro.topology.cycle import cycle_graph
+from repro.topology.path import path_graph
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [4, 9, 33, 100])
+    def test_produces_a_proper_three_coloring_on_random_ids(self, n):
+        graph = cycle_graph(n)
+        ids = random_assignment(n, seed=n)
+        trace = run_ball_algorithm(graph, ids, RingColoringViaMIS())
+        assert certify("3-coloring", graph, ids, trace)
+
+    @pytest.mark.parametrize("n", [4, 5, 6])
+    def test_every_identifier_order_is_coloured_properly(self, n):
+        graph = cycle_graph(n)
+        for permutation in itertools.permutations(range(n)):
+            ids = IdentifierAssignment(permutation)
+            trace = run_ball_algorithm(graph, ids, RingColoringViaMIS())
+            assert certify("3-coloring", graph, ids, trace)
+
+    def test_sorted_identifiers_are_handled(self):
+        n = 48
+        graph = cycle_graph(n)
+        ids = identity_assignment(n)
+        trace = run_ball_algorithm(graph, ids, RingColoringViaMIS())
+        assert certify("3-coloring", graph, ids, trace)
+
+
+class TestStructure:
+    def test_mis_members_receive_colour_zero(self):
+        n = 30
+        graph = cycle_graph(n)
+        ids = random_assignment(n, seed=7)
+        colors = run_ball_algorithm(graph, ids, RingColoringViaMIS()).outputs_by_position()
+        mis = run_ball_algorithm(graph, ids, GreedyMISByID()).outputs_by_position()
+        for position in graph.positions():
+            assert (colors[position] == 0) == mis[position]
+
+    def test_only_ring_topologies_are_supported(self):
+        algorithm = RingColoringViaMIS()
+        assert algorithm.supports_graph(cycle_graph(5))
+        assert not algorithm.supports_graph(path_graph(5))
+
+    def test_radius_is_at_least_the_mis_radius_and_equal_for_members(self):
+        n = 40
+        graph = cycle_graph(n)
+        ids = random_assignment(n, seed=11)
+        coloring_trace = run_ball_algorithm(graph, ids, RingColoringViaMIS())
+        mis_trace = run_ball_algorithm(graph, ids, GreedyMISByID())
+        coloring_radii = coloring_trace.radii()
+        mis_radii = mis_trace.radii()
+        members = mis_trace.outputs_by_position()
+        for position in graph.positions():
+            assert coloring_radii[position] >= mis_radii[position]
+            if members[position]:
+                # A member only needs its own MIS decision.
+                assert coloring_radii[position] == mis_radii[position]
+
+
+class TestMeasureProfile:
+    def test_average_is_small_on_random_identifiers(self):
+        n = 120
+        graph = cycle_graph(n)
+        trace = run_ball_algorithm(graph, random_assignment(n, seed=3), RingColoringViaMIS())
+        assert trace.average_radius < 6
+
+    def test_worst_case_is_linear_on_sorted_identifiers(self):
+        n = 40
+        graph = cycle_graph(n)
+        trace = run_ball_algorithm(graph, identity_assignment(n), RingColoringViaMIS())
+        assert trace.max_radius >= n // 2

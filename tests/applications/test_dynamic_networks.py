@@ -1,0 +1,112 @@
+"""Tests for the dynamic-network label-repair application."""
+
+import pytest
+
+from repro.algorithms.largest_id import LargestIdAlgorithm
+from repro.applications.dynamic_networks import (
+    DynamicRepairSimulator,
+    average_repair_cost,
+    expected_repair_cost,
+)
+from repro.core.certification import certify
+from repro.core.runner import run_ball_algorithm
+from repro.errors import ConfigurationError, IdentifierError
+from repro.model.identifiers import random_assignment
+from repro.topology.cycle import cycle_graph
+
+
+@pytest.fixture
+def simulator():
+    graph = cycle_graph(24)
+    ids = random_assignment(24, seed=3)
+    return DynamicRepairSimulator(graph, ids, LargestIdAlgorithm())
+
+
+class TestApplyChange:
+    def test_change_updates_the_assignment_and_trace(self, simulator):
+        report = simulator.apply_change(5, new_identifier=100)
+        assert simulator.ids[5] == 100
+        assert report.changed_position == 5
+        assert report.new_identifier == 100
+        assert certify("largest-id", simulator.graph, simulator.ids, simulator.trace)
+
+    def test_affected_nodes_contain_the_changed_position(self, simulator):
+        report = simulator.apply_change(7, new_identifier=200)
+        assert 7 in report.affected_positions
+        assert report.total_work == len(report.affected_positions)
+        assert report.affected_count == report.total_work
+
+    def test_promoting_a_node_to_global_maximum_invalidates_the_old_leader(self, simulator):
+        old_leader = simulator.ids.argmax_position()
+        target = (old_leader + 5) % simulator.graph.n
+        report = simulator.apply_change(target, new_identifier=1000)
+        assert simulator.trace.outputs_by_position()[target] is True
+        assert simulator.trace.outputs_by_position()[old_leader] is False
+        assert old_leader in report.affected_positions
+
+    def test_affected_set_matches_the_ball_membership_definition(self, simulator):
+        before = simulator.trace
+        changed = 11
+        report = simulator.apply_change(changed, new_identifier=500)
+        after = simulator.trace
+        graph = simulator.graph
+        expected = {
+            v
+            for v in graph.positions()
+            if graph.distance(v, changed) <= before.radii()[v]
+            or graph.distance(v, changed) <= after.radii()[v]
+        }
+        assert set(report.affected_positions) == expected
+
+    def test_colliding_identifier_rejected(self, simulator):
+        existing = simulator.ids[3]
+        with pytest.raises(IdentifierError):
+            simulator.apply_change(9, new_identifier=existing)
+
+    def test_out_of_range_position_rejected(self, simulator):
+        with pytest.raises(ConfigurationError):
+            simulator.apply_change(99, new_identifier=1000)
+
+    def test_repair_latency_is_the_largest_affected_radius(self, simulator):
+        report = simulator.apply_change(2, new_identifier=300)
+        radii = simulator.trace.radii()
+        assert report.repair_latency == max(radii[v] for v in report.affected_positions)
+
+
+class TestChurn:
+    def test_random_churn_produces_one_report_per_event(self, simulator):
+        reports = simulator.random_churn(6, seed=1)
+        assert len(reports) == 6
+        assert all(report.total_work >= 1 for report in reports)
+
+    def test_churn_keeps_identifiers_distinct(self, simulator):
+        simulator.random_churn(10, seed=2)
+        ids = simulator.ids.identifiers()
+        assert len(set(ids)) == len(ids)
+
+    def test_average_repair_cost(self, simulator):
+        reports = simulator.random_churn(5, seed=3)
+        assert average_repair_cost(reports) == pytest.approx(
+            sum(r.total_work for r in reports) / 5
+        )
+
+    def test_average_repair_cost_requires_reports(self):
+        with pytest.raises(ConfigurationError):
+            average_repair_cost([])
+
+
+class TestExpectedRepairCost:
+    def test_equals_mean_ball_size_of_used_radii(self):
+        graph = cycle_graph(16)
+        ids = random_assignment(16, seed=5)
+        trace = run_ball_algorithm(graph, ids, LargestIdAlgorithm())
+        expected = sum(
+            len(graph.ball_positions(v, trace.radii()[v])) for v in graph.positions()
+        ) / 16
+        assert expected_repair_cost(trace, graph) == pytest.approx(expected)
+
+    def test_tracks_twice_the_average_radius_on_cycles(self):
+        graph = cycle_graph(33)  # odd length: the wrap-around term vanishes
+        ids = random_assignment(33, seed=6)
+        trace = run_ball_algorithm(graph, ids, LargestIdAlgorithm())
+        assert expected_repair_cost(trace, graph) == pytest.approx(2 * trace.average_radius + 1)

@@ -1,0 +1,90 @@
+"""Tests for the parallel-simulation scheduler."""
+
+import pytest
+
+from repro.algorithms.largest_id import LargestIdAlgorithm
+from repro.applications.parallel_sim import (
+    ScheduleResult,
+    list_schedule,
+    naive_makespan,
+    simulation_speedup,
+)
+from repro.core.runner import run_ball_algorithm
+from repro.errors import ConfigurationError
+from repro.model.identifiers import random_assignment
+from repro.topology.cycle import cycle_graph
+
+
+class TestListSchedule:
+    def test_single_processor_makespan_is_total_work(self):
+        result = list_schedule([3, 1, 4, 1, 5], processors=1)
+        assert result.makespan == 14
+        assert result.total_work == 14
+
+    def test_enough_processors_makespan_is_longest_job(self):
+        result = list_schedule([3, 1, 4, 1, 5], processors=5)
+        assert result.makespan == 5
+
+    def test_two_processors_balance_the_load(self):
+        result = list_schedule([4, 3, 3, 2], processors=2)
+        assert result.makespan == 6  # {4,2} and {3,3}
+
+    def test_graham_bound_holds(self):
+        durations = [7, 3, 3, 2, 2, 2, 1]
+        for processors in (2, 3, 4):
+            result = list_schedule(durations, processors)
+            assert result.makespan <= sum(durations) / processors + max(durations)
+
+    def test_longest_first_never_worse_than_submission_order(self):
+        durations = [1, 1, 1, 1, 9, 9]
+        arbitrary = list_schedule(durations, processors=2).makespan
+        lpt = list_schedule(durations, processors=2, longest_first=True).makespan
+        assert lpt <= arbitrary
+
+    def test_finish_times_and_assignment_are_consistent(self):
+        durations = [2, 4, 1, 3]
+        result = list_schedule(durations, processors=2)
+        assert isinstance(result, ScheduleResult)
+        assert len(result.finish_times) == len(durations)
+        assert len(result.assignment) == len(durations)
+        assert set(result.assignment) <= {0, 1}
+        assert max(result.finish_times) == result.makespan
+
+    def test_utilisation_is_one_on_perfectly_balanced_loads(self):
+        result = list_schedule([2, 2, 2, 2], processors=2)
+        assert result.utilisation == pytest.approx(1.0)
+
+    def test_empty_job_list_rejected(self):
+        with pytest.raises(ConfigurationError):
+            list_schedule([], processors=2)
+
+    def test_negative_durations_rejected(self):
+        with pytest.raises(ConfigurationError):
+            list_schedule([1, -2], processors=2)
+
+
+class TestNaiveMakespan:
+    def test_formula(self):
+        assert naive_makespan([1, 2, 3, 4, 5], processors=2) == 3 * 5
+
+    def test_single_batch(self):
+        assert naive_makespan([1, 2], processors=4) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            naive_makespan([], processors=2)
+
+
+class TestSimulationSpeedup:
+    def test_speedup_reflects_the_average_to_max_gap(self):
+        graph = cycle_graph(128)
+        ids = random_assignment(128, seed=1)
+        trace = run_ball_algorithm(graph, ids, LargestIdAlgorithm())
+        speedup = simulation_speedup(trace, processors=8)
+        assert speedup > 2.0
+
+    def test_speedup_is_at_least_one(self):
+        graph = cycle_graph(16)
+        ids = random_assignment(16, seed=2)
+        trace = run_ball_algorithm(graph, ids, LargestIdAlgorithm())
+        assert simulation_speedup(trace, processors=3) >= 1.0

@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.largest_id import LargestIdAlgorithm
+from repro.model.identifiers import identity_assignment, random_assignment
+from repro.topology.cycle import cycle_graph
+from repro.topology.path import path_graph
+
+
+@pytest.fixture
+def ring12():
+    """A 12-node cycle."""
+    return cycle_graph(12)
+
+
+@pytest.fixture
+def ring12_random_ids():
+    """A deterministic 'random' identifier assignment for the 12-node cycle."""
+    return random_assignment(12, seed=1234)
+
+
+@pytest.fixture
+def ring12_sorted_ids():
+    """Identifiers 0..11 in ring order."""
+    return identity_assignment(12)
+
+
+@pytest.fixture
+def path7():
+    """A 7-node path."""
+    return path_graph(7)
+
+
+@pytest.fixture
+def largest_id_algorithm():
+    """The paper's Section 2 algorithm."""
+    return LargestIdAlgorithm()

@@ -1,0 +1,47 @@
+"""Tests for the ball-algorithm interfaces."""
+
+from repro.core.algorithm import BallAlgorithm, FunctionBallAlgorithm
+from repro.model.ball import extract_ball
+from repro.model.identifiers import identity_assignment
+from repro.topology.cycle import cycle_graph
+
+
+class TestFunctionBallAlgorithm:
+    def test_wraps_a_plain_function(self):
+        algorithm = FunctionBallAlgorithm(lambda ball: ball.center_id, name="echo", problem="p")
+        graph = cycle_graph(5)
+        ball = extract_ball(graph, identity_assignment(5), 2, 0)
+        assert algorithm.decide(ball) == 2
+        assert algorithm.name == "echo"
+        assert algorithm.problem == "p"
+
+    def test_none_result_means_keep_growing(self):
+        algorithm = FunctionBallAlgorithm(lambda ball: None)
+        ball = extract_ball(cycle_graph(5), identity_assignment(5), 0, 0)
+        assert algorithm.decide(ball) is None
+
+    def test_supports_graph_defaults_to_true(self):
+        algorithm = FunctionBallAlgorithm(lambda ball: 1)
+        assert algorithm.supports_graph(cycle_graph(4))
+
+    def test_repr_mentions_name_and_problem(self):
+        algorithm = FunctionBallAlgorithm(lambda ball: 1, name="x", problem="y")
+        assert "x" in repr(algorithm) and "y" in repr(algorithm)
+
+
+class TestSubclassing:
+    def test_subclass_can_restrict_supported_graphs(self):
+        class CycleOnly(BallAlgorithm):
+            name = "cycle-only"
+
+            def decide(self, ball):
+                return 0
+
+            def supports_graph(self, graph):
+                return graph.is_cycle()
+
+        algorithm = CycleOnly()
+        assert algorithm.supports_graph(cycle_graph(4))
+        from repro.topology.path import path_graph
+
+        assert not algorithm.supports_graph(path_graph(4))

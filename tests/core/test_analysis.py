@@ -1,0 +1,105 @@
+"""Tests for the growth-rate analysis helpers."""
+
+import math
+
+import pytest
+
+from repro.core.analysis import empirical_exponent, fit_growth, growth_candidates, ratio_series
+from repro.errors import AnalysisError
+
+SIZES = [16, 32, 64, 128, 256, 512, 1024]
+
+
+class TestFitGrowth:
+    def test_recovers_linear_growth(self):
+        fit = fit_growth(SIZES, [3.0 * n for n in SIZES])
+        assert fit.best_name == "linear"
+        assert fit.scale == pytest.approx(3.0)
+        assert fit.relative_error < 1e-9
+
+    def test_recovers_logarithmic_growth(self):
+        fit = fit_growth(SIZES, [2.0 * math.log(n) for n in SIZES])
+        assert fit.best_name == "log"
+
+    def test_recovers_nlogn_growth(self):
+        fit = fit_growth(SIZES, [0.5 * n * math.log(n) for n in SIZES])
+        assert fit.best_name == "nlogn"
+
+    def test_recovers_constant_series(self):
+        fit = fit_growth(SIZES, [7.0] * len(SIZES))
+        assert fit.best_name in ("constant", "log*")
+
+    def test_separates_linear_from_log_clearly(self):
+        fit = fit_growth(SIZES, [float(n) for n in SIZES])
+        assert fit.errors_by_name["log"] > 5 * fit.errors_by_name["linear"]
+
+    def test_is_consistent_with_allows_near_ties(self):
+        fit = fit_growth(SIZES, [math.log(n) + 0.5 for n in SIZES])
+        assert fit.is_consistent_with("log", tolerance=2.0)
+
+    def test_is_consistent_with_unknown_candidate_raises(self):
+        fit = fit_growth(SIZES, [1.0] * len(SIZES))
+        with pytest.raises(AnalysisError):
+            fit.is_consistent_with("exponential")
+
+    def test_custom_candidates(self):
+        fit = fit_growth(SIZES, [n**2 for n in SIZES], candidates={"sq": lambda n: n * n})
+        assert fit.best_name == "sq"
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(AnalysisError):
+            fit_growth([1, 2, 3], [1, 2])
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(AnalysisError):
+            fit_growth([1, 2], [1, 2])
+
+    def test_non_positive_sizes_rejected(self):
+        with pytest.raises(AnalysisError):
+            fit_growth([0, 1, 2], [1, 2, 3])
+
+
+class TestRatioSeries:
+    def test_doubling_sizes_linear_series_has_ratio_two(self):
+        ratios = ratio_series(SIZES, [float(n) for n in SIZES])
+        assert all(r == pytest.approx(2.0) for r in ratios)
+
+    def test_log_series_ratios_tend_to_one(self):
+        ratios = ratio_series(SIZES, [math.log(n) for n in SIZES])
+        assert ratios[-1] < 1.2
+
+    def test_zero_values_give_infinite_ratio(self):
+        assert ratio_series([1, 2], [0.0, 5.0]) == [math.inf]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(AnalysisError):
+            ratio_series([1, 2, 3], [1.0])
+
+
+class TestEmpiricalExponent:
+    def test_linear_series_has_exponent_one(self):
+        assert empirical_exponent(SIZES, [2.0 * n for n in SIZES]) == pytest.approx(1.0)
+
+    def test_quadratic_series_has_exponent_two(self):
+        assert empirical_exponent(SIZES, [float(n * n) for n in SIZES]) == pytest.approx(2.0)
+
+    def test_log_series_has_small_exponent(self):
+        assert empirical_exponent(SIZES, [math.log(n) for n in SIZES]) < 0.35
+
+    def test_rejects_non_positive_values(self):
+        with pytest.raises(AnalysisError):
+            empirical_exponent([1, 2], [0.0, 1.0])
+
+    def test_rejects_single_point(self):
+        with pytest.raises(AnalysisError):
+            empirical_exponent([1], [1.0])
+
+
+class TestCandidates:
+    def test_candidate_set_contains_the_paper_relevant_laws(self):
+        names = set(growth_candidates())
+        assert {"log*", "log", "linear", "nlogn"} <= names
+
+    def test_candidates_are_callable_and_positive(self):
+        for name, function in growth_candidates().items():
+            assert function(1024.0) > 0, name

@@ -1,0 +1,125 @@
+"""Tests for the output certifiers."""
+
+import pytest
+
+from repro.core.certification import (
+    certify,
+    certify_3_coloring,
+    certify_largest_id,
+    certify_leader_election,
+    certify_maximal_independent_set,
+    certify_proper_coloring,
+    register_certifier,
+)
+from repro.errors import CertificationError
+from repro.model.identifiers import IdentifierAssignment, identity_assignment
+from repro.topology.cycle import cycle_graph
+from repro.topology.path import path_graph
+
+
+@pytest.fixture
+def square():
+    return cycle_graph(4)
+
+
+@pytest.fixture
+def square_ids():
+    return IdentifierAssignment([3, 0, 2, 1])
+
+
+class TestLargestId:
+    def test_accepts_the_unique_correct_answer(self, square, square_ids):
+        outputs = {0: True, 1: False, 2: False, 3: False}
+        assert certify_largest_id(square, square_ids, outputs)
+
+    def test_rejects_wrong_winner(self, square, square_ids):
+        outputs = {0: False, 1: False, 2: True, 3: False}
+        with pytest.raises(CertificationError, match="largest identifier"):
+            certify_largest_id(square, square_ids, outputs)
+
+    def test_rejects_two_winners(self, square, square_ids):
+        outputs = {0: True, 1: False, 2: True, 3: False}
+        with pytest.raises(CertificationError):
+            certify_largest_id(square, square_ids, outputs)
+
+    def test_rejects_non_boolean_outputs(self, square, square_ids):
+        outputs = {0: 1, 1: 0, 2: 0, 3: 0}
+        with pytest.raises(CertificationError, match="boolean"):
+            certify_largest_id(square, square_ids, outputs)
+
+    def test_rejects_missing_positions(self, square, square_ids):
+        with pytest.raises(CertificationError, match="cover positions"):
+            certify_largest_id(square, square_ids, {0: True})
+
+
+class TestLeaderElection:
+    def test_accepts_any_single_leader(self, square, square_ids):
+        assert certify_leader_election(square, square_ids, {0: False, 1: True, 2: False, 3: False})
+
+    @pytest.mark.parametrize("leaders", [0, 2])
+    def test_rejects_wrong_leader_count(self, square, square_ids, leaders):
+        outputs = {p: p < leaders for p in range(4)}
+        with pytest.raises(CertificationError, match="exactly one leader"):
+            certify_leader_election(square, square_ids, outputs)
+
+
+class TestColoring:
+    def test_accepts_a_proper_colouring(self, square, square_ids):
+        assert certify_proper_coloring(square, square_ids, {0: 0, 1: 1, 2: 0, 3: 1})
+
+    def test_rejects_monochromatic_edge(self, square, square_ids):
+        with pytest.raises(CertificationError, match="monochromatic"):
+            certify_proper_coloring(square, square_ids, {0: 0, 1: 0, 2: 1, 3: 1})
+
+    def test_palette_bound_is_enforced(self, square, square_ids):
+        outputs = {0: 0, 1: 5, 2: 0, 3: 1}
+        assert certify_proper_coloring(square, square_ids, outputs)  # unbounded palette
+        with pytest.raises(CertificationError, match="palette"):
+            certify_proper_coloring(square, square_ids, outputs, num_colors=3)
+
+    def test_three_coloring_requires_colors_zero_to_two(self, square, square_ids):
+        assert certify_3_coloring(square, square_ids, {0: 0, 1: 1, 2: 2, 3: 1})
+        with pytest.raises(CertificationError):
+            certify_3_coloring(square, square_ids, {0: 0, 1: 3, 2: 0, 3: 1})
+
+    def test_rejects_non_integer_colours(self, square, square_ids):
+        with pytest.raises(CertificationError, match="integers"):
+            certify_proper_coloring(square, square_ids, {0: "red", 1: 1, 2: 0, 3: 1})
+
+
+class TestMIS:
+    def test_accepts_a_maximal_independent_set(self):
+        graph = path_graph(5)
+        ids = identity_assignment(5)
+        assert certify_maximal_independent_set(graph, ids, {0: True, 1: False, 2: True, 3: False, 4: True})
+
+    def test_rejects_adjacent_members(self):
+        graph = path_graph(3)
+        ids = identity_assignment(3)
+        with pytest.raises(CertificationError, match="adjacent"):
+            certify_maximal_independent_set(graph, ids, {0: True, 1: True, 2: False})
+
+    def test_rejects_non_maximal_sets(self):
+        graph = path_graph(3)
+        ids = identity_assignment(3)
+        with pytest.raises(CertificationError, match="maximal"):
+            certify_maximal_independent_set(graph, ids, {0: True, 1: False, 2: False})
+
+
+class TestRegistry:
+    def test_certify_dispatches_on_problem_key(self, square, square_ids):
+        assert certify("largest-id", square, square_ids, {0: True, 1: False, 2: False, 3: False})
+
+    def test_unknown_problem_rejected(self, square, square_ids):
+        with pytest.raises(CertificationError, match="no certifier"):
+            certify("sorting", square, square_ids, {})
+
+    def test_custom_certifier_can_be_registered(self, square, square_ids):
+        register_certifier("always-ok", lambda graph, ids, outputs: True)
+        assert certify("always-ok", square, square_ids, {0: None, 1: None, 2: None, 3: None})
+
+    def test_certify_accepts_execution_traces(self, square, square_ids, largest_id_algorithm):
+        from repro.core.runner import run_ball_algorithm
+
+        trace = run_ball_algorithm(square, square_ids, largest_id_algorithm)
+        assert certify("largest-id", square, square_ids, trace)

@@ -1,0 +1,88 @@
+"""Tests for the complexity measures."""
+
+import pytest
+
+from repro.core.adversary import ExhaustiveAdversary
+from repro.core.measures import (
+    ComplexityReport,
+    average_complexity,
+    classic_complexity,
+    evaluate_assignment,
+    expected_measures_over_random_ids,
+    measure_objective,
+    worst_case_over_assignments,
+)
+from repro.core.runner import run_ball_algorithm
+from repro.errors import AnalysisError
+from repro.model.identifiers import IdentifierAssignment, random_assignment
+from repro.topology.cycle import cycle_graph
+
+
+class TestEvaluateAssignment:
+    def test_report_contains_both_measures(self, ring12, ring12_random_ids, largest_id_algorithm):
+        report = evaluate_assignment(ring12, ring12_random_ids, largest_id_algorithm)
+        assert isinstance(report, ComplexityReport)
+        assert report.n == 12
+        assert report.max_radius == 6  # the maximum's eccentricity on C_12
+        assert 0 < report.average_radius < report.max_radius
+        assert report.sum_radius == pytest.approx(report.average_radius * 12)
+        assert report.graph_name == "cycle-12"
+        assert report.algorithm_name == "largest-id"
+
+
+class TestAggregates:
+    def test_classic_and_average_take_the_worst_run(
+        self, ring12, largest_id_algorithm
+    ):
+        traces = [
+            run_ball_algorithm(ring12, random_assignment(12, seed=s), largest_id_algorithm)
+            for s in range(4)
+        ]
+        assert classic_complexity(traces) == max(t.max_radius for t in traces)
+        assert average_complexity(traces) == max(t.average_radius for t in traces)
+
+    def test_empty_iterables_are_rejected(self):
+        with pytest.raises(AnalysisError):
+            classic_complexity([])
+        with pytest.raises(AnalysisError):
+            average_complexity([])
+
+
+class TestWorstCaseOverAssignments:
+    def test_exhaustive_worst_case_on_a_tiny_cycle(self, largest_id_algorithm):
+        graph = cycle_graph(5)
+        result = worst_case_over_assignments(
+            graph, largest_id_algorithm, ExhaustiveAdversary(), objective="average"
+        )
+        assert result.exact
+        # Re-run the winning assignment and confirm the reported value.
+        trace = run_ball_algorithm(graph, result.assignment, largest_id_algorithm)
+        assert trace.average_radius == pytest.approx(result.value)
+
+
+class TestExpectedMeasures:
+    def test_expectation_is_the_mean_over_assignments(self, ring12, largest_id_algorithm):
+        assignments = [random_assignment(12, seed=s) for s in range(5)]
+        expected_avg, expected_max = expected_measures_over_random_ids(
+            ring12, largest_id_algorithm, assignments
+        )
+        traces = [run_ball_algorithm(ring12, ids, largest_id_algorithm) for ids in assignments]
+        assert expected_avg == pytest.approx(sum(t.average_radius for t in traces) / 5)
+        assert expected_max == pytest.approx(sum(t.max_radius for t in traces) / 5)
+
+    def test_requires_at_least_one_assignment(self, ring12, largest_id_algorithm):
+        with pytest.raises(AnalysisError):
+            expected_measures_over_random_ids(ring12, largest_id_algorithm, [])
+
+
+class TestMeasureObjective:
+    def test_known_objectives(self, ring12, ring12_random_ids, largest_id_algorithm):
+        trace = run_ball_algorithm(ring12, ring12_random_ids, largest_id_algorithm)
+        assert measure_objective(trace, "average") == trace.average_radius
+        assert measure_objective(trace, "max") == trace.max_radius
+        assert measure_objective(trace, "sum") == trace.sum_radius
+
+    def test_unknown_objective_rejected(self, ring12, ring12_random_ids, largest_id_algorithm):
+        trace = run_ball_algorithm(ring12, ring12_random_ids, largest_id_algorithm)
+        with pytest.raises(AnalysisError, match="unknown objective"):
+            measure_objective(trace, "median")

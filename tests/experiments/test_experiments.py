@@ -1,0 +1,97 @@
+"""Smoke and shape tests for the experiment modules (E1-E9).
+
+Each experiment module embeds its own shape checks (``ExperimentResult.require``)
+that raise when the paper's qualitative claims stop reproducing, so running an
+experiment is itself a meaningful test; the assertions below additionally pin
+down the structure of the returned tables.
+"""
+
+import pytest
+
+from repro.experiments import (
+    coloring,
+    dynamic,
+    largest_id,
+    lower_bound,
+    parallel,
+    random_ids,
+    recurrence,
+    regularity,
+    simulators,
+)
+from repro.experiments.harness import ExperimentResult
+
+
+class TestE1LargestId:
+    def test_runs_and_reports_the_exponential_gap(self):
+        result = largest_id.run(sizes=[16, 32, 64, 128])
+        assert isinstance(result, ExperimentResult)
+        assert result.experiment_id == "E1"
+        assert len(result.table) == 4
+        gaps = result.table.column("gap_max_over_avg")
+        assert gaps[-1] > gaps[0]  # the separation widens with n
+
+    def test_measured_average_matches_the_recurrence_bound_exactly(self):
+        result = largest_id.run(sizes=[16, 64])
+        for row in result.table.rows:
+            assert row["avg_worst_ids"] == pytest.approx(row["avg_bound"])
+
+
+class TestE2Recurrence:
+    def test_runs_with_custom_sizes(self):
+        result = recurrence.run(sizes=[8, 32, 128], small=True)
+        assert result.experiment_id == "E2"
+        assert result.table.column("p") == [8, 32, 128]
+
+    def test_ratio_column_hovers_around_one_half(self):
+        result = recurrence.run(sizes=[256, 1024, 4096], small=True)
+        ratios = result.table.column("a(p)/(p*log2(p))")
+        assert all(0.45 < ratio < 0.55 for ratio in ratios)
+
+
+class TestE3Coloring:
+    def test_runs_and_certifies(self):
+        result = coloring.run(sizes=[16, 32, 64])
+        assert result.experiment_id == "E3"
+        assert all(row["cv_avg_radius"] == row["cv_max_radius"] for row in result.table.rows)
+
+
+class TestE4LowerBound:
+    def test_runs_on_small_rings(self):
+        result = lower_bound.run(sizes=[16, 32])
+        assert result.experiment_id == "E4"
+        assert all(row["slices"] >= 1 for row in result.table.rows)
+
+
+class TestE5Regularity:
+    def test_runs_and_contains_both_algorithms(self):
+        result = regularity.run(sizes=[16, 32])
+        algorithms = set(result.table.column("algorithm"))
+        assert algorithms == {"cole-vishkin", "largest-id"}
+
+
+class TestE6RandomIds:
+    def test_runs_with_few_samples(self):
+        result = random_ids.run(sizes=[16, 32, 64], samples=4)
+        assert result.experiment_id == "E6"
+        assert all(row["samples"] == 4 for row in result.table.rows)
+
+
+class TestE7Dynamic:
+    def test_runs_and_repair_cost_tracks_average(self):
+        result = dynamic.run(sizes=[64], churn_events=8)
+        row = result.table.rows[0]
+        assert row["repair_from_avg_formula"] == pytest.approx(2 * row["avg_radius"] + 1)
+
+
+class TestE8Parallel:
+    def test_runs_and_reports_speedups(self):
+        result = parallel.run(sizes=[128], processor_counts=(4, 8))
+        assert len(result.table) == 2
+        assert all(row["speedup"] >= 2 for row in result.table.rows)
+
+
+class TestE9Simulators:
+    def test_runs_and_radii_agree_within_one(self):
+        result = simulators.run(sizes=[16])
+        assert all(row["max_abs_radius_diff"] <= 1 for row in result.table.rows)

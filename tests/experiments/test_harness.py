@@ -1,0 +1,49 @@
+"""Tests for the experiment harness infrastructure."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.harness import ExperimentResult, default_ring_sizes
+from repro.utils.tables import Table
+
+
+def make_result():
+    table = Table(columns=("n", "value"))
+    table.add_row(n=4, value=1.0)
+    return ExperimentResult(
+        experiment_id="EX", title="example", claim="values exist", table=table
+    )
+
+
+class TestExperimentResult:
+    def test_notes_accumulate(self):
+        result = make_result()
+        result.add_note("first")
+        result.add_note("second")
+        assert result.notes == ["first", "second"]
+
+    def test_require_records_passing_checks(self):
+        result = make_result()
+        result.require(True, "sanity")
+        assert any("sanity" in note for note in result.notes)
+
+    def test_require_raises_on_failure_with_experiment_id(self):
+        result = make_result()
+        with pytest.raises(ExperimentError, match="EX"):
+            result.require(False, "doomed check")
+
+    def test_str_contains_id_claim_table_and_notes(self):
+        result = make_result()
+        result.add_note("observation")
+        text = str(result)
+        assert "EX" in text and "values exist" in text
+        assert "observation" in text
+        assert "4" in text
+
+
+class TestDefaults:
+    def test_small_sizes_are_a_prefix_of_the_full_sizes(self):
+        small = default_ring_sizes(small=True)
+        full = default_ring_sizes(small=False)
+        assert small == full[: len(small)]
+        assert all(b == 2 * a for a, b in zip(full, full[1:]))

@@ -1,0 +1,47 @@
+"""Tests for the further-work experiments E10 and E11."""
+
+from repro.experiments import characterization, general_graphs
+from repro.experiments.harness import run_all_experiments
+
+
+class TestE10Characterization:
+    def test_runs_and_classifies_the_three_regimes(self):
+        result = characterization.run(n=64, samples=3)
+        assert result.experiment_id == "E10"
+        rows = {row["algorithm"]: row for row in result.table.rows}
+        assert rows["largest-id"]["classification"] == "collapses"
+        assert rows["cole-vishkin"]["classification"] == "stable"
+        assert rows["greedy-mis"]["classification"] == "stable"
+
+    def test_cole_vishkin_gap_is_exactly_one(self):
+        result = characterization.run(n=64, samples=2)
+        rows = {row["algorithm"]: row for row in result.table.rows}
+        assert rows["cole-vishkin"]["gap_max_over_avg"] == 1.0
+
+    def test_small_mode_reduces_the_instance(self):
+        result = characterization.run(n=512, samples=8, small=True)
+        assert all(row["n"] <= 96 for row in result.table.rows)
+
+
+class TestE11GeneralGraphs:
+    def test_runs_and_covers_the_topology_families(self):
+        result = general_graphs.run(n=64, samples=2)
+        assert result.experiment_id == "E11"
+        families = set(result.table.column("family"))
+        assert {"cycle", "path", "grid", "torus", "random-tree", "gnp-dense"} <= families
+
+    def test_no_radius_exceeds_the_diameter(self):
+        result = general_graphs.run(n=64, samples=2)
+        assert all(row["max_radius"] <= row["diameter"] for row in result.table.rows)
+
+    def test_dense_graphs_have_small_gaps(self):
+        result = general_graphs.run(n=100, samples=2)
+        rows = {row["family"]: row for row in result.table.rows}
+        assert rows["gnp-dense"]["gap_max_over_avg"] < rows["cycle"]["gap_max_over_avg"]
+
+
+class TestRunAll:
+    def test_run_all_experiments_includes_the_new_ones(self):
+        results = run_all_experiments(small=True)
+        ids = [result.experiment_id for result in results]
+        assert ids == ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"]

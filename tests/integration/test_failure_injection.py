@@ -1,0 +1,100 @@
+"""Failure injection: deliberately buggy algorithms must be caught end-to-end.
+
+The experiments only trust a radius measurement after the certifier has
+accepted the outputs, so the certification layer is the safety net of the
+whole reproduction.  These tests wire intentionally broken algorithms through
+the same runner + certifier pipeline the experiments use and check that each
+class of bug is rejected with a precise error, and that the runner's own
+guards (non-termination, invalid ports) trip where certification cannot see
+the problem.
+"""
+
+import pytest
+
+from repro.core.algorithm import FunctionBallAlgorithm
+from repro.core.certification import certify
+from repro.core.runner import run_ball_algorithm
+from repro.errors import AlgorithmError, CertificationError
+from repro.model.identifiers import random_assignment
+from repro.model.rounds import RoundAlgorithm, run_round_algorithm
+from repro.topology.cycle import cycle_graph
+
+
+@pytest.fixture
+def ring():
+    return cycle_graph(10)
+
+
+@pytest.fixture
+def ids():
+    return random_assignment(10, seed=42)
+
+
+class TestBuggyBallAlgorithms:
+    def test_everyone_claims_to_be_the_leader(self, ring, ids):
+        braggart = FunctionBallAlgorithm(lambda ball: True, problem="largest-id")
+        trace = run_ball_algorithm(ring, ids, braggart)
+        with pytest.raises(CertificationError):
+            certify("largest-id", ring, ids, trace)
+
+    def test_nobody_claims_to_be_the_leader(self, ring, ids):
+        modest = FunctionBallAlgorithm(lambda ball: False, problem="largest-id")
+        trace = run_ball_algorithm(ring, ids, modest)
+        with pytest.raises(CertificationError):
+            certify("largest-id", ring, ids, trace)
+
+    def test_constant_coloring_is_rejected(self, ring, ids):
+        monochrome = FunctionBallAlgorithm(lambda ball: 0, problem="3-coloring")
+        trace = run_ball_algorithm(ring, ids, monochrome)
+        with pytest.raises(CertificationError, match="monochromatic"):
+            certify("3-coloring", ring, ids, trace)
+
+    def test_identifier_coloring_uses_too_many_colors(self, ring, ids):
+        # Colouring by identifier is proper but uses n colours, not 3.
+        by_id = FunctionBallAlgorithm(lambda ball: ball.center_id, problem="3-coloring")
+        trace = run_ball_algorithm(ring, ids, by_id)
+        with pytest.raises(CertificationError, match="palette"):
+            certify("3-coloring", ring, ids, trace)
+
+    def test_empty_set_is_not_a_maximal_independent_set(self, ring, ids):
+        lazy = FunctionBallAlgorithm(lambda ball: False, problem="mis")
+        trace = run_ball_algorithm(ring, ids, lazy)
+        with pytest.raises(CertificationError, match="maximal"):
+            certify("mis", ring, ids, trace)
+
+    def test_full_set_is_not_independent(self, ring, ids):
+        greedy = FunctionBallAlgorithm(lambda ball: True, problem="mis")
+        trace = run_ball_algorithm(ring, ids, greedy)
+        with pytest.raises(CertificationError, match="adjacent"):
+            certify("mis", ring, ids, trace)
+
+    def test_algorithm_that_never_answers_is_stopped_by_the_runner(self, ring, ids):
+        silent = FunctionBallAlgorithm(lambda ball: None)
+        with pytest.raises(AlgorithmError, match="refused to output"):
+            run_ball_algorithm(ring, ids, silent)
+
+
+class _DeafNode(RoundAlgorithm):
+    """Commits based on its own identifier parity without listening at all."""
+
+    name = "deaf-node"
+
+    def initialize(self, identifier, degree):
+        return identifier
+
+    def decide_initially(self, memory):
+        return memory % 3
+
+    def send(self, memory, round_number):
+        return {}
+
+    def receive(self, memory, inbox, round_number):
+        return memory, memory % 3
+
+
+class TestBuggyRoundAlgorithms:
+    def test_zero_round_parity_coloring_is_caught(self, ring, ids):
+        trace = run_round_algorithm(ring, ids, _DeafNode())
+        assert trace.max_radius == 0  # impressively fast...
+        with pytest.raises(CertificationError):  # ...and wrong
+            certify("3-coloring", ring, ids, trace)

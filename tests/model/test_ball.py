@@ -1,0 +1,159 @@
+"""Tests for ball views."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.model.ball import extract_ball
+from repro.model.identifiers import IdentifierAssignment, identity_assignment, random_assignment
+from repro.topology.complete import complete_graph, star_graph
+from repro.topology.cycle import cycle_graph
+from repro.topology.path import path_graph
+
+
+class TestExtraction:
+    def test_radius_zero_contains_only_the_center(self):
+        graph = cycle_graph(8)
+        ids = identity_assignment(8)
+        ball = extract_ball(graph, ids, 3, 0)
+        assert ball.center_id == 3
+        assert ball.ids() == frozenset({3})
+        assert ball.size == 1
+        assert ball.edges == frozenset()
+
+    def test_radius_one_on_cycle_is_a_three_node_path(self):
+        graph = cycle_graph(8)
+        ids = identity_assignment(8)
+        ball = extract_ball(graph, ids, 3, 1)
+        assert ball.ids() == frozenset({2, 3, 4})
+        assert ball.distance(2) == 1 and ball.distance(3) == 0
+        assert ball.as_path_sequence() in ((2, 3, 4), (4, 3, 2))
+
+    def test_distances_match_graph_distances(self):
+        graph = cycle_graph(11)
+        ids = random_assignment(11, seed=4)
+        ball = extract_ball(graph, ids, 5, 3)
+        for position in graph.positions():
+            if graph.distance(5, position) <= 3:
+                assert ball.distance(ids[position]) == graph.distance(5, position)
+
+    def test_degrees_are_full_graph_degrees(self):
+        graph = star_graph(5)
+        ids = identity_assignment(6)
+        ball = extract_ball(graph, ids, 1, 1)  # a leaf sees itself and the centre
+        assert ball.degree(ids[0]) == 5
+        assert ball.degree(ids[1]) == 1
+
+    def test_ports_are_recorded_both_ways(self):
+        graph = cycle_graph(6)
+        ids = identity_assignment(6)
+        ball = extract_ball(graph, ids, 0, 1)
+        assert ball.port(0, 1) == graph.port_to(0, 1)
+        assert ball.port(1, 0) == graph.port_to(1, 0)
+        assert ball.neighbor_by_port(0, graph.port_to(0, 1)) == 1
+
+    def test_mismatched_assignment_size_rejected(self):
+        with pytest.raises(TopologyError):
+            extract_ball(cycle_graph(5), identity_assignment(4), 0, 1)
+
+    def test_position_out_of_range_rejected(self):
+        with pytest.raises(TopologyError):
+            extract_ball(cycle_graph(5), identity_assignment(5), 9, 1)
+
+
+class TestQueries:
+    def test_contains_id_larger_than(self):
+        graph = cycle_graph(7)
+        ids = IdentifierAssignment([3, 9, 1, 0, 5, 2, 8])
+        ball = extract_ball(graph, ids, 0, 1)  # sees ids {8, 3, 9}
+        assert ball.contains_id_larger_than(3)
+        assert ball.contains_id_larger_than(8)
+        assert not ball.contains_id_larger_than(9)
+        assert ball.max_id() == 9
+
+    def test_degree_inside_versus_full_degree(self):
+        graph = cycle_graph(9)
+        ids = identity_assignment(9)
+        ball = extract_ball(graph, ids, 0, 2)
+        assert ball.degree_inside(0) == 2  # centre has both neighbours visible
+        assert ball.degree_inside(2) == 1  # frontier node has one edge leaving the ball
+        assert ball.degree(2) == 2
+
+    def test_covers_whole_graph_on_cycle_thresholds(self):
+        graph = cycle_graph(9)
+        ids = identity_assignment(9)
+        assert not extract_ball(graph, ids, 0, 3).covers_whole_graph()
+        assert extract_ball(graph, ids, 0, 4).covers_whole_graph()
+
+    def test_covers_whole_graph_on_complete_graph_at_radius_one(self):
+        graph = complete_graph(5)
+        ids = identity_assignment(5)
+        assert not extract_ball(graph, ids, 0, 0).covers_whole_graph()
+        assert extract_ball(graph, ids, 0, 1).covers_whole_graph()
+
+    def test_neighbors_in_ball(self):
+        graph = path_graph(5)
+        ids = identity_assignment(5)
+        ball = extract_ball(graph, ids, 2, 1)
+        assert ball.neighbors_in_ball(2) == frozenset({1, 3})
+        assert ball.neighbors_in_ball(1) == frozenset({2})
+
+
+class TestShapeHelpers:
+    def test_path_sequence_none_when_ball_wraps_cycle(self):
+        graph = cycle_graph(5)
+        ids = identity_assignment(5)
+        ball = extract_ball(graph, ids, 0, 2)  # whole cycle
+        assert ball.as_path_sequence() is None
+        assert ball.as_cycle_sequence() is not None
+
+    def test_cycle_sequence_lists_every_node_once(self):
+        graph = cycle_graph(6)
+        ids = identity_assignment(6)
+        sequence = extract_ball(graph, ids, 2, 3).as_cycle_sequence()
+        assert sequence is not None
+        assert sorted(sequence) == list(range(6))
+        assert sequence[0] == 2  # starts at the centre
+
+    def test_cycle_sequence_none_on_path_shaped_ball(self):
+        graph = cycle_graph(10)
+        ids = identity_assignment(10)
+        assert extract_ball(graph, ids, 0, 2).as_cycle_sequence() is None
+
+    def test_path_sequence_none_on_branching_ball(self):
+        graph = star_graph(3)
+        ids = identity_assignment(4)
+        ball = extract_ball(graph, ids, 0, 1)
+        assert ball.as_path_sequence() is None
+
+    def test_single_node_ball_is_a_trivial_path(self):
+        graph = cycle_graph(4)
+        ids = identity_assignment(4)
+        assert extract_ball(graph, ids, 1, 0).as_path_sequence() == (1,)
+
+
+class TestCanonicalKey:
+    def test_identical_views_share_a_key(self):
+        graph = cycle_graph(8)
+        ids = identity_assignment(8)
+        assert (
+            extract_ball(graph, ids, 2, 2).canonical_key()
+            == extract_ball(graph, ids, 2, 2).canonical_key()
+        )
+
+    def test_key_distinguishes_different_centres(self):
+        graph = cycle_graph(8)
+        ids = identity_assignment(8)
+        assert (
+            extract_ball(graph, ids, 2, 1).canonical_key()
+            != extract_ball(graph, ids, 3, 1).canonical_key()
+        )
+
+    def test_key_is_independent_of_global_positions(self):
+        # The same local identifier pattern at two different places on the
+        # ring yields the same canonical key once distances and identifiers match.
+        graph = cycle_graph(8)
+        ids_a = IdentifierAssignment([10, 1, 2, 3, 11, 12, 13, 14])
+        ids_b = IdentifierAssignment([14, 10, 1, 2, 3, 11, 12, 13])
+        key_a = extract_ball(graph, ids_a, 2, 1).canonical_key()
+        key_b = extract_ball(graph, ids_b, 3, 1).canonical_key()
+        assert key_a == key_b

@@ -1,0 +1,99 @@
+"""Tests for identifier assignments and their generators."""
+
+import pytest
+
+from repro.errors import IdentifierError
+from repro.model.identifiers import (
+    IdentifierAssignment,
+    adversarial_block_assignment,
+    bit_reversal_assignment,
+    identity_assignment,
+    random_assignment,
+    reversed_assignment,
+)
+
+
+class TestIdentifierAssignment:
+    def test_mapping_interface(self):
+        ids = IdentifierAssignment([5, 2, 9])
+        assert ids[0] == 5 and ids[2] == 9
+        assert len(ids) == 3
+        assert list(ids) == [0, 1, 2]
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(IdentifierError, match="distinct"):
+            IdentifierAssignment([1, 1, 2])
+
+    @pytest.mark.parametrize("bad", [[-1, 0], [0.5, 1], [True, 2]])
+    def test_rejects_invalid_identifier_values(self, bad):
+        with pytest.raises(IdentifierError):
+            IdentifierAssignment(bad)
+
+    def test_position_of_and_max(self):
+        ids = IdentifierAssignment([5, 2, 9])
+        assert ids.position_of(9) == 2
+        assert ids.max_identifier() == 9
+        assert ids.argmax_position() == 2
+
+    def test_position_of_unknown_identifier_raises(self):
+        with pytest.raises(IdentifierError):
+            IdentifierAssignment([0, 1]).position_of(7)
+
+    def test_with_swap_exchanges_two_positions(self):
+        ids = IdentifierAssignment([0, 1, 2]).with_swap(0, 2)
+        assert ids.identifiers() == (2, 1, 0)
+
+    def test_permuted_rearranges(self):
+        ids = IdentifierAssignment([10, 20, 30]).permuted([2, 0, 1])
+        assert ids.identifiers() == (30, 10, 20)
+
+    def test_permuted_rejects_non_permutation(self):
+        with pytest.raises(IdentifierError):
+            IdentifierAssignment([1, 2, 3]).permuted([0, 0, 1])
+
+    def test_rotated_wraps_around(self):
+        ids = IdentifierAssignment([0, 1, 2, 3]).rotated(1)
+        assert ids.identifiers() == (1, 2, 3, 0)
+        assert IdentifierAssignment([0, 1, 2]).rotated(3).identifiers() == (0, 1, 2)
+
+    def test_equality_and_hash(self):
+        assert IdentifierAssignment([1, 2]) == IdentifierAssignment([1, 2])
+        assert hash(IdentifierAssignment([1, 2])) == hash(IdentifierAssignment([1, 2]))
+        assert IdentifierAssignment([1, 2]) != IdentifierAssignment([2, 1])
+
+
+class TestGenerators:
+    def test_identity_and_reversed(self):
+        assert identity_assignment(4).identifiers() == (0, 1, 2, 3)
+        assert reversed_assignment(4).identifiers() == (3, 2, 1, 0)
+
+    def test_random_assignment_is_a_permutation(self):
+        ids = random_assignment(50, seed=3)
+        assert sorted(ids.identifiers()) == list(range(50))
+
+    def test_random_assignment_deterministic_per_seed(self):
+        assert random_assignment(20, seed=5) == random_assignment(20, seed=5)
+        assert random_assignment(20, seed=5) != random_assignment(20, seed=6)
+
+    @pytest.mark.parametrize("n", [1, 2, 7, 16, 33])
+    def test_bit_reversal_is_a_permutation(self, n):
+        assert sorted(bit_reversal_assignment(n).identifiers()) == list(range(n))
+
+    def test_bit_reversal_known_small_case(self):
+        # positions 0..3 have bit reversals 0,2,1,3 so identifiers follow that rank order
+        assert bit_reversal_assignment(4).identifiers() == (0, 2, 1, 3)
+
+    @pytest.mark.parametrize(("n", "block"), [(6, 1), (7, 2), (12, 3), (5, 10)])
+    def test_adversarial_block_is_a_permutation(self, n, block):
+        assert sorted(adversarial_block_assignment(n, block).identifiers()) == list(range(n))
+
+    def test_adversarial_block_alternates_low_and_high(self):
+        ids = adversarial_block_assignment(6, block=2).identifiers()
+        assert ids == (0, 1, 5, 4, 2, 3)
+
+    @pytest.mark.parametrize("builder", [identity_assignment, reversed_assignment, random_assignment])
+    def test_generators_reject_non_positive_sizes(self, builder):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            builder(0)

@@ -1,0 +1,19 @@
+"""Tests for the message value object."""
+
+from repro.model.messages import Message
+
+
+class TestMessage:
+    def test_fields_are_preserved(self):
+        message = Message(payload={"color": 3}, sender_port=0, receiver_port=1)
+        assert message.payload == {"color": 3}
+        assert message.sender_port == 0
+        assert message.receiver_port == 1
+
+    def test_equality_is_structural(self):
+        assert Message("x", 0, 1) == Message("x", 0, 1)
+        assert Message("x", 0, 1) != Message("x", 1, 0)
+
+    def test_repr_shows_payload_and_ports(self):
+        text = repr(Message("hello", 0, 1))
+        assert "hello" in text and "sender_port=0" in text

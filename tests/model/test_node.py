@@ -1,0 +1,37 @@
+"""Tests for per-node state bookkeeping."""
+
+import pytest
+
+from repro.model.node import NodeState
+
+
+class TestNodeState:
+    def test_starts_undecided(self):
+        state = NodeState(identifier=7, degree=2)
+        assert not state.has_output
+        assert state.output is None
+        assert state.output_round is None
+
+    def test_commit_records_output_and_round(self):
+        state = NodeState(identifier=7, degree=2)
+        state.commit("blue", round_number=3)
+        assert state.has_output
+        assert state.output == "blue"
+        assert state.output_round == 3
+
+    def test_commit_twice_is_an_error(self):
+        state = NodeState(identifier=7, degree=2)
+        state.commit(True, round_number=1)
+        with pytest.raises(ValueError, match="twice"):
+            state.commit(False, round_number=2)
+
+    def test_committing_falsy_output_counts_as_decided(self):
+        state = NodeState(identifier=1, degree=2)
+        state.commit(False, round_number=0)
+        assert state.has_output
+        assert state.output is False
+
+    def test_memory_is_free_form(self):
+        state = NodeState(identifier=1, degree=3, memory={"colors": [1, 2]})
+        state.memory["colors"].append(3)
+        assert state.memory == {"colors": [1, 2, 3]}

@@ -1,0 +1,145 @@
+"""Tests for the synchronous round-based simulator."""
+
+import pytest
+
+from repro.errors import AlgorithmError, TopologyError
+from repro.model.identifiers import IdentifierAssignment, identity_assignment
+from repro.model.rounds import RoundAlgorithm, SynchronousExecution, run_round_algorithm
+from repro.topology.cycle import cycle_graph
+from repro.topology.path import path_graph
+
+
+class DecideImmediately(RoundAlgorithm):
+    """Every node outputs its identifier before any communication."""
+
+    name = "decide-immediately"
+
+    def initialize(self, identifier, degree):
+        return identifier
+
+    def decide_initially(self, memory):
+        return memory
+
+    def send(self, memory, round_number):
+        return {}
+
+    def receive(self, memory, inbox, round_number):
+        return memory, memory
+
+
+class WaitKRounds(RoundAlgorithm):
+    """Every node outputs at exactly round ``k`` (tests radius accounting)."""
+
+    name = "wait-k"
+
+    def __init__(self, k):
+        self.k = k
+
+    def initialize(self, identifier, degree):
+        return identifier
+
+    def send(self, memory, round_number):
+        return {}
+
+    def receive(self, memory, inbox, round_number):
+        return memory, memory if round_number >= self.k else None
+
+
+class NeighborSum(RoundAlgorithm):
+    """After one exchange, outputs the sum of the neighbours' identifiers."""
+
+    name = "neighbor-sum"
+
+    def initialize(self, identifier, degree):
+        return {"id": identifier, "degree": degree}
+
+    def send(self, memory, round_number):
+        return {port: memory["id"] for port in range(memory["degree"])}
+
+    def receive(self, memory, inbox, round_number):
+        return memory, sum(inbox.values())
+
+
+class NeverDecides(RoundAlgorithm):
+    """Pathological algorithm that never outputs (tests the round cap)."""
+
+    name = "never-decides"
+
+    def initialize(self, identifier, degree):
+        return None
+
+    def send(self, memory, round_number):
+        return {}
+
+    def receive(self, memory, inbox, round_number):
+        return memory, None
+
+
+class BadPortSender(RoundAlgorithm):
+    """Sends through a port that does not exist."""
+
+    name = "bad-port"
+
+    def initialize(self, identifier, degree):
+        return degree
+
+    def send(self, memory, round_number):
+        return {memory + 5: "oops"}
+
+    def receive(self, memory, inbox, round_number):
+        return memory, True
+
+
+class TestExecution:
+    def test_radius_zero_when_deciding_initially(self, ring12, ring12_random_ids):
+        trace = run_round_algorithm(ring12, ring12_random_ids, DecideImmediately())
+        assert trace.max_radius == 0
+        assert trace.outputs_by_position() == {
+            p: ring12_random_ids[p] for p in ring12.positions()
+        }
+
+    @pytest.mark.parametrize("k", [1, 2, 5])
+    def test_output_round_is_recorded_as_radius(self, ring12, ring12_random_ids, k):
+        trace = run_round_algorithm(ring12, ring12_random_ids, WaitKRounds(k))
+        assert set(trace.radii().values()) == {k}
+
+    def test_messages_are_routed_to_the_correct_neighbours(self):
+        graph = path_graph(4)
+        ids = IdentifierAssignment([10, 20, 30, 40])
+        trace = run_round_algorithm(graph, ids, NeighborSum())
+        outputs = trace.outputs_by_position()
+        assert outputs == {0: 20, 1: 40, 2: 60, 3: 30}
+
+    def test_neighbor_sum_on_cycle_uses_both_ports(self):
+        graph = cycle_graph(5)
+        ids = identity_assignment(5)
+        outputs = run_round_algorithm(graph, ids, NeighborSum()).outputs_by_position()
+        assert outputs[0] == 1 + 4
+        assert outputs[3] == 2 + 4
+
+    def test_non_terminating_algorithm_hits_the_cap(self, ring12, ring12_random_ids):
+        with pytest.raises(AlgorithmError, match="did not terminate"):
+            run_round_algorithm(ring12, ring12_random_ids, NeverDecides(), max_rounds=5)
+
+    def test_sending_through_invalid_port_is_reported(self, ring12, ring12_random_ids):
+        with pytest.raises(AlgorithmError, match="invalid port"):
+            run_round_algorithm(ring12, ring12_random_ids, BadPortSender())
+
+    def test_mismatched_identifier_count_rejected(self, ring12):
+        with pytest.raises(TopologyError):
+            SynchronousExecution(ring12, identity_assignment(5), DecideImmediately())
+
+    def test_default_round_cap_scales_with_graph_size(self, ring12, ring12_random_ids):
+        execution = SynchronousExecution(ring12, ring12_random_ids, DecideImmediately())
+        assert execution.max_rounds == 2 * ring12.n + 2
+
+    def test_committed_nodes_keep_relaying(self):
+        # NeighborSum nodes all decide at round 1; running with a later
+        # decider mixed in would need their messages at round 2.  Here we
+        # check the state objects survive past their commitment round.
+        graph = cycle_graph(4)
+        ids = identity_assignment(4)
+        execution = SynchronousExecution(graph, ids, WaitKRounds(3))
+        trace = execution.run()
+        assert trace.max_radius == 3
+        assert all(state.has_output for state in execution.states.values())

@@ -1,0 +1,77 @@
+"""Tests for execution traces and the two measures they expose."""
+
+import pytest
+
+from repro.errors import AlgorithmError
+from repro.model.trace import ExecutionTrace, NodeRecord
+
+
+def make_trace(radii, outputs=None):
+    outputs = outputs if outputs is not None else {p: None for p in radii}
+    return ExecutionTrace(
+        {
+            position: NodeRecord(
+                position=position, identifier=position + 100, radius=radius, output=outputs[position]
+            )
+            for position, radius in radii.items()
+        }
+    )
+
+
+class TestConstruction:
+    def test_rejects_empty_trace(self):
+        with pytest.raises(AlgorithmError):
+            ExecutionTrace({})
+
+    def test_rejects_gaps_in_positions(self):
+        records = {
+            0: NodeRecord(0, 100, 1, None),
+            2: NodeRecord(2, 102, 1, None),
+        }
+        with pytest.raises(AlgorithmError, match="0..n-1"):
+            ExecutionTrace(records)
+
+
+class TestMeasures:
+    def test_max_sum_and_average(self):
+        trace = make_trace({0: 1, 1: 3, 2: 2})
+        assert trace.max_radius == 3
+        assert trace.sum_radius == 6
+        assert trace.average_radius == pytest.approx(2.0)
+
+    def test_single_node_trace(self):
+        trace = make_trace({0: 0})
+        assert trace.max_radius == 0
+        assert trace.average_radius == 0.0
+
+    def test_average_is_strictly_below_max_for_skewed_profiles(self):
+        trace = make_trace({0: 10, 1: 1, 2: 1, 3: 1})
+        assert trace.average_radius < trace.max_radius
+
+    def test_radius_histogram(self):
+        trace = make_trace({0: 1, 1: 1, 2: 2, 3: 0})
+        assert trace.radius_histogram() == {0: 1, 1: 2, 2: 1}
+
+
+class TestAccess:
+    def test_radii_and_outputs_by_position(self):
+        trace = make_trace({0: 1, 1: 2}, outputs={0: "a", 1: "b"})
+        assert trace.radii() == {0: 1, 1: 2}
+        assert trace.outputs_by_position() == {0: "a", 1: "b"}
+        assert trace.outputs_by_identifier() == {100: "a", 101: "b"}
+
+    def test_radius_of_identifier(self):
+        trace = make_trace({0: 4, 1: 7})
+        assert trace.radius_of_identifier(101) == 7
+        with pytest.raises(AlgorithmError):
+            trace.radius_of_identifier(999)
+
+    def test_iteration_and_record_access(self):
+        trace = make_trace({0: 1, 1: 2})
+        assert [record.position for record in trace] == [0, 1]
+        assert trace.record(1).radius == 2
+        assert trace.n == 2
+
+    def test_repr_mentions_both_measures(self):
+        text = repr(make_trace({0: 1, 1: 3}))
+        assert "max_radius=3" in text and "average_radius=2.0" in text

@@ -1,0 +1,77 @@
+"""Property-based tests for the algorithms: correctness on arbitrary inputs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.cole_vishkin import ColeVishkinRing, cv_rounds_needed
+from repro.algorithms.color_reduction import cv_step
+from repro.algorithms.greedy_coloring import GreedyColoringByID
+from repro.algorithms.largest_id import LargestIdAlgorithm, predicted_largest_id_radii
+from repro.algorithms.mis import GreedyMISByID
+from repro.core.certification import certify
+from repro.core.runner import run_ball_algorithm
+from repro.model.identifiers import IdentifierAssignment
+from repro.model.rounds import run_round_algorithm
+from repro.topology.cycle import cycle_graph
+
+ring_with_ids = st.integers(min_value=3, max_value=20).flatmap(
+    lambda n: st.permutations(list(range(n)))
+)
+
+
+@given(ring_with_ids)
+@settings(max_examples=40, deadline=None)
+def test_largest_id_is_correct_on_every_ring_and_assignment(ids):
+    n = len(ids)
+    graph = cycle_graph(n)
+    assignment = IdentifierAssignment(ids)
+    trace = run_ball_algorithm(graph, assignment, LargestIdAlgorithm())
+    assert certify("largest-id", graph, assignment, trace)
+    assert trace.radii() == predicted_largest_id_radii(graph, assignment)
+
+
+@given(ring_with_ids)
+@settings(max_examples=40, deadline=None)
+def test_largest_id_average_never_exceeds_the_classic_measure(ids):
+    graph = cycle_graph(len(ids))
+    assignment = IdentifierAssignment(ids)
+    trace = run_ball_algorithm(graph, assignment, LargestIdAlgorithm())
+    assert trace.average_radius <= trace.max_radius
+    assert trace.max_radius == len(ids) // 2  # the maximum always sees everything
+
+
+@given(ring_with_ids)
+@settings(max_examples=30, deadline=None)
+def test_cole_vishkin_colours_properly_for_every_assignment(ids):
+    n = len(ids)
+    graph = cycle_graph(n)
+    assignment = IdentifierAssignment(ids)
+    trace = run_round_algorithm(graph, assignment, ColeVishkinRing(n))
+    assert certify("3-coloring", graph, assignment, trace)
+    assert set(trace.radii().values()) == {cv_rounds_needed(n)}
+
+
+@given(ring_with_ids)
+@settings(max_examples=30, deadline=None)
+def test_greedy_coloring_and_mis_are_valid_for_every_assignment(ids):
+    n = len(ids)
+    graph = cycle_graph(n)
+    assignment = IdentifierAssignment(ids)
+    coloring = run_ball_algorithm(graph, assignment, GreedyColoringByID())
+    mis = run_ball_algorithm(graph, assignment, GreedyMISByID())
+    assert certify("coloring", graph, assignment, coloring)
+    assert certify("mis", graph, assignment, mis)
+    # Both algorithms resolve the same dependency cone, hence equal radii.
+    assert coloring.radii() == mis.radii()
+
+
+@given(
+    st.integers(min_value=0, max_value=2**20),
+    st.integers(min_value=0, max_value=2**20),
+    st.integers(min_value=0, max_value=2**20),
+)
+@settings(max_examples=200, deadline=None)
+def test_cv_step_preserves_properness_along_any_chain(x, y, z):
+    if x == y or y == z:
+        return
+    assert cv_step(x, y) != cv_step(y, z)

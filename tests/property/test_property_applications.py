@@ -1,0 +1,52 @@
+"""Property-based tests for the application layer (scheduling, repair)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.applications.parallel_sim import list_schedule, naive_makespan
+
+durations_strategy = st.lists(
+    st.integers(min_value=1, max_value=50), min_size=1, max_size=40
+)
+
+
+@given(durations_strategy, st.integers(min_value=1, max_value=10))
+@settings(max_examples=150, deadline=None)
+def test_list_schedule_respects_the_classical_bounds(durations, processors):
+    result = list_schedule(durations, processors)
+    total = sum(durations)
+    longest = max(durations)
+    # Lower bounds: no schedule can beat the critical path or perfect balance.
+    assert result.makespan >= longest
+    assert result.makespan >= total / processors - 1e-9
+    # Upper bound: Graham's list-scheduling guarantee.
+    assert result.makespan <= total / processors + longest + 1e-9
+    # Utilisation is a fraction of the processor-time rectangle.
+    assert 0 < result.utilisation <= 1 + 1e-9
+
+
+@given(durations_strategy, st.integers(min_value=1, max_value=10))
+@settings(max_examples=100, deadline=None)
+def test_lpt_never_loses_to_submission_order(durations, processors):
+    arbitrary = list_schedule(durations, processors).makespan
+    lpt = list_schedule(durations, processors, longest_first=True).makespan
+    assert lpt <= arbitrary + 1e-9
+
+
+@given(durations_strategy, st.integers(min_value=1, max_value=10))
+@settings(max_examples=100, deadline=None)
+def test_naive_lock_step_simulation_wastes_at_least_the_greedy_slack(durations, processors):
+    # The lock-step simulator pays ceil(n/p) full worst-case rounds, which is
+    # never better than the greedy makespan minus one critical job: the last
+    # greedy job starts while every processor is busy, so the greedy makespan
+    # is at most (total - d_last)/p + d_last <= ceil(n/p) * max + d_last.
+    greedy = list_schedule(durations, processors).makespan
+    assert naive_makespan(durations, processors) >= greedy - max(durations) - 1e-9
+
+
+@given(durations_strategy, st.integers(min_value=1, max_value=10))
+@settings(max_examples=100, deadline=None)
+def test_every_job_finishes_no_earlier_than_its_own_duration(durations, processors):
+    result = list_schedule(durations, processors)
+    for duration, finish in zip(durations, result.finish_times):
+        assert finish >= duration - 1e-9

@@ -1,0 +1,97 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import ID_FAMILIES, TOPOLOGIES, build_parser, main
+from repro.errors import ConfigurationError
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.algorithm == "largest-id"
+        assert args.n == 64
+        assert args.topology == "cycle"
+        assert args.ids == "random"
+
+    def test_unknown_topology_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--topology", "hypercube"])
+
+
+class TestListCommands:
+    def test_list_algorithms_prints_registered_names(self, capsys):
+        assert main(["list-algorithms"]) == 0
+        output = capsys.readouterr().out
+        assert "largest-id" in output
+        assert "cole-vishkin" in output
+
+    def test_list_experiments_prints_the_index(self, capsys):
+        assert main(["list-experiments"]) == 0
+        output = capsys.readouterr().out
+        assert "E1:" in output and "E11:" in output
+
+
+class TestSimulate:
+    def test_simulate_largest_id_on_a_cycle(self, capsys):
+        assert main(["simulate", "--algorithm", "largest-id", "--n", "32", "--seed", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "classic measure  : 16" in output
+        assert "output certified : yes" in output
+
+    def test_simulate_round_algorithm(self, capsys):
+        assert main(["simulate", "--algorithm", "cole-vishkin", "--n", "16"]) == 0
+        output = capsys.readouterr().out
+        assert "average measure" in output
+
+    def test_simulate_on_other_topologies(self, capsys):
+        assert main(["simulate", "--topology", "random-tree", "--n", "20"]) == 0
+        assert "classic measure" in capsys.readouterr().out
+
+    def test_simulate_with_worst_case_ids(self, capsys):
+        assert main(["simulate", "--ids", "worst-largest-id", "--n", "32"]) == 0
+        output = capsys.readouterr().out
+        assert "classic measure  : 16" in output
+
+    def test_every_registered_id_family_builds_valid_assignments(self):
+        for family, builder in ID_FAMILIES.items():
+            ids = builder(12, 1)
+            assert len(set(ids.identifiers())) == 12, family
+
+    def test_every_registered_topology_builds_connected_graphs(self):
+        for name, builder in TOPOLOGIES.items():
+            graph = builder(12, 1)
+            assert graph.is_connected(), name
+
+
+class TestRunExperiment:
+    def test_runs_a_small_experiment_and_prints_its_table(self, capsys):
+        assert main(["run-experiment", "E2", "--small"]) == 0
+        output = capsys.readouterr().out
+        assert "E2" in output and "A000788" in output
+
+    def test_experiment_id_is_case_insensitive(self, capsys):
+        assert main(["run-experiment", "e2", "--small"]) == 0
+        assert "A000788" in capsys.readouterr().out
+
+    def test_plot_option_adds_an_ascii_plot(self, capsys):
+        assert main(["run-experiment", "E2", "--small", "--plot", "p", "a(p)"]) == 0
+        output = capsys.readouterr().out
+        assert "a(p)" in output
+        assert "+---" in output  # the plot's x-axis
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown experiment"):
+            main(["run-experiment", "E99"])
+
+
+class TestGap:
+    def test_prints_the_headline_numbers(self, capsys):
+        assert main(["gap", "--n", "128"]) == 0
+        output = capsys.readouterr().out
+        assert "classic measure 64" in output
+        assert "gap" in output

@@ -1,0 +1,64 @@
+"""Tests for the closed-form bound predictions."""
+
+import math
+
+import pytest
+
+from repro.theory.bounds import (
+    coloring_average_lower_bound,
+    coloring_classic_upper_bound,
+    exponential_gap,
+    largest_id_average_upper_bound,
+    largest_id_random_ids_expected_average,
+    largest_id_sum_upper_bound,
+    largest_id_worst_case_bound,
+)
+from repro.theory.recurrence import worst_case_segment_sum
+
+
+class TestLargestIdBounds:
+    @pytest.mark.parametrize("n", [4, 9, 100])
+    def test_worst_case_is_half_of_n(self, n):
+        assert largest_id_worst_case_bound(n) == n // 2
+
+    def test_sum_bound_combines_eccentricity_and_recurrence(self):
+        assert largest_id_sum_upper_bound(10) == 5 + worst_case_segment_sum(9)
+
+    def test_average_bound_is_sum_bound_over_n(self):
+        assert largest_id_average_upper_bound(12) == pytest.approx(largest_id_sum_upper_bound(12) / 12)
+
+    def test_average_bound_grows_like_half_log2(self):
+        delta = largest_id_average_upper_bound(2**14) - largest_id_average_upper_bound(2**10)
+        assert delta == pytest.approx(2.0, abs=0.1)
+
+    def test_random_ids_expectation_is_the_harmonic_number(self):
+        assert largest_id_random_ids_expected_average(4) == pytest.approx(25 / 12)
+
+
+class TestColoringBounds:
+    def test_lower_bound_is_the_linial_threshold(self):
+        from repro.theory.linial import linial_lower_bound_radius
+
+        for n in (8, 64, 4096):
+            assert coloring_average_lower_bound(n) == float(linial_lower_bound_radius(n))
+
+    def test_upper_bound_tracks_cole_vishkin(self):
+        from repro.algorithms.cole_vishkin import cv_rounds_needed
+
+        assert coloring_classic_upper_bound(256) == float(cv_rounds_needed(256))
+
+    def test_upper_bound_exceeds_lower_bound(self):
+        for n in (8, 64, 1024, 2**16):
+            assert coloring_classic_upper_bound(n) >= coloring_average_lower_bound(n)
+
+
+class TestExponentialGap:
+    def test_gap_grows_roughly_like_n_over_log_n(self):
+        gap_small = exponential_gap(2**8)
+        gap_large = exponential_gap(2**12)
+        assert gap_large > 10 * gap_small / 2
+        assert gap_large == pytest.approx((2**12 / 2) / largest_id_average_upper_bound(2**12))
+
+    def test_gap_is_monotone_over_powers_of_two(self):
+        gaps = [exponential_gap(2**k) for k in range(4, 14)]
+        assert gaps == sorted(gaps)

@@ -1,0 +1,70 @@
+"""Tests for the slice-concatenation construction of Theorem 1."""
+
+import pytest
+
+from repro.algorithms.cole_vishkin import ColeVishkinRing
+from repro.algorithms.full_gather import BallSimulationOfRounds
+from repro.core.certification import certify
+from repro.core.runner import run_ball_algorithm
+from repro.errors import ConfigurationError
+from repro.theory.linial import linial_lower_bound_radius
+from repro.theory.lower_bound import build_hard_assignment, evaluate_hard_assignment
+from repro.topology.cycle import cycle_graph
+
+
+@pytest.fixture(scope="module")
+def construction_32():
+    algorithm = BallSimulationOfRounds(ColeVishkinRing(32))
+    return build_hard_assignment(32, algorithm, seed=5), algorithm
+
+
+class TestConstruction:
+    def test_result_is_a_permutation_of_all_identifiers(self, construction_32):
+        construction, _ = construction_32
+        assert sorted(construction.assignment.identifiers()) == list(range(32))
+
+    def test_threshold_defaults_to_the_linial_value(self, construction_32):
+        construction, _ = construction_32
+        assert construction.threshold == linial_lower_bound_radius(32)
+
+    def test_slices_have_the_prescribed_length_and_are_disjoint(self, construction_32):
+        construction, _ = construction_32
+        length = 2 * construction.threshold + 1
+        seen = set()
+        for slice_ids in construction.slices:
+            assert len(slice_ids) == length
+            assert not (set(slice_ids) & seen)
+            seen |= set(slice_ids)
+
+    def test_slices_cover_at_least_half_of_the_identifiers(self, construction_32):
+        construction, _ = construction_32
+        covered = sum(len(s) for s in construction.slices)
+        assert covered >= 32 // 2 - (2 * construction.threshold + 1)
+
+    def test_every_slice_centre_reached_the_threshold(self, construction_32):
+        construction, _ = construction_32
+        assert all(r >= construction.threshold for r in construction.achieved_center_radii)
+
+    def test_explicit_threshold_is_respected(self):
+        algorithm = BallSimulationOfRounds(ColeVishkinRing(16))
+        construction = build_hard_assignment(16, algorithm, threshold=1, seed=2)
+        assert construction.threshold == 1
+        assert all(len(s) == 3 for s in construction.slices)
+
+    def test_too_small_cycles_are_rejected(self):
+        algorithm = BallSimulationOfRounds(ColeVishkinRing(4))
+        with pytest.raises(ConfigurationError):
+            build_hard_assignment(4, algorithm)
+
+
+class TestEvaluation:
+    def test_average_on_the_construction_meets_the_threshold(self, construction_32):
+        construction, algorithm = construction_32
+        average = evaluate_hard_assignment(construction, algorithm)
+        assert average >= construction.threshold
+
+    def test_constructed_assignment_still_yields_a_valid_colouring(self, construction_32):
+        construction, algorithm = construction_32
+        graph = cycle_graph(32)
+        trace = run_ball_algorithm(graph, construction.assignment, algorithm)
+        assert certify("3-coloring", graph, construction.assignment, trace)

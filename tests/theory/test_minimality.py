@@ -1,0 +1,112 @@
+"""Tests for the Lemma 2 / Lemma 3 regularity checkers."""
+
+import pytest
+
+from repro.algorithms.cole_vishkin import ColeVishkinRing
+from repro.algorithms.full_gather import BallSimulationOfRounds
+from repro.algorithms.largest_id import LargestIdAlgorithm
+from repro.core.runner import run_ball_algorithm
+from repro.errors import TopologyError
+from repro.model.identifiers import random_assignment
+from repro.model.trace import ExecutionTrace, NodeRecord
+from repro.theory.minimality import (
+    lemma2_violations,
+    lemma3_local_average,
+    lemma3_reports,
+    minimum_lemma3_ratio,
+    positions_between,
+    radii_between,
+)
+from repro.topology.cycle import cycle_graph
+from repro.topology.path import path_graph
+
+
+def synthetic_trace(radii):
+    return ExecutionTrace(
+        {p: NodeRecord(position=p, identifier=p, radius=r, output=None) for p, r in enumerate(radii)}
+    )
+
+
+class TestPositionsBetween:
+    def test_shorter_arc_is_selected(self):
+        graph = cycle_graph(8)
+        assert positions_between(graph, 0, 3) == [1, 2]
+        assert positions_between(graph, 0, 6) == [7]
+
+    def test_adjacent_anchors_have_nothing_between(self):
+        graph = cycle_graph(6)
+        assert positions_between(graph, 2, 3) == []
+
+    def test_non_cycles_are_rejected(self):
+        with pytest.raises(TopologyError):
+            positions_between(path_graph(5), 0, 3)
+
+    def test_radii_between_reads_the_trace(self):
+        graph = cycle_graph(6)
+        trace = synthetic_trace([0, 5, 7, 1, 2, 3])
+        assert sorted(radii_between(trace, graph, 0, 3)) == [5, 7]
+
+
+class TestLemma2:
+    def test_flat_radius_profiles_never_violate(self):
+        graph = cycle_graph(10)
+        trace = synthetic_trace([4] * 10)
+        assert lemma2_violations(trace, graph) == []
+
+    def test_a_spike_between_two_quiet_anchors_is_reported(self):
+        graph = cycle_graph(8)
+        trace = synthetic_trace([0, 0, 9, 0, 0, 0, 0, 0])
+        violations = lemma2_violations(trace, graph, max_separation=1)
+        assert violations
+        worst = violations[0]
+        assert worst.worst_radius == 9
+        assert worst.threshold == 1  # max(r(x), r(y)) + k = 0 + 1
+
+    def test_cole_vishkin_profile_is_lemma2_clean(self):
+        n = 32
+        graph = cycle_graph(n)
+        ids = random_assignment(n, seed=0)
+        trace = run_ball_algorithm(graph, ids, BallSimulationOfRounds(ColeVishkinRing(n)))
+        assert lemma2_violations(trace, graph, max_separation=6) == []
+
+    def test_largest_id_profile_shows_violations(self):
+        n = 32
+        graph = cycle_graph(n)
+        ids = random_assignment(n, seed=0)
+        trace = run_ball_algorithm(graph, ids, LargestIdAlgorithm())
+        assert lemma2_violations(trace, graph, max_separation=6)
+
+
+class TestLemma3:
+    def test_report_fields(self):
+        graph = cycle_graph(9)
+        trace = synthetic_trace([4, 1, 1, 1, 1, 1, 1, 1, 1])
+        report = lemma3_local_average(trace, graph, 0)
+        assert report.radius == 4
+        assert report.window == 2
+        # Ball of radius 2 around position 0 holds radii {4, 1, 1, 1, 1}.
+        assert report.local_average == pytest.approx(8 / 5)
+        assert report.ratio == pytest.approx((8 / 5) / 4)
+
+    def test_zero_radius_vertex_has_ratio_one(self):
+        graph = cycle_graph(5)
+        trace = synthetic_trace([0, 1, 1, 1, 1])
+        assert lemma3_local_average(trace, graph, 0).ratio == 1.0
+
+    def test_reports_are_sorted_by_decreasing_radius(self):
+        graph = cycle_graph(6)
+        trace = synthetic_trace([1, 5, 2, 4, 3, 0])
+        radii = [report.radius for report in lemma3_reports(trace, graph)]
+        assert radii == sorted(radii, reverse=True)
+
+    def test_minimum_ratio_for_flat_profile_is_one(self):
+        graph = cycle_graph(7)
+        trace = synthetic_trace([3] * 7)
+        assert minimum_lemma3_ratio(trace, graph) == pytest.approx(1.0)
+
+    def test_minimum_ratio_detects_isolated_spikes(self):
+        graph = cycle_graph(32)
+        radii = [0] * 32
+        radii[10] = 16
+        trace = synthetic_trace(radii)
+        assert minimum_lemma3_ratio(trace, graph) < 0.2

@@ -1,0 +1,43 @@
+"""Tests for OEIS A000788 and the binary digit-sum helpers."""
+
+import pytest
+
+from repro.theory.oeis import A000788, A000788_closed_form, A000788_prefix, popcount
+
+
+class TestPopcount:
+    @pytest.mark.parametrize(("value", "expected"), [(0, 0), (1, 1), (2, 1), (3, 2), (255, 8), (256, 1)])
+    def test_known_values(self, value, expected):
+        assert popcount(value) == expected
+
+    def test_negative_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            popcount(-3)
+
+
+class TestA000788:
+    def test_first_terms_match_the_oeis_listing(self):
+        # First terms of A000788 as published by the OEIS.
+        expected = [0, 1, 2, 4, 5, 7, 9, 12, 13, 15, 17, 20, 22, 25, 28, 32, 33]
+        assert [A000788(n) for n in range(len(expected))] == expected
+
+    @pytest.mark.parametrize("n", [0, 1, 5, 17, 100, 1000, 4097])
+    def test_closed_form_matches_the_naive_sum(self, n):
+        assert A000788_closed_form(n) == A000788(n)
+
+    def test_prefix_matches_individual_terms(self):
+        assert A000788_prefix(12) == [A000788(n) for n in range(12)]
+
+    def test_growth_is_n_log_n_over_two(self):
+        # A000788(n) ~ n*log2(n)/2.
+        import math
+
+        n = 1 << 16
+        assert A000788_closed_form(n) / (n * math.log2(n) / 2) == pytest.approx(1.0, rel=0.05)
+
+    def test_closed_form_is_fast_for_huge_inputs(self):
+        # The per-bit formula works far beyond anything the naive sum could touch.
+        value = A000788_closed_form(10**15)
+        assert value > 0

@@ -1,0 +1,52 @@
+"""Tests for the random topology builders."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.topology.random_graphs import gnp_random_graph, random_regular_graph, random_tree
+
+
+class TestGnp:
+    def test_connected_component_is_returned(self):
+        graph = gnp_random_graph(40, 0.2, seed=1)
+        assert graph.is_connected()
+        assert 1 <= graph.n <= 40
+
+    def test_deterministic_for_fixed_seed(self):
+        assert gnp_random_graph(30, 0.15, seed=5) == gnp_random_graph(30, 0.15, seed=5)
+
+    def test_different_seeds_differ(self):
+        assert gnp_random_graph(30, 0.15, seed=5) != gnp_random_graph(30, 0.15, seed=6)
+
+    def test_dense_graph_keeps_every_node(self):
+        assert gnp_random_graph(25, 0.9, seed=2).n == 25
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ConfigurationError):
+            gnp_random_graph(10, 1.5, seed=0)
+
+
+class TestRandomRegular:
+    def test_degrees_are_uniform(self):
+        graph = random_regular_graph(3, 16, seed=3)
+        assert all(graph.degree(v) == 3 for v in graph.positions())
+
+    def test_impossible_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            random_regular_graph(3, 5, seed=0)  # odd degree sum
+
+    def test_degree_must_be_below_n(self):
+        with pytest.raises(ConfigurationError):
+            random_regular_graph(6, 6, seed=0)
+
+
+class TestRandomTree:
+    @pytest.mark.parametrize("n", [1, 2, 3, 17, 64])
+    def test_tree_has_n_minus_one_edges_and_is_connected(self, n):
+        graph = random_tree(n, seed=11)
+        assert graph.n == n
+        assert graph.m == n - 1
+        assert graph.is_connected()
+
+    def test_deterministic_for_fixed_seed(self):
+        assert random_tree(20, seed=4) == random_tree(20, seed=4)

@@ -1,0 +1,113 @@
+"""Tests for the deterministic topology builders."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.topology.complete import complete_graph, star_graph
+from repro.topology.cycle import PREDECESSOR_PORT, SUCCESSOR_PORT, cycle_graph, cycle_successor_ports
+from repro.topology.grid import grid_graph, torus_graph
+from repro.topology.path import path_graph
+from repro.topology.tree import balanced_tree, caterpillar_tree, spider_tree
+
+
+class TestCycle:
+    @pytest.mark.parametrize("n", [3, 4, 10, 101])
+    def test_structure(self, n):
+        graph = cycle_graph(n)
+        assert graph.n == n and graph.m == n
+        assert graph.is_cycle()
+        assert graph.diameter() == n // 2
+
+    def test_orientation_is_consistent(self):
+        graph = cycle_graph(7)
+        for position in graph.positions():
+            successor = graph.neighbors(position)[SUCCESSOR_PORT]
+            assert successor == (position + 1) % 7
+            assert graph.neighbors(position)[PREDECESSOR_PORT] == (position - 1) % 7
+
+    def test_successor_ports_helper(self):
+        assert cycle_successor_ports(5) == {p: SUCCESSOR_PORT for p in range(5)}
+
+    @pytest.mark.parametrize("n", [0, 1, 2])
+    def test_too_small_rejected(self, n):
+        with pytest.raises(ConfigurationError):
+            cycle_graph(n)
+
+
+class TestPath:
+    @pytest.mark.parametrize("n", [1, 2, 5, 40])
+    def test_structure(self, n):
+        graph = path_graph(n)
+        assert graph.n == n and graph.m == n - 1
+        assert graph.is_path()
+        if n > 1:
+            assert graph.diameter() == n - 1
+
+    def test_endpoints_have_degree_one(self):
+        graph = path_graph(6)
+        assert graph.degree(0) == 1 and graph.degree(5) == 1
+        assert all(graph.degree(v) == 2 for v in range(1, 5))
+
+
+class TestCompleteAndStar:
+    def test_complete_graph_edge_count(self):
+        graph = complete_graph(6)
+        assert graph.m == 15
+        assert graph.diameter() == 1
+
+    def test_complete_graph_single_node(self):
+        assert complete_graph(1).m == 0
+
+    def test_star_structure(self):
+        graph = star_graph(7)
+        assert graph.n == 8 and graph.m == 7
+        assert graph.degree(0) == 7
+        assert all(graph.degree(v) == 1 for v in range(1, 8))
+
+
+class TestGridAndTorus:
+    def test_grid_dimensions_and_degrees(self):
+        graph = grid_graph(3, 4)
+        assert graph.n == 12
+        assert graph.m == 3 * 3 + 2 * 4  # horizontal + vertical edges
+        assert graph.degree(0) == 2  # corner
+        assert graph.max_degree() == 4
+
+    def test_grid_diameter_is_manhattan(self):
+        assert grid_graph(3, 5).diameter() == 2 + 4
+
+    def test_torus_is_four_regular(self):
+        graph = torus_graph(4, 5)
+        assert graph.n == 20
+        assert all(graph.degree(v) == 4 for v in graph.positions())
+
+    def test_torus_rejects_small_dimensions(self):
+        with pytest.raises(ValueError):
+            torus_graph(2, 5)
+
+
+class TestTrees:
+    def test_balanced_tree_node_count(self):
+        graph = balanced_tree(2, 3)
+        assert graph.n == 1 + 2 + 4 + 8
+        assert graph.m == graph.n - 1
+        assert graph.is_connected()
+
+    def test_balanced_tree_height_zero_is_single_node(self):
+        assert balanced_tree(3, 0).n == 1
+
+    def test_caterpillar_structure(self):
+        graph = caterpillar_tree(spine=4, legs_per_node=2)
+        assert graph.n == 4 + 8
+        assert graph.m == graph.n - 1
+        assert graph.degree(0) == 3  # spine end: one spine edge + two legs
+
+    def test_spider_structure(self):
+        graph = spider_tree(legs=3, leg_length=4)
+        assert graph.n == 1 + 12
+        assert graph.degree(0) == 3
+        assert graph.diameter() == 8
+
+    def test_spider_needs_two_legs(self):
+        with pytest.raises(ConfigurationError):
+            spider_tree(legs=1, leg_length=2)

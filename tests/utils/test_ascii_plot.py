@@ -1,0 +1,57 @@
+"""Tests for the ASCII plotting helper."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.utils.ascii_plot import ascii_plot, plot_experiment_column
+
+
+class TestAsciiPlot:
+    def test_contains_markers_title_and_legend(self):
+        text = ascii_plot([1, 2, 3, 4], {"avg": [1, 2, 3, 4]}, title="growth")
+        assert text.splitlines()[0] == "growth"
+        assert "*" in text
+        assert "* avg" in text
+
+    def test_multiple_series_use_distinct_markers(self):
+        text = ascii_plot([1, 2, 3], {"a": [1, 2, 3], "b": [3, 2, 1]})
+        assert "* a" in text and "o b" in text
+        assert "*" in text and "o" in text
+
+    def test_monotone_series_places_extremes_in_corners(self):
+        text = ascii_plot([0, 10], {"s": [0.0, 100.0]}, width=20, height=6)
+        lines = [line for line in text.splitlines() if "|" in line]
+        assert lines[0].rstrip().endswith("*")  # maximum at top right
+        assert "*" in lines[-1][:14 + 1]  # minimum at bottom left
+
+    def test_axis_labels_show_the_value_range(self):
+        text = ascii_plot([2, 4, 8], {"s": [5.0, 7.0, 11.0]})
+        assert "11" in text and "5" in text
+        assert "2" in text and "8" in text
+
+    def test_constant_series_does_not_crash(self):
+        text = ascii_plot([1, 2, 3], {"flat": [4.0, 4.0, 4.0]})
+        assert "flat" in text
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(AnalysisError):
+            ascii_plot([1, 2], {})
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(AnalysisError):
+            ascii_plot([1, 2, 3], {"s": [1, 2]})
+
+    def test_tiny_grid_rejected(self):
+        with pytest.raises(AnalysisError):
+            ascii_plot([1], {"s": [1]}, width=5, height=2)
+
+
+class TestPlotExperimentColumn:
+    def test_plots_columns_of_table_rows(self):
+        rows = [{"n": 16, "avg": 2.5}, {"n": 32, "avg": 3.0}, {"n": 64, "avg": 3.5}]
+        text = plot_experiment_column(rows, "n", ["avg"], title="E1")
+        assert "E1" in text and "* avg" in text
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(AnalysisError):
+            plot_experiment_column([], "n", ["avg"])

@@ -1,0 +1,67 @@
+"""Tests for the shared mathematical helpers."""
+
+import math
+
+import pytest
+
+from repro.utils.math_functions import harmonic_number, log_star, power_tower
+
+
+class TestLogStar:
+    @pytest.mark.parametrize(
+        ("value", "expected"),
+        [(0, 0), (1, 0), (2, 1), (3, 2), (4, 2), (5, 3), (16, 3), (17, 4), (65536, 4), (65537, 5)],
+    )
+    def test_known_values_base_two(self, value, expected):
+        assert log_star(value) == expected
+
+    def test_monotone_over_wide_range(self):
+        values = [log_star(n) for n in range(1, 3000)]
+        assert values == sorted(values)
+
+    def test_other_base(self):
+        assert log_star(math.e, base=math.e) == 1
+        assert log_star(math.e**math.e, base=math.e) == 2
+
+    def test_rejects_base_at_most_one(self):
+        with pytest.raises(ValueError):
+            log_star(10, base=1.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            log_star(float("nan"))
+
+
+class TestPowerTower:
+    def test_height_zero_is_one(self):
+        assert power_tower(0) == 1.0
+
+    @pytest.mark.parametrize(("height", "expected"), [(1, 2.0), (2, 4.0), (3, 16.0), (4, 65536.0)])
+    def test_small_towers(self, height, expected):
+        assert power_tower(height) == expected
+
+    def test_inverse_of_log_star(self):
+        for height in range(0, 5):
+            assert log_star(power_tower(height)) == height
+
+    def test_large_height_overflows_to_infinity(self):
+        assert power_tower(10) == math.inf
+
+    def test_negative_height_rejected(self):
+        with pytest.raises(ValueError):
+            power_tower(-1)
+
+
+class TestHarmonicNumber:
+    def test_first_values(self):
+        assert harmonic_number(0) == 0.0
+        assert harmonic_number(1) == 1.0
+        assert harmonic_number(2) == pytest.approx(1.5)
+        assert harmonic_number(4) == pytest.approx(25 / 12)
+
+    def test_grows_like_log(self):
+        assert harmonic_number(10_000) == pytest.approx(math.log(10_000) + 0.5772, abs=0.01)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            harmonic_number(-1)

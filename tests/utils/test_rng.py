@@ -1,0 +1,50 @@
+"""Tests for deterministic RNG management."""
+
+import random
+
+import pytest
+
+from repro.utils.rng import make_rng, spawn_rngs
+
+
+class TestMakeRng:
+    def test_none_seed_is_deterministic(self):
+        assert make_rng(None).random() == make_rng(None).random()
+
+    def test_same_int_seed_gives_same_stream(self):
+        assert make_rng(42).random() == make_rng(42).random()
+
+    def test_different_seeds_give_different_streams(self):
+        assert make_rng(1).random() != make_rng(2).random()
+
+    def test_existing_random_instance_is_passed_through(self):
+        rng = random.Random(7)
+        assert make_rng(rng) is rng
+
+    @pytest.mark.parametrize("bad", ["seed", 1.5, True])
+    def test_rejects_invalid_seed_types(self, bad):
+        with pytest.raises(TypeError):
+            make_rng(bad)
+
+
+class TestSpawnRngs:
+    def test_spawns_requested_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_spawned_streams_are_deterministic(self):
+        first = [rng.random() for rng in spawn_rngs(3, 4)]
+        second = [rng.random() for rng in spawn_rngs(3, 4)]
+        assert first == second
+
+    def test_spawned_streams_are_mutually_distinct(self):
+        values = [rng.random() for rng in spawn_rngs(3, 8)]
+        assert len(set(values)) == 8
+
+    def test_adding_repetitions_does_not_change_earlier_streams(self):
+        short = [rng.random() for rng in spawn_rngs(9, 3)]
+        long = [rng.random() for rng in spawn_rngs(9, 6)]
+        assert long[:3] == short
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)

@@ -1,0 +1,73 @@
+"""Tests for the plain-text table renderer."""
+
+import pytest
+
+from repro.utils.tables import Table, format_table
+
+
+class TestFormatTable:
+    def test_renders_header_and_rows_aligned(self):
+        text = format_table([{"n": 1, "value": 10}, {"n": 200, "value": 3}])
+        lines = text.splitlines()
+        assert lines[0].startswith("n")
+        assert "value" in lines[0]
+        assert len(lines) == 4  # header, separator, two rows
+        assert len({len(line) for line in lines}) == 1  # all lines same width
+
+    def test_title_is_prepended(self):
+        text = format_table([{"a": 1}], title="my table")
+        assert text.splitlines()[0] == "my table"
+
+    def test_empty_rows_render_placeholder(self):
+        assert "(no rows)" in format_table([])
+
+    def test_column_order_can_be_forced(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b", "a"])
+        header = text.splitlines()[0]
+        assert header.index("b") < header.index("a")
+
+    def test_floats_are_rounded_and_booleans_humanised(self):
+        text = format_table([{"x": 0.123456, "ok": True}])
+        assert "0.1235" in text
+        assert "yes" in text
+
+    def test_missing_values_render_empty(self):
+        text = format_table([{"a": 1, "b": 2}, {"a": 3}], columns=["a", "b"])
+        assert text.splitlines()[-1].split("|")[1].strip() == ""
+
+
+class TestTable:
+    def test_add_row_and_len(self):
+        table = Table(columns=("n", "avg"))
+        table.add_row(n=4, avg=1.5)
+        table.add_row(n=8, avg=2.0)
+        assert len(table) == 2
+
+    def test_add_row_rejects_unknown_columns(self):
+        table = Table(columns=("n",))
+        with pytest.raises(KeyError, match="unknown columns"):
+            table.add_row(n=1, bogus=2)
+
+    def test_column_extraction_preserves_order(self):
+        table = Table(columns=("n", "avg"))
+        table.add_row(n=4, avg=1.5)
+        table.add_row(n=8, avg=2.0)
+        assert table.column("n") == [4, 8]
+
+    def test_column_rejects_unknown_name(self):
+        table = Table(columns=("n",))
+        with pytest.raises(KeyError):
+            table.column("avg")
+
+    def test_extend_validates_each_row(self):
+        table = Table(columns=("n",))
+        table.extend([{"n": 1}, {"n": 2}])
+        assert len(table) == 2
+        with pytest.raises(KeyError):
+            table.extend([{"m": 3}])
+
+    def test_str_contains_title_and_data(self):
+        table = Table(columns=("n",), title="sizes")
+        table.add_row(n=42)
+        assert "sizes" in str(table)
+        assert "42" in str(table)

@@ -1,0 +1,52 @@
+"""Tests for the argument-validation helpers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import (
+    require,
+    require_non_negative_int,
+    require_positive_int,
+    require_probability,
+)
+
+
+class TestRequire:
+    def test_passes_silently_when_condition_holds(self):
+        require(True, "never raised")
+
+    def test_raises_configuration_error_with_message(self):
+        with pytest.raises(ConfigurationError, match="broken invariant"):
+            require(False, "broken invariant")
+
+
+class TestRequirePositiveInt:
+    def test_accepts_and_returns_positive_integers(self):
+        assert require_positive_int(3, "n") == 3
+
+    @pytest.mark.parametrize("value", [0, -1, 1.5, "3", None, True])
+    def test_rejects_non_positive_or_non_int(self, value):
+        with pytest.raises(ConfigurationError, match="n must be"):
+            require_positive_int(value, "n")
+
+
+class TestRequireNonNegativeInt:
+    @pytest.mark.parametrize("value", [0, 1, 10])
+    def test_accepts_non_negative_integers(self, value):
+        assert require_non_negative_int(value, "k") == value
+
+    @pytest.mark.parametrize("value", [-1, 2.0, "0", False])
+    def test_rejects_negatives_floats_strings_and_bools(self, value):
+        with pytest.raises(ConfigurationError):
+            require_non_negative_int(value, "k")
+
+
+class TestRequireProbability:
+    @pytest.mark.parametrize("value", [0, 0.5, 1, 0.999])
+    def test_accepts_values_in_unit_interval(self, value):
+        assert require_probability(value, "p") == pytest.approx(float(value))
+
+    @pytest.mark.parametrize("value", [-0.1, 1.1, "high", None])
+    def test_rejects_values_outside_unit_interval(self, value):
+        with pytest.raises(ConfigurationError):
+            require_probability(value, "p")

@@ -7,13 +7,19 @@ experiment at the benchmark sizes and writes one section per experiment:
 the claim, what the paper predicts, the measured table, and the shape checks
 that passed.
 
-Usage:  python scripts/generate_experiments_md.py [output-path]
+Sweep campaigns produced by ``repro sweep --output rows.json`` (or
+:func:`repro.engine.campaign.run_campaign` + ``write_rows``) can be appended
+as an extra section with ``--campaign rows.json``.
+
+Usage:  python scripts/generate_experiments_md.py [output-path] [--campaign rows.json]
 """
 
 from __future__ import annotations
 
-import sys
+import argparse
 from pathlib import Path
+
+from repro.engine.campaign import load_rows
 
 from repro.experiments import (
     characterization,
@@ -197,8 +203,38 @@ SECTIONS = (
 )
 
 
+def render_campaign_section(rows: list[dict]) -> list[str]:
+    """Markdown lines for a sweep-campaign section built from JSON rows."""
+    parts = [
+        "\n## Sweep campaigns\n",
+        "Worst-case-over-assignments searches run through the engine "
+        "(`repro sweep`); `value` is the best objective the adversary found, "
+        "`hit_rate` the decision-cache hit rate of the search.\n",
+        "| topology | n | algorithm | adversary | objective | value | evals | exact | hit_rate |",
+        "|---|---|---|---|---|---|---|---|---|",
+    ]
+    for row in rows:
+        cache = row.get("cache") or {}
+        parts.append(
+            "| {topology} | {n} | {algorithm} | {adversary} | {objective} "
+            "| {value:.4f} | {evaluations} | {exact} | {hit_rate:.3f} |".format(
+                hit_rate=cache.get("hit_rate", 0.0), **row
+            )
+        )
+    parts.append("")
+    return parts
+
+
 def main() -> None:
-    output_path = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("EXPERIMENTS.md")
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("output", nargs="?", default="EXPERIMENTS.md")
+    parser.add_argument(
+        "--campaign",
+        default=None,
+        help="JSON rows from `repro sweep --output ...` to append as a section",
+    )
+    args = parser.parse_args()
+    output_path = Path(args.output)
     parts = [HEADER]
     for experiment_id, title, paper_text, measured_text, runner in SECTIONS:
         result = runner()
@@ -214,6 +250,9 @@ def main() -> None:
             parts.extend(f"- {note}" for note in result.notes)
             parts.append("")
         print(f"{experiment_id}: done")
+    if args.campaign:
+        parts.extend(render_campaign_section(load_rows(args.campaign)))
+        print(f"campaign: appended rows from {args.campaign}")
     output_path.write_text("\n".join(parts) + "\n", encoding="utf-8")
     print(f"wrote {output_path}")
 

@@ -13,7 +13,10 @@ for the LOCAL Model* (PODC 2015).  The library provides:
   and OEIS A000788; Linial's threshold, the regularity lemmas and the slice
   construction of Theorem 1); and
 * the applications sketched in the introduction (dynamic-network repair and
-  parallel simulation), an experiment harness (E1-E9) and benchmarks.
+  parallel simulation), an experiment harness (E1-E11) and benchmarks; and
+* a high-throughput execution engine (:mod:`repro.engine`) — incremental
+  frontier ball growth, memoised decisions, multiprocessing fan-out and
+  declarative sweep campaigns — that powers all of the above.
 
 Quick start::
 
@@ -44,6 +47,14 @@ from repro.core import (
     fit_growth,
     run_ball_algorithm,
     worst_case_over_assignments,
+)
+from repro.engine import (
+    BatchExecutor,
+    CampaignSpec,
+    DecisionCache,
+    FrontierRunner,
+    run_campaign,
+    run_simulation_batch,
 )
 from repro.errors import (
     AlgorithmError,
@@ -81,12 +92,16 @@ __all__ = [
     "BallAlgorithm",
     "BallSimulationOfRounds",
     "BallView",
+    "BatchExecutor",
+    "CampaignSpec",
     "CertificationError",
     "ColeVishkinRing",
     "ConfigurationError",
+    "DecisionCache",
     "ExecutionTrace",
     "ExhaustiveAdversary",
     "ExperimentError",
+    "FrontierRunner",
     "FullGatherRoundAlgorithm",
     "Graph",
     "GreedyColoringByID",
@@ -112,6 +127,8 @@ __all__ = [
     "random_assignment",
     "random_tree",
     "run_ball_algorithm",
+    "run_campaign",
     "run_round_algorithm",
+    "run_simulation_batch",
     "worst_case_over_assignments",
 ]

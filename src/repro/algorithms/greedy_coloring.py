@@ -36,6 +36,9 @@ class GreedyColoringByID(BallAlgorithm):
 
     name = "greedy-coloring"
     problem = "coloring"
+    # The descending-id resolution and the smallest-free-colour rule use only
+    # identifier comparisons; colours themselves are id-free.
+    order_invariant = True
 
     def decide(self, ball: BallView) -> Optional[int]:
         determined = resolve_by_descending_id(

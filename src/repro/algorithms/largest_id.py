@@ -28,6 +28,9 @@ class LargestIdAlgorithm(BallAlgorithm):
 
     name = "largest-id"
     problem = "largest-id"
+    # Only identifier comparisons and ball structure enter the decision, and
+    # the output is a bare boolean, so id-relabeled caching is sound.
+    order_invariant = True
 
     def decide(self, ball: BallView) -> Optional[bool]:
         if ball.contains_id_larger_than(ball.center_id):

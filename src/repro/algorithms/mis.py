@@ -26,6 +26,9 @@ class GreedyMISByID(BallAlgorithm):
 
     name = "greedy-mis"
     problem = "mis"
+    # Membership is decided purely by identifier comparisons along the
+    # descending-id recursion; the output is a bare boolean.
+    order_invariant = True
 
     def decide(self, ball: BallView) -> Optional[bool]:
         determined = resolve_by_descending_id(

@@ -39,6 +39,9 @@ class RingColoringViaMIS(BallAlgorithm):
 
     name = "ring-coloring-via-mis"
     problem = "3-coloring"
+    # MIS membership and the gap tie-break (`center > other`) use only
+    # identifier comparisons; the three colours are id-free.
+    order_invariant = True
 
     def supports_graph(self, graph: Graph) -> bool:
         return graph.is_cycle()

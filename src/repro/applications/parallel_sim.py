@@ -19,11 +19,18 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
+from repro.engine.cache import DecisionCache
+from repro.engine.frontier import FrontierRunner
 from repro.errors import ConfigurationError
+from repro.model.graph import Graph
+from repro.model.identifiers import IdentifierAssignment
 from repro.model.trace import ExecutionTrace
 from repro.utils.validation import require_positive_int
+
+if TYPE_CHECKING:  # pragma: no cover - import for type checkers only
+    from repro.core.algorithm import BallAlgorithm
 
 
 @dataclass(frozen=True)
@@ -122,3 +129,32 @@ def simulation_speedup(trace: ExecutionTrace, processors: int) -> float:
     if greedy == 0:
         return math.inf
     return naive / greedy
+
+
+def simulate_and_schedule(
+    graph: Graph,
+    ids: IdentifierAssignment,
+    algorithm: "BallAlgorithm",
+    processors: int,
+    runner: Optional[FrontierRunner] = None,
+    longest_first: bool = False,
+) -> tuple[ExecutionTrace, ScheduleResult, float]:
+    """Run the algorithm through the engine and schedule its node-jobs.
+
+    The end-to-end version of the paper's application: execute the LOCAL
+    algorithm (via the engine's fast path), turn the per-node radii into
+    jobs, list-schedule them on ``processors`` processors, and report
+    ``(trace, greedy schedule, naive/greedy speedup)``.
+
+    Pass an existing :class:`~repro.engine.frontier.FrontierRunner` to share
+    its session (precomputation and decision cache) across several
+    assignments of the same instance.
+    """
+    if runner is None:
+        runner = FrontierRunner(graph, algorithm, cache=DecisionCache(algorithm))
+    trace = runner.run(ids)
+    durations = [max(1, radius) for radius in trace.radii().values()]
+    schedule = list_schedule(durations, processors, longest_first=longest_first)
+    naive = naive_makespan(durations, processors)
+    speedup = math.inf if schedule.makespan == 0 else naive / schedule.makespan
+    return trace, schedule, speedup

@@ -8,7 +8,12 @@ any Python:
 * ``run-experiment E1 [--small]``  — run one experiment and print its table;
 * ``simulate --algorithm largest-id --n 64 --topology cycle [--ids random]``
                                    — one simulation run with both measures;
-* ``gap --n 256``                  — the headline numbers of the paper in one line.
+* ``gap --n 256``                  — the headline numbers of the paper in one line;
+* ``sweep --topologies cycle,path --sizes 8,16 --algorithms largest-id``
+                                   — run an engine campaign over a
+                                     (topology × n × algorithm × adversary)
+                                     grid, print the rows and optionally
+                                     write them as JSON.
 
 The CLI prints plain text only (tables and, where helpful, ASCII plots), so
 its output can be piped into files or diffed between runs.
@@ -22,6 +27,13 @@ from typing import Callable, Sequence
 from repro.algorithms.registry import algorithm_registry, make_algorithm
 from repro.core.certification import certify
 from repro.core.runner import run_ball_algorithm
+from repro.engine.campaign import (
+    ADVERSARY_NAMES,
+    TOPOLOGY_BUILDERS,
+    CampaignSpec,
+    run_campaign,
+    write_rows,
+)
 from repro.errors import ConfigurationError
 from repro.model.identifiers import (
     IdentifierAssignment,
@@ -33,12 +45,8 @@ from repro.model.identifiers import (
 from repro.model.rounds import run_round_algorithm
 from repro.theory.bounds import largest_id_average_upper_bound, largest_id_worst_case_bound
 from repro.theory.recurrence import worst_case_cycle_arrangement
-from repro.topology.complete import complete_graph
-from repro.topology.cycle import cycle_graph
-from repro.topology.grid import grid_graph
-from repro.topology.path import path_graph
-from repro.topology.random_graphs import gnp_random_graph, random_tree
 from repro.utils.ascii_plot import plot_experiment_column
+from repro.utils.tables import Table
 
 #: Identifier-family names accepted by ``simulate``.
 ID_FAMILIES: dict[str, Callable[[int, int], IdentifierAssignment]] = {
@@ -49,15 +57,9 @@ ID_FAMILIES: dict[str, Callable[[int, int], IdentifierAssignment]] = {
     "worst-largest-id": lambda n, seed: IdentifierAssignment(worst_case_cycle_arrangement(n)),
 }
 
-#: Topology names accepted by ``simulate``.
-TOPOLOGIES: dict[str, Callable[[int, int], object]] = {
-    "cycle": lambda n, seed: cycle_graph(n),
-    "path": lambda n, seed: path_graph(n),
-    "grid": lambda n, seed: grid_graph(max(2, int(round(n**0.5))), max(2, int(round(n**0.5)))),
-    "complete": lambda n, seed: complete_graph(n),
-    "random-tree": lambda n, seed: random_tree(n, seed=seed),
-    "gnp": lambda n, seed: gnp_random_graph(n, min(0.9, 8.0 / n), seed=seed),
-}
+#: Topology names accepted by ``simulate`` and ``sweep`` — the engine's
+#: campaign registry, re-exported under the CLI's historical name.
+TOPOLOGIES = TOPOLOGY_BUILDERS
 
 
 def _experiment_modules():
@@ -120,6 +122,45 @@ def build_parser() -> argparse.ArgumentParser:
 
     gap_parser = commands.add_parser("gap", help="print the paper's headline gap at one size")
     gap_parser.add_argument("--n", type=int, default=256)
+
+    sweep_parser = commands.add_parser(
+        "sweep",
+        help="run an engine campaign over a (topology x n x algorithm x adversary) grid",
+    )
+    sweep_parser.add_argument(
+        "--topologies",
+        default="cycle",
+        help="comma-separated topology names (see `simulate --topology` choices)",
+    )
+    sweep_parser.add_argument(
+        "--sizes", default="8", help="comma-separated node counts, e.g. 8,16,32"
+    )
+    sweep_parser.add_argument(
+        "--algorithms",
+        default="largest-id",
+        help="comma-separated registered algorithm names",
+    )
+    sweep_parser.add_argument(
+        "--adversaries",
+        default="random-search",
+        help=f"comma-separated adversary names among {', '.join(ADVERSARY_NAMES)}",
+    )
+    sweep_parser.add_argument(
+        "--objective", default="average", choices=("average", "max", "sum")
+    )
+    sweep_parser.add_argument(
+        "--samples", type=int, default=16, help="random-search budget per cell"
+    )
+    sweep_parser.add_argument(
+        "--restarts", type=int, default=2, help="local-search restarts per cell"
+    )
+    sweep_parser.add_argument("--seed", type=int, default=0)
+    sweep_parser.add_argument(
+        "--workers", type=int, default=1, help="worker processes for the cell grid"
+    )
+    sweep_parser.add_argument(
+        "--output", default=None, help="write the result rows to this JSON file"
+    )
 
     return parser
 
@@ -187,6 +228,58 @@ def _cmd_gap(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_csv(raw: str) -> tuple[str, ...]:
+    return tuple(item.strip() for item in raw.split(",") if item.strip())
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    try:
+        sizes = tuple(int(item) for item in _parse_csv(args.sizes))
+    except ValueError as exc:
+        raise ConfigurationError(f"--sizes must be comma-separated integers: {exc}") from exc
+    spec = CampaignSpec(
+        topologies=_parse_csv(args.topologies),
+        sizes=sizes,
+        algorithms=_parse_csv(args.algorithms),
+        adversaries=_parse_csv(args.adversaries),
+        objective=args.objective,
+        seed=args.seed,
+        samples=args.samples,
+        restarts=args.restarts,
+    )
+    rows = run_campaign(spec, workers=args.workers)
+    table = Table(
+        columns=(
+            "topology",
+            "n",
+            "algorithm",
+            "adversary",
+            "value",
+            "evaluations",
+            "exact",
+            "cache_hit_rate",
+        ),
+        title=f"sweep: worst-case {args.objective} over identifier assignments",
+    )
+    for row in rows:
+        cache = row.get("cache") or {}
+        table.add_row(
+            topology=row["topology"],
+            n=row["n"],
+            algorithm=row["algorithm"],
+            adversary=row["adversary"],
+            value=row["value"],
+            evaluations=row["evaluations"],
+            exact=row["exact"],
+            cache_hit_rate=cache.get("hit_rate", 0.0),
+        )
+    print(table)
+    if args.output:
+        write_rows(rows, args.output)
+        print(f"wrote {len(rows)} rows to {args.output}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point used by ``python -m repro`` and the console script."""
     parser = build_parser()
@@ -201,5 +294,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_simulate(args)
     if args.command == "gap":
         return _cmd_gap(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     parser.error(f"unhandled command {args.command!r}")
     return 2

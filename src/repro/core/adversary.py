@@ -8,6 +8,14 @@ case (the witness assignment is returned so callers can re-verify it).
 
 The adversaries are deliberately algorithm-agnostic: they only observe the
 scalar objective of a full run, never the algorithm's internals.
+
+Every search evaluates thousands of assignments of the *same* graph with the
+*same* algorithm, so all adversaries share one engine session per
+:meth:`Adversary.maximise` call — a
+:class:`~repro.engine.frontier.FrontierRunner` with a
+:class:`~repro.engine.cache.DecisionCache` — and structurally repeated balls
+skip the simulation entirely.  The cache statistics of the search are
+reported on :attr:`AdversaryResult.cache_stats`.
 """
 
 from __future__ import annotations
@@ -15,9 +23,11 @@ from __future__ import annotations
 import abc
 import itertools
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.core.algorithm import BallAlgorithm
-from repro.core.runner import run_ball_algorithm
+from repro.engine.cache import CacheStats, DecisionCache
+from repro.engine.frontier import FrontierRunner
 from repro.errors import AnalysisError, ConfigurationError
 from repro.model.graph import Graph
 from repro.model.identifiers import IdentifierAssignment, identity_assignment, random_assignment
@@ -27,6 +37,14 @@ from repro.utils.validation import require_positive_int
 
 #: Objectives an adversary can maximise.
 OBJECTIVES = ("average", "max", "sum")
+
+
+def validate_objective(objective: str) -> None:
+    """Reject unknown objectives eagerly, before any simulation work."""
+    if objective not in OBJECTIVES:
+        raise AnalysisError(
+            f"unknown objective {objective!r}; expected one of {OBJECTIVES}"
+        )
 
 
 def trace_objective(trace: ExecutionTrace, objective: str) -> float:
@@ -47,6 +65,8 @@ class AdversaryResult:
     ``value`` is the objective achieved by ``assignment`` (whose full trace
     is included), ``evaluations`` counts how many assignments were tried and
     ``exact`` records whether the search provably covered the whole space.
+    ``cache_stats``, when present, summarises the decision-cache hit rate of
+    the engine session that powered the search.
     """
 
     assignment: IdentifierAssignment
@@ -55,6 +75,30 @@ class AdversaryResult:
     objective: str
     evaluations: int
     exact: bool
+    cache_stats: Optional[CacheStats] = None
+
+
+#: Memory bound for the per-search decision caches: long searches on graphs
+#: with mostly-distinct balls would otherwise grow the table linearly with
+#: the number of evaluations.
+SESSION_CACHE_MAX_ENTRIES = 1 << 18
+
+
+class _SessionEvaluator:
+    """One engine session (runner + decision cache) for a whole search."""
+
+    def __init__(self, graph: Graph, algorithm: BallAlgorithm, objective: str) -> None:
+        self.cache = DecisionCache(algorithm, max_entries=SESSION_CACHE_MAX_ENTRIES)
+        self.runner = FrontierRunner(graph, algorithm, cache=self.cache)
+        self.objective = objective
+
+    def __call__(self, ids: IdentifierAssignment) -> tuple[ExecutionTrace, float]:
+        trace = self.runner.run(ids)
+        return trace, trace_objective(trace, self.objective)
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        return self.cache.stats
 
 
 class Adversary(abc.ABC):
@@ -70,6 +114,9 @@ class Adversary(abc.ABC):
     def _evaluate(
         graph: Graph, ids: IdentifierAssignment, algorithm: BallAlgorithm, objective: str
     ) -> tuple[ExecutionTrace, float]:
+        """One-shot evaluation (compatibility path; searches use a session)."""
+        from repro.core.runner import run_ball_algorithm
+
         trace = run_ball_algorithm(graph, ids, algorithm)
         return trace, trace_objective(trace, objective)
 
@@ -88,16 +135,18 @@ class ExhaustiveAdversary(Adversary):
     def maximise(
         self, graph: Graph, algorithm: BallAlgorithm, objective: str = "average"
     ) -> AdversaryResult:
+        validate_objective(objective)
         if graph.n > self.max_nodes:
             raise ConfigurationError(
                 f"ExhaustiveAdversary is limited to {self.max_nodes} nodes "
                 f"(got {graph.n}); use RandomSearchAdversary or LocalSearchAdversary"
             )
+        evaluate = _SessionEvaluator(graph, algorithm, objective)
         best: AdversaryResult | None = None
         evaluations = 0
         for permutation in itertools.permutations(range(graph.n)):
             ids = IdentifierAssignment(permutation)
-            trace, value = self._evaluate(graph, ids, algorithm, objective)
+            trace, value = evaluate(ids)
             evaluations += 1
             if best is None or value > best.value:
                 best = AdversaryResult(
@@ -117,6 +166,7 @@ class ExhaustiveAdversary(Adversary):
             objective=objective,
             evaluations=evaluations,
             exact=True,
+            cache_stats=evaluate.cache_stats,
         )
 
 
@@ -131,11 +181,13 @@ class RandomSearchAdversary(Adversary):
     def maximise(
         self, graph: Graph, algorithm: BallAlgorithm, objective: str = "average"
     ) -> AdversaryResult:
+        validate_objective(objective)
         rng = make_rng(self.seed)
+        evaluate = _SessionEvaluator(graph, algorithm, objective)
         best: AdversaryResult | None = None
         for index in range(self.samples):
             ids = random_assignment(graph.n, seed=rng.getrandbits(64))
-            trace, value = self._evaluate(graph, ids, algorithm, objective)
+            trace, value = evaluate(ids)
             if best is None or value > best.value:
                 best = AdversaryResult(
                     assignment=ids,
@@ -153,6 +205,7 @@ class RandomSearchAdversary(Adversary):
             objective=objective,
             evaluations=self.samples,
             exact=False,
+            cache_stats=evaluate.cache_stats,
         )
 
 
@@ -162,6 +215,10 @@ class LocalSearchAdversary(Adversary):
     Each restart begins from a random assignment and repeatedly applies the
     best improving swap among a random sample of position pairs; the search
     stops when no sampled swap improves the objective.
+
+    Swaps move only two identifiers, so consecutive candidates share almost
+    every ball — the access pattern on which the shared decision cache pays
+    off the most.
     """
 
     def __init__(
@@ -182,19 +239,21 @@ class LocalSearchAdversary(Adversary):
     def maximise(
         self, graph: Graph, algorithm: BallAlgorithm, objective: str = "average"
     ) -> AdversaryResult:
+        validate_objective(objective)
         rng = make_rng(self.seed)
+        evaluate = _SessionEvaluator(graph, algorithm, objective)
         best: AdversaryResult | None = None
         evaluations = 0
         for _ in range(self.restarts):
             current = random_assignment(graph.n, seed=rng.getrandbits(64))
-            current_trace, current_value = self._evaluate(graph, current, algorithm, objective)
+            current_trace, current_value = evaluate(current)
             evaluations += 1
             for _ in range(self.max_steps):
                 improved = False
                 for _ in range(self.swaps_per_step):
                     a, b = rng.sample(range(graph.n), 2) if graph.n > 1 else (0, 0)
                     candidate = current.with_swap(a, b)
-                    trace, value = self._evaluate(graph, candidate, algorithm, objective)
+                    trace, value = evaluate(candidate)
                     evaluations += 1
                     if value > current_value:
                         current, current_trace, current_value = candidate, trace, value
@@ -218,6 +277,7 @@ class LocalSearchAdversary(Adversary):
             objective=objective,
             evaluations=evaluations,
             exact=False,
+            cache_stats=evaluate.cache_stats,
         )
 
 
@@ -237,15 +297,17 @@ class RotationAdversary(Adversary):
     def maximise(
         self, graph: Graph, algorithm: BallAlgorithm, objective: str = "average"
     ) -> AdversaryResult:
+        validate_objective(objective)
         base = self.base if self.base is not None else identity_assignment(graph.n)
         if base.n != graph.n:
             raise ConfigurationError(
                 f"base assignment covers {base.n} positions but graph has {graph.n}"
             )
+        evaluate = _SessionEvaluator(graph, algorithm, objective)
         best: AdversaryResult | None = None
         for shift in range(graph.n):
             ids = base.rotated(shift)
-            trace, value = self._evaluate(graph, ids, algorithm, objective)
+            trace, value = evaluate(ids)
             if best is None or value > best.value:
                 best = AdversaryResult(
                     assignment=ids,
@@ -264,4 +326,5 @@ class RotationAdversary(Adversary):
             objective=objective,
             evaluations=graph.n,
             exact=False,
+            cache_stats=evaluate.cache_stats,
         )

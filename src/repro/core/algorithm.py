@@ -36,6 +36,17 @@ class BallAlgorithm(abc.ABC):
     #: ``"3-coloring"``); used to look up the matching certifier.
     problem: str = "unspecified"
 
+    #: Whether :meth:`decide` depends only on the *relative order* of the
+    #: identifiers in the ball (never on their numeric values) and returns
+    #: outputs that contain no identifiers.  Order-invariant algorithms
+    #: behave identically on balls related by an order-preserving renaming
+    #: of identifiers, which lets the engine's decision cache memoise on the
+    #: id-relabeled ball signature — a dramatically smaller key space.  The
+    #: safe default is ``False``, under which caching uses the exact
+    #: signature (actual identifiers included), sound for every
+    #: deterministic algorithm.
+    order_invariant: bool = False
+
     @abc.abstractmethod
     def decide(self, ball: BallView) -> Optional[Any]:
         """Output for the centre of ``ball``, or ``None`` to keep growing."""
@@ -67,10 +78,12 @@ class FunctionBallAlgorithm(BallAlgorithm):
         decide: Callable[[BallView], Optional[Any]],
         name: str = "function-algorithm",
         problem: str = "unspecified",
+        order_invariant: bool = False,
     ) -> None:
         self._decide = decide
         self.name = name
         self.problem = problem
+        self.order_invariant = order_invariant
 
     def decide(self, ball: BallView) -> Optional[Any]:
         return self._decide(ball)

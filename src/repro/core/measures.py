@@ -21,6 +21,8 @@ from typing import Iterable, Sequence
 from repro.core.adversary import Adversary, AdversaryResult, trace_objective
 from repro.core.algorithm import BallAlgorithm
 from repro.core.runner import run_ball_algorithm
+from repro.engine.cache import DecisionCache
+from repro.engine.frontier import FrontierRunner
 from repro.errors import AnalysisError
 from repro.model.graph import Graph
 from repro.model.identifiers import IdentifierAssignment
@@ -110,7 +112,11 @@ def expected_measures_over_random_ids(
     """
     if not assignments:
         raise AnalysisError("expected_measures_over_random_ids needs at least one assignment")
-    traces = [run_ball_algorithm(graph, ids, algorithm) for ids in assignments]
+    # One engine session for the whole Monte-Carlo batch: the decision cache
+    # is shared across samples, so balls repeated between permutations are
+    # simulated once.
+    runner = FrontierRunner(graph, algorithm, cache=DecisionCache(algorithm))
+    traces = [runner.run(ids) for ids in assignments]
     expected_average = sum(trace.average_radius for trace in traces) / len(traces)
     expected_max = sum(trace.max_radius for trace in traces) / len(traces)
     return expected_average, expected_max

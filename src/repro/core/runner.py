@@ -10,6 +10,13 @@ A correct LOCAL algorithm must output once its ball covers the whole graph
 (there is nothing more to learn); the runner allows one extra radius beyond
 that point and then raises :class:`~repro.errors.AlgorithmError`, so that a
 buggy algorithm cannot silently spin forever.
+
+Since the engine subsystem landed, the public functions here are thin
+compatibility wrappers over :class:`repro.engine.frontier.FrontierRunner`,
+which grows balls incrementally instead of re-extracting them from scratch.
+The original from-scratch loop is preserved as
+:func:`reference_run_ball_algorithm`; the property suite asserts the two
+paths produce identical traces, and the benchmarks measure the gap.
 """
 
 from __future__ import annotations
@@ -17,11 +24,29 @@ from __future__ import annotations
 from typing import Iterable, Optional
 
 from repro.core.algorithm import BallAlgorithm
+from repro.engine.batch import run_simulation_batch
+from repro.engine.frontier import FrontierRunner
 from repro.errors import AlgorithmError, TopologyError
 from repro.model.ball import extract_ball
 from repro.model.graph import Graph
 from repro.model.identifiers import IdentifierAssignment
 from repro.model.trace import ExecutionTrace, NodeRecord
+
+
+def _validate_instance(
+    graph: Graph, ids: IdentifierAssignment, algorithm: BallAlgorithm
+) -> None:
+    """The legacy pre-flight checks, in their original order."""
+    if ids.n != graph.n:
+        raise TopologyError(
+            f"identifier assignment covers {ids.n} positions but graph has {graph.n}"
+        )
+    if not graph.is_connected():
+        raise TopologyError("the LOCAL simulators require a connected graph")
+    if not algorithm.supports_graph(graph):
+        raise TopologyError(
+            f"algorithm {algorithm.name!r} does not support graph {graph.name!r}"
+        )
 
 
 def run_ball_algorithm(
@@ -48,17 +73,34 @@ def run_ball_algorithm(
     -------
     ExecutionTrace
         Per-node radii and outputs.
+
+    Notes
+    -----
+    Executes through the engine's :class:`~repro.engine.frontier.FrontierRunner`.
+    Callers that run the same ``(graph, algorithm)`` pair on many assignments
+    should build one session themselves (optionally with a
+    :class:`~repro.engine.cache.DecisionCache`) to amortise precomputation.
     """
-    if ids.n != graph.n:
-        raise TopologyError(
-            f"identifier assignment covers {ids.n} positions but graph has {graph.n}"
-        )
-    if not graph.is_connected():
-        raise TopologyError("the LOCAL simulators require a connected graph")
-    if not algorithm.supports_graph(graph):
-        raise TopologyError(
-            f"algorithm {algorithm.name!r} does not support graph {graph.name!r}"
-        )
+    _validate_instance(graph, ids, algorithm)
+    runner = FrontierRunner(graph, algorithm, max_radius=max_radius, validate=False)
+    return runner.run(ids)
+
+
+def reference_run_ball_algorithm(
+    graph: Graph,
+    ids: IdentifierAssignment,
+    algorithm: BallAlgorithm,
+    max_radius: Optional[int] = None,
+) -> ExecutionTrace:
+    """The original node-by-node, from-scratch runner.
+
+    Kept as the executable specification of :func:`run_ball_algorithm`: it
+    re-extracts every ball with :func:`~repro.model.ball.extract_ball` and
+    never shares work between radii, nodes or runs.  The property tests
+    assert trace equality against the engine, and
+    ``benchmarks/test_bench_engine.py`` uses it as the legacy baseline.
+    """
+    _validate_instance(graph, ids, algorithm)
     records: dict[int, NodeRecord] = {}
     for position in graph.positions():
         cap = max_radius if max_radius is not None else graph.eccentricity(position) + 1
@@ -89,12 +131,24 @@ def run_on_assignments(
     assignments: Iterable[IdentifierAssignment],
     algorithm: BallAlgorithm,
     max_radius: Optional[int] = None,
+    workers: Optional[int] = 1,
 ) -> list[ExecutionTrace]:
-    """Run the algorithm on several identifier assignments of the same graph."""
-    return [
-        run_ball_algorithm(graph, ids, algorithm, max_radius=max_radius)
-        for ids in assignments
-    ]
+    """Run the algorithm on several identifier assignments of the same graph.
+
+    All assignments share one engine session (with a decision cache), and
+    ``workers > 1`` shards them across processes via the engine's
+    :class:`~repro.engine.batch.BatchExecutor` — results keep input order
+    either way.
+    """
+    assignments = list(assignments)
+    for ids in assignments:
+        if ids.n != graph.n:
+            raise TopologyError(
+                f"identifier assignment covers {ids.n} positions but graph has {graph.n}"
+            )
+    return run_simulation_batch(
+        graph, assignments, algorithm, max_radius=max_radius, workers=workers
+    )
 
 
 def node_radius(
@@ -110,16 +164,5 @@ def node_radius(
     example when scanning many identifier assignments for a vertex with a
     large radius, as in the lower-bound construction of Theorem 1.
     """
-    if ids.n != graph.n:
-        raise TopologyError(
-            f"identifier assignment covers {ids.n} positions but graph has {graph.n}"
-        )
-    cap = max_radius if max_radius is not None else graph.eccentricity(position) + 1
-    for radius in range(cap + 1):
-        ball = extract_ball(graph, ids, position, radius)
-        if algorithm.decide(ball) is not None:
-            return radius
-    raise AlgorithmError(
-        f"algorithm {algorithm.name!r} refused to output at position {position} "
-        f"even at radius {cap}"
-    )
+    runner = FrontierRunner(graph, algorithm, max_radius=max_radius, validate=False)
+    return runner.node_radius(ids, position)

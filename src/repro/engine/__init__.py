@@ -1,0 +1,52 @@
+"""High-throughput simulation engine.
+
+The fast execution path for the whole library, layered as:
+
+* :mod:`repro.engine.frontier` — :class:`FrontierRunner`, a per-``(graph,
+  algorithm)`` session that grows every node's ball incrementally by
+  frontier BFS and advances all undecided nodes round by round;
+* :mod:`repro.engine.cache` — :class:`DecisionCache`, memoising
+  ``algorithm.decide`` on canonical (optionally id-relabeled) ball
+  signatures, with hit/miss statistics;
+* :mod:`repro.engine.batch` — :class:`BatchExecutor`, deterministic
+  multiprocessing fan-out with per-task seeding;
+* :mod:`repro.engine.campaign` — declarative sweep campaigns over
+  (topology × n × algorithm × adversary) grids, exposed as ``repro sweep``.
+
+The legacy entry points (:func:`repro.core.runner.run_ball_algorithm`, the
+adversaries, the measures) are thin wrappers over this package, so existing
+code gets the fast path for free; the engine's traces are bit-identical to
+the legacy runner's (see ``tests/property/test_property_engine.py``).
+"""
+
+from repro.engine.batch import BatchExecutor, derive_task_seed, run_simulation_batch
+from repro.engine.cache import CacheStats, DecisionCache
+from repro.engine.campaign import (
+    ADVERSARY_NAMES,
+    TOPOLOGY_BUILDERS,
+    CampaignCell,
+    CampaignSpec,
+    build_topology,
+    load_rows,
+    run_campaign,
+    write_rows,
+)
+from repro.engine.frontier import FrontierRunner, frontier_run
+
+__all__ = [
+    "ADVERSARY_NAMES",
+    "BatchExecutor",
+    "CacheStats",
+    "CampaignCell",
+    "CampaignSpec",
+    "DecisionCache",
+    "FrontierRunner",
+    "TOPOLOGY_BUILDERS",
+    "build_topology",
+    "derive_task_seed",
+    "frontier_run",
+    "load_rows",
+    "run_campaign",
+    "run_simulation_batch",
+    "write_rows",
+]

@@ -1,0 +1,131 @@
+"""Parallel fan-out of simulations over processes.
+
+Sweeps over identifier assignments, graphs and campaign cells are
+embarrassingly parallel: every task is a pure function of its inputs.
+:class:`BatchExecutor` shards such tasks over a ``multiprocessing`` pool and
+returns results **in submission order**, so parallel runs are bit-identical
+to serial ones.
+
+Determinism across workers is preserved by *per-task seeding*: any task that
+needs randomness derives its seed with :func:`derive_task_seed`, a stable
+hash of the base seed and the task's coordinates.  Adding workers, removing
+workers or reordering the schedule therefore never changes a task's random
+stream.
+
+Worker payloads must be picklable; the module-level worker functions
+(:func:`simulate_shard`) reconstruct sessions inside the worker so each
+process pays the per-graph precomputation once per shard, not once per task.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+from typing import TYPE_CHECKING, Callable, Optional, Sequence, TypeVar
+
+from repro.engine.cache import DecisionCache
+from repro.engine.frontier import FrontierRunner
+from repro.model.graph import Graph
+from repro.model.identifiers import IdentifierAssignment
+from repro.model.trace import ExecutionTrace
+
+if TYPE_CHECKING:  # pragma: no cover - import for type checkers only
+    from repro.core.algorithm import BallAlgorithm
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def derive_task_seed(base_seed: int, *coordinates: object) -> int:
+    """A deterministic 63-bit seed for the task at the given coordinates.
+
+    Stable across processes, Python versions and worker counts (it hashes the
+    ``repr`` of the coordinates with BLAKE2b rather than relying on
+    ``hash()``, which is salted per interpreter).
+    """
+    digest = hashlib.blake2b(
+        repr((base_seed,) + coordinates).encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") >> 1
+
+
+class BatchExecutor:
+    """Run picklable tasks across a process pool, preserving order.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes.  ``None`` uses the CPU count; ``1`` (or
+        fewer tasks than two) runs serially in-process, which keeps small
+        jobs free of pool start-up cost and makes the executor safe to use
+        unconditionally.
+    """
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+
+    def map(self, fn: Callable[[T], R], payloads: Sequence[T]) -> list[R]:
+        """Apply ``fn`` to every payload, in order; fan out when worthwhile."""
+        payloads = list(payloads)
+        if self.workers == 1 or len(payloads) <= 1:
+            return [fn(payload) for payload in payloads]
+        processes = min(self.workers, len(payloads))
+        with multiprocessing.get_context().Pool(processes=processes) as pool:
+            return pool.map(fn, payloads)
+
+
+def simulate_shard(
+    payload: tuple[Graph, "BallAlgorithm", tuple[IdentifierAssignment, ...], Optional[int], bool],
+) -> list[ExecutionTrace]:
+    """Worker: run one session over a shard of identifier assignments.
+
+    The shard shares a single :class:`FrontierRunner` (and, when requested, a
+    :class:`DecisionCache`), so the per-graph precomputation and the memoised
+    decisions are amortised across the whole shard.
+    """
+    graph, algorithm, assignments, max_radius, use_cache = payload
+    cache = DecisionCache(algorithm) if use_cache else None
+    runner = FrontierRunner(graph, algorithm, cache=cache, max_radius=max_radius)
+    return [runner.run(ids) for ids in assignments]
+
+
+def run_simulation_batch(
+    graph: Graph,
+    assignments: Sequence[IdentifierAssignment],
+    algorithm: "BallAlgorithm",
+    max_radius: Optional[int] = None,
+    workers: Optional[int] = 1,
+    use_cache: bool = True,
+) -> list[ExecutionTrace]:
+    """Run one algorithm on many assignments, optionally across processes.
+
+    Returns one trace per assignment, in input order, regardless of the
+    worker count.  With ``workers=1`` everything runs in-process through a
+    single shared session, which is also the fastest choice for small
+    batches.
+    """
+    assignments = list(assignments)
+    if not assignments:
+        return []
+    executor = BatchExecutor(workers)
+    shard_count = min(executor.workers, len(assignments))
+    if shard_count == 1:
+        return simulate_shard((graph, algorithm, tuple(assignments), max_radius, use_cache))
+    shards: list[list[IdentifierAssignment]] = [[] for _ in range(shard_count)]
+    for index, ids in enumerate(assignments):
+        shards[index % shard_count].append(ids)
+    payloads = [
+        (graph, algorithm, tuple(shard), max_radius, use_cache) for shard in shards
+    ]
+    results = executor.map(simulate_shard, payloads)
+    # Undo the round-robin sharding to restore input order.
+    traces: list[Optional[ExecutionTrace]] = [None] * len(assignments)
+    for shard_index, shard_traces in enumerate(results):
+        for offset, trace in enumerate(shard_traces):
+            traces[shard_index + offset * shard_count] = trace
+    return [trace for trace in traces if trace is not None]

@@ -1,0 +1,232 @@
+"""Declarative sweep campaigns over (topology × n × algorithm × adversary).
+
+The ROADMAP's north star — scale, speed, scenario diversity — needs a way to
+say "run *this grid* of adversarial searches" without hand-writing loops.  A
+:class:`CampaignSpec` declares the grid; :func:`run_campaign` expands it into
+deterministic cells, shards the cells across a
+:class:`~repro.engine.batch.BatchExecutor`, and returns one JSON-friendly row
+per cell (objective value, witness evaluations, cache hit rate, wall time).
+
+Rows can be written with :func:`write_rows` and rendered into
+``EXPERIMENTS.md`` by ``scripts/generate_experiments_md.py --campaign``.
+The ``repro sweep`` CLI subcommand is a thin front-end over this module.
+
+Determinism: every cell derives its private seed from the campaign seed and
+its own coordinates (:func:`~repro.engine.batch.derive_task_seed`), so the
+same spec produces the same rows at any worker count.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.engine.batch import BatchExecutor, derive_task_seed
+from repro.errors import ConfigurationError
+from repro.model.graph import Graph
+from repro.topology.complete import complete_graph
+from repro.topology.cycle import cycle_graph
+from repro.topology.grid import grid_graph
+from repro.topology.path import path_graph
+from repro.topology.random_graphs import gnp_random_graph, random_tree
+
+#: Topology name -> builder ``(n, seed) -> Graph``.  The CLI's ``simulate``
+#: and ``sweep`` subcommands share this registry.
+TOPOLOGY_BUILDERS: dict[str, Callable[[int, int], Graph]] = {
+    "cycle": lambda n, seed: cycle_graph(n),
+    "path": lambda n, seed: path_graph(n),
+    "grid": lambda n, seed: grid_graph(max(2, int(round(n**0.5))), max(2, int(round(n**0.5)))),
+    "complete": lambda n, seed: complete_graph(n),
+    "random-tree": lambda n, seed: random_tree(n, seed=seed),
+    "gnp": lambda n, seed: gnp_random_graph(n, min(0.9, 8.0 / n), seed=seed),
+}
+
+#: Adversary strategies a campaign cell can request.
+ADVERSARY_NAMES = ("exhaustive", "random-search", "local-search", "rotation")
+
+#: Objectives a campaign can maximise (mirrors repro.core.adversary.OBJECTIVES,
+#: restated here so spec validation stays core-import-free).
+OBJECTIVE_NAMES = ("average", "max", "sum")
+
+
+def build_topology(name: str, n: int, seed: int) -> Graph:
+    """Instantiate a registered topology (raises on unknown names)."""
+    try:
+        builder = TOPOLOGY_BUILDERS[name]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown topology {name!r}; known: {', '.join(sorted(TOPOLOGY_BUILDERS))}"
+        ) from exc
+    return builder(n, seed)
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One fully specified point of the sweep grid."""
+
+    index: int
+    topology: str
+    n: int
+    algorithm: str
+    adversary: str
+    objective: str
+    seed: int
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A grid of adversarial searches plus the search budgets.
+
+    The grid is the full cartesian product ``topologies × sizes ×
+    algorithms × adversaries`` under one ``objective``; the budget fields
+    parameterise the non-exhaustive adversaries.
+    """
+
+    topologies: tuple[str, ...] = ("cycle",)
+    sizes: tuple[int, ...] = (8,)
+    algorithms: tuple[str, ...] = ("largest-id",)
+    adversaries: tuple[str, ...] = ("random-search",)
+    objective: str = "average"
+    seed: int = 0
+    samples: int = 16
+    restarts: int = 2
+    swaps_per_step: int = 16
+    max_steps: int = 32
+    exhaustive_max_nodes: int = 9
+
+    def __post_init__(self) -> None:
+        for name in self.topologies:
+            if name not in TOPOLOGY_BUILDERS:
+                raise ConfigurationError(
+                    f"unknown topology {name!r}; known: {', '.join(sorted(TOPOLOGY_BUILDERS))}"
+                )
+        for name in self.adversaries:
+            if name not in ADVERSARY_NAMES:
+                raise ConfigurationError(
+                    f"unknown adversary {name!r}; known: {', '.join(ADVERSARY_NAMES)}"
+                )
+        if self.objective not in OBJECTIVE_NAMES:
+            raise ConfigurationError(
+                f"unknown objective {self.objective!r}; known: {', '.join(OBJECTIVE_NAMES)}"
+            )
+
+    def cells(self) -> list[CampaignCell]:
+        """Expand the grid into deterministic, individually seeded cells."""
+        grid = itertools.product(
+            self.topologies, self.sizes, self.algorithms, self.adversaries
+        )
+        return [
+            CampaignCell(
+                index=index,
+                topology=topology,
+                n=n,
+                algorithm=algorithm,
+                adversary=adversary,
+                objective=self.objective,
+                seed=derive_task_seed(self.seed, topology, n, algorithm, adversary),
+            )
+            for index, (topology, n, algorithm, adversary) in enumerate(grid)
+        ]
+
+
+def _build_adversary(spec: CampaignSpec, cell: CampaignCell):
+    # Imported here: the engine's lower layers must stay importable without
+    # repro.core (which itself imports the engine).
+    from repro.core.adversary import (
+        ExhaustiveAdversary,
+        LocalSearchAdversary,
+        RandomSearchAdversary,
+        RotationAdversary,
+    )
+
+    if cell.adversary == "exhaustive":
+        return ExhaustiveAdversary(max_nodes=spec.exhaustive_max_nodes)
+    if cell.adversary == "random-search":
+        return RandomSearchAdversary(samples=spec.samples, seed=cell.seed)
+    if cell.adversary == "local-search":
+        return LocalSearchAdversary(
+            restarts=spec.restarts,
+            swaps_per_step=spec.swaps_per_step,
+            max_steps=spec.max_steps,
+            seed=cell.seed,
+        )
+    if cell.adversary == "rotation":
+        return RotationAdversary()
+    raise ConfigurationError(f"unknown adversary {cell.adversary!r}")
+
+
+def _make_ball_algorithm(name: str, n: int):
+    from repro.algorithms.full_gather import BallSimulationOfRounds
+    from repro.algorithms.registry import make_algorithm
+    from repro.core.algorithm import BallAlgorithm
+
+    algorithm = make_algorithm(name, n)
+    if isinstance(algorithm, BallAlgorithm):
+        return algorithm
+    # Round-based algorithms join the grid through the E9 ball compiler.
+    return BallSimulationOfRounds(algorithm)
+
+
+def run_cell(payload: tuple[CampaignSpec, CampaignCell]) -> dict:
+    """Execute one campaign cell and return its JSON-friendly result row."""
+    spec, cell = payload
+    graph = build_topology(cell.topology, cell.n, cell.seed)
+    algorithm = _make_ball_algorithm(cell.algorithm, graph.n)
+    adversary = _build_adversary(spec, cell)
+    started = time.perf_counter()
+    result = adversary.maximise(graph, algorithm, objective=cell.objective)
+    elapsed = time.perf_counter() - started
+    cache_stats = result.cache_stats.as_dict() if result.cache_stats else None
+    return {
+        "index": cell.index,
+        "topology": cell.topology,
+        "n": cell.n,
+        "graph_n": graph.n,
+        "graph": graph.name,
+        "algorithm": cell.algorithm,
+        "adversary": cell.adversary,
+        "objective": cell.objective,
+        "value": result.value,
+        "evaluations": result.evaluations,
+        "exact": result.exact,
+        "witness_ids": list(result.assignment.identifiers()),
+        "cache": cache_stats,
+        "seed": cell.seed,
+        "wall_time_s": elapsed,
+    }
+
+
+def run_campaign(
+    spec: CampaignSpec, workers: Optional[int] = 1
+) -> list[dict]:
+    """Run every cell of the campaign, optionally sharded across processes.
+
+    Rows come back ordered by cell index, identical at any worker count.
+    """
+    cells = spec.cells()
+    payloads = [(spec, cell) for cell in cells]
+    rows = BatchExecutor(workers).map(run_cell, payloads)
+    return sorted(rows, key=lambda row: row["index"])
+
+
+def write_rows(rows: Sequence[dict], path: str) -> None:
+    """Write campaign rows as a JSON document with a self-describing header."""
+    import json
+
+    document = {"kind": "repro-sweep", "version": 1, "rows": list(rows)}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_rows(path: str) -> list[dict]:
+    """Read rows previously written by :func:`write_rows`."""
+    import json
+
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict) or document.get("kind") != "repro-sweep":
+        raise ConfigurationError(f"{path} is not a repro sweep JSON document")
+    return list(document["rows"])

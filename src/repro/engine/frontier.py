@@ -1,0 +1,541 @@
+"""Incremental, round-synchronised execution of ball algorithms.
+
+The legacy runner (:mod:`repro.core.runner`) re-extracts every ball from
+scratch for each ``(node, radius)`` pair: growing a node from radius ``r`` to
+``r + 1`` filters the full distance map again and rescans every member's
+adjacency.  The engine exploits a simple observation: on a fixed graph the
+*structure* of every ball — which positions join at which radius, which
+edges appear, through which ports — is completely independent of the
+identifier assignment.  A :class:`FrontierRunner` session therefore computes
+one **frontier plan** per centre (the BFS layers with their edges and ports,
+discovered incrementally, frontier by frontier) and reuses it across every
+assignment it executes: a single run only translates plan positions into
+identifiers, and all undecided nodes advance round by round in one
+synchronised pass, exactly like the LOCAL model itself.
+
+The plans also make decision memoisation cheap.  Each ``(centre, radius)``
+pair gets an interned **structural key** (computed once per session); the
+per-run part of a cache key is then just the identifier pattern of the
+ball's members in discovery order — ``O(ball)`` work with no sorting of
+edges or ports.  With a :class:`~repro.engine.cache.DecisionCache` attached,
+a cache hit skips both the ball-view construction and ``algorithm.decide``.
+
+The produced :class:`~repro.model.trace.ExecutionTrace` is identical to the
+legacy runner's, a property enforced by
+``tests/property/test_property_engine.py``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.engine.cache import MISSING, DecisionCache
+from repro.errors import AlgorithmError, TopologyError
+from repro.model.ball import BallView
+from repro.model.graph import Graph
+from repro.model.identifiers import IdentifierAssignment
+from repro.model.trace import ExecutionTrace, NodeRecord
+
+if TYPE_CHECKING:  # pragma: no cover - import for type checkers only
+    from repro.core.algorithm import BallAlgorithm
+
+
+class _CenterPlan:
+    """The assignment-independent BFS structure of one centre's balls.
+
+    ``discovery`` lists the ball members in a canonical discovery order
+    (layer by layer, adjacency-scan order within a layer); ``member_counts[r]``
+    and ``edge_counts[r]`` are the prefix lengths covering radius ``r``, so
+    the radius-``r`` ball is always a *prefix* of the discovery and edge
+    streams — growing a ball is mere prefix extension.
+    """
+
+    __slots__ = (
+        "center",
+        "discovery",
+        "distances",
+        "member_counts",
+        "edges",
+        "edge_counts",
+        "layer_streams",
+        "_prefixes",
+        "_view_parts",
+    )
+
+    def __init__(
+        self,
+        center: int,
+        adjacency: list[tuple[tuple[int, int, int], ...]],
+        degrees: tuple[int, ...],
+    ) -> None:
+        self.center = center
+        discovery = [center]
+        distances = [0]
+        # Members get their index when *processed*, so during a layer's scan
+        # ``index_of`` holds exactly the earlier-discovered members.
+        index_of = {center: 0}
+        seen = {center}
+        # Edge stream: (position_a, position_b, port_a_to_b, port_b_to_a),
+        # emitted by the later-discovered endpoint, so each edge appears once.
+        edges: list[tuple[int, int, int, int]] = []
+        self.member_counts = [1]
+        self.edge_counts = [0]
+        # Structural layer streams: per new member, its full-graph degree and
+        # its edges to earlier-discovered members as (earlier_index, ports).
+        # Identical streams <=> structurally indistinguishable growth.
+        layer_streams: list[tuple] = [((degrees[center],),)]
+        frontier = [center]
+        radius = 0
+        while frontier:
+            radius += 1
+            new_positions: list[int] = []
+            for u in frontier:
+                for v, _, _ in adjacency[u]:
+                    if v not in seen:
+                        seen.add(v)
+                        new_positions.append(v)
+            if not new_positions:
+                break
+            stream: list[tuple] = []
+            for v in new_positions:
+                member_edges: list[tuple[int, int, int]] = []
+                for u, port_vu, port_uv in adjacency[v]:
+                    earlier = index_of.get(u)
+                    if earlier is not None:
+                        edges.append((v, u, port_vu, port_uv))
+                        member_edges.append((earlier, port_vu, port_uv))
+                index_of[v] = len(discovery)
+                discovery.append(v)
+                distances.append(radius)
+                stream.append((degrees[v], tuple(member_edges)))
+            self.member_counts.append(len(discovery))
+            self.edge_counts.append(len(edges))
+            layer_streams.append(tuple(stream))
+            frontier = new_positions
+        self.discovery = tuple(discovery)
+        self.distances = tuple(distances)
+        self.edges = tuple(edges)
+        self.layer_streams = layer_streams
+        self._prefixes: list[tuple[int, ...]] = []
+        self._view_parts: list[tuple] = []
+
+    def saturation_radius(self) -> int:
+        """Smallest radius whose ball already contains every reachable node."""
+        return len(self.member_counts) - 1
+
+    def counts_at(self, radius: int) -> tuple[int, int]:
+        """(member prefix length, edge prefix length) of the radius-r ball."""
+        bounded = min(radius, len(self.member_counts) - 1)
+        return self.member_counts[bounded], self.edge_counts[bounded]
+
+    def prefix(self, radius: int) -> tuple[int, ...]:
+        """Members of the radius-``radius`` ball, in discovery order (cached)."""
+        bounded = min(radius, len(self.member_counts) - 1)
+        prefixes = self._prefixes
+        while len(prefixes) <= bounded:
+            prefixes.append(self.discovery[: self.member_counts[len(prefixes)]])
+        return prefixes[bounded]
+
+    def view_parts(
+        self, radius: int, degrees: tuple[int, ...]
+    ) -> tuple[tuple, tuple, tuple, tuple]:
+        """Position-space parts of the radius-``radius`` ball (cached).
+
+        Returns ``(member_items, degree_items, edge_pairs, port_items)`` in
+        position space; :meth:`FrontierRunner._view` translates them into
+        identifier space with C-level comprehensions.  Cached per radius so
+        the Python-level assembly runs once per ``(centre, radius)`` per
+        graph, not once per miss.
+        """
+        bounded = min(radius, len(self.member_counts) - 1)
+        parts = self._view_parts
+        while len(parts) <= bounded:
+            depth = len(parts)
+            members = self.member_counts[depth]
+            edge_count = self.edge_counts[depth]
+            member_items = tuple(
+                (self.discovery[i], self.distances[i]) for i in range(members)
+            )
+            degree_items = tuple(
+                (position, degrees[position]) for position, _ in member_items
+            )
+            edge_pairs = tuple((a, b) for a, b, _, _ in self.edges[:edge_count])
+            port_items = []
+            for a, b, port_ab, port_ba in self.edges[:edge_count]:
+                port_items.append((a, b, port_ab))
+                port_items.append((b, a, port_ba))
+            parts.append((member_items, degree_items, edge_pairs, tuple(port_items)))
+        return parts[bounded]
+
+
+class FrontierRunner:
+    """Fast execution session for one ``(graph, algorithm)`` pair.
+
+    Parameters
+    ----------
+    graph, algorithm:
+        The fixed part of the instance.  Connectivity and
+        ``algorithm.supports_graph`` are checked once at construction
+        (disable with ``validate=False`` when the caller already did).
+    cache:
+        Optional :class:`DecisionCache`; must be bound to ``algorithm``.
+        With a cache, structurally repeated balls skip both the view
+        construction and ``decide``.
+    max_radius:
+        Optional hard cap on the radius explored per node.  Defaults to one
+        more than the node's eccentricity, like the legacy runner.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        algorithm: "BallAlgorithm",
+        cache: Optional[DecisionCache] = None,
+        max_radius: Optional[int] = None,
+        validate: bool = True,
+    ) -> None:
+        if cache is not None:
+            if cache.algorithm is not algorithm:
+                raise AlgorithmError(
+                    "the DecisionCache is bound to a different algorithm instance; "
+                    "decisions would be attributed across algorithms"
+                )
+            try:
+                cache.bind_session(self)
+            except ValueError as exc:
+                raise AlgorithmError(str(exc)) from exc
+        if validate:
+            if not graph.is_connected():
+                raise TopologyError("the LOCAL simulators require a connected graph")
+            if not algorithm.supports_graph(graph):
+                raise TopologyError(
+                    f"algorithm {algorithm.name!r} does not support graph {graph.name!r}"
+                )
+        self.graph = graph
+        self.algorithm = algorithm
+        self.cache = cache
+        self.max_radius = max_radius
+        self._degrees: tuple[int, ...] = tuple(graph.degree(v) for v in graph.positions())
+        # (neighbour, port_v_to_u, port_u_to_v) triples; computing the reverse
+        # ports once per graph replaces one list.index() per ball edge per
+        # extraction in the legacy path.  Adjacency and frontier plans are
+        # pure graph structure, so they are cached *on the graph* and shared
+        # by every session (and every algorithm) that touches it.
+        structure = getattr(graph, "_engine_structure", None)
+        if structure is None:
+            adjacency: list[tuple[tuple[int, int, int], ...]] = []
+            for v in graph.positions():
+                triples = []
+                for port_vu, u in enumerate(graph.neighbors(v)):
+                    triples.append((u, port_vu, graph.port_to(u, v)))
+                adjacency.append(tuple(triples))
+            structure = (adjacency, {})
+            graph._engine_structure = structure  # type: ignore[attr-defined]
+        self._adjacency, self._plans = structure
+        # Interning table for structural keys: same small integer <=> same
+        # structural growth history, across centres and radii.  Per session,
+        # because the interned ids are only meaningful relative to one table.
+        self._intern: dict[tuple, int] = {}
+        self._struct_ids: dict[int, list[int]] = {}
+        self._node_meta: Optional[list[tuple[_CenterPlan, int]]] = None
+        # Fused per-(centre, radius) cache-key parts: (struct_id, prefix),
+        # indexable straight from the hot loop.
+        self._key_parts: dict[int, list[tuple[int, tuple[int, ...]]]] = {}
+
+    # ------------------------------------------------------------------
+    # plans and structural keys
+    # ------------------------------------------------------------------
+    def _plan(self, center: int) -> _CenterPlan:
+        plan = self._plans.get(center)
+        if plan is None:
+            plan = _CenterPlan(center, self._adjacency, self._degrees)
+            self._plans[center] = plan
+        return plan
+
+    def _struct_id(self, plan: _CenterPlan, radius: int) -> int:
+        """Interned structural key of ``plan``'s radius-``radius`` ball.
+
+        Chained interning: the key at radius ``r`` is the interned pair of
+        the key at ``r - 1`` and the layer-``r`` stream, so equality of keys
+        implies equality of the whole growth history *including the radius*
+        (saturated balls keep extending the chain with empty layers).
+        """
+        struct_ids = self._struct_ids.get(plan.center)
+        if struct_ids is None:
+            struct_ids = self._struct_ids[plan.center] = []
+        intern = self._intern
+        while len(struct_ids) <= radius:
+            depth = len(struct_ids)
+            if depth == 0:
+                key: tuple = ("root", plan.layer_streams[0])
+            else:
+                stream = (
+                    plan.layer_streams[depth]
+                    if depth < len(plan.layer_streams)
+                    else ()
+                )
+                key = (struct_ids[depth - 1], stream)
+            struct_ids.append(intern.setdefault(key, len(intern)))
+        return struct_ids[radius]
+
+    # ------------------------------------------------------------------
+    # ball materialisation and decisions
+    # ------------------------------------------------------------------
+    def _cap(self, position: int) -> int:
+        """Radius cap of ``position`` (legacy semantics: eccentricity + 1)."""
+        if self.max_radius is not None:
+            return self.max_radius
+        return self._plan(position).saturation_radius() + 1
+
+    def _view(
+        self, plan: _CenterPlan, radius: int, identifiers: tuple[int, ...]
+    ) -> BallView:
+        """Materialise the radius-``radius`` ball view from the plan prefix."""
+        member_items, degree_items, edge_pairs, port_items = plan.view_parts(
+            radius, self._degrees
+        )
+        return BallView(
+            center_id=identifiers[plan.center],
+            radius=radius,
+            distance_by_id={identifiers[p]: d for p, d in member_items},
+            degree_by_id={identifiers[p]: d for p, d in degree_items},
+            edges=frozenset(
+                frozenset((identifiers[a], identifiers[b])) for a, b in edge_pairs
+            ),
+            port_by_pair={
+                (identifiers[a], identifiers[b]): port for a, b, port in port_items
+            },
+            # The ball is saturated exactly when it holds the whole reachable
+            # component — equivalent to the degree criterion, known for free.
+            full_graph=len(member_items) == len(plan.discovery),
+        )
+
+    def _key_parts_for(
+        self, plan: _CenterPlan, radius: int
+    ) -> list[tuple[int, tuple[int, ...]]]:
+        """Per-centre list of ``(struct_id, member prefix)`` up to ``radius``.
+
+        The hot loop indexes this list directly; it is extended on demand and
+        lives for the whole session, so the Python-level assembly of cache
+        keys runs once per ``(centre, radius)``, not once per decision.
+        """
+        parts = self._key_parts.get(plan.center)
+        if parts is None:
+            parts = self._key_parts[plan.center] = []
+        while len(parts) <= radius:
+            depth = len(parts)
+            parts.append((self._struct_id(plan, depth), plan.prefix(depth)))
+        return parts
+
+    def _key(self, plan: _CenterPlan, radius: int, identifiers: tuple[int, ...]) -> tuple:
+        """Cache key of the radius-``radius`` ball under ``identifiers``.
+
+        The structural half is interned once per session; the per-run half is
+        the identifier pattern of the members in discovery order —
+        relabeled to its argsort (a canonical encoding of the *relative
+        order*) when the cache is order-invariant.
+        """
+        struct_id, prefix = self._key_parts_for(plan, radius)[radius]
+        pattern = tuple(map(identifiers.__getitem__, prefix))
+        if self.cache.relabel_ids:
+            pattern = tuple(sorted(range(len(pattern)), key=pattern.__getitem__))
+        return (struct_id, pattern)
+
+    def _decide(
+        self, plan: _CenterPlan, radius: int, identifiers: tuple[int, ...]
+    ) -> Any:
+        cache = self.cache
+        if cache is None:
+            return self.algorithm.decide(self._view(plan, radius, identifiers))
+        members, _ = plan.counts_at(radius)
+        if cache.pattern_limit is not None and members > cache.pattern_limit:
+            return self.algorithm.decide(self._view(plan, radius, identifiers))
+        key = self._key(plan, radius, identifiers)
+        output = cache.lookup(key)
+        if output is MISSING:
+            output = self.algorithm.decide(self._view(plan, radius, identifiers))
+            cache.store(key, output)
+        return output
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, ids: IdentifierAssignment) -> ExecutionTrace:
+        """Execute the algorithm under ``ids`` and return its trace."""
+        graph = self.graph
+        if ids.n != graph.n:
+            raise TopologyError(
+                f"identifier assignment covers {ids.n} positions but graph has {graph.n}"
+            )
+        identifiers = ids.identifiers()
+        degrees = self._degrees
+        records: dict[int, NodeRecord] = {}
+        exhausted: list[int] = []
+        if self._node_meta is None:
+            self._node_meta = [
+                (self._plan(position), self._cap(position))
+                for position in graph.positions()
+            ]
+        # Per-node run state for the uncached/miss path: live ball dicts grown
+        # lazily by layer deltas (never rebuilt per radius) and only allocated
+        # on the first cache miss.  The views handed to ``decide`` share these
+        # dicts — sound because algorithms are pure functions of the view
+        # that must not retain it across calls.
+        # Entry: [position, plan, cap, built_content_radius, dist, deg, edges,
+        # ports, key_parts] with built_content_radius == -1 while the state
+        # is unallocated.
+        with_cache = self.cache is not None
+        active = [
+            [
+                position,
+                plan,
+                cap,
+                -1,
+                None,
+                None,
+                None,
+                None,
+                self._key_parts_for(plan, 0) if with_cache else None,
+            ]
+            for position, (plan, cap) in enumerate(self._node_meta)
+        ]
+        cache = self.cache
+        decide = self.algorithm.decide
+        # The synchronised sweep below is the hottest loop of the library, so
+        # the cache bookkeeping is inlined (stats are flushed in bulk).
+        table = cache._table if cache is not None else None
+        relabel = cache.relabel_ids if cache is not None else False
+        limit = cache.pattern_limit if cache is not None else None
+        hits = misses = 0
+        radius = 0
+        while active:
+            still_active = []
+            for entry in active:
+                position, plan, cap = entry[0], entry[1], entry[2]
+                member_counts = plan.member_counts
+                content = radius if radius < len(member_counts) else len(member_counts) - 1
+                members = member_counts[content]
+                output = MISSING
+                key = None
+                if table is not None and (limit is None or members <= limit):
+                    parts = entry[8]
+                    if len(parts) <= radius:
+                        self._key_parts_for(plan, radius)
+                    struct_id, prefix = parts[radius]
+                    pattern = tuple(map(identifiers.__getitem__, prefix))
+                    if relabel:
+                        pattern = tuple(
+                            sorted(range(members), key=pattern.__getitem__)
+                        )
+                    key = (struct_id, pattern)
+                    output = table.get(key, MISSING)
+                if output is MISSING:
+                    built = entry[3]
+                    if built < 0:
+                        identifier = identifiers[position]
+                        entry[3] = built = 0
+                        entry[4] = {identifier: 0}
+                        entry[5] = {identifier: degrees[position]}
+                        entry[6] = set()
+                        entry[7] = {}
+                    if built < content:
+                        # Apply the pending layer deltas to the live dicts.
+                        dist, degd, edges, ports = entry[4], entry[5], entry[6], entry[7]
+                        discovery = plan.discovery
+                        distances = plan.distances
+                        for index in range(member_counts[built], members):
+                            member = discovery[index]
+                            member_id = identifiers[member]
+                            dist[member_id] = distances[index]
+                            degd[member_id] = degrees[member]
+                        edge_counts = plan.edge_counts
+                        for a, b, port_ab, port_ba in plan.edges[
+                            edge_counts[built] : edge_counts[content]
+                        ]:
+                            id_a, id_b = identifiers[a], identifiers[b]
+                            edges.add(frozenset((id_a, id_b)))
+                            ports[(id_a, id_b)] = port_ab
+                            ports[(id_b, id_a)] = port_ba
+                        entry[3] = content
+                    view = BallView(
+                        center_id=identifiers[position],
+                        radius=radius,
+                        distance_by_id=entry[4],
+                        degree_by_id=entry[5],
+                        edges=entry[6],
+                        port_by_pair=entry[7],
+                        full_graph=members == len(plan.discovery),
+                    )
+                    output = decide(view)
+                    if key is not None:
+                        misses += 1
+                        cache.store(key, output)
+                elif key is not None:
+                    hits += 1
+                if output is not None:
+                    records[position] = NodeRecord(
+                        position=position,
+                        identifier=identifiers[position],
+                        radius=radius,
+                        output=output,
+                    )
+                elif radius >= cap:
+                    # Keep draining the other nodes so the error below can
+                    # name the first failing position, as the legacy
+                    # node-by-node runner did.
+                    exhausted.append(position)
+                else:
+                    still_active.append(entry)
+            active = still_active
+            radius += 1
+        if cache is not None:
+            cache.stats.hits += hits
+            cache.stats.misses += misses
+        if exhausted:
+            position = min(exhausted)
+            raise AlgorithmError(
+                f"algorithm {self.algorithm.name!r} refused to output at position "
+                f"{position} even at radius {self._cap(position)} "
+                f"(graph {graph.name!r}, n={graph.n})"
+            )
+        return ExecutionTrace(records)
+
+    def node_radius(self, ids: IdentifierAssignment, position: int) -> int:
+        """Radius at which a single node outputs (other nodes are not run)."""
+        graph = self.graph
+        if ids.n != graph.n:
+            raise TopologyError(
+                f"identifier assignment covers {ids.n} positions but graph has {graph.n}"
+            )
+        if not 0 <= position < graph.n:
+            raise TopologyError(f"position {position} outside 0..{graph.n - 1}")
+        identifiers = ids.identifiers()
+        plan = self._plan(position)
+        cap = self._cap(position)
+        for radius in range(cap + 1):
+            if self._decide(plan, radius, identifiers) is not None:
+                return radius
+        raise AlgorithmError(
+            f"algorithm {self.algorithm.name!r} refused to output at position "
+            f"{position} even at radius {cap}"
+        )
+
+
+def frontier_run(
+    graph: Graph,
+    ids: IdentifierAssignment,
+    algorithm: "BallAlgorithm",
+    max_radius: Optional[int] = None,
+    cache: Optional[DecisionCache] = None,
+) -> ExecutionTrace:
+    """One-shot convenience wrapper around :class:`FrontierRunner`.
+
+    For repeated runs on the same graph and algorithm, build one
+    :class:`FrontierRunner` and call :meth:`FrontierRunner.run` per
+    assignment instead — the session amortises the assignment-independent
+    precomputation (frontier plans, port maps, structural keys) and keeps
+    the decision cache warm.
+    """
+    return FrontierRunner(
+        graph, algorithm, cache=cache, max_radius=max_radius
+    ).run(ids)

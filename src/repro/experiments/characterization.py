@@ -32,7 +32,8 @@ from repro.algorithms.largest_id import LargestIdAlgorithm
 from repro.algorithms.mis import GreedyMISByID
 from repro.algorithms.ring_coloring_via_mis import RingColoringViaMIS
 from repro.core.certification import certify
-from repro.core.runner import run_ball_algorithm
+from repro.engine.cache import DecisionCache
+from repro.engine.frontier import FrontierRunner
 from repro.experiments.harness import ExperimentResult
 from repro.model.identifiers import identity_assignment, random_assignment
 from repro.topology.cycle import cycle_graph
@@ -93,8 +94,11 @@ def run(
     for name, algorithm in _algorithms(n):
         averages = []
         maxima = []
+        # One engine session per algorithm: the decision cache is shared
+        # across all identifier assignments of the ring.
+        runner = FrontierRunner(graph, algorithm, cache=DecisionCache(algorithm))
         for ids in assignments + [sorted_ids]:
-            trace = run_ball_algorithm(graph, ids, algorithm)
+            trace = runner.run(ids)
             certify(algorithm.problem, graph, ids, trace)
             averages.append(trace.average_radius)
             maxima.append(trace.max_radius)

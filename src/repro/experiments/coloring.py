@@ -32,9 +32,11 @@ from repro.utils.rng import SeedLike
 from repro.utils.tables import Table
 
 
-def run(sizes: Sequence[int] | None = None, seed: SeedLike = 11) -> ExperimentResult:
+def run(
+    sizes: Sequence[int] | None = None, small: bool = False, seed: SeedLike = 11
+) -> ExperimentResult:
     """Run E3 on the given ring sizes."""
-    sizes = list(sizes) if sizes is not None else default_ring_sizes()
+    sizes = list(sizes) if sizes is not None else default_ring_sizes(small)
     table = Table(
         columns=(
             "n",

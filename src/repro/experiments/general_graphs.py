@@ -20,7 +20,9 @@ from typing import Callable, Sequence
 
 from repro.algorithms.largest_id import LargestIdAlgorithm
 from repro.core.certification import certify
-from repro.core.runner import run_ball_algorithm
+from repro.engine.batch import derive_task_seed
+from repro.engine.cache import DecisionCache
+from repro.engine.frontier import FrontierRunner
 from repro.experiments.harness import ExperimentResult
 from repro.model.graph import Graph
 from repro.model.identifiers import random_assignment
@@ -71,13 +73,20 @@ def run(n: int = 144, samples: int = 4, small: bool = False, seed: SeedLike = 13
         table=table,
     )
     algorithm = LargestIdAlgorithm()
-    for family, builder in _families(n, seed=int(seed) if isinstance(seed, int) else 0):
+    base_seed = int(seed) if isinstance(seed, int) else 0
+    for family, builder in _families(n, seed=base_seed):
         graph = builder()
         averages = []
         maxima = []
+        # All samples of one family share an engine session and its cache.
+        runner = FrontierRunner(graph, algorithm, cache=DecisionCache(algorithm))
         for sample in range(samples):
-            ids = random_assignment(graph.n, seed=(hash((family, sample)) & 0xFFFF) + sample)
-            trace = run_ball_algorithm(graph, ids, algorithm)
+            # derive_task_seed, not hash(): builtin hash() is salted per
+            # interpreter, which made this experiment non-reproducible.
+            ids = random_assignment(
+                graph.n, seed=derive_task_seed(base_seed, family, sample)
+            )
+            trace = runner.run(ids)
             certify("largest-id", graph, ids, trace)
             averages.append(trace.average_radius)
             maxima.append(trace.max_radius)

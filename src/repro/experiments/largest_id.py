@@ -22,7 +22,8 @@ from typing import Sequence
 from repro.algorithms.largest_id import LargestIdAlgorithm
 from repro.core.analysis import fit_growth
 from repro.core.certification import certify
-from repro.core.runner import run_ball_algorithm
+from repro.engine.cache import DecisionCache
+from repro.engine.frontier import FrontierRunner
 from repro.experiments.harness import ExperimentResult, default_ring_sizes
 from repro.model.identifiers import IdentifierAssignment, random_assignment
 from repro.theory.bounds import largest_id_average_upper_bound, largest_id_worst_case_bound
@@ -32,9 +33,11 @@ from repro.utils.rng import SeedLike
 from repro.utils.tables import Table
 
 
-def run(sizes: Sequence[int] | None = None, seed: SeedLike = 7) -> ExperimentResult:
+def run(
+    sizes: Sequence[int] | None = None, small: bool = False, seed: SeedLike = 7
+) -> ExperimentResult:
     """Run E1 on the given ring sizes (defaults to the shared power-of-two sweep)."""
-    sizes = list(sizes) if sizes is not None else default_ring_sizes()
+    sizes = list(sizes) if sizes is not None else default_ring_sizes(small)
     algorithm = LargestIdAlgorithm()
     table = Table(
         columns=(
@@ -58,11 +61,13 @@ def run(sizes: Sequence[int] | None = None, seed: SeedLike = 7) -> ExperimentRes
     maxima = []
     for n in sizes:
         graph = cycle_graph(n)
+        # Both assignments of each size share one engine session (and cache).
+        runner = FrontierRunner(graph, algorithm, cache=DecisionCache(algorithm))
         worst_ids = IdentifierAssignment(worst_case_cycle_arrangement(n))
-        worst_trace = run_ball_algorithm(graph, worst_ids, algorithm)
+        worst_trace = runner.run(worst_ids)
         certify("largest-id", graph, worst_ids, worst_trace)
         random_ids = random_assignment(n, seed=seed)
-        random_trace = run_ball_algorithm(graph, random_ids, algorithm)
+        random_trace = runner.run(random_ids)
         certify("largest-id", graph, random_ids, random_trace)
         avg_bound = largest_id_average_upper_bound(n)
         max_bound = largest_id_worst_case_bound(n)

@@ -21,7 +21,8 @@ from typing import Sequence
 
 from repro.algorithms.largest_id import LargestIdAlgorithm
 from repro.applications.parallel_sim import list_schedule, naive_makespan
-from repro.core.runner import run_ball_algorithm
+from repro.engine.cache import DecisionCache
+from repro.engine.frontier import FrontierRunner
 from repro.experiments.harness import ExperimentResult
 from repro.model.identifiers import random_assignment
 from repro.topology.cycle import cycle_graph
@@ -62,7 +63,9 @@ def run(
     for n in sizes:
         graph = cycle_graph(n)
         ids = random_assignment(n, seed=seed)
-        trace = run_ball_algorithm(graph, ids, algorithm)
+        # Simulate once per size through the engine; the processor sweep only
+        # re-schedules the resulting durations.
+        trace = FrontierRunner(graph, algorithm, cache=DecisionCache(algorithm)).run(ids)
         durations = [max(1, radius) for radius in trace.radii().values()]
         for processors in processor_counts:
             greedy = list_schedule(durations, processors)

@@ -18,14 +18,14 @@ is unknown.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Optional
+from typing import Iterable, Mapping, Optional
 
 from repro.errors import TopologyError
 from repro.model.graph import Graph
 from repro.model.identifiers import IdentifierAssignment
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class BallView:
     """The radius-``radius`` view of a node, keyed by identifiers.
 
@@ -54,6 +54,13 @@ class BallView:
     degree_by_id: Mapping[int, int]
     edges: frozenset[frozenset[int]]
     port_by_pair: Mapping[tuple[int, int], int]
+    #: Optional builder hint for :meth:`covers_whole_graph`: a definite
+    #: boolean when the builder already knows whether the ball is saturated
+    #: (the engine compares the member count against the reachable-component
+    #: size, which is equivalent to the degree criterion).  ``None`` means
+    #: "unknown" and the answer is derived from the degrees.  Derived data:
+    #: excluded from equality, hashing and canonical signatures.
+    full_graph: Optional[bool] = None
 
     # ------------------------------------------------------------------
     # basic queries
@@ -114,9 +121,16 @@ class BallView:
         degree inside the ball, i.e. no visible node has an edge leading
         outside the ball.
         """
+        if self.full_graph is not None:
+            return self.full_graph
+        inside_degree: dict[int, int] = {}
+        for edge in self.edges:
+            a, b = tuple(edge)
+            inside_degree[a] = inside_degree.get(a, 0) + 1
+            inside_degree[b] = inside_degree.get(b, 0) + 1
         return all(
-            self.degree_inside(identifier) == self.degree_by_id[identifier]
-            for identifier in self.distance_by_id
+            inside_degree.get(identifier, 0) == degree
+            for identifier, degree in self.degree_by_id.items()
         )
 
     # ------------------------------------------------------------------
@@ -188,15 +202,95 @@ class BallView:
         identically on them.  Used by the minimality and lower-bound
         machinery in :mod:`repro.theory`.
         """
-        nodes = tuple(
-            sorted(
-                (identifier, self.distance_by_id[identifier], self.degree_by_id[identifier])
-                for identifier in self.distance_by_id
-            )
+        return ball_signature(
+            self.center_id,
+            self.radius,
+            self.distance_by_id,
+            self.degree_by_id,
+            self.edges,
+            self.port_by_pair,
+            relabel_ids=False,
         )
-        edges = tuple(sorted(tuple(sorted(edge)) for edge in self.edges))
-        ports = tuple(sorted(self.port_by_pair.items()))
-        return (self.center_id, self.radius, nodes, edges, ports)
+
+    def signature(self, relabel_ids: bool = True) -> tuple:
+        """A hashable canonical signature of the view.
+
+        With ``relabel_ids=True`` (the default) identifiers are replaced by
+        their rank within the ball (id-order normalisation), so two balls
+        that differ only by an order-preserving renaming of identifiers get
+        the same signature.  This is the key the engine's
+        :class:`~repro.engine.cache.DecisionCache` uses for algorithms that
+        declare themselves ``order_invariant``, and it is also handy for
+        deduplicating structurally identical balls in tests.
+
+        With ``relabel_ids=False`` the signature keeps the actual
+        identifiers and coincides with :meth:`canonical_key`.
+        """
+        return ball_signature(
+            self.center_id,
+            self.radius,
+            self.distance_by_id,
+            self.degree_by_id,
+            self.edges,
+            self.port_by_pair,
+            relabel_ids=relabel_ids,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BallView):
+            return NotImplemented
+        return self.canonical_key() == other.canonical_key()
+
+    def __hash__(self) -> int:
+        cached = getattr(self, "_cached_hash", None)
+        if cached is None:
+            cached = hash(self.canonical_key())
+            object.__setattr__(self, "_cached_hash", cached)
+        return cached
+
+
+def ball_signature(
+    center_id: int,
+    radius: int,
+    distance_by_id: Mapping[int, int],
+    degree_by_id: Mapping[int, int],
+    edges: Iterable[frozenset[int]],
+    port_by_pair: Mapping[tuple[int, int], int],
+    relabel_ids: bool = True,
+) -> tuple:
+    """Canonical signature of a ball given as its raw parts.
+
+    Shared by :meth:`BallView.signature` and the engine's incremental
+    frontier states, which compute signatures without materialising a
+    :class:`BallView` first.  Two balls with the same non-relabeled signature
+    have identical contents; two balls with the same relabeled signature are
+    related by an order-preserving renaming of identifiers, which a
+    deterministic *order-invariant* algorithm cannot distinguish.
+    """
+    if relabel_ids:
+        ordered = sorted(distance_by_id)
+        rank = {identifier: index for index, identifier in enumerate(ordered)}
+        nodes = tuple(
+            (distance_by_id[identifier], degree_by_id[identifier]) for identifier in ordered
+        )
+        edge_keys = []
+        for edge in edges:
+            a, b = tuple(edge)
+            ra, rb = rank[a], rank[b]
+            edge_keys.append((ra, rb) if ra < rb else (rb, ra))
+        ports = tuple(
+            sorted((rank[a], rank[b], port) for (a, b), port in port_by_pair.items())
+        )
+        return (rank[center_id], radius, nodes, tuple(sorted(edge_keys)), ports)
+    nodes = tuple(
+        sorted(
+            (identifier, distance_by_id[identifier], degree_by_id[identifier])
+            for identifier in distance_by_id
+        )
+    )
+    edges_key = tuple(sorted(tuple(sorted(edge)) for edge in edges))
+    ports = tuple(sorted(port_by_pair.items()))
+    return (center_id, radius, nodes, edges_key, ports)
 
 
 def extract_ball(

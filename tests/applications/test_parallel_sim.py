@@ -88,3 +88,39 @@ class TestSimulationSpeedup:
         ids = random_assignment(16, seed=2)
         trace = run_ball_algorithm(graph, ids, LargestIdAlgorithm())
         assert simulation_speedup(trace, processors=3) >= 1.0
+
+
+class TestSimulateAndSchedule:
+    def test_runs_the_engine_and_schedules_the_radii(self):
+        from repro.algorithms.largest_id import LargestIdAlgorithm
+        from repro.applications.parallel_sim import simulate_and_schedule
+        from repro.model.identifiers import random_assignment
+        from repro.topology.cycle import cycle_graph
+
+        graph = cycle_graph(32)
+        ids = random_assignment(32, seed=3)
+        trace, schedule, speedup = simulate_and_schedule(
+            graph, ids, LargestIdAlgorithm(), processors=4
+        )
+        assert trace.n == 32
+        assert schedule.processors == 4
+        durations = [max(1, radius) for radius in trace.radii().values()]
+        assert schedule.makespan >= max(durations)
+        assert speedup >= 1.0
+
+    def test_shared_runner_is_reused(self):
+        from repro.algorithms.largest_id import LargestIdAlgorithm
+        from repro.applications.parallel_sim import simulate_and_schedule
+        from repro.engine.cache import DecisionCache
+        from repro.engine.frontier import FrontierRunner
+        from repro.model.identifiers import random_assignment
+        from repro.topology.cycle import cycle_graph
+
+        graph = cycle_graph(16)
+        algorithm = LargestIdAlgorithm()
+        runner = FrontierRunner(graph, algorithm, cache=DecisionCache(algorithm))
+        ids = random_assignment(16, seed=1)
+        first = simulate_and_schedule(graph, ids, algorithm, 4, runner=runner)
+        second = simulate_and_schedule(graph, ids, algorithm, 4, runner=runner)
+        assert first[0].radii() == second[0].radii()
+        assert runner.cache.stats.hits > 0

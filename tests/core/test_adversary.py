@@ -95,3 +95,45 @@ class TestTraceObjective:
         trace = run_ball_algorithm(ring12, ring12_random_ids, largest_id_algorithm)
         with pytest.raises(AnalysisError):
             trace_objective(trace, "mode")
+
+
+class TestEagerObjectiveValidation:
+    def _exploding_algorithm(self):
+        from repro.core.algorithm import FunctionBallAlgorithm
+
+        def boom(ball):
+            raise AssertionError("simulation must not start for a bad objective")
+
+        return FunctionBallAlgorithm(boom, name="boom")
+
+    @pytest.mark.parametrize(
+        "adversary",
+        [
+            ExhaustiveAdversary(),
+            RandomSearchAdversary(samples=4, seed=0),
+            LocalSearchAdversary(restarts=1, swaps_per_step=2, max_steps=2, seed=0),
+            RotationAdversary(),
+        ],
+        ids=["exhaustive", "random-search", "local-search", "rotation"],
+    )
+    def test_invalid_objective_rejected_before_any_simulation(self, adversary):
+        # The exploding algorithm proves no ball is ever simulated: the
+        # objective is rejected at maximise() entry, not mid-search.
+        with pytest.raises(AnalysisError, match="unknown objective"):
+            adversary.maximise(cycle_graph(6), self._exploding_algorithm(), objective="median")
+
+    def test_validate_objective_accepts_all_known_objectives(self):
+        from repro.core.adversary import OBJECTIVES, validate_objective
+
+        for objective in OBJECTIVES:
+            validate_objective(objective)
+
+
+class TestCacheStatsReporting:
+    def test_searches_report_their_decision_cache_stats(self, largest_id_algorithm):
+        result = RandomSearchAdversary(samples=6, seed=4).maximise(
+            cycle_graph(12), largest_id_algorithm
+        )
+        assert result.cache_stats is not None
+        assert result.cache_stats.lookups > 0
+        assert 0.0 <= result.cache_stats.hit_rate <= 1.0

@@ -1,0 +1,108 @@
+"""Tests for the decision cache."""
+
+import pytest
+
+from repro.algorithms.largest_id import LargestIdAlgorithm
+from repro.core.algorithm import FunctionBallAlgorithm
+from repro.engine.cache import MISSING, CacheStats, DecisionCache
+from repro.model.ball import extract_ball
+from repro.model.identifiers import identity_assignment, random_assignment
+from repro.topology.cycle import cycle_graph
+
+
+def _ball(n=8, position=0, radius=2, seed=0):
+    graph = cycle_graph(n)
+    ids = random_assignment(n, seed=seed)
+    return extract_ball(graph, ids, position, radius)
+
+
+class TestCacheStats:
+    def test_hit_rate_of_unused_cache_is_zero(self):
+        assert CacheStats().hit_rate == 0.0
+
+    def test_hit_rate_counts_hits_over_lookups(self):
+        stats = CacheStats(hits=3, misses=1)
+        assert stats.lookups == 4
+        assert stats.hit_rate == pytest.approx(0.75)
+
+    def test_as_dict_is_json_friendly(self):
+        stats = CacheStats(hits=1, misses=1)
+        assert stats.as_dict() == {"hits": 1, "misses": 1, "hit_rate": 0.5}
+
+
+class TestDecisionCache:
+    def test_memoises_decide_and_counts_hits(self):
+        calls = []
+        algorithm = FunctionBallAlgorithm(
+            lambda ball: calls.append(1) or "out", name="spy"
+        )
+        cache = DecisionCache(algorithm)
+        ball = _ball()
+        assert cache.decide(ball) == "out"
+        assert cache.decide(ball) == "out"
+        assert len(calls) == 1
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_caches_none_decisions_too(self):
+        calls = []
+        algorithm = FunctionBallAlgorithm(
+            lambda ball: calls.append(1) and None, name="grower"
+        )
+        cache = DecisionCache(algorithm)
+        ball = _ball()
+        assert cache.decide(ball) is None
+        assert cache.decide(ball) is None
+        assert len(calls) == 1
+
+    def test_relabeling_defaults_to_the_algorithm_declaration(self):
+        assert DecisionCache(LargestIdAlgorithm()).relabel_ids is True
+        assert DecisionCache(FunctionBallAlgorithm(lambda b: 0)).relabel_ids is False
+
+    def test_relabeled_keys_unify_order_isomorphic_balls(self):
+        graph = cycle_graph(8)
+        sorted_ids = identity_assignment(8)
+        cache = DecisionCache(LargestIdAlgorithm())
+        # Two different centres of the sorted ring see order-isomorphic
+        # radius-1 balls (neighbour below, neighbour above).
+        key_a = cache.key_for(extract_ball(graph, sorted_ids, 2, 1))
+        key_b = cache.key_for(extract_ball(graph, sorted_ids, 4, 1))
+        assert key_a == key_b
+
+    def test_exact_keys_keep_identifiers_distinct(self):
+        graph = cycle_graph(8)
+        sorted_ids = identity_assignment(8)
+        cache = DecisionCache(LargestIdAlgorithm(), relabel_ids=False)
+        key_a = cache.key_for(extract_ball(graph, sorted_ids, 2, 1))
+        key_b = cache.key_for(extract_ball(graph, sorted_ids, 4, 1))
+        assert key_a != key_b
+
+    def test_max_entries_bounds_the_table(self):
+        algorithm = FunctionBallAlgorithm(lambda ball: ball.radius, name="radius")
+        cache = DecisionCache(algorithm, max_entries=1)
+        cache.decide(_ball(radius=0))
+        cache.decide(_ball(radius=1))
+        assert len(cache) == 1
+
+    def test_pattern_limit_bypasses_large_balls(self):
+        calls = []
+        algorithm = FunctionBallAlgorithm(
+            lambda ball: calls.append(1) or "out", name="spy"
+        )
+        cache = DecisionCache(algorithm, pattern_limit=3)
+        big = _ball(radius=3)  # 7 members > 3
+        cache.decide(big)
+        cache.decide(big)
+        assert len(calls) == 2  # bypassed: decided twice, never stored
+        assert len(cache) == 0
+
+    def test_lookup_returns_missing_sentinel(self):
+        cache = DecisionCache(FunctionBallAlgorithm(lambda b: 1))
+        assert cache.lookup(("nope",)) is MISSING
+
+    def test_clear_resets_table_and_stats(self):
+        algorithm = FunctionBallAlgorithm(lambda ball: 1, name="one")
+        cache = DecisionCache(algorithm)
+        cache.decide(_ball())
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.lookups == 0

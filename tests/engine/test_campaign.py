@@ -1,0 +1,112 @@
+"""Tests for the campaign / sweep API."""
+
+import pytest
+
+from repro.engine.campaign import (
+    CampaignSpec,
+    build_topology,
+    load_rows,
+    run_campaign,
+    write_rows,
+)
+from repro.errors import ConfigurationError
+
+
+def _small_spec(**overrides):
+    defaults = dict(
+        topologies=("cycle", "path"),
+        sizes=(6, 8),
+        algorithms=("largest-id",),
+        adversaries=("random-search",),
+        samples=4,
+        seed=13,
+    )
+    defaults.update(overrides)
+    return CampaignSpec(**defaults)
+
+
+class TestCampaignSpec:
+    def test_rejects_unknown_topology(self):
+        with pytest.raises(ConfigurationError, match="unknown topology"):
+            _small_spec(topologies=("moebius",))
+
+    def test_rejects_unknown_adversary(self):
+        with pytest.raises(ConfigurationError, match="unknown adversary"):
+            _small_spec(adversaries=("oracle",))
+
+    def test_cells_cover_the_full_grid_with_unique_seeds(self):
+        spec = _small_spec(adversaries=("random-search", "rotation"))
+        cells = spec.cells()
+        assert len(cells) == 2 * 2 * 1 * 2
+        assert [cell.index for cell in cells] == list(range(len(cells)))
+        assert len({cell.seed for cell in cells}) == len(cells)
+
+
+class TestRunCampaign:
+    def test_rows_carry_results_and_cache_stats(self):
+        rows = run_campaign(_small_spec())
+        assert len(rows) == 4
+        for row in rows:
+            assert row["value"] > 0
+            assert row["evaluations"] == 4
+            assert not row["exact"]
+            assert 0.0 <= row["cache"]["hit_rate"] <= 1.0
+            assert len(row["witness_ids"]) == row["graph_n"]
+
+    def test_exhaustive_cells_are_exact(self):
+        rows = run_campaign(
+            _small_spec(topologies=("cycle",), sizes=(5,), adversaries=("exhaustive",))
+        )
+        (row,) = rows
+        assert row["exact"]
+        assert row["evaluations"] == 120
+
+    def test_round_algorithms_join_via_the_ball_compiler(self):
+        rows = run_campaign(
+            _small_spec(
+                topologies=("cycle",),
+                sizes=(8,),
+                algorithms=("cole-vishkin",),
+                adversaries=("rotation",),
+            )
+        )
+        (row,) = rows
+        # Cole–Vishkin's profile is flat, so the average equals the max.
+        assert row["value"] > 0
+
+    def test_workers_do_not_change_results(self):
+        spec = _small_spec()
+        serial = run_campaign(spec, workers=1)
+        parallel = run_campaign(spec, workers=2)
+        strip = lambda row: {k: v for k, v in row.items() if k != "wall_time_s"}
+        assert [strip(r) for r in serial] == [strip(r) for r in parallel]
+
+
+class TestRowsRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        rows = run_campaign(_small_spec(topologies=("cycle",), sizes=(6,)))
+        path = tmp_path / "rows.json"
+        write_rows(rows, str(path))
+        assert load_rows(str(path)) == rows
+
+    def test_load_rejects_foreign_documents(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text("{}", encoding="utf-8")
+        with pytest.raises(ConfigurationError, match="not a repro sweep"):
+            load_rows(str(path))
+
+
+class TestBuildTopology:
+    def test_known_names_build_graphs(self):
+        for name in ("cycle", "path", "grid", "complete", "random-tree", "gnp"):
+            graph = build_topology(name, 9, seed=1)
+            assert graph.n >= 2
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown topology"):
+            build_topology("hypercube", 8, seed=0)
+
+
+def test_spec_rejects_unknown_objective_eagerly():
+    with pytest.raises(ConfigurationError, match="unknown objective"):
+        _small_spec(objective="avg")

@@ -157,3 +157,59 @@ class TestCanonicalKey:
         key_a = extract_ball(graph, ids_a, 2, 1).canonical_key()
         key_b = extract_ball(graph, ids_b, 3, 1).canonical_key()
         assert key_a == key_b
+
+
+class TestSignatureAndHashing:
+    def test_relabeled_signature_unifies_order_isomorphic_balls(self):
+        # Different identifier values, same relative order: one signature.
+        graph = cycle_graph(8)
+        ids_a = IdentifierAssignment([1, 5, 9, 0, 2, 3, 4, 6])
+        ids_b = IdentifierAssignment([10, 50, 90, 0, 20, 30, 40, 60])
+        sig_a = extract_ball(graph, ids_a, 1, 1).signature()
+        sig_b = extract_ball(graph, ids_b, 1, 1).signature()
+        assert sig_a == sig_b
+
+    def test_relabeled_signature_separates_different_orders(self):
+        graph = cycle_graph(8)
+        ids_a = IdentifierAssignment([1, 5, 9, 0, 2, 3, 4, 6])  # centre is middle
+        ids_b = IdentifierAssignment([5, 9, 1, 0, 2, 3, 4, 6])  # centre is largest
+        sig_a = extract_ball(graph, ids_a, 1, 1).signature()
+        sig_b = extract_ball(graph, ids_b, 1, 1).signature()
+        assert sig_a != sig_b
+
+    def test_exact_signature_equals_canonical_key(self):
+        graph = cycle_graph(6)
+        ids = identity_assignment(6)
+        ball = extract_ball(graph, ids, 2, 2)
+        assert ball.signature(relabel_ids=False) == ball.canonical_key()
+
+    def test_signature_distinguishes_radii_of_saturated_balls(self):
+        graph = cycle_graph(5)
+        ids = identity_assignment(5)
+        assert (
+            extract_ball(graph, ids, 0, 2).signature()
+            != extract_ball(graph, ids, 0, 3).signature()
+        )
+
+    def test_equal_balls_are_equal_and_hash_equal(self):
+        graph = cycle_graph(8)
+        ids = identity_assignment(8)
+        ball_a = extract_ball(graph, ids, 2, 2)
+        ball_b = extract_ball(graph, ids, 2, 2)
+        assert ball_a == ball_b
+        assert hash(ball_a) == hash(ball_b)
+
+    def test_balls_deduplicate_in_sets(self):
+        graph = cycle_graph(8)
+        ids = identity_assignment(8)
+        balls = {
+            extract_ball(graph, ids, position, 1) for position in (1, 1, 2, 3)
+        }
+        assert len(balls) == 3
+
+    def test_different_identifiers_compare_unequal(self):
+        graph = cycle_graph(8)
+        ball_a = extract_ball(graph, identity_assignment(8), 2, 1)
+        ball_b = extract_ball(graph, IdentifierAssignment([7, 6, 5, 4, 3, 2, 1, 0]), 2, 1)
+        assert ball_a != ball_b
+        assert ball_a != "not a ball"

@@ -95,3 +95,52 @@ class TestGap:
         output = capsys.readouterr().out
         assert "classic measure 64" in output
         assert "gap" in output
+
+
+class TestSweep:
+    def test_sweep_prints_rows_for_the_full_grid(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--topologies", "cycle,path",
+                    "--sizes", "6,8",
+                    "--algorithms", "largest-id",
+                    "--adversaries", "random-search",
+                    "--samples", "3",
+                    "--seed", "1",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "cache_hit_rate" in output
+        assert output.count("largest-id") == 4
+
+    def test_sweep_writes_json_rows(self, capsys, tmp_path):
+        out = tmp_path / "rows.json"
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--topologies", "cycle",
+                    "--sizes", "6",
+                    "--adversaries", "rotation",
+                    "--output", str(out),
+                ]
+            )
+            == 0
+        )
+        from repro.engine.campaign import load_rows
+
+        rows = load_rows(str(out))
+        assert len(rows) == 1
+        assert rows[0]["adversary"] == "rotation"
+
+    def test_sweep_rejects_bad_sizes(self):
+        with pytest.raises(ConfigurationError, match="--sizes"):
+            main(["sweep", "--sizes", "six"])
+
+    def test_sweep_rejects_unknown_topology(self):
+        with pytest.raises(ConfigurationError, match="unknown topology"):
+            main(["sweep", "--topologies", "hypercube"])

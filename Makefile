@@ -1,0 +1,25 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test docs bench sweep-smoke clean
+
+## tier-1 test suite (tests + benchmarks), exactly as CI runs it
+test:
+	$(PYTHON) -m pytest -x -q
+
+## build the documentation site into docs/_build, failing on any warning
+docs:
+	$(PYTHON) scripts/build_docs.py --strict
+
+## the speedup benchmarks with their JSON artifacts
+bench:
+	$(PYTHON) -m pytest -q benchmarks/test_bench_engine.py benchmarks/test_bench_search.py
+
+## a tiny end-to-end sweep through the campaign CLI
+sweep-smoke:
+	$(PYTHON) -m repro sweep --topologies cycle --sizes 8 \
+		--algorithms largest-id --adversaries branch-and-bound --seed 3
+
+clean:
+	rm -rf docs/_build .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

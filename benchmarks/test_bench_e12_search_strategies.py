@@ -1,0 +1,12 @@
+"""Benchmark E12 — the adversary-search portfolio on the cycle."""
+
+from repro.experiments import search_strategies
+
+
+def test_bench_e12_search_strategies(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: search_strategies.run(sizes=[7, 8]), rounds=1, iterations=1
+    )
+    report(result)
+    assert result.experiment_id == "E12"
+    assert len(result.table) == 8

@@ -1,0 +1,351 @@
+#!/usr/bin/env python
+"""Build the documentation site into ``docs/_build/``.
+
+A dependency-free documentation builder (the container intentionally ships
+no Sphinx): it imports every module under ``src/repro``, generates one API
+reference page per module from the live docstrings and signatures, copies
+the hand-written guides from ``docs/``, cross-checks internal links, and
+renders everything to HTML.
+
+The build is **strict about its warnings** — a missing module docstring, an
+undocumented public class or function, a guide link that resolves nowhere,
+or a module that would be silently absent from the API reference each count
+as a warning, and ``--strict`` (used by ``make docs`` and CI) turns any
+warning into a non-zero exit.  That is the "zero warnings" contract of the
+docs acceptance criteria.
+
+Usage::
+
+    PYTHONPATH=src python scripts/build_docs.py --strict
+    PYTHONPATH=src python scripts/build_docs.py --out /tmp/site
+"""
+
+from __future__ import annotations
+
+import argparse
+import html
+import importlib
+import inspect
+import pkgutil
+import re
+import shutil
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOCS_DIR = REPO_ROOT / "docs"
+SRC_DIR = REPO_ROOT / "src"
+
+#: Hand-written guide pages (order = site navigation order).
+GUIDE_PAGES = (
+    "index.md",
+    "architecture.md",
+    "tutorial-measures.md",
+    "adversary-search.md",
+)
+
+
+class Warnings:
+    """Collect build warnings; strict mode turns them into a failed exit."""
+
+    def __init__(self) -> None:
+        self.messages: list[str] = []
+
+    def add(self, message: str) -> None:
+        self.messages.append(message)
+        print(f"WARNING: {message}", file=sys.stderr)
+
+    def __len__(self) -> int:
+        return len(self.messages)
+
+
+# ----------------------------------------------------------------------
+# module discovery and API page generation
+# ----------------------------------------------------------------------
+def discover_modules() -> list[str]:
+    """Every importable module under ``src/repro``, sorted by dotted name."""
+    package = importlib.import_module("repro")
+    names = {"repro"}
+    for info in pkgutil.walk_packages(package.__path__, prefix="repro."):
+        names.add(info.name)
+    return sorted(names)
+
+
+def public_members(module) -> list[tuple[str, object]]:
+    """Module-level public classes and functions defined *by* this module."""
+    members = []
+    for name in sorted(vars(module)):
+        if name.startswith("_"):
+            continue
+        obj = vars(module)[name]
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue
+        members.append((name, obj))
+    return members
+
+
+def _signature_of(obj) -> str:
+    try:
+        return str(inspect.signature(obj))
+    except (TypeError, ValueError):
+        return "(...)"
+
+
+def render_api_page(module_name: str, warnings: Warnings) -> str:
+    """Markdown API page for one module, generated from live docstrings."""
+    module = importlib.import_module(module_name)
+    lines = [f"# `{module_name}`", ""]
+    doc = inspect.getdoc(module)
+    if doc:
+        lines += [doc, ""]
+    else:
+        warnings.add(f"{module_name}: missing module docstring")
+    members = public_members(module)
+    if members:
+        lines += ["## API", ""]
+    for name, obj in members:
+        kind = "class" if inspect.isclass(obj) else "function"
+        lines += [f"### {kind} `{name}{_signature_of(obj)}`", ""]
+        member_doc = inspect.getdoc(obj)
+        if member_doc:
+            lines += [member_doc, ""]
+        else:
+            warnings.add(f"{module_name}.{name}: missing docstring")
+        if inspect.isclass(obj):
+            for method_name, method in sorted(vars(obj).items()):
+                if method_name.startswith("_"):
+                    continue
+                if not (
+                    inspect.isfunction(method)
+                    or isinstance(method, (classmethod, staticmethod, property))
+                ):
+                    continue
+                unwrapped = (
+                    method.fget
+                    if isinstance(method, property)
+                    else getattr(method, "__func__", method)
+                )
+                method_doc = inspect.getdoc(unwrapped)
+                summary = (
+                    method_doc.strip().splitlines()[0]
+                    if method_doc
+                    else "(undocumented)"
+                )
+                if isinstance(method, property):
+                    lines.append(f"- `{method_name}` *(property)* — {summary}")
+                else:
+                    lines.append(
+                        f"- `{method_name}{_signature_of(unwrapped)}` — {summary}"
+                    )
+            lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def render_api_index(module_names: list[str]) -> str:
+    """The API reference landing page: one line per module."""
+    lines = [
+        "# API reference",
+        "",
+        "One page per module under `src/repro`, generated from the live",
+        "docstrings by `scripts/build_docs.py`.",
+        "",
+    ]
+    for name in module_names:
+        module = importlib.import_module(name)
+        doc = inspect.getdoc(module) or ""
+        summary = doc.strip().splitlines()[0] if doc else ""
+        lines.append(f"- [`{name}`]({name}.md) — {summary}")
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# guide pages and link checking
+# ----------------------------------------------------------------------
+_LINK = re.compile(r"\[[^\]]*\]\(([^)#\s]+)(#[^)\s]*)?\)")
+
+
+def check_links(page: str, text: str, out_dir: Path, warnings: Warnings) -> None:
+    """Every relative link in a guide must resolve inside the built site."""
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if not (out_dir / target).exists():
+            warnings.add(f"{page}: broken link -> {target}")
+
+
+# ----------------------------------------------------------------------
+# minimal markdown -> HTML rendering
+# ----------------------------------------------------------------------
+_STYLE = """
+body { max-width: 56rem; margin: 2rem auto; padding: 0 1rem;
+       font: 16px/1.6 system-ui, sans-serif; color: #1a1a1a; }
+pre { background: #f6f8fa; padding: .8rem; overflow-x: auto; border-radius: 6px; }
+code { background: #f6f8fa; padding: .1rem .3rem; border-radius: 4px;
+       font-size: .92em; }
+pre code { padding: 0; }
+table { border-collapse: collapse; }
+td, th { border: 1px solid #d0d7de; padding: .3rem .6rem; }
+a { color: #0a58ca; }
+h1, h2, h3 { line-height: 1.25; }
+""".strip()
+
+
+def _inline(text: str) -> str:
+    text = html.escape(text, quote=False)
+    text = re.sub(r"`([^`]+)`", r"<code>\1</code>", text)
+    text = re.sub(
+        r"\[([^\]]+)\]\(([^)\s]+)\)",
+        lambda m: f'<a href="{m.group(2).replace(".md", ".html")}">{m.group(1)}</a>',
+        text,
+    )
+    text = re.sub(r"\*\*([^*]+)\*\*", r"<strong>\1</strong>", text)
+    return text
+
+
+def markdown_to_html(text: str, title: str) -> str:
+    """A small, predictable subset of markdown, enough for this site."""
+    out: list[str] = []
+    lines = text.splitlines()
+    index = 0
+    in_list = False
+    while index < len(lines):
+        line = lines[index]
+        if line.startswith("```"):
+            if in_list:
+                out.append("</ul>")
+                in_list = False
+            block: list[str] = []
+            index += 1
+            while index < len(lines) and not lines[index].startswith("```"):
+                block.append(lines[index])
+                index += 1
+            out.append("<pre><code>" + html.escape("\n".join(block)) + "</code></pre>")
+            index += 1
+            continue
+        if line.startswith("|") and index + 1 < len(lines) and set(
+            lines[index + 1].replace("|", "").strip()
+        ) <= {"-", ":", " "} and lines[index + 1].startswith("|"):
+            if in_list:
+                out.append("</ul>")
+                in_list = False
+            header = [cell.strip() for cell in line.strip("|").split("|")]
+            out.append("<table><tr>" + "".join(f"<th>{_inline(c)}</th>" for c in header) + "</tr>")
+            index += 2
+            while index < len(lines) and lines[index].startswith("|"):
+                row = [cell.strip() for cell in lines[index].strip("|").split("|")]
+                out.append("<tr>" + "".join(f"<td>{_inline(c)}</td>" for c in row) + "</tr>")
+                index += 1
+            out.append("</table>")
+            continue
+        if line.startswith("- "):
+            if not in_list:
+                out.append("<ul>")
+                in_list = True
+            out.append(f"<li>{_inline(line[2:])}</li>")
+            index += 1
+            continue
+        if in_list:
+            out.append("</ul>")
+            in_list = False
+        heading = re.match(r"(#{1,4}) (.*)", line)
+        if heading:
+            level = len(heading.group(1))
+            out.append(f"<h{level}>{_inline(heading.group(2))}</h{level}>")
+        elif line.strip():
+            out.append(f"<p>{_inline(line)}</p>")
+        index += 1
+    if in_list:
+        out.append("</ul>")
+    body = "\n".join(out)
+    return (
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+        f"<title>{html.escape(title)}</title><style>{_STYLE}</style></head>"
+        f"<body>{body}</body></html>\n"
+    )
+
+
+# ----------------------------------------------------------------------
+# build driver
+# ----------------------------------------------------------------------
+def build(out_dir: Path, warnings: Warnings) -> dict:
+    """Build the whole site; returns a small summary dict."""
+    if out_dir.exists():
+        shutil.rmtree(out_dir)
+    (out_dir / "api").mkdir(parents=True)
+
+    module_names = discover_modules()
+    for name in module_names:
+        page = render_api_page(name, warnings)
+        (out_dir / "api" / f"{name}.md").write_text(page, encoding="utf-8")
+    (out_dir / "api" / "index.md").write_text(
+        render_api_index(module_names), encoding="utf-8"
+    )
+
+    for page in GUIDE_PAGES:
+        source = DOCS_DIR / page
+        if not source.exists():
+            warnings.add(f"missing guide page docs/{page}")
+            continue
+        shutil.copyfile(source, out_dir / page)
+    for page in GUIDE_PAGES:
+        target = out_dir / page
+        if target.exists():
+            check_links(page, target.read_text(encoding="utf-8"), out_dir, warnings)
+
+    # Coverage: every module under src/repro must have an API page.
+    missing = [
+        name
+        for name in module_names
+        if not (out_dir / "api" / f"{name}.md").exists()
+    ]
+    for name in missing:
+        warnings.add(f"API reference is missing a page for {name}")
+
+    markdown_pages = sorted(out_dir.rglob("*.md"))
+    for markdown_path in markdown_pages:
+        text = markdown_path.read_text(encoding="utf-8")
+        first_heading = next(
+            (l[2:] for l in text.splitlines() if l.startswith("# ")),
+            markdown_path.stem,
+        )
+        html_path = markdown_path.with_suffix(".html")
+        html_path.write_text(markdown_to_html(text, first_heading), encoding="utf-8")
+
+    return {
+        "modules": len(module_names),
+        "pages": len(markdown_pages),
+        "warnings": len(warnings),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default=str(DOCS_DIR / "_build"),
+        help="output directory (default: docs/_build)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero if the build produced any warning",
+    )
+    args = parser.parse_args(argv)
+    warnings = Warnings()
+    summary = build(Path(args.out), warnings)
+    print(
+        f"docs: {summary['modules']} modules, {summary['pages']} markdown pages, "
+        f"{summary['warnings']} warnings -> {args.out}"
+    )
+    if args.strict and warnings.messages:
+        print(f"strict mode: failing on {len(warnings)} warning(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(SRC_DIR))
+    raise SystemExit(main())

@@ -13,10 +13,14 @@ for the LOCAL Model* (PODC 2015).  The library provides:
   and OEIS A000788; Linial's threshold, the regularity lemmas and the slice
   construction of Theorem 1); and
 * the applications sketched in the introduction (dynamic-network repair and
-  parallel simulation), an experiment harness (E1-E11) and benchmarks; and
+  parallel simulation), an experiment harness (E1-E12) and benchmarks; and
 * a high-throughput execution engine (:mod:`repro.engine`) — incremental
   frontier ball growth, memoised decisions, multiprocessing fan-out and
-  declarative sweep campaigns — that powers all of the above.
+  declarative sweep campaigns — that powers all of the above; and
+* a second-generation adversary search (:mod:`repro.search`) — graph
+  automorphism pruning, exact branch and bound with certificates,
+  incremental swap evaluation and a parallel strategy portfolio — for the
+  outer worst-case-over-assignments maximisation.
 
 Quick start::
 
@@ -56,6 +60,7 @@ from repro.engine import (
     run_campaign,
     run_simulation_batch,
 )
+from repro.core.measures import exact_worst_case
 from repro.errors import (
     AlgorithmError,
     AnalysisError,
@@ -76,6 +81,13 @@ from repro.model import (
     random_assignment,
     run_round_algorithm,
 )
+from repro.search import (
+    BranchAndBoundAdversary,
+    PortfolioAdversary,
+    PrunedExhaustiveAdversary,
+    SwapEvaluator,
+    automorphism_group,
+)
 from repro.topology import (
     complete_graph,
     cycle_graph,
@@ -93,6 +105,7 @@ __all__ = [
     "BallSimulationOfRounds",
     "BallView",
     "BatchExecutor",
+    "BranchAndBoundAdversary",
     "CampaignSpec",
     "CertificationError",
     "ColeVishkinRing",
@@ -110,15 +123,20 @@ __all__ = [
     "IdentifierError",
     "LargestIdAlgorithm",
     "LocalSearchAdversary",
+    "PortfolioAdversary",
+    "PrunedExhaustiveAdversary",
     "RandomSearchAdversary",
     "ReproError",
     "RoundAlgorithm",
+    "SwapEvaluator",
     "TopologyError",
     "__version__",
+    "automorphism_group",
     "certify",
     "complete_graph",
     "cycle_graph",
     "evaluate_assignment",
+    "exact_worst_case",
     "extract_ball",
     "fit_growth",
     "grid_graph",

@@ -81,6 +81,16 @@ class ColeVishkinRing(RoundAlgorithm):
     # ------------------------------------------------------------------
     # RoundAlgorithm interface
     # ------------------------------------------------------------------
+    def supports_graph(self, graph: Graph) -> bool:
+        """Require a consistently oriented ring.
+
+        ``self.n`` bounds the *identifier space*, not the ring length — the
+        lower-bound experiments run rings smaller than the identifier pool —
+        so only the topology is checked here; identifier range violations
+        still surface per node in :meth:`initialize`.
+        """
+        return is_consistently_oriented_ring(graph)
+
     def initialize(self, identifier: int, degree: int) -> _CVMemory:
         if degree != 2:
             raise TopologyError(

@@ -41,6 +41,10 @@ class BallSimulationOfRounds(BallAlgorithm):
             round_algorithm, "problem", "unspecified"
         )
 
+    def supports_graph(self, graph: Any) -> bool:
+        """Forward the wrapped round algorithm's structural requirements."""
+        return bool(self.round_algorithm.supports_graph(graph))
+
     def decide(self, ball: BallView) -> Optional[Any]:
         algorithm = self.round_algorithm
         members = sorted(ball.ids())

@@ -39,6 +39,7 @@ class GreedyColoringByID(BallAlgorithm):
     # The descending-id resolution and the smallest-free-colour rule use only
     # identifier comparisons; colours themselves are id-free.
     order_invariant = True
+    uses_ports = False
 
     def decide(self, ball: BallView) -> Optional[int]:
         determined = resolve_by_descending_id(

@@ -31,6 +31,7 @@ class LargestIdAlgorithm(BallAlgorithm):
     # Only identifier comparisons and ball structure enter the decision, and
     # the output is a bare boolean, so id-relabeled caching is sound.
     order_invariant = True
+    uses_ports = False
 
     def decide(self, ball: BallView) -> Optional[bool]:
         if ball.contains_id_larger_than(ball.center_id):

@@ -29,6 +29,7 @@ class GreedyMISByID(BallAlgorithm):
     # Membership is decided purely by identifier comparisons along the
     # descending-id recursion; the output is a bare boolean.
     order_invariant = True
+    uses_ports = False
 
     def decide(self, ball: BallView) -> Optional[bool]:
         determined = resolve_by_descending_id(

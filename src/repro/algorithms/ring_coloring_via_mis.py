@@ -42,6 +42,7 @@ class RingColoringViaMIS(BallAlgorithm):
     # MIS membership and the gap tie-break (`center > other`) use only
     # identifier comparisons; the three colours are id-free.
     order_invariant = True
+    uses_ports = False
 
     def supports_graph(self, graph: Graph) -> bool:
         return graph.is_cycle()

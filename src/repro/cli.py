@@ -4,11 +4,15 @@
 any Python:
 
 * ``list-algorithms``              — the registered algorithm names;
-* ``list-experiments``             — the experiment index (E1-E11);
+* ``list-experiments``             — the experiment index (E1-E12);
 * ``run-experiment E1 [--small]``  — run one experiment and print its table;
 * ``simulate --algorithm largest-id --n 64 --topology cycle [--ids random]``
                                    — one simulation run with both measures;
 * ``gap --n 256``                  — the headline numbers of the paper in one line;
+* ``search --topology cycle --n 10 --adversary branch-and-bound``
+                                   — one adversary search (worst case over
+                                     identifier assignments) with its
+                                     certificate;
 * ``sweep --topologies cycle,path --sizes 8,16 --algorithms largest-id``
                                    — run an engine campaign over a
                                      (topology × n × algorithm × adversary)
@@ -74,6 +78,7 @@ def _experiment_modules():
         random_ids,
         recurrence,
         regularity,
+        search_strategies,
         simulators,
     )
 
@@ -89,6 +94,7 @@ def _experiment_modules():
         "E9": simulators,
         "E10": characterization,
         "E11": general_graphs,
+        "E12": search_strategies,
     }
 
 
@@ -103,7 +109,7 @@ def build_parser() -> argparse.ArgumentParser:
     commands.add_parser("list-algorithms", help="print the registered algorithm names")
     commands.add_parser("list-experiments", help="print the experiment index")
 
-    run_parser = commands.add_parser("run-experiment", help="run one experiment (E1-E11)")
+    run_parser = commands.add_parser("run-experiment", help="run one experiment (E1-E12)")
     run_parser.add_argument("experiment", help="experiment id, e.g. E1")
     run_parser.add_argument("--small", action="store_true", help="use reduced instance sizes")
     run_parser.add_argument(
@@ -122,6 +128,29 @@ def build_parser() -> argparse.ArgumentParser:
 
     gap_parser = commands.add_parser("gap", help="print the paper's headline gap at one size")
     gap_parser.add_argument("--n", type=int, default=256)
+
+    search_parser = commands.add_parser(
+        "search",
+        help="run one adversary search (worst case over identifier assignments)",
+    )
+    search_parser.add_argument(
+        "--algorithm", default="largest-id", help="registered algorithm name"
+    )
+    search_parser.add_argument("--n", type=int, default=8, help="number of nodes")
+    search_parser.add_argument("--topology", default="cycle", choices=sorted(TOPOLOGIES))
+    search_parser.add_argument(
+        "--adversary",
+        default="branch-and-bound",
+        choices=ADVERSARY_NAMES,
+        help="search strategy (exact: exhaustive, pruned-exhaustive, branch-and-bound)",
+    )
+    search_parser.add_argument(
+        "--objective", default="average", choices=("average", "max", "sum")
+    )
+    search_parser.add_argument("--seed", type=int, default=0)
+    search_parser.add_argument(
+        "--workers", type=int, default=1, help="worker processes (portfolio only)"
+    )
 
     sweep_parser = commands.add_parser(
         "sweep",
@@ -228,6 +257,28 @@ def _cmd_gap(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_search(args: argparse.Namespace) -> int:
+    from repro.engine.campaign import make_adversary, make_ball_algorithm
+
+    graph = TOPOLOGIES[args.topology](args.n, args.seed)
+    algorithm = make_ball_algorithm(args.algorithm, graph.n)
+    adversary = make_adversary(args.adversary, seed=args.seed, workers=args.workers)
+    result = adversary.maximise(graph, algorithm, objective=args.objective)
+    print(f"algorithm        : {args.algorithm}")
+    print(f"graph            : {graph.name} ({graph.n} nodes, {graph.m} edges)")
+    print(f"adversary        : {args.adversary}")
+    print(f"objective        : {args.objective}")
+    print(f"value            : {result.value:.4f}")
+    print(f"exact            : {result.exact}")
+    print(f"evaluations      : {result.evaluations}")
+    print(f"witness ids      : {list(result.assignment.identifiers())}")
+    if result.cache_stats is not None:
+        print(f"cache hit rate   : {result.cache_stats.hit_rate:.3f}")
+    if result.certificate is not None:
+        print(f"certificate      : {result.certificate.as_dict()}")
+    return 0
+
+
 def _parse_csv(raw: str) -> tuple[str, ...]:
     return tuple(item.strip() for item in raw.split(",") if item.strip())
 
@@ -294,6 +345,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_simulate(args)
     if args.command == "gap":
         return _cmd_gap(args)
+    if args.command == "search":
+        return _cmd_search(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
     parser.error(f"unhandled command {args.command!r}")

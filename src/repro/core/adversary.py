@@ -16,6 +16,14 @@ Every search evaluates thousands of assignments of the *same* graph with the
 :class:`~repro.engine.cache.DecisionCache` — and structurally repeated balls
 skip the simulation entirely.  The cache statistics of the search are
 reported on :attr:`AdversaryResult.cache_stats`.
+
+The classes in this module are the first-generation (reference) searches.
+The second-generation subsystem in :mod:`repro.search` — symmetry-pruned
+branch and bound, incremental swap evaluation, a parallel strategy
+portfolio — implements the same :class:`Adversary` interface and is
+re-exported here (lazily, to keep the import graph acyclic) as
+:class:`PrunedExhaustiveAdversary`, :class:`BranchAndBoundAdversary` and
+:class:`PortfolioAdversary`.
 """
 
 from __future__ import annotations
@@ -40,7 +48,14 @@ OBJECTIVES = ("average", "max", "sum")
 
 
 def validate_objective(objective: str) -> None:
-    """Reject unknown objectives eagerly, before any simulation work."""
+    """Reject unknown objectives eagerly, before any simulation work.
+
+    >>> validate_objective("average")
+    >>> validate_objective("median")
+    Traceback (most recent call last):
+        ...
+    repro.errors.AnalysisError: unknown objective 'median'; expected one of ('average', 'max', 'sum')
+    """
     if objective not in OBJECTIVES:
         raise AnalysisError(
             f"unknown objective {objective!r}; expected one of {OBJECTIVES}"
@@ -48,7 +63,18 @@ def validate_objective(objective: str) -> None:
 
 
 def trace_objective(trace: ExecutionTrace, objective: str) -> float:
-    """Scalar value of one execution trace under the chosen objective."""
+    """Scalar value of one execution trace under the chosen objective.
+
+    >>> from repro.algorithms.largest_id import LargestIdAlgorithm
+    >>> from repro.core.runner import run_ball_algorithm
+    >>> from repro.model.identifiers import identity_assignment
+    >>> from repro.topology.cycle import cycle_graph
+    >>> trace = run_ball_algorithm(cycle_graph(4), identity_assignment(4), LargestIdAlgorithm())
+    >>> trace_objective(trace, "max") == float(trace.max_radius)
+    True
+    >>> trace_objective(trace, "sum") == trace_objective(trace, "average") * 4
+    True
+    """
     if objective == "average":
         return trace.average_radius
     if objective == "max":
@@ -66,7 +92,11 @@ class AdversaryResult:
     is included), ``evaluations`` counts how many assignments were tried and
     ``exact`` records whether the search provably covered the whole space.
     ``cache_stats``, when present, summarises the decision-cache hit rate of
-    the engine session that powered the search.
+    the engine session that powered the search.  The second-generation
+    adversaries (:mod:`repro.search`) additionally attach a ``certificate``
+    — a :class:`~repro.search.branch_bound.SearchCertificate` for exact
+    searches, a :class:`~repro.search.portfolio.PortfolioCertificate` for
+    heuristic ones — so the claim behind ``exact`` is auditable.
     """
 
     assignment: IdentifierAssignment
@@ -76,6 +106,7 @@ class AdversaryResult:
     evaluations: int
     exact: bool
     cache_stats: Optional[CacheStats] = None
+    certificate: Optional[object] = None
 
 
 #: Memory bound for the per-search decision caches: long searches on graphs
@@ -125,7 +156,22 @@ class ExhaustiveAdversary(Adversary):
     """Try every permutation of ``0..n-1`` — exact, but only feasible for tiny n.
 
     ``max_nodes`` protects against accidentally launching a factorial search
-    on a large graph.
+    on a large graph.  This is the reference implementation that the
+    symmetry-pruned searches of :mod:`repro.search` are verified against;
+    for anything beyond toy sizes prefer
+    :class:`~repro.search.adversaries.BranchAndBoundAdversary`, which
+    returns the same certified optimum while enumerating only one
+    assignment per automorphism class.
+
+    >>> from repro.algorithms.largest_id import LargestIdAlgorithm
+    >>> from repro.topology.cycle import cycle_graph
+    >>> result = ExhaustiveAdversary().maximise(
+    ...     cycle_graph(4), LargestIdAlgorithm(), objective="max"
+    ... )
+    >>> result.exact, result.evaluations
+    (True, 24)
+    >>> result.value == float(result.trace.max_radius)
+    True
     """
 
     def __init__(self, max_nodes: int = 9) -> None:
@@ -328,3 +374,26 @@ class RotationAdversary(Adversary):
             exact=False,
             cache_stats=evaluate.cache_stats,
         )
+
+
+#: Second-generation adversaries re-exported from :mod:`repro.search`.
+_SEARCH_ADVERSARIES = (
+    "PrunedExhaustiveAdversary",
+    "BranchAndBoundAdversary",
+    "PortfolioAdversary",
+)
+
+
+def __getattr__(name: str):
+    """Lazily resolve the :mod:`repro.search` adversaries (PEP 562).
+
+    ``repro.search`` imports this module for the base classes, so importing
+    it eagerly here would create a cycle; deferring the import keeps
+    ``from repro.core.adversary import BranchAndBoundAdversary`` working
+    without one.
+    """
+    if name in _SEARCH_ADVERSARIES:
+        import repro.search.adversaries as _search_adversaries
+
+        return getattr(_search_adversaries, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

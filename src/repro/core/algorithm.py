@@ -47,6 +47,16 @@ class BallAlgorithm(abc.ABC):
     #: deterministic algorithm.
     order_invariant: bool = False
 
+    #: Whether :meth:`decide` may read the port numbers of the view
+    #: (``port_by_pair``, :meth:`~repro.model.ball.BallView.port`,
+    #: :meth:`~repro.model.ball.BallView.neighbor_by_port`).  The safe
+    #: default is ``True``.  Algorithms that declare ``uses_ports = False``
+    #: behave identically on views related by a port-forgetting isomorphism,
+    #: which lets the exact adversary searches
+    #: (:mod:`repro.search.automorphisms`) prune with the full adjacency
+    #: automorphism group instead of the smaller port-preserving one.
+    uses_ports: bool = True
+
     @abc.abstractmethod
     def decide(self, ball: BallView) -> Optional[Any]:
         """Output for the centre of ``ball``, or ``None`` to keep growing."""
@@ -79,11 +89,13 @@ class FunctionBallAlgorithm(BallAlgorithm):
         name: str = "function-algorithm",
         problem: str = "unspecified",
         order_invariant: bool = False,
+        uses_ports: bool = True,
     ) -> None:
         self._decide = decide
         self.name = name
         self.problem = problem
         self.order_invariant = order_invariant
+        self.uses_ports = uses_ports
 
     def decide(self, ball: BallView) -> Optional[Any]:
         return self._decide(ball)

@@ -58,13 +58,42 @@ class ComplexityReport:
 def evaluate_assignment(
     graph: Graph, ids: IdentifierAssignment, algorithm: BallAlgorithm
 ) -> ComplexityReport:
-    """Run the algorithm once and report both measures."""
+    """Run the algorithm once and report both measures.
+
+    >>> from repro.algorithms.largest_id import LargestIdAlgorithm
+    >>> from repro.model.identifiers import identity_assignment
+    >>> from repro.topology.cycle import cycle_graph
+    >>> report = evaluate_assignment(
+    ...     cycle_graph(6), identity_assignment(6), LargestIdAlgorithm()
+    ... )
+    >>> report.n, report.max_radius
+    (6, 3)
+    >>> report.sum_radius == round(report.average_radius * report.n)
+    True
+    """
     trace = run_ball_algorithm(graph, ids, algorithm)
     return ComplexityReport.from_trace(trace, graph, algorithm)
 
 
 def classic_complexity(traces: Iterable[ExecutionTrace]) -> int:
-    """Classic measure over a set of runs: the largest ``max_radius`` seen."""
+    """Classic measure over a set of runs: the largest ``max_radius`` seen.
+
+    >>> from repro.algorithms.largest_id import LargestIdAlgorithm
+    >>> from repro.core.runner import run_on_assignments
+    >>> from repro.model.identifiers import identity_assignment, reversed_assignment
+    >>> from repro.topology.cycle import cycle_graph
+    >>> traces = run_on_assignments(
+    ...     cycle_graph(5),
+    ...     [identity_assignment(5), reversed_assignment(5)],
+    ...     LargestIdAlgorithm(),
+    ... )
+    >>> classic_complexity(traces)
+    2
+    >>> classic_complexity([])
+    Traceback (most recent call last):
+        ...
+    repro.errors.AnalysisError: classic_complexity needs at least one trace
+    """
     values = [trace.max_radius for trace in traces]
     if not values:
         raise AnalysisError("classic_complexity needs at least one trace")
@@ -76,6 +105,16 @@ def average_complexity(traces: Iterable[ExecutionTrace]) -> float:
 
     The maximum (not the mean) over runs is intentional: the paper's measure
     is a *worst case* over identifier assignments of the per-run average.
+
+    >>> from repro.algorithms.largest_id import LargestIdAlgorithm
+    >>> from repro.core.runner import run_on_assignments
+    >>> from repro.model.identifiers import identity_assignment
+    >>> from repro.topology.cycle import cycle_graph
+    >>> traces = run_on_assignments(
+    ...     cycle_graph(4), [identity_assignment(4)], LargestIdAlgorithm()
+    ... )
+    >>> average_complexity(traces)
+    1.25
     """
     values = [trace.average_radius for trace in traces]
     if not values:
@@ -95,6 +134,37 @@ def worst_case_over_assignments(
     make the result exact, sampling/local-search adversaries give a lower
     bound on the true worst case (any assignment they find is a witness).
     """
+    return adversary.maximise(graph, algorithm, objective=objective)
+
+
+def exact_worst_case(
+    graph: Graph,
+    algorithm: BallAlgorithm,
+    objective: str = "average",
+    max_nodes: int | None = None,
+) -> AdversaryResult:
+    """Certified-exact ``max`` over identifier assignments of the chosen measure.
+
+    Runs the symmetry-pruned branch-and-bound search of
+    :mod:`repro.search`: the result carries ``exact=True``, a witness
+    assignment, and a :class:`~repro.search.branch_bound.SearchCertificate`
+    describing the enumeration.  Feasibility reaches well past the legacy
+    ``n <= 9`` exhaustive limit on symmetric topologies.
+
+    >>> from repro.algorithms.largest_id import LargestIdAlgorithm
+    >>> from repro.topology.cycle import cycle_graph
+    >>> result = exact_worst_case(cycle_graph(6), LargestIdAlgorithm(), "sum")
+    >>> result.exact, result.value
+    (True, 10.0)
+    >>> result.certificate.group_order
+    12
+    """
+    from repro.search.adversaries import BranchAndBoundAdversary
+
+    if max_nodes is None:
+        adversary = BranchAndBoundAdversary()
+    else:
+        adversary = BranchAndBoundAdversary(max_nodes=max_nodes)
     return adversary.maximise(graph, algorithm, objective=objective)
 
 

@@ -43,8 +43,18 @@ TOPOLOGY_BUILDERS: dict[str, Callable[[int, int], Graph]] = {
     "gnp": lambda n, seed: gnp_random_graph(n, min(0.9, 8.0 / n), seed=seed),
 }
 
-#: Adversary strategies a campaign cell can request.
-ADVERSARY_NAMES = ("exhaustive", "random-search", "local-search", "rotation")
+#: Adversary strategies a campaign cell can request.  The first four are
+#: the first-generation (reference) searches; the last three come from the
+#: symmetry-aware :mod:`repro.search` subsystem.
+ADVERSARY_NAMES = (
+    "exhaustive",
+    "random-search",
+    "local-search",
+    "rotation",
+    "pruned-exhaustive",
+    "branch-and-bound",
+    "portfolio",
+)
 
 #: Objectives a campaign can maximise (mirrors repro.core.adversary.OBJECTIVES,
 #: restated here so spec validation stays core-import-free).
@@ -95,6 +105,9 @@ class CampaignSpec:
     swaps_per_step: int = 16
     max_steps: int = 32
     exhaustive_max_nodes: int = 9
+    #: Node cap for the symmetry-pruned exact adversaries, which stay
+    #: feasible well past the legacy exhaustive limit on symmetric graphs.
+    exact_max_nodes: int = 12
 
     def __post_init__(self) -> None:
         for name in self.topologies:
@@ -131,7 +144,19 @@ class CampaignSpec:
         ]
 
 
-def _build_adversary(spec: CampaignSpec, cell: CampaignCell):
+def make_adversary(
+    name: str,
+    spec: Optional[CampaignSpec] = None,
+    seed: int = 0,
+    workers: Optional[int] = 1,
+):
+    """Instantiate a registered adversary by name (the campaign/CLI factory).
+
+    ``spec`` supplies the search budgets (defaults to a fresh
+    :class:`CampaignSpec`); ``seed`` feeds the randomised searches and
+    ``workers`` the portfolio's process fan-out (campaign cells keep the
+    default of 1 because they already run inside worker processes).
+    """
     # Imported here: the engine's lower layers must stay importable without
     # repro.core (which itself imports the engine).
     from repro.core.adversary import (
@@ -141,23 +166,47 @@ def _build_adversary(spec: CampaignSpec, cell: CampaignCell):
         RotationAdversary,
     )
 
-    if cell.adversary == "exhaustive":
+    if spec is None:
+        spec = CampaignSpec(adversaries=(name,))
+    if name == "exhaustive":
         return ExhaustiveAdversary(max_nodes=spec.exhaustive_max_nodes)
-    if cell.adversary == "random-search":
-        return RandomSearchAdversary(samples=spec.samples, seed=cell.seed)
-    if cell.adversary == "local-search":
+    if name == "random-search":
+        return RandomSearchAdversary(samples=spec.samples, seed=seed)
+    if name == "local-search":
         return LocalSearchAdversary(
             restarts=spec.restarts,
             swaps_per_step=spec.swaps_per_step,
             max_steps=spec.max_steps,
-            seed=cell.seed,
+            seed=seed,
         )
-    if cell.adversary == "rotation":
+    if name == "rotation":
         return RotationAdversary()
-    raise ConfigurationError(f"unknown adversary {cell.adversary!r}")
+    from repro.search.adversaries import (
+        BranchAndBoundAdversary,
+        PortfolioAdversary,
+        PrunedExhaustiveAdversary,
+    )
+
+    if name == "pruned-exhaustive":
+        return PrunedExhaustiveAdversary(max_nodes=spec.exact_max_nodes)
+    if name == "branch-and-bound":
+        return BranchAndBoundAdversary(max_nodes=spec.exact_max_nodes)
+    if name == "portfolio":
+        return PortfolioAdversary(seed=seed, workers=workers)
+    raise ConfigurationError(f"unknown adversary {name!r}")
 
 
-def _make_ball_algorithm(name: str, n: int):
+def _build_adversary(spec: CampaignSpec, cell: CampaignCell):
+    return make_adversary(cell.adversary, spec, seed=cell.seed)
+
+
+def make_ball_algorithm(name: str, n: int):
+    """Instantiate a registered algorithm as a ball algorithm.
+
+    Round-based algorithms (e.g. ``cole-vishkin``) are wrapped in the E9
+    ball compiler so every grid cell — and the ``repro search`` CLI — can
+    treat them uniformly.
+    """
     from repro.algorithms.full_gather import BallSimulationOfRounds
     from repro.algorithms.registry import make_algorithm
     from repro.core.algorithm import BallAlgorithm
@@ -173,13 +222,15 @@ def run_cell(payload: tuple[CampaignSpec, CampaignCell]) -> dict:
     """Execute one campaign cell and return its JSON-friendly result row."""
     spec, cell = payload
     graph = build_topology(cell.topology, cell.n, cell.seed)
-    algorithm = _make_ball_algorithm(cell.algorithm, graph.n)
+    algorithm = make_ball_algorithm(cell.algorithm, graph.n)
     adversary = _build_adversary(spec, cell)
     started = time.perf_counter()
     result = adversary.maximise(graph, algorithm, objective=cell.objective)
     elapsed = time.perf_counter() - started
     cache_stats = result.cache_stats.as_dict() if result.cache_stats else None
+    certificate = result.certificate
     return {
+        "certificate": certificate.as_dict() if certificate is not None else None,
         "index": cell.index,
         "topology": cell.topology,
         "n": cell.n,

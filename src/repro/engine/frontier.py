@@ -27,7 +27,7 @@ legacy runner's, a property enforced by
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Optional
+from typing import TYPE_CHECKING, Any, Optional, Sequence
 
 from repro.engine.cache import MISSING, DecisionCache
 from repro.errors import AlgorithmError, TopologyError
@@ -500,6 +500,32 @@ class FrontierRunner:
             )
         return ExecutionTrace(records)
 
+    def resimulate_node(
+        self,
+        identifiers: "Sequence[int]",
+        position: int,
+        start_radius: int = 0,
+    ) -> tuple[int, Any]:
+        """Decide one node from ``start_radius`` upward; return ``(radius, output)``.
+
+        The swap-aware search sessions (:mod:`repro.search.incremental`) call
+        this with a raw position->identifier sequence after an identifier
+        transposition: decisions below ``start_radius`` are known to be
+        unchanged (the swapped positions are outside those balls), so only
+        the radii from ``start_radius`` to the node's cap are re-decided —
+        and structurally repeated balls still hit the decision cache.
+        """
+        plan = self._plan(position)
+        cap = self._cap(position)
+        for radius in range(start_radius, cap + 1):
+            output = self._decide(plan, radius, identifiers)
+            if output is not None:
+                return radius, output
+        raise AlgorithmError(
+            f"algorithm {self.algorithm.name!r} refused to output at position "
+            f"{position} even at radius {cap}"
+        )
+
     def node_radius(self, ids: IdentifierAssignment, position: int) -> int:
         """Radius at which a single node outputs (other nodes are not run)."""
         graph = self.graph
@@ -509,16 +535,7 @@ class FrontierRunner:
             )
         if not 0 <= position < graph.n:
             raise TopologyError(f"position {position} outside 0..{graph.n - 1}")
-        identifiers = ids.identifiers()
-        plan = self._plan(position)
-        cap = self._cap(position)
-        for radius in range(cap + 1):
-            if self._decide(plan, radius, identifiers) is not None:
-                return radius
-        raise AlgorithmError(
-            f"algorithm {self.algorithm.name!r} refused to output at position "
-            f"{position} even at radius {cap}"
-        )
+        return self.resimulate_node(ids.identifiers(), position)[0]
 
 
 def frontier_run(

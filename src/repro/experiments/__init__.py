@@ -21,6 +21,7 @@ from repro.experiments import (
     random_ids,
     recurrence,
     regularity,
+    search_strategies,
     simulators,
 )
 
@@ -37,5 +38,6 @@ __all__ = [
     "recurrence",
     "regularity",
     "run_all_experiments",
+    "search_strategies",
     "simulators",
 ]

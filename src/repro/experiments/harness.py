@@ -78,6 +78,7 @@ def run_all_experiments(small: bool = False) -> list[ExperimentResult]:
         random_ids,
         recurrence,
         regularity,
+        search_strategies,
         simulators,
     )
 
@@ -93,5 +94,6 @@ def run_all_experiments(small: bool = False) -> list[ExperimentResult]:
         lambda: simulators.run(small=small),
         lambda: characterization.run(small=small),
         lambda: general_graphs.run(small=small),
+        lambda: search_strategies.run(small=small),
     )
     return [runner() for runner in runners]

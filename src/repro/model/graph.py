@@ -216,6 +216,16 @@ class Graph:
             and all(self.degree(v) == 2 for v in self.positions())
         )
 
+    def is_complete(self) -> bool:
+        """Whether every pair of distinct positions is adjacent.
+
+        Complete graphs are special-cased by the symmetry machinery of
+        :mod:`repro.search.automorphisms`: their adjacency automorphism
+        group is all of ``S_n``, so exact adversary searches collapse to a
+        single canonical identifier assignment.
+        """
+        return all(self.degree(v) == self.n - 1 for v in self.positions())
+
     def is_path(self) -> bool:
         """Whether the graph is a single simple path (n >= 1)."""
         if self.n == 0 or not self.is_connected():

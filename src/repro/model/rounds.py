@@ -50,6 +50,18 @@ class RoundAlgorithm(abc.ABC):
         """Output decided before any communication (radius 0), or ``None``."""
         return None
 
+    def supports_graph(self, graph: Any) -> bool:
+        """Whether the algorithm's structural assumptions hold on ``graph``.
+
+        Mirrors :meth:`repro.core.algorithm.BallAlgorithm.supports_graph`:
+        the default accepts everything, and topology-restricted algorithms
+        (e.g. ring-only ones) override it so simulators — including the
+        :class:`~repro.algorithms.full_gather.BallSimulationOfRounds`
+        compiler, which forwards this check — can fail fast instead of
+        raising mid-run.
+        """
+        return True
+
     @abc.abstractmethod
     def send(self, memory: Any, round_number: int) -> Mapping[int, Any]:
         """Payloads to emit this round, keyed by port number."""

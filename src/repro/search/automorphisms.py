@@ -1,0 +1,287 @@
+"""Graph symmetries for the adversary search.
+
+The objective of an adversarial search — any function of the multiset of
+per-node radii — is invariant under relabelling the *positions* of the graph
+by an automorphism: if ``sigma`` maps the graph onto itself, then running an
+algorithm under the assignment ``ids ∘ sigma`` produces, node for node, the
+radii of ``ids`` shuffled by ``sigma``.  Enumerating one assignment per
+orbit of the automorphism group therefore covers the whole search space,
+shrinking ``n!`` candidates by a factor of the group order (``2n`` on a
+cycle, ``n!`` itself on a complete graph).
+
+Two symmetry notions are provided, because views in the LOCAL model contain
+port numbers:
+
+* **port-preserving automorphisms** map port ``p`` of ``v`` to port ``p`` of
+  ``sigma(v)``.  Views are preserved exactly, so the reduction is sound for
+  *every* algorithm.  On a connected graph such a map is rigid — fully
+  determined by the image of one vertex — so the group is found in
+  ``O(n · m)`` time without backtracking.
+* **adjacency automorphisms** only preserve the edge relation.  They are
+  sound for algorithms that declare ``uses_ports = False`` (their ``decide``
+  never reads ``port_by_pair``), and they are found by a backtracking search
+  seeded with orbit refinement (1-WL colour classes).
+
+Groups are cached on the :class:`~repro.model.graph.Graph` object (like the
+engine's frontier plans), so repeated searches on one graph pay the
+computation once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.model.graph import Graph
+
+#: Above this group order the adjacency backtracking gives up and the caller
+#: falls back to the (always small) port-preserving group.  Orders beyond a
+#: few thousand only occur on graphs with huge symmetric pieces (stars,
+#: unions of twins), where the complete-graph special case does not apply
+#: but a full element table would dominate the search it is meant to prune.
+DEFAULT_MAX_GROUP_SIZE = 20_000
+
+
+def refine_colors(
+    graph: Graph, initial: Optional[Sequence[int]] = None
+) -> tuple[int, ...]:
+    """Stable colouring of the positions by 1-WL (orbit) refinement.
+
+    Starting from ``initial`` (degrees by default), every round recolours a
+    position by the multiset of its neighbours' colours, until the partition
+    stops splitting.  Positions in different colour classes can never be
+    exchanged by an automorphism, which is what prunes the backtracking
+    search; positions in the same class *may* be symmetric.
+    """
+    n = graph.n
+    if n == 0:
+        return ()
+    colors = tuple(initial) if initial is not None else tuple(
+        graph.degree(v) for v in graph.positions()
+    )
+    if len(colors) != n:
+        raise ValueError(f"initial colouring covers {len(colors)} positions, graph has {n}")
+    while True:
+        signatures = [
+            (colors[v], tuple(sorted(colors[u] for u in graph.neighbors(v))))
+            for v in graph.positions()
+        ]
+        palette = {signature: index for index, signature in enumerate(sorted(set(signatures)))}
+        refined = tuple(palette[signature] for signature in signatures)
+        if len(set(refined)) == len(set(colors)):
+            return refined
+        colors = refined
+
+
+def port_preserving_automorphisms(graph: Graph) -> list[tuple[int, ...]]:
+    """The full group of automorphisms that also preserve port numbers.
+
+    A port-preserving map satisfies ``sigma(adj[v][p]) == adj[sigma(v)][p]``
+    for every position ``v`` and port ``p``; on a connected graph it is
+    therefore determined by the image of position 0, and each of the ``n``
+    candidate images either extends uniquely or fails.  The identity is
+    always included.
+
+    The rigidity argument needs connectivity, so on a disconnected graph
+    (which none of the simulators accept anyway) the trivial group is
+    returned rather than an invalid empty one.
+    """
+    n = graph.n
+    if n == 0:
+        return []
+    if not graph.is_connected():
+        return [tuple(range(n))]
+    colors = refine_colors(graph)
+    elements: list[tuple[int, ...]] = []
+    for seed in graph.positions():
+        if colors[seed] != colors[0]:
+            continue
+        mapping: list[Optional[int]] = [None] * n
+        mapping[0] = seed
+        used = {seed}
+        stack = [0]
+        consistent = True
+        while stack and consistent:
+            v = stack.pop()
+            image = mapping[v]
+            assert image is not None
+            v_neighbors = graph.neighbors(v)
+            image_neighbors = graph.neighbors(image)
+            if len(v_neighbors) != len(image_neighbors):
+                consistent = False
+                break
+            for port, u in enumerate(v_neighbors):
+                target = image_neighbors[port]
+                if mapping[u] is None:
+                    if target in used:
+                        consistent = False
+                        break
+                    mapping[u] = target
+                    used.add(target)
+                    stack.append(u)
+                elif mapping[u] != target:
+                    consistent = False
+                    break
+        if consistent and None not in mapping:
+            elements.append(tuple(mapping))  # type: ignore[arg-type]
+    return elements
+
+
+def adjacency_automorphisms(
+    graph: Graph, max_size: int = DEFAULT_MAX_GROUP_SIZE
+) -> Optional[list[tuple[int, ...]]]:
+    """All adjacency automorphisms, or ``None`` when the group exceeds ``max_size``.
+
+    Backtracking over positions in a refinement-aware order: position ``v``
+    may only map to positions of the same 1-WL colour whose adjacency to the
+    already-mapped prefix matches.  Complete graphs (group ``S_n``) are the
+    caller's job to special-case before calling this.
+    """
+    n = graph.n
+    if n == 0:
+        return []
+    colors = refine_colors(graph)
+    # Map rare colour classes first: fewer candidates near the root.
+    class_size: dict[int, int] = {}
+    for color in colors:
+        class_size[color] = class_size.get(color, 0) + 1
+    order = sorted(graph.positions(), key=lambda v: (class_size[colors[v]], v))
+    neighbor_sets = [frozenset(graph.neighbors(v)) for v in graph.positions()]
+    elements: list[tuple[int, ...]] = []
+    mapping: list[Optional[int]] = [None] * n
+    used = [False] * n
+
+    def extend(depth: int) -> bool:
+        """Depth-first extension; returns False when the cap was hit."""
+        if depth == n:
+            elements.append(tuple(mapping))  # type: ignore[arg-type]
+            return len(elements) <= max_size
+        v = order[depth]
+        earlier = order[:depth]
+        for candidate in graph.positions():
+            if used[candidate] or colors[candidate] != colors[v]:
+                continue
+            ok = True
+            for u in earlier:
+                if (u in neighbor_sets[v]) != (mapping[u] in neighbor_sets[candidate]):
+                    ok = False
+                    break
+            if not ok:
+                continue
+            mapping[v] = candidate
+            used[candidate] = True
+            alive = extend(depth + 1)
+            mapping[v] = None
+            used[candidate] = False
+            if not alive:
+                return False
+        return True
+
+    if not extend(0):
+        return None
+    return elements
+
+
+@dataclass(frozen=True)
+class AutomorphismGroup:
+    """An explicit automorphism group, as used by the exact searches.
+
+    ``elements`` always contains the identity.  ``full_symmetric`` marks the
+    complete-graph case where the group is all of ``S_n`` and enumerating it
+    would be absurd — the searches special-case it (a single canonical
+    assignment covers the whole space).  ``respects_ports`` records which
+    symmetry notion was computed, which the certificates report.
+    """
+
+    elements: tuple[tuple[int, ...], ...]
+    respects_ports: bool
+    full_symmetric: bool = False
+    n: int = 0
+
+    @property
+    def order(self) -> int:
+        """Group order (``n!`` in the ``full_symmetric`` case)."""
+        if self.full_symmetric:
+            import math
+
+            return math.factorial(self.n)
+        return len(self.elements)
+
+    def is_trivial(self) -> bool:
+        """Whether only the identity is available for pruning."""
+        return not self.full_symmetric and len(self.elements) <= 1
+
+
+def orbit_partition(group: AutomorphismGroup) -> list[list[int]]:
+    """Orbits of the positions under the group (sorted, disjoint, covering)."""
+    n = group.n
+    if group.full_symmetric:
+        return [list(range(n))] if n else []
+    seen: set[int] = set()
+    orbits: list[list[int]] = []
+    for start in range(n):
+        if start in seen:
+            continue
+        orbit = {start}
+        frontier = [start]
+        while frontier:
+            v = frontier.pop()
+            for sigma in group.elements:
+                image = sigma[v]
+                if image not in orbit:
+                    orbit.add(image)
+                    frontier.append(image)
+        seen |= orbit
+        orbits.append(sorted(orbit))
+    return orbits
+
+
+def automorphism_group(
+    graph: Graph,
+    respect_ports: bool = True,
+    max_size: int = DEFAULT_MAX_GROUP_SIZE,
+) -> AutomorphismGroup:
+    """The automorphism group of ``graph``, cached on the graph object.
+
+    With ``respect_ports=True`` (sound for every algorithm) the group
+    contains exactly the port-preserving automorphisms.  With
+    ``respect_ports=False`` (sound only for ``uses_ports = False``
+    algorithms) the full adjacency group is computed instead; complete
+    graphs short-circuit to a ``full_symmetric`` marker, and any other graph
+    whose group would exceed ``max_size`` elements falls back to the
+    port-preserving subgroup — a smaller but always-sound pruning set.
+    """
+    cache: dict = getattr(graph, "_automorphism_cache", None) or {}
+    key = (respect_ports, max_size)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    n = graph.n
+    if respect_ports:
+        group = AutomorphismGroup(
+            elements=tuple(port_preserving_automorphisms(graph)),
+            respects_ports=True,
+            n=n,
+        )
+    elif n > 0 and graph.is_complete():
+        group = AutomorphismGroup(
+            elements=(tuple(range(n)),),
+            respects_ports=False,
+            full_symmetric=True,
+            n=n,
+        )
+    else:
+        elements = adjacency_automorphisms(graph, max_size=max_size)
+        if elements is None:
+            group = AutomorphismGroup(
+                elements=tuple(port_preserving_automorphisms(graph)),
+                respects_ports=True,
+                n=n,
+            )
+        else:
+            group = AutomorphismGroup(
+                elements=tuple(elements), respects_ports=False, n=n
+            )
+    cache[key] = group
+    graph._automorphism_cache = cache  # type: ignore[attr-defined]
+    return group

@@ -1,0 +1,195 @@
+"""Swap-based search strategies over a :class:`~repro.search.incremental.SwapEvaluator`.
+
+Each strategy starts from the evaluator's current assignment, explores
+transpositions with incremental re-simulation, and returns the best
+assignment it has *seen* (not necessarily the one it ends on — annealing and
+tabu search deliberately walk through worse states).  All strategies draw
+every random choice from the supplied ``rng``, so a fixed seed makes a
+strategy fully deterministic; the parallel portfolio relies on this.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from random import Random
+
+from repro.model.identifiers import random_assignment
+from repro.search.incremental import SwapEvaluator
+
+
+@dataclass(frozen=True)
+class StrategyResult:
+    """Best assignment found by one strategy run."""
+
+    name: str
+    value: float
+    identifiers: tuple[int, ...]
+    evaluations: int
+    steps: int
+
+
+def _sample_pair(rng: Random, n: int) -> tuple[int, int]:
+    if n < 2:
+        return 0, 0
+    a = rng.randrange(n)
+    b = rng.randrange(n - 1)
+    if b >= a:
+        b += 1
+    return a, b
+
+
+def hill_climb(
+    evaluator: SwapEvaluator,
+    rng: Random,
+    swaps_per_step: int = 32,
+    max_steps: int = 64,
+) -> StrategyResult:
+    """Best-improvement hill climbing over sampled transpositions.
+
+    Each step examines ``swaps_per_step`` random pairs and commits the best
+    strictly improving one; the climb stops at a local optimum or after
+    ``max_steps`` steps.
+    """
+    before = evaluator.evaluations
+    current = evaluator.value
+    steps = 0
+    for _ in range(max_steps):
+        best_delta = None
+        for _ in range(swaps_per_step):
+            a, b = _sample_pair(rng, evaluator.graph.n)
+            if a == b:
+                continue
+            delta = evaluator.peek(a, b)
+            if delta.value > current and (
+                best_delta is None or delta.value > best_delta.value
+            ):
+                best_delta = delta
+        if best_delta is None:
+            break
+        current = evaluator.commit(best_delta)
+        steps += 1
+    return StrategyResult(
+        name="hill-climb",
+        value=current,
+        identifiers=evaluator.identifiers,
+        evaluations=evaluator.evaluations - before,
+        steps=steps,
+    )
+
+
+def simulated_annealing(
+    evaluator: SwapEvaluator,
+    rng: Random,
+    steps: int = 400,
+    start_temperature: float = 1.0,
+    end_temperature: float = 0.02,
+) -> StrategyResult:
+    """Metropolis walk over transpositions with a geometric cooling schedule.
+
+    Worsening swaps are accepted with probability ``exp(delta / t)``, which
+    lets the walk escape the local optima where pure hill climbing stalls;
+    the best assignment seen anywhere along the walk is returned.
+    """
+    before = evaluator.evaluations
+    current = evaluator.value
+    best_value = current
+    best_ids = evaluator.identifiers
+    ratio = end_temperature / start_temperature
+    for step in range(steps):
+        temperature = start_temperature * ratio ** (step / max(1, steps - 1))
+        a, b = _sample_pair(rng, evaluator.graph.n)
+        if a == b:
+            continue
+        delta = evaluator.peek(a, b)
+        gain = delta.value - current
+        if gain >= 0 or rng.random() < math.exp(gain / temperature):
+            current = evaluator.commit(delta)
+            if current > best_value:
+                best_value = current
+                best_ids = evaluator.identifiers
+    return StrategyResult(
+        name="annealing",
+        value=best_value,
+        identifiers=best_ids,
+        evaluations=evaluator.evaluations - before,
+        steps=steps,
+    )
+
+
+def tabu_search(
+    evaluator: SwapEvaluator,
+    rng: Random,
+    steps: int = 100,
+    tenure: int = 8,
+    sample: int = 24,
+) -> StrategyResult:
+    """Tabu search: always move to the best sampled neighbour, even downhill.
+
+    A committed pair of positions becomes tabu for ``tenure`` steps (unless
+    the move would beat the best value seen — the classic aspiration
+    criterion), which stops the walk from immediately undoing itself.
+    """
+    before = evaluator.evaluations
+    current = evaluator.value
+    best_value = current
+    best_ids = evaluator.identifiers
+    tabu_until: dict[tuple[int, int], int] = {}
+    for step in range(steps):
+        best_delta = None
+        for _ in range(sample):
+            a, b = _sample_pair(rng, evaluator.graph.n)
+            if a == b:
+                continue
+            pair = (min(a, b), max(a, b))
+            delta = evaluator.peek(a, b)
+            if tabu_until.get(pair, -1) > step and delta.value <= best_value:
+                continue  # tabu, and aspiration does not apply
+            if best_delta is None or delta.value > best_delta.value:
+                best_delta = delta
+        if best_delta is None:
+            continue
+        current = evaluator.commit(best_delta)
+        pair = (
+            min(best_delta.position_a, best_delta.position_b),
+            max(best_delta.position_a, best_delta.position_b),
+        )
+        tabu_until[pair] = step + tenure
+        if current > best_value:
+            best_value = current
+            best_ids = evaluator.identifiers
+    return StrategyResult(
+        name="tabu",
+        value=best_value,
+        identifiers=best_ids,
+        evaluations=evaluator.evaluations - before,
+        steps=steps,
+    )
+
+
+def random_probe(
+    evaluator: SwapEvaluator,
+    rng: Random,
+    samples: int = 16,
+) -> StrategyResult:
+    """Full restarts from uniformly random assignments (the baseline).
+
+    Unlike the swap strategies this pays a full (engine-accelerated) run per
+    sample; it is kept in the portfolio as a diversification backstop.
+    """
+    before = evaluator.evaluations
+    best_value = evaluator.value
+    best_ids = evaluator.identifiers
+    n = evaluator.graph.n
+    for _ in range(samples):
+        value = evaluator.reset(random_assignment(n, seed=rng.getrandbits(64)))
+        if value > best_value:
+            best_value = value
+            best_ids = evaluator.identifiers
+    return StrategyResult(
+        name="random-probe",
+        value=best_value,
+        identifiers=best_ids,
+        evaluations=evaluator.evaluations - before,
+        steps=samples,
+    )

@@ -61,6 +61,26 @@ class TestRunCampaign:
         assert row["exact"]
         assert row["evaluations"] == 120
 
+    def test_search_adversaries_join_the_grid_with_certificates(self):
+        rows = run_campaign(
+            _small_spec(
+                topologies=("cycle",),
+                sizes=(6,),
+                adversaries=("pruned-exhaustive", "branch-and-bound", "portfolio"),
+            )
+        )
+        by_name = {row["adversary"]: row for row in rows}
+        assert by_name["pruned-exhaustive"]["exact"]
+        assert by_name["branch-and-bound"]["exact"]
+        assert not by_name["portfolio"]["exact"]
+        # Exact searches agree with each other; certificates are JSON rows.
+        assert (
+            by_name["pruned-exhaustive"]["value"]
+            == by_name["branch-and-bound"]["value"]
+        )
+        assert by_name["pruned-exhaustive"]["certificate"]["group_order"] == 12
+        assert by_name["portfolio"]["certificate"]["strategies"]
+
     def test_round_algorithms_join_via_the_ball_compiler(self):
         rows = run_campaign(
             _small_spec(

@@ -44,4 +44,4 @@ class TestRunAll:
     def test_run_all_experiments_includes_the_new_ones(self):
         results = run_all_experiments(small=True)
         ids = [result.experiment_id for result in results]
-        assert ids == ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"]
+        assert ids == ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"]

@@ -1,0 +1,138 @@
+"""Tests for the exact symmetry-pruned searches and their certificates."""
+
+import math
+
+import pytest
+
+from repro.algorithms.full_gather import BallSimulationOfRounds
+from repro.algorithms.cole_vishkin import ColeVishkinRing
+from repro.algorithms.greedy_coloring import GreedyColoringByID
+from repro.algorithms.largest_id import LargestIdAlgorithm
+from repro.core.adversary import ExhaustiveAdversary
+from repro.core.measures import exact_worst_case
+from repro.core.runner import run_ball_algorithm
+from repro.errors import ConfigurationError
+from repro.search.adversaries import (
+    BranchAndBoundAdversary,
+    PrunedExhaustiveAdversary,
+)
+from repro.search.branch_bound import BranchAndBoundSearch
+from repro.topology.complete import complete_graph
+from repro.topology.cycle import cycle_graph
+from repro.topology.path import path_graph
+
+
+class TestPrunedExhaustive:
+    def test_matches_legacy_on_the_6_cycle(self, largest_id_algorithm):
+        graph = cycle_graph(6)
+        legacy = ExhaustiveAdversary().maximise(graph, largest_id_algorithm, "sum")
+        pruned = PrunedExhaustiveAdversary().maximise(graph, largest_id_algorithm, "sum")
+        assert pruned.exact
+        assert pruned.value == legacy.value
+        # Dihedral group of order 12: 720 / 12 = 60 canonical classes.
+        assert pruned.certificate.canonical_leaves == 60
+        assert pruned.certificate.group_order == 12
+
+    def test_witness_reproduces_the_value(self, largest_id_algorithm):
+        graph = cycle_graph(6)
+        result = PrunedExhaustiveAdversary().maximise(graph, largest_id_algorithm)
+        trace = run_ball_algorithm(graph, result.assignment, largest_id_algorithm)
+        assert trace.average_radius == pytest.approx(result.value)
+
+    def test_complete_graph_collapses_to_one_class(self, largest_id_algorithm):
+        result = PrunedExhaustiveAdversary().maximise(
+            complete_graph(10), largest_id_algorithm, "average"
+        )
+        assert result.exact
+        assert result.certificate.canonical_leaves == 1
+        assert result.certificate.group_order == math.factorial(10)
+        assert result.value == 1.0  # everyone sees everything at radius 1
+
+    def test_port_using_algorithm_gets_the_port_preserving_group(self):
+        algorithm = BallSimulationOfRounds(ColeVishkinRing(6))
+        result = PrunedExhaustiveAdversary().maximise(cycle_graph(6), algorithm)
+        # Rotations only: order 6, not the dihedral 12.
+        assert result.certificate.group_order == 6
+        assert result.certificate.group_respects_ports
+
+    def test_respects_max_nodes(self, largest_id_algorithm):
+        with pytest.raises(ConfigurationError, match="limited"):
+            PrunedExhaustiveAdversary(max_nodes=5).maximise(
+                cycle_graph(8), largest_id_algorithm
+            )
+
+    def test_respects_the_class_budget(self, largest_id_algorithm):
+        # The 12-path has a symmetry group of order 2: ~12!/2 canonical
+        # classes, hopeless for enumeration, and rejected eagerly.
+        with pytest.raises(ConfigurationError, match="canonical"):
+            PrunedExhaustiveAdversary().maximise(
+                path_graph(12), largest_id_algorithm
+            )
+        # The 12-node complete graph has more nodes but a single class.
+        result = PrunedExhaustiveAdversary().maximise(
+            complete_graph(12), largest_id_algorithm
+        )
+        assert result.exact and result.certificate.canonical_leaves == 1
+
+
+class TestBranchAndBound:
+    @pytest.mark.parametrize("objective", ["average", "max", "sum"])
+    def test_matches_legacy_on_cycles_and_paths(self, largest_id_algorithm, objective):
+        for graph in (cycle_graph(5), path_graph(6)):
+            legacy = ExhaustiveAdversary().maximise(
+                graph, largest_id_algorithm, objective
+            )
+            bounded = BranchAndBoundAdversary().maximise(
+                graph, largest_id_algorithm, objective
+            )
+            assert bounded.exact
+            assert bounded.value == legacy.value
+
+    def test_bound_pruning_reduces_the_enumeration(self, largest_id_algorithm):
+        graph = cycle_graph(7)
+        pruned = PrunedExhaustiveAdversary().maximise(graph, largest_id_algorithm)
+        bounded = BranchAndBoundAdversary().maximise(graph, largest_id_algorithm)
+        assert bounded.value == pruned.value
+        assert (
+            bounded.certificate.canonical_leaves
+            < pruned.certificate.canonical_leaves
+        )
+        assert bounded.certificate.pruned_by_bound > 0
+
+    def test_without_incumbent_still_exact(self, largest_id_algorithm):
+        graph = cycle_graph(6)
+        reference = ExhaustiveAdversary().maximise(graph, largest_id_algorithm, "sum")
+        unseeded = BranchAndBoundAdversary(seed_incumbent=False).maximise(
+            graph, largest_id_algorithm, "sum"
+        )
+        assert unseeded.value == reference.value
+        assert not unseeded.certificate.incumbent_seeded
+
+    def test_exact_beyond_the_legacy_limit(self, largest_id_algorithm):
+        # n = 12 > 9: a space of 12! assignments, collapsed to one canonical
+        # class by the complete graph's full symmetry.  (The cycle version of
+        # this claim, cross-checked against the paper's recurrence, lives in
+        # benchmarks/test_bench_search.py — it takes seconds, not millis.)
+        result = exact_worst_case(complete_graph(12), largest_id_algorithm, "sum")
+        assert result.exact
+        assert result.value == 12.0  # every node outputs at radius 1
+        assert result.certificate.space_size == math.factorial(12)
+        assert result.certificate.group_order == math.factorial(12)
+
+    def test_search_outcome_certificate_counters_are_consistent(
+        self, largest_id_algorithm
+    ):
+        search = BranchAndBoundSearch(cycle_graph(6), largest_id_algorithm, "sum")
+        outcome = search.run()
+        certificate = outcome.certificate
+        assert certificate.exact
+        assert certificate.nodes_expanded > 0
+        assert certificate.canonical_leaves > 0
+        assert 0 < certificate.group_order <= 12
+
+    def test_greedy_coloring_agrees_with_legacy(self):
+        algorithm = GreedyColoringByID()
+        graph = path_graph(5)
+        legacy = ExhaustiveAdversary().maximise(graph, algorithm, "average")
+        bounded = BranchAndBoundAdversary().maximise(graph, algorithm, "average")
+        assert bounded.value == legacy.value

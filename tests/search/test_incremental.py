@@ -1,0 +1,84 @@
+"""Tests for the incremental swap evaluator."""
+
+import random
+
+import pytest
+
+from repro.algorithms.greedy_coloring import GreedyColoringByID
+from repro.core.adversary import trace_objective
+from repro.engine.frontier import FrontierRunner
+from repro.errors import AnalysisError
+from repro.model.identifiers import identity_assignment, random_assignment
+from repro.search.incremental import SwapEvaluator
+from repro.topology.cycle import cycle_graph
+from repro.topology.random_graphs import random_tree
+
+
+class TestSwapEvaluator:
+    def test_initial_value_matches_a_full_run(self, ring12, largest_id_algorithm):
+        ids = random_assignment(12, seed=5)
+        evaluator = SwapEvaluator(ring12, largest_id_algorithm, "average", ids=ids)
+        trace = FrontierRunner(ring12, largest_id_algorithm).run(ids)
+        assert evaluator.value == pytest.approx(trace.average_radius)
+        assert evaluator.sum_radius == trace.sum_radius
+
+    def test_peek_does_not_mutate(self, ring12, largest_id_algorithm):
+        evaluator = SwapEvaluator(
+            ring12, largest_id_algorithm, ids=identity_assignment(12)
+        )
+        before_ids = evaluator.identifiers
+        before_value = evaluator.value
+        evaluator.peek(0, 7)
+        assert evaluator.identifiers == before_ids
+        assert evaluator.value == before_value
+
+    def test_peek_matches_full_resimulation(self, ring12, largest_id_algorithm):
+        evaluator = SwapEvaluator(
+            ring12, largest_id_algorithm, "average", ids=random_assignment(12, seed=2)
+        )
+        reference = FrontierRunner(ring12, largest_id_algorithm)
+        for a, b in [(0, 1), (0, 6), (3, 9), (10, 11)]:
+            delta = evaluator.peek(a, b)
+            swapped = evaluator.assignment().with_swap(a, b)
+            expected = trace_objective(reference.run(swapped), "average")
+            assert delta.value == pytest.approx(expected)
+
+    def test_commit_then_trace_is_consistent(self, largest_id_algorithm):
+        graph = random_tree(10, seed=8)
+        evaluator = SwapEvaluator(
+            graph, largest_id_algorithm, "sum", ids=random_assignment(10, seed=3)
+        )
+        rng = random.Random(0)
+        for _ in range(25):
+            a, b = rng.sample(range(10), 2)
+            evaluator.apply_swap(a, b)
+        reference = FrontierRunner(graph, largest_id_algorithm).run(
+            evaluator.assignment()
+        )
+        assert evaluator.trace().radii() == reference.radii()
+        assert evaluator.value == pytest.approx(float(reference.sum_radius))
+
+    def test_max_objective_tracks_the_maximum(self):
+        graph = cycle_graph(9)
+        algorithm = GreedyColoringByID()
+        evaluator = SwapEvaluator(
+            graph, algorithm, "max", ids=random_assignment(9, seed=1)
+        )
+        reference = FrontierRunner(graph, algorithm)
+        rng = random.Random(4)
+        for _ in range(15):
+            a, b = rng.sample(range(9), 2)
+            evaluator.apply_swap(a, b)
+            expected = reference.run(evaluator.assignment()).max_radius
+            assert evaluator.value == float(expected)
+
+    def test_rejects_unknown_objective(self, ring12, largest_id_algorithm):
+        with pytest.raises(AnalysisError):
+            SwapEvaluator(ring12, largest_id_algorithm, objective="median")
+
+    def test_counts_evaluations(self, ring12, largest_id_algorithm):
+        evaluator = SwapEvaluator(ring12, largest_id_algorithm)
+        start = evaluator.evaluations
+        evaluator.peek(0, 1)
+        evaluator.apply_swap(2, 3)
+        assert evaluator.evaluations == start + 2

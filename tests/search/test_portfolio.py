@@ -1,0 +1,72 @@
+"""Tests for the strategy portfolio and its determinism guarantees."""
+
+import pytest
+
+from repro.core.adversary import ExhaustiveAdversary
+from repro.core.runner import run_ball_algorithm
+from repro.errors import ConfigurationError
+from repro.search.adversaries import PortfolioAdversary
+from repro.search.portfolio import (
+    PortfolioSearch,
+    StrategySpec,
+    default_portfolio,
+)
+from repro.topology.cycle import cycle_graph
+
+
+class TestStrategySpec:
+    def test_rejects_unknown_strategy(self):
+        with pytest.raises(ConfigurationError, match="unknown strategy"):
+            StrategySpec.make("gradient-descent")
+
+    def test_default_portfolio_covers_all_families(self):
+        names = {spec.name for spec in default_portfolio()}
+        assert names == {"hill-climb", "annealing", "tabu", "random-probe"}
+
+
+class TestPortfolioSearch:
+    def test_deterministic_across_worker_counts(self, largest_id_algorithm):
+        graph = cycle_graph(10)
+        serial = PortfolioAdversary(seed=7, workers=1).maximise(
+            graph, largest_id_algorithm
+        )
+        parallel = PortfolioAdversary(seed=7, workers=3).maximise(
+            graph, largest_id_algorithm
+        )
+        assert serial.value == parallel.value
+        assert serial.assignment == parallel.assignment
+
+    def test_finds_the_optimum_on_a_small_cycle(self, largest_id_algorithm):
+        graph = cycle_graph(7)
+        exact = ExhaustiveAdversary().maximise(graph, largest_id_algorithm)
+        found = PortfolioAdversary(seed=0).maximise(graph, largest_id_algorithm)
+        assert not found.exact
+        assert found.value == pytest.approx(exact.value)
+
+    def test_witness_reproduces_the_value(self, ring12, largest_id_algorithm):
+        result = PortfolioAdversary(seed=2).maximise(ring12, largest_id_algorithm)
+        trace = run_ball_algorithm(ring12, result.assignment, largest_id_algorithm)
+        assert trace.average_radius == pytest.approx(result.value)
+
+    def test_certificate_reports_every_strategy(self, ring12, largest_id_algorithm):
+        result = PortfolioAdversary(seed=1).maximise(ring12, largest_id_algorithm)
+        names = [row["strategy"] for row in result.certificate.rows]
+        assert names == ["hill-climb", "annealing", "tabu", "random-probe"]
+        assert result.evaluations == sum(
+            row["evaluations"] for row in result.certificate.rows
+        )
+        # The best strategy's value is exactly the reported value.
+        assert result.value == max(row["value"] for row in result.certificate.rows)
+
+    def test_custom_portfolio(self, ring12, largest_id_algorithm):
+        search = PortfolioSearch(
+            strategies=[StrategySpec.make("hill-climb", max_steps=4, swaps_per_step=4)],
+            seed=5,
+        )
+        best, certificate = search.run(ring12, largest_id_algorithm, "average")
+        assert best.name == "hill-climb"
+        assert len(certificate.rows) == 1
+
+    def test_empty_portfolio_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PortfolioSearch(strategies=[])

@@ -33,7 +33,7 @@ class TestListCommands:
     def test_list_experiments_prints_the_index(self, capsys):
         assert main(["list-experiments"]) == 0
         output = capsys.readouterr().out
-        assert "E1:" in output and "E11:" in output
+        assert "E1:" in output and "E12:" in output
 
 
 class TestSimulate:
@@ -87,6 +87,38 @@ class TestRunExperiment:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(ConfigurationError, match="unknown experiment"):
             main(["run-experiment", "E99"])
+
+
+class TestSearch:
+    def test_search_defaults(self):
+        args = build_parser().parse_args(["search"])
+        assert args.adversary == "branch-and-bound"
+        assert args.objective == "average"
+        assert args.n == 8
+
+    def test_exact_search_prints_a_certificate(self, capsys):
+        assert main(["search", "--topology", "cycle", "--n", "7"]) == 0
+        output = capsys.readouterr().out
+        assert "exact            : True" in output
+        assert "'group_order': 14" in output
+        assert "witness ids" in output
+
+    def test_portfolio_search_reports_strategies(self, capsys):
+        assert (
+            main(["search", "--n", "10", "--adversary", "portfolio", "--seed", "2"])
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "exact            : False" in output
+        assert "hill-climb" in output
+
+    def test_legacy_adversaries_remain_available(self, capsys):
+        assert main(["search", "--n", "6", "--adversary", "exhaustive"]) == 0
+        assert "exact            : True" in capsys.readouterr().out
+
+    def test_unknown_adversary_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["search", "--adversary", "oracle"])
 
 
 class TestGap:

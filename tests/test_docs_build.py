@@ -1,0 +1,71 @@
+"""The documentation build is part of tier-1: it must pass with zero warnings.
+
+Runs ``scripts/build_docs.py --strict`` into a temporary directory (so the
+developer's ``docs/_build`` is untouched) and then checks the acceptance
+criteria directly: every module under ``src/repro`` has an API page, every
+hand-written guide is present, and the HTML rendering exists.
+"""
+
+from __future__ import annotations
+
+import pkgutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BUILDER = REPO_ROOT / "scripts" / "build_docs.py"
+
+
+@pytest.fixture(scope="module")
+def built_site(tmp_path_factory):
+    out = tmp_path_factory.mktemp("docs_build")
+    result = subprocess.run(
+        [sys.executable, str(BUILDER), "--strict", "--out", str(out)],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    assert result.returncode == 0, (
+        f"strict docs build failed\nstdout:\n{result.stdout}\nstderr:\n{result.stderr}"
+    )
+    return out, result.stdout
+
+
+def all_repro_modules() -> list[str]:
+    names = {"repro"}
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        names.add(info.name)
+    return sorted(names)
+
+
+def test_strict_build_reports_zero_warnings(built_site):
+    _, stdout = built_site
+    assert "0 warnings" in stdout
+
+
+def test_every_public_module_has_an_api_page(built_site):
+    out, _ = built_site
+    for name in all_repro_modules():
+        page = out / "api" / f"{name}.md"
+        assert page.exists(), f"API reference is missing {name}"
+        assert (out / "api" / f"{name}.html").exists()
+
+
+def test_guide_pages_are_built(built_site):
+    out, _ = built_site
+    for page in ("index", "architecture", "tutorial-measures", "adversary-search"):
+        assert (out / f"{page}.md").exists()
+        html = (out / f"{page}.html").read_text(encoding="utf-8")
+        assert html.startswith("<!DOCTYPE html>")
+
+
+def test_api_index_links_every_module(built_site):
+    out, _ = built_site
+    index = (out / "api" / "index.md").read_text(encoding="utf-8")
+    for name in all_repro_modules():
+        assert f"[`{name}`]({name}.md)" in index

@@ -1,0 +1,24 @@
+"""Run the doctest examples of the public core modules in tier-1.
+
+The examples in :mod:`repro.core.measures` and :mod:`repro.core.adversary`
+double as executable documentation (the docs build renders them verbatim),
+so they must keep passing like any other test.
+"""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.core.adversary
+import repro.core.measures
+
+MODULES = (repro.core.adversary, repro.core.measures)
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests_pass(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} has no doctest examples"
+    assert results.failed == 0, f"{module.__name__}: {results.failed} doctest failures"

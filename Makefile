@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test docs bench sweep-smoke clean
+.PHONY: test docs bench bench-smoke sweep-smoke clean
 
 ## tier-1 test suite (tests + benchmarks), exactly as CI runs it
 test:
@@ -13,7 +13,12 @@ docs:
 
 ## the speedup benchmarks with their JSON artifacts
 bench:
-	$(PYTHON) -m pytest -q benchmarks/test_bench_engine.py benchmarks/test_bench_search.py
+	$(PYTHON) -m pytest -q benchmarks/test_bench_engine.py benchmarks/test_bench_search.py benchmarks/test_bench_dist.py
+
+## every benchmark in fast smoke mode (reduced sizes, same assertions and
+## JSON artifacts), so BENCH_*.json regressions surface on PRs
+bench-smoke:
+	REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest -q benchmarks
 
 ## a tiny end-to-end sweep through the campaign CLI
 sweep-smoke:

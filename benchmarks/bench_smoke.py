@@ -1,0 +1,24 @@
+"""Smoke-mode switch for the benchmark suite.
+
+``make bench-smoke`` (and the CI job of the same name) sets
+``REPRO_BENCH_SMOKE=1`` and runs every ``benchmarks/test_bench_*.py``
+through the same code paths with reduced sizes and budgets, so regressions
+in the ``BENCH_*.json`` artifacts and the speedup assertions surface on
+every PR instead of only on full local runs.
+
+Benchmark modules call :func:`pick` for anything that should shrink in
+smoke mode; artifacts record the mode so a smoke JSON is never mistaken
+for a full one.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: True when the suite runs under ``make bench-smoke`` / the CI smoke job.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
+
+
+def pick(full, smoke):
+    """Return ``full`` normally, ``smoke`` under ``REPRO_BENCH_SMOKE=1``."""
+    return smoke if SMOKE else full

@@ -1,11 +1,16 @@
 """Benchmark E10 — which problems collapse under the average measure."""
 
+from bench_smoke import pick
+
 from repro.experiments import characterization
+
+N = pick(192, 64)
+SAMPLES = pick(6, 3)
 
 
 def test_bench_e10_characterization(benchmark, report):
     result = benchmark.pedantic(
-        lambda: characterization.run(n=192, samples=6), rounds=1, iterations=1
+        lambda: characterization.run(n=N, samples=SAMPLES), rounds=1, iterations=1
     )
     report(result)
     assert result.experiment_id == "E10"

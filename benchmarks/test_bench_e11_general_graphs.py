@@ -1,11 +1,16 @@
 """Benchmark E11 — the average measure beyond cycles (further-work experiment)."""
 
+from bench_smoke import pick
+
 from repro.experiments import general_graphs
+
+N = pick(144, 64)
+SAMPLES = pick(4, 2)
 
 
 def test_bench_e11_general_graphs(benchmark, report):
     result = benchmark.pedantic(
-        lambda: general_graphs.run(n=144, samples=4), rounds=1, iterations=1
+        lambda: general_graphs.run(n=N, samples=SAMPLES), rounds=1, iterations=1
     )
     report(result)
     assert result.experiment_id == "E11"

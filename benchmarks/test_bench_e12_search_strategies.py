@@ -1,12 +1,16 @@
 """Benchmark E12 — the adversary-search portfolio on the cycle."""
 
+from bench_smoke import pick
+
 from repro.experiments import search_strategies
+
+SIZES = pick([7, 8], [6, 7])
 
 
 def test_bench_e12_search_strategies(benchmark, report):
     result = benchmark.pedantic(
-        lambda: search_strategies.run(sizes=[7, 8]), rounds=1, iterations=1
+        lambda: search_strategies.run(sizes=SIZES), rounds=1, iterations=1
     )
     report(result)
     assert result.experiment_id == "E12"
-    assert len(result.table) == 8
+    assert len(result.table) == 4 * len(SIZES)

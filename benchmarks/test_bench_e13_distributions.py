@@ -1,0 +1,20 @@
+"""Benchmark E13 — exact vs sampled measure distributions."""
+
+from bench_smoke import pick
+
+from repro.experiments import distributions
+
+SIZES = pick([6, 7, 8], [5, 6])
+SAMPLES = pick(192, 64)
+
+
+def test_bench_e13_distributions(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: distributions.run(sizes=SIZES, samples=SAMPLES),
+        rounds=1,
+        iterations=1,
+    )
+    report(result)
+    assert result.experiment_id == "E13"
+    # Two families (cycle, tree) x two methods (exact, sample) per size.
+    assert len(result.table) == 4 * len(SIZES)

@@ -5,9 +5,11 @@ on the worst identifier arrangement (with the exact recurrence bound next to
 it), the average on random identifiers, and the linear classic measure.
 """
 
+from bench_smoke import pick
+
 from repro.experiments import largest_id
 
-SIZES = [16, 32, 64, 128, 256, 512, 1024]
+SIZES = pick([16, 32, 64, 128, 256, 512, 1024], [16, 32, 64])
 
 
 def test_bench_e1_largest_id(benchmark, report):

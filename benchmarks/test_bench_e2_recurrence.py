@@ -1,8 +1,10 @@
 """Benchmark E2 — the segment recurrence a(p), OEIS A000788 and Theta(p log p)."""
 
+from bench_smoke import pick
+
 from repro.experiments import recurrence
 
-SIZES = [16, 64, 256, 1024, 4096, 16384]
+SIZES = pick([16, 64, 256, 1024, 4096, 16384], [16, 64, 256])
 
 
 def test_bench_e2_recurrence(benchmark, report):

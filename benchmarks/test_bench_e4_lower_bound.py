@@ -1,8 +1,10 @@
 """Benchmark E4 — Theorem 1: the slice construction keeps the average at Omega(log* n)."""
 
+from bench_smoke import pick
+
 from repro.experiments import lower_bound
 
-SIZES = [16, 32, 64, 128]
+SIZES = pick([16, 32, 64, 128], [16, 32])
 
 
 def test_bench_e4_lower_bound(benchmark, report):

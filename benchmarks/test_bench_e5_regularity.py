@@ -1,8 +1,10 @@
 """Benchmark E5 — the regularity lemmas (Lemmas 2 and 3) on real executions."""
 
+from bench_smoke import pick
+
 from repro.experiments import regularity
 
-SIZES = [16, 32, 64, 128]
+SIZES = pick([16, 32, 64, 128], [16, 32])
 
 
 def test_bench_e5_regularity(benchmark, report):

@@ -1,13 +1,16 @@
 """Benchmark E6 — expected complexity under uniformly random identifiers."""
 
+from bench_smoke import pick
+
 from repro.experiments import random_ids
 
-SIZES = [16, 32, 64, 128, 256, 512]
+SIZES = pick([16, 32, 64, 128, 256, 512], [16, 32, 64])
+SAMPLES = pick(16, 8)
 
 
 def test_bench_e6_random_ids(benchmark, report):
     result = benchmark.pedantic(
-        lambda: random_ids.run(sizes=SIZES, samples=16), rounds=1, iterations=1
+        lambda: random_ids.run(sizes=SIZES, samples=SAMPLES), rounds=1, iterations=1
     )
     report(result)
     assert result.experiment_id == "E6"

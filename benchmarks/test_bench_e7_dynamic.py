@@ -1,13 +1,16 @@
 """Benchmark E7 — dynamic networks: repair cost after a change at a random node."""
 
+from bench_smoke import pick
+
 from repro.experiments import dynamic
 
-SIZES = [64, 128, 256, 512]
+SIZES = pick([64, 128, 256, 512], [64, 128])
+CHURN_EVENTS = pick(24, 8)
 
 
 def test_bench_e7_dynamic(benchmark, report):
     result = benchmark.pedantic(
-        lambda: dynamic.run(sizes=SIZES, churn_events=24), rounds=1, iterations=1
+        lambda: dynamic.run(sizes=SIZES, churn_events=CHURN_EVENTS), rounds=1, iterations=1
     )
     report(result)
     assert result.experiment_id == "E7"

@@ -1,13 +1,16 @@
 """Benchmark E8 — parallel simulation: early-stopping nodes free processors."""
 
+from bench_smoke import pick
+
 from repro.experiments import parallel
 
-SIZES = [128, 256, 512, 1024]
+SIZES = pick([128, 256, 512, 1024], [128, 256])
+PROCESSOR_COUNTS = pick((4, 16, 64), (4, 16))
 
 
 def test_bench_e8_parallel(benchmark, report):
     result = benchmark.pedantic(
-        lambda: parallel.run(sizes=SIZES, processor_counts=(4, 16, 64)),
+        lambda: parallel.run(sizes=SIZES, processor_counts=PROCESSOR_COUNTS),
         rounds=1,
         iterations=1,
     )

@@ -21,6 +21,8 @@ import json
 import time
 from pathlib import Path
 
+from bench_smoke import SMOKE, pick
+
 from repro.algorithms.largest_id import LargestIdAlgorithm
 from repro.core.adversary import (
     ExhaustiveAdversary,
@@ -34,7 +36,7 @@ from repro.utils.rng import make_rng
 
 ARTIFACT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 MIN_SPEEDUP = 3.0
-REPEATS = 2
+REPEATS = pick(2, 1)
 
 _RESULTS: dict[str, dict] = {}
 
@@ -58,7 +60,12 @@ def _record(name: str, legacy_s: float, engine_s: float, value: float, cache_sta
         "cache": cache_stats.as_dict() if cache_stats else None,
     }
     _RESULTS[name] = entry
-    payload = {"kind": "repro-bench-engine", "min_speedup": MIN_SPEEDUP, "results": _RESULTS}
+    payload = {
+        "kind": "repro-bench-engine",
+        "min_speedup": MIN_SPEEDUP,
+        "smoke": SMOKE,
+        "results": _RESULTS,
+    }
     ARTIFACT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     return entry
 

@@ -42,6 +42,7 @@ GUIDE_PAGES = (
     "architecture.md",
     "tutorial-measures.md",
     "adversary-search.md",
+    "distributions.md",
 )
 
 

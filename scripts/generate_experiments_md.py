@@ -24,6 +24,7 @@ from repro.engine.campaign import load_rows
 from repro.experiments import (
     characterization,
     coloring,
+    distributions,
     dynamic,
     general_graphs,
     largest_id,
@@ -42,7 +43,7 @@ HEADER = """\
 Reproduction of Feuilloley, *Brief Announcement: Average Complexity for the
 LOCAL Model* (PODC 2015).  The paper contains **no tables or figures**; its
 evaluation is a set of quantitative claims.  ``DESIGN.md`` maps each claim to
-an experiment (E1-E12); this file records, for every experiment, what the
+an experiment (E1-E13); this file records, for every experiment, what the
 paper predicts and what this implementation measures.  Absolute constants are
 not specified by a brief announcement, so the reproduction target is the
 *shape* of each result (growth rates, who wins, where the bounds sit), and
@@ -213,6 +214,20 @@ SECTIONS = (
         "cycle), and the heuristic swap portfolio attains the same value as a "
         "certified lower bound.",
         lambda: search_strategies.run(sizes=[7, 8]),
+    ),
+    (
+        "E13",
+        "Measure distributions over identifier assignments",
+        "The paper's measures are worst cases over the identifier assignment; "
+        "its follow-up questions (and the node/edge-averaged follow-up papers) "
+        "ask how the running time is *distributed* when the assignment varies.",
+        "over all n! assignments (computed exactly from n!/|Aut| simulations, "
+        "orbit-weighted, total weight exactly n!) the classic measure on the "
+        "cycle is a point mass at floor(n/2) while the average measure "
+        "concentrates in a narrow band at the logarithmic scale; on trees the "
+        "average's spread is strictly below the max's; seeded Monte-Carlo "
+        "estimates reproduce the exact means within their standard errors.",
+        lambda: distributions.run(sizes=[6, 7, 8]),
     ),
 )
 

@@ -20,7 +20,11 @@ for the LOCAL Model* (PODC 2015).  The library provides:
 * a second-generation adversary search (:mod:`repro.search`) — graph
   automorphism pruning, exact branch and bound with certificates,
   incremental swap evaluation and a parallel strategy portfolio — for the
-  outer worst-case-over-assignments maximisation.
+  outer worst-case-over-assignments maximisation; and
+* a distributional measure layer (:mod:`repro.dist`) — the exact joint
+  distribution of both measures over all ``n!`` identifier assignments
+  (orbit-weighted canonical enumeration, ``n!/|Aut|`` simulations) and
+  seeded streaming Monte-Carlo estimators with standard errors.
 
 Quick start::
 
@@ -52,6 +56,12 @@ from repro.core import (
     run_ball_algorithm,
     worst_case_over_assignments,
 )
+from repro.dist import (
+    DiscreteDistribution,
+    RoundDistribution,
+    exact_round_distribution,
+    sample_round_distribution,
+)
 from repro.engine import (
     BatchExecutor,
     CampaignSpec,
@@ -60,7 +70,7 @@ from repro.engine import (
     run_campaign,
     run_simulation_batch,
 )
-from repro.core.measures import exact_worst_case
+from repro.core.measures import Measure, exact_worst_case, get_measure
 from repro.errors import (
     AlgorithmError,
     AnalysisError,
@@ -111,6 +121,7 @@ __all__ = [
     "ColeVishkinRing",
     "ConfigurationError",
     "DecisionCache",
+    "DiscreteDistribution",
     "ExecutionTrace",
     "ExhaustiveAdversary",
     "ExperimentError",
@@ -123,11 +134,13 @@ __all__ = [
     "IdentifierError",
     "LargestIdAlgorithm",
     "LocalSearchAdversary",
+    "Measure",
     "PortfolioAdversary",
     "PrunedExhaustiveAdversary",
     "RandomSearchAdversary",
     "ReproError",
     "RoundAlgorithm",
+    "RoundDistribution",
     "SwapEvaluator",
     "TopologyError",
     "__version__",
@@ -136,9 +149,11 @@ __all__ = [
     "complete_graph",
     "cycle_graph",
     "evaluate_assignment",
+    "exact_round_distribution",
     "exact_worst_case",
     "extract_ball",
     "fit_growth",
+    "get_measure",
     "grid_graph",
     "make_algorithm",
     "path_graph",
@@ -146,6 +161,7 @@ __all__ = [
     "random_tree",
     "run_ball_algorithm",
     "run_campaign",
+    "sample_round_distribution",
     "run_round_algorithm",
     "run_simulation_batch",
     "worst_case_over_assignments",

@@ -4,7 +4,7 @@
 any Python:
 
 * ``list-algorithms``              — the registered algorithm names;
-* ``list-experiments``             — the experiment index (E1-E12);
+* ``list-experiments``             — the experiment index (E1-E13);
 * ``run-experiment E1 [--small]``  — run one experiment and print its table;
 * ``simulate --algorithm largest-id --n 64 --topology cycle [--ids random]``
                                    — one simulation run with both measures;
@@ -17,10 +17,18 @@ any Python:
                                    — run an engine campaign over a
                                      (topology × n × algorithm × adversary)
                                      grid, print the rows and optionally
-                                     write them as JSON.
+                                     write them as JSON;
+* ``dist --topology cycle --n 8 --methods exact,sample``
+                                   — the distribution of both measures over
+                                     identifier assignments: exact (orbit-
+                                     weighted enumeration, total weight
+                                     ``n!``) and/or sampled (with standard
+                                     errors), optionally written as JSON.
 
 The CLI prints plain text only (tables and, where helpful, ASCII plots), so
-its output can be piped into files or diffed between runs.
+its output can be piped into files or diffed between runs.  ``sweep`` and
+``dist`` additionally emit machine-readable JSON documents (``--output``)
+whose schemas are documented in ``docs/distributions.md``.
 """
 
 from __future__ import annotations
@@ -33,9 +41,14 @@ from repro.core.certification import certify
 from repro.core.runner import run_ball_algorithm
 from repro.engine.campaign import (
     ADVERSARY_NAMES,
+    DIST_METHODS,
     TOPOLOGY_BUILDERS,
     CampaignSpec,
+    DistSpec,
+    aggregate_dist_rows,
     run_campaign,
+    run_dist_campaign,
+    write_dist_rows,
     write_rows,
 )
 from repro.errors import ConfigurationError
@@ -70,6 +83,7 @@ def _experiment_modules():
     from repro.experiments import (
         characterization,
         coloring,
+        distributions,
         dynamic,
         general_graphs,
         largest_id,
@@ -95,6 +109,7 @@ def _experiment_modules():
         "E10": characterization,
         "E11": general_graphs,
         "E12": search_strategies,
+        "E13": distributions,
     }
 
 
@@ -109,7 +124,7 @@ def build_parser() -> argparse.ArgumentParser:
     commands.add_parser("list-algorithms", help="print the registered algorithm names")
     commands.add_parser("list-experiments", help="print the experiment index")
 
-    run_parser = commands.add_parser("run-experiment", help="run one experiment (E1-E12)")
+    run_parser = commands.add_parser("run-experiment", help="run one experiment (E1-E13)")
     run_parser.add_argument("experiment", help="experiment id, e.g. E1")
     run_parser.add_argument("--small", action="store_true", help="use reduced instance sizes")
     run_parser.add_argument(
@@ -189,6 +204,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_parser.add_argument(
         "--output", default=None, help="write the result rows to this JSON file"
+    )
+
+    dist_parser = commands.add_parser(
+        "dist",
+        help="distribution of both measures over identifier assignments",
+    )
+    dist_parser.add_argument(
+        "--topologies",
+        default="cycle",
+        help="comma-separated topology names (see `simulate --topology` choices)",
+    )
+    dist_parser.add_argument(
+        "--sizes", default="6", help="comma-separated node counts, e.g. 6,8"
+    )
+    dist_parser.add_argument(
+        "--algorithms",
+        default="largest-id",
+        help="comma-separated registered algorithm names",
+    )
+    dist_parser.add_argument(
+        "--methods",
+        default="exact",
+        help=f"comma-separated methods among {', '.join(DIST_METHODS)}",
+    )
+    dist_parser.add_argument(
+        "--samples", type=int, default=256, help="Monte-Carlo sample budget per cell"
+    )
+    dist_parser.add_argument("--seed", type=int, default=0)
+    dist_parser.add_argument(
+        "--workers", type=int, default=1, help="worker processes for the cell grid"
+    )
+    dist_parser.add_argument(
+        "--plot",
+        action="store_true",
+        help="also print an ASCII pmf of the average measure per cell",
+    )
+    dist_parser.add_argument(
+        "--output",
+        default=None,
+        help="write rows + aggregates as a repro-dist JSON document",
     )
 
     return parser
@@ -331,6 +386,88 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_dist(args: argparse.Namespace) -> int:
+    from repro.dist.distribution import RoundDistribution, ascii_pmf
+
+    try:
+        sizes = tuple(int(item) for item in _parse_csv(args.sizes))
+    except ValueError as exc:
+        raise ConfigurationError(f"--sizes must be comma-separated integers: {exc}") from exc
+    spec = DistSpec(
+        topologies=_parse_csv(args.topologies),
+        sizes=sizes,
+        algorithms=_parse_csv(args.algorithms),
+        methods=_parse_csv(args.methods),
+        seed=args.seed,
+        samples=args.samples,
+    )
+    rows = run_dist_campaign(spec, workers=args.workers)
+    table = Table(
+        columns=(
+            "topology",
+            "n",
+            "algorithm",
+            "method",
+            "weight",
+            "avg_mean",
+            "avg_std",
+            "avg_q90",
+            "avg_se",
+            "max_mean",
+            "max_std",
+        ),
+        title="dist: measure distributions over identifier assignments",
+    )
+    for row in rows:
+        uncertainty = row.get("uncertainty") or {}
+        average_se = (uncertainty.get("average") or {}).get("std_error")
+        table.add_row(
+            topology=row["topology"],
+            n=row["n"],
+            algorithm=row["algorithm"],
+            method=row["method"],
+            weight=row["total_weight"],
+            avg_mean=row["average"]["mean"],
+            avg_std=row["average"]["std"],
+            avg_q90=row["average"]["q90"],
+            avg_se="-" if average_se is None else average_se,
+            max_mean=row["max"]["mean"],
+            max_std=row["max"]["std"],
+        )
+    print(table)
+    aggregates = None
+    if len(rows) > 1:
+        aggregates = aggregate_dist_rows(rows)
+        aggregate_table = Table(
+            columns=("algorithm", "method", "cells", "weight", "avg_mean", "max_mean"),
+            title="pooled across graphs",
+        )
+        for aggregate in aggregates:
+            aggregate_table.add_row(
+                algorithm=aggregate["algorithm"],
+                method=aggregate["method"],
+                cells=aggregate["cells"],
+                weight=aggregate["total_weight"],
+                avg_mean=aggregate["average"]["mean"],
+                max_mean=aggregate["max"]["mean"],
+            )
+        print()
+        print(aggregate_table)
+    if args.plot:
+        for row in rows:
+            distribution = RoundDistribution.from_dict(row["distribution"])
+            print()
+            print(
+                f"pmf of the average measure — {row['graph']} / "
+                f"{row['algorithm']} / {row['method']}"
+            )
+            print(ascii_pmf(distribution.average_distribution()))
+    if args.output:
+        write_dist_rows(rows, args.output, aggregates=aggregates)
+        print(f"wrote {len(rows)} rows to {args.output}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point used by ``python -m repro`` and the console script."""
     parser = build_parser()
@@ -349,5 +486,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_search(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "dist":
+        return _cmd_dist(args)
     parser.error(f"unhandled command {args.command!r}")
     return 2

@@ -27,24 +27,38 @@ from repro.core.certification import (
     register_certifier,
 )
 from repro.core.measures import (
+    AVERAGE_MEASURE,
+    CLASSIC_MEASURE,
+    MEASURES,
+    SUM_MEASURE,
     ComplexityReport,
+    Measure,
     average_complexity,
     classic_complexity,
     evaluate_assignment,
+    exact_measure_distribution,
+    expected_measures_over_random_ids,
+    get_measure,
+    sampled_measure_distribution,
     worst_case_over_assignments,
 )
 from repro.core.runner import run_ball_algorithm, run_on_assignments
 
 __all__ = [
+    "AVERAGE_MEASURE",
     "AdversaryResult",
     "BallAlgorithm",
+    "CLASSIC_MEASURE",
     "ComplexityReport",
     "ExhaustiveAdversary",
     "FunctionBallAlgorithm",
     "GrowthFit",
     "LocalSearchAdversary",
+    "MEASURES",
+    "Measure",
     "RandomSearchAdversary",
     "RotationAdversary",
+    "SUM_MEASURE",
     "average_complexity",
     "certify",
     "certify_largest_id",
@@ -53,7 +67,11 @@ __all__ = [
     "certify_proper_coloring",
     "classic_complexity",
     "evaluate_assignment",
+    "exact_measure_distribution",
+    "expected_measures_over_random_ids",
     "fit_growth",
+    "get_measure",
+    "sampled_measure_distribution",
     "growth_candidates",
     "ratio_series",
     "ratio_series",

@@ -1,0 +1,430 @@
+"""Distribution value types for the complexity measures.
+
+The paper's measures are scalars — worst cases over identifier assignments —
+but the follow-up questions it raises ("what does an *ordinary* assignment
+look like?") are about **distributions**: how the pair ``(max_radius,
+sum_radius)`` is distributed when the identifier permutation ranges over all
+``n!`` assignments, or over a random sample of them.
+
+Two value types carry that information:
+
+* :class:`DiscreteDistribution` — a weighted distribution over scalar
+  support points (integer radii, or float averages), with exact integer
+  weights, moments, quantiles and pooling;
+* :class:`RoundDistribution` — the joint distribution of ``(max_radius,
+  sum_radius)`` for one ``(graph, algorithm)`` instance, together with the
+  per-node radius marginals, from which both scalar measure distributions
+  are derived.
+
+Both types serialise to and from plain JSON-friendly dictionaries
+(:meth:`RoundDistribution.to_json` / :meth:`RoundDistribution.from_json`),
+so distributions can travel through campaign rows, CLI artifacts and
+external dashboards.  Weights are kept as exact integers — counts of
+assignments (exact enumeration) or of samples (Monte-Carlo) — so the total
+weight of an exact distribution is exactly ``n!``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence, Union
+
+from repro.errors import AnalysisError
+
+#: Support values are integer radii or float averages.
+Support = Union[int, float]
+
+
+@dataclass(frozen=True)
+class DiscreteDistribution:
+    """A finitely supported distribution with exact integer weights.
+
+    ``weights`` maps each support value to the number of assignments (or
+    samples) that attain it.  Probabilities are derived on demand, so no
+    precision is lost while distributions are being accumulated or pooled.
+
+    >>> d = DiscreteDistribution.from_weights({1: 2, 3: 6})
+    >>> d.total_weight, d.support()
+    (8, (1, 3))
+    >>> d.mean()
+    2.5
+    >>> d.pmf()[3]
+    0.75
+    >>> d.quantile(0.25), d.quantile(0.5)
+    (1, 3)
+    """
+
+    _weights: tuple[tuple[Support, int], ...]
+
+    @classmethod
+    def from_weights(cls, weights: Mapping[Support, int]) -> "DiscreteDistribution":
+        """Build from a ``{support value: weight}`` mapping."""
+        if not weights:
+            raise AnalysisError("a discrete distribution needs at least one support point")
+        items = tuple(sorted(weights.items()))
+        for value, weight in items:
+            if weight <= 0:
+                raise AnalysisError(
+                    f"distribution weights must be positive integers, got {weight!r} at {value!r}"
+                )
+        return cls(_weights=items)
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def weights(self) -> dict[Support, int]:
+        """The ``{support value: weight}`` mapping (sorted by value)."""
+        return dict(self._weights)
+
+    def support(self) -> tuple[Support, ...]:
+        """The support values, sorted ascending."""
+        return tuple(value for value, _ in self._weights)
+
+    @property
+    def total_weight(self) -> int:
+        """Sum of all weights (``n!`` for an exact distribution)."""
+        return sum(weight for _, weight in self._weights)
+
+    def pmf(self) -> dict[Support, float]:
+        """Support value -> probability mass."""
+        total = self.total_weight
+        return {value: weight / total for value, weight in self._weights}
+
+    def min(self) -> Support:
+        """Smallest support value."""
+        return self._weights[0][0]
+
+    def max(self) -> Support:
+        """Largest support value."""
+        return self._weights[-1][0]
+
+    # ------------------------------------------------------------------
+    # moments and quantiles
+    # ------------------------------------------------------------------
+    def mean(self) -> float:
+        """Weighted mean."""
+        total = self.total_weight
+        return sum(value * weight for value, weight in self._weights) / total
+
+    def variance(self) -> float:
+        """Weighted (population) variance."""
+        mean = self.mean()
+        total = self.total_weight
+        return sum(weight * (value - mean) ** 2 for value, weight in self._weights) / total
+
+    def std(self) -> float:
+        """Weighted (population) standard deviation."""
+        return self.variance() ** 0.5
+
+    def cdf(self, x: float) -> float:
+        """Probability of a value ``<= x``."""
+        total = self.total_weight
+        return sum(weight for value, weight in self._weights if value <= x) / total
+
+    def quantile(self, q: float) -> Support:
+        """Smallest support value whose CDF reaches ``q`` (0 < q <= 1)."""
+        if not 0.0 < q <= 1.0:
+            raise AnalysisError(f"quantile level must be in (0, 1], got {q!r}")
+        # Relative tolerance: q * total rounds in float for large exact
+        # totals (n! weights), so an absolute epsilon would push exact CDF
+        # boundaries onto the next support value.
+        threshold = q * self.total_weight * (1.0 - 1e-12)
+        running = 0
+        for value, weight in self._weights:
+            running += weight
+            if running >= threshold:
+                return value
+        return self._weights[-1][0]
+
+    # ------------------------------------------------------------------
+    # combination and serialisation
+    # ------------------------------------------------------------------
+    def scaled(self, factor: int) -> "DiscreteDistribution":
+        """Multiply every weight by a positive integer factor."""
+        if factor <= 0:
+            raise AnalysisError(f"scale factor must be a positive integer, got {factor!r}")
+        return DiscreteDistribution(
+            _weights=tuple((value, weight * factor) for value, weight in self._weights)
+        )
+
+    @classmethod
+    def pooled(cls, parts: Sequence["DiscreteDistribution"]) -> "DiscreteDistribution":
+        """The weight-sum (mixture by counts) of several distributions.
+
+        Pooling is how campaign rows aggregate across graphs: each part
+        contributes mass proportional to its own total weight.
+        """
+        if not parts:
+            raise AnalysisError("pooling needs at least one distribution")
+        merged: dict[Support, int] = {}
+        for part in parts:
+            for value, weight in part._weights:
+                merged[value] = merged.get(value, 0) + weight
+        return cls.from_weights(merged)
+
+    def as_pairs(self) -> list[list[Support]]:
+        """JSON-friendly ``[[value, weight], ...]`` form (sorted by value)."""
+        return [[value, weight] for value, weight in self._weights]
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[Sequence[Support]]) -> "DiscreteDistribution":
+        """Rebuild from :meth:`as_pairs` output."""
+        return cls.from_weights({value: int(weight) for value, weight in pairs})
+
+    def summary(self) -> dict[str, float]:
+        """The headline statistics (mean, std, min, median, q90, max)."""
+        return {
+            "mean": self.mean(),
+            "std": self.std(),
+            "min": float(self.min()),
+            "median": float(self.quantile(0.5)),
+            "q90": float(self.quantile(0.9)),
+            "max": float(self.max()),
+        }
+
+    def __len__(self) -> int:
+        return len(self._weights)
+
+
+def ascii_pmf(
+    distribution: DiscreteDistribution, width: int = 24, max_lines: int = 12
+) -> str:
+    """A small horizontal bar chart of a distribution's pmf.
+
+    One line per support point (the densest ``max_lines`` are kept), each
+    with a bar proportional to its probability — enough to eyeball
+    concentration in a terminal or an experiment note.
+
+    >>> print(ascii_pmf(DiscreteDistribution.from_weights({0: 1, 1: 3}), width=4))
+    0  0.250 #
+    1  0.750 ####
+    """
+    pmf = distribution.pmf()
+    kept = sorted(
+        sorted(pmf, key=pmf.__getitem__, reverse=True)[:max_lines]
+    )
+    peak = max(pmf[value] for value in kept)
+    label_width = max(len(_format_support(value)) for value in kept)
+    lines = []
+    for value in kept:
+        bar = "#" * max(1, round(width * pmf[value] / peak))
+        lines.append(
+            f"{_format_support(value).ljust(label_width)}  {pmf[value]:.3f} {bar}"
+        )
+    return "\n".join(lines)
+
+
+def _format_support(value: Support) -> str:
+    return f"{value:g}" if isinstance(value, float) else str(value)
+
+
+@dataclass(frozen=True)
+class RoundDistribution:
+    """The joint distribution of ``(max_radius, sum_radius)`` plus marginals.
+
+    For one ``(graph, algorithm)`` instance, ``joint`` maps each attained
+    ``(max_radius, sum_radius)`` pair to the number of identifier
+    assignments (exact) or samples (Monte-Carlo) attaining it, and
+    ``node_marginals[v]`` maps each radius to the weight with which
+    position ``v`` stops at that radius.  Every marginal carries the same
+    total weight as the joint.
+
+    >>> d = RoundDistribution.from_counts(
+    ...     n=2, joint={(1, 2): 2}, node_marginals=[{1: 2}, {1: 2}]
+    ... )
+    >>> d.total_weight, d.mean_average(), d.mean_max()
+    (2, 1.0, 1.0)
+    >>> RoundDistribution.from_json(d.to_json()) == d
+    True
+    """
+
+    n: int
+    joint: tuple[tuple[tuple[int, int], int], ...]
+    node_marginals: tuple[tuple[tuple[int, int], ...], ...] = field(default=())
+
+    @classmethod
+    def from_counts(
+        cls,
+        n: int,
+        joint: Mapping[tuple[int, int], int],
+        node_marginals: Sequence[Mapping[int, int]] = (),
+    ) -> "RoundDistribution":
+        """Build from count mappings, validating weights and coverage."""
+        if n <= 0:
+            raise AnalysisError(f"a round distribution needs n >= 1, got {n}")
+        if not joint:
+            raise AnalysisError("a round distribution needs at least one joint outcome")
+        joint_items = tuple(sorted(joint.items()))
+        total = 0
+        for (max_radius, sum_radius), weight in joint_items:
+            if weight <= 0:
+                raise AnalysisError(f"joint weights must be positive, got {weight!r}")
+            if not 0 <= max_radius <= sum_radius <= n * max_radius:
+                raise AnalysisError(
+                    f"inconsistent joint outcome (max={max_radius}, sum={sum_radius}) for n={n}"
+                )
+            total += weight
+        marginals = tuple(
+            tuple(sorted(marginal.items())) for marginal in node_marginals
+        )
+        if marginals:
+            if len(marginals) != n:
+                raise AnalysisError(
+                    f"expected {n} node marginals, got {len(marginals)}"
+                )
+            for position, marginal in enumerate(marginals):
+                if sum(weight for _, weight in marginal) != total:
+                    raise AnalysisError(
+                        f"node marginal {position} carries a different total weight "
+                        f"than the joint distribution ({total})"
+                    )
+        return cls(n=n, joint=joint_items, node_marginals=marginals)
+
+    # ------------------------------------------------------------------
+    # derived scalar distributions
+    # ------------------------------------------------------------------
+    @property
+    def total_weight(self) -> int:
+        """Number of assignments (or samples) covered — ``n!`` when exact."""
+        return sum(weight for _, weight in self.joint)
+
+    def max_distribution(self) -> DiscreteDistribution:
+        """Marginal distribution of the classic measure ``max_radius``."""
+        weights: dict[Support, int] = {}
+        for (max_radius, _), weight in self.joint:
+            weights[max_radius] = weights.get(max_radius, 0) + weight
+        return DiscreteDistribution.from_weights(weights)
+
+    def sum_distribution(self) -> DiscreteDistribution:
+        """Marginal distribution of the radius sum."""
+        weights: dict[Support, int] = {}
+        for (_, sum_radius), weight in self.joint:
+            weights[sum_radius] = weights.get(sum_radius, 0) + weight
+        return DiscreteDistribution.from_weights(weights)
+
+    def average_distribution(self) -> DiscreteDistribution:
+        """Marginal distribution of the paper's measure ``sum_radius / n``."""
+        weights: dict[Support, int] = {}
+        for (_, sum_radius), weight in self.joint:
+            value = sum_radius / self.n
+            weights[value] = weights.get(value, 0) + weight
+        return DiscreteDistribution.from_weights(weights)
+
+    def node_marginal(self, position: int) -> DiscreteDistribution:
+        """Distribution of the stopping radius of one position."""
+        if not self.node_marginals:
+            raise AnalysisError("this round distribution carries no node marginals")
+        if not 0 <= position < self.n:
+            raise AnalysisError(f"position {position} out of range for n={self.n}")
+        return DiscreteDistribution.from_weights(dict(self.node_marginals[position]))
+
+    def mean_average(self) -> float:
+        """Weighted mean of the average measure."""
+        total = self.total_weight
+        return sum(s * w for (_, s), w in self.joint) / (total * self.n)
+
+    def mean_max(self) -> float:
+        """Weighted mean of the classic measure."""
+        total = self.total_weight
+        return sum(m * w for (m, _), w in self.joint) / total
+
+    # ------------------------------------------------------------------
+    # combination and serialisation
+    # ------------------------------------------------------------------
+    def scaled(self, factor: int) -> "RoundDistribution":
+        """Multiply every weight (joint and marginal) by an integer factor."""
+        if factor <= 0:
+            raise AnalysisError(f"scale factor must be a positive integer, got {factor!r}")
+        return RoundDistribution(
+            n=self.n,
+            joint=tuple((pair, weight * factor) for pair, weight in self.joint),
+            node_marginals=tuple(
+                tuple((radius, weight * factor) for radius, weight in marginal)
+                for marginal in self.node_marginals
+            ),
+        )
+
+    @classmethod
+    def pooled(cls, parts: Sequence["RoundDistribution"]) -> "RoundDistribution":
+        """Weight-sum of several distributions over the *same* ``n``.
+
+        Distributions of different sizes have incompatible joints and
+        marginals; pool their scalar marginals
+        (:meth:`average_distribution`, :meth:`max_distribution`) via
+        :meth:`DiscreteDistribution.pooled` instead.
+        """
+        if not parts:
+            raise AnalysisError("pooling needs at least one distribution")
+        n = parts[0].n
+        if any(part.n != n for part in parts):
+            raise AnalysisError(
+                "cannot pool round distributions over different n; pool the "
+                "scalar measure marginals instead"
+            )
+        joint: dict[tuple[int, int], int] = {}
+        for part in parts:
+            for pair, weight in part.joint:
+                joint[pair] = joint.get(pair, 0) + weight
+        keep_marginals = all(part.node_marginals for part in parts)
+        marginals: list[dict[int, int]] = []
+        if keep_marginals:
+            for position in range(n):
+                merged: dict[int, int] = {}
+                for part in parts:
+                    for radius, weight in part.node_marginals[position]:
+                        merged[radius] = merged.get(radius, 0) + weight
+                marginals.append(merged)
+        return cls.from_counts(n=n, joint=joint, node_marginals=marginals)
+
+    def as_dict(self) -> dict:
+        """JSON-friendly document (see ``docs/distributions.md`` for the schema)."""
+        return {
+            "kind": "round-distribution",
+            "version": 1,
+            "n": self.n,
+            "total_weight": self.total_weight,
+            "joint": [
+                [max_radius, sum_radius, weight]
+                for (max_radius, sum_radius), weight in self.joint
+            ],
+            "node_marginals": [
+                [[radius, weight] for radius, weight in marginal]
+                for marginal in self.node_marginals
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, document: Mapping) -> "RoundDistribution":
+        """Rebuild from :meth:`as_dict` output (validates the ``kind`` tag)."""
+        if document.get("kind") != "round-distribution":
+            raise AnalysisError(
+                f"not a round-distribution document: kind={document.get('kind')!r}"
+            )
+        joint = {
+            (int(max_radius), int(sum_radius)): int(weight)
+            for max_radius, sum_radius, weight in document["joint"]
+        }
+        marginals = [
+            {int(radius): int(weight) for radius, weight in marginal}
+            for marginal in document.get("node_marginals", [])
+        ]
+        return cls.from_counts(
+            n=int(document["n"]), joint=joint, node_marginals=marginals
+        )
+
+    def to_json(self) -> str:
+        """Serialise to a JSON string (:meth:`from_json` round-trips it)."""
+        return json.dumps(self.as_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RoundDistribution":
+        """Parse a distribution previously produced by :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        """Headline statistics of both measure marginals."""
+        return {
+            "average": self.average_distribution().summary(),
+            "max": self.max_distribution().summary(),
+        }

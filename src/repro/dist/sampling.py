@@ -1,0 +1,388 @@
+"""Seeded streaming estimators for the measure distributions.
+
+Where :mod:`repro.dist.exact` enumerates, this module *samples*: identifier
+assignments are drawn uniformly at random under an explicit seed contract
+(same seed, same estimates — bit for bit, at any call site), and every
+statistic is maintained in a single streaming pass:
+
+* :class:`StreamingMoments` — Welford's online mean/variance, with standard
+  errors and normal confidence intervals;
+* :class:`P2Quantile` — the P² algorithm (Jain & Chlamtac 1985), a
+  five-marker quantile sketch that never stores the sample;
+* :func:`sample_round_distribution` — a Monte-Carlo
+  :class:`~repro.dist.distribution.RoundDistribution` (joint counts and
+  per-node marginals over the sample) together with
+  :class:`MeasureEstimate` uncertainty summaries for both measures;
+* :func:`estimate_expected_measures` — the estimator behind
+  :func:`repro.core.measures.expected_measures_over_random_ids`, returning
+  an :class:`ExpectedMeasures` that still unpacks like the legacy 2-tuple.
+
+All sampling runs through one engine session per call (a
+:class:`~repro.engine.frontier.FrontierRunner` with a shared
+:class:`~repro.engine.cache.DecisionCache`), so repeated ball patterns
+between permutations are simulated once.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.algorithm import BallAlgorithm
+from repro.dist.distribution import RoundDistribution
+from repro.engine.cache import DecisionCache
+from repro.engine.frontier import FrontierRunner
+from repro.errors import AnalysisError
+from repro.model.graph import Graph
+from repro.model.identifiers import IdentifierAssignment, random_assignment
+from repro.utils.rng import SeedLike, make_rng
+
+#: z-score of the two-sided 95% normal confidence interval.
+Z_95 = 1.959963984540054
+
+
+class StreamingMoments:
+    """Welford's online algorithm for mean and variance.
+
+    Numerically stable, one pass, O(1) memory; the building block of every
+    sampled estimate in this package.
+
+    >>> moments = StreamingMoments()
+    >>> for x in [1.0, 2.0, 3.0, 4.0]:
+    ...     moments.update(x)
+    >>> moments.count, moments.mean, moments.variance
+    (4, 2.5, 1.6666666666666667)
+    """
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+
+    def update(self, value: float) -> None:
+        """Fold one observation into the running moments."""
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0.0 with fewer than two observations)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation."""
+        return self.variance**0.5
+
+    @property
+    def std_error(self) -> float:
+        """Standard error of the mean (``std / sqrt(count)``)."""
+        if self.count == 0:
+            return 0.0
+        return self.std / math.sqrt(self.count)
+
+    def ci95(self) -> tuple[float, float]:
+        """Normal-approximation 95% confidence interval for the mean."""
+        half = Z_95 * self.std_error
+        return (self.mean - half, self.mean + half)
+
+
+class P2Quantile:
+    """The P² streaming quantile sketch (Jain & Chlamtac 1985).
+
+    Five markers track the running quantile without storing observations;
+    until five samples arrive the exact small-sample quantile is returned.
+
+    >>> sketch = P2Quantile(0.5)
+    >>> for x in range(1, 101):
+    ...     sketch.update(float(x))
+    >>> 45.0 <= sketch.value <= 55.0
+    True
+    """
+
+    def __init__(self, p: float) -> None:
+        if not 0.0 < p < 1.0:
+            raise AnalysisError(f"quantile level must be in (0, 1), got {p!r}")
+        self.p = p
+        self.count = 0
+        self._initial: list[float] = []
+        self._q: list[float] = []
+        self._n: list[float] = []
+        self._desired: list[float] = []
+        self._increments = (0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0)
+
+    def update(self, value: float) -> None:
+        """Fold one observation into the sketch."""
+        self.count += 1
+        if self.count <= 5:
+            self._initial.append(value)
+            self._initial.sort()
+            if self.count == 5:
+                p = self.p
+                self._q = list(self._initial)
+                self._n = [1.0, 2.0, 3.0, 4.0, 5.0]
+                self._desired = [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0]
+            return
+        q, n = self._q, self._n
+        if value < q[0]:
+            q[0] = value
+            cell = 0
+        elif value >= q[4]:
+            q[4] = value
+            cell = 3
+        else:
+            cell = next(i for i in range(4) if q[i] <= value < q[i + 1])
+        for i in range(cell + 1, 5):
+            n[i] += 1.0
+        for i in range(5):
+            self._desired[i] += self._increments[i]
+        # Adjust the three interior markers towards their desired positions.
+        for i in range(1, 4):
+            drift = self._desired[i] - n[i]
+            if (drift >= 1.0 and n[i + 1] - n[i] > 1.0) or (
+                drift <= -1.0 and n[i - 1] - n[i] < -1.0
+            ):
+                step = 1.0 if drift >= 1.0 else -1.0
+                candidate = self._parabolic(i, step)
+                if q[i - 1] < candidate < q[i + 1]:
+                    q[i] = candidate
+                else:
+                    q[i] = self._linear(i, step)
+                n[i] += step
+
+    def _parabolic(self, i: int, step: float) -> float:
+        q, n = self._q, self._n
+        return q[i] + step / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + step) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - step) * (q[i] - q[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, step: float) -> float:
+        q, n = self._q, self._n
+        j = i + int(step)
+        return q[i] + step * (q[j] - q[i]) / (n[j] - n[i])
+
+    @property
+    def value(self) -> float:
+        """The current quantile estimate."""
+        if self.count == 0:
+            raise AnalysisError("the quantile sketch has seen no observations")
+        if self.count <= 5:
+            index = min(len(self._initial) - 1, int(self.p * len(self._initial)))
+            return self._initial[index]
+        return self._q[2]
+
+
+@dataclass(frozen=True)
+class MeasureEstimate:
+    """A sampled estimate of one measure, with its uncertainty.
+
+    ``mean`` carries a standard error and a normal 95% interval; ``median``
+    and ``q90`` come from P² sketches maintained in the same pass.
+    """
+
+    count: int
+    mean: float
+    std: float
+    std_error: float
+    ci95_low: float
+    ci95_high: float
+    median: float
+    q90: float
+
+    @classmethod
+    def from_stream(
+        cls, moments: StreamingMoments, median: P2Quantile, q90: P2Quantile
+    ) -> "MeasureEstimate":
+        """Freeze the streaming state into an immutable estimate."""
+        low, high = moments.ci95()
+        return cls(
+            count=moments.count,
+            mean=moments.mean,
+            std=moments.std,
+            std_error=moments.std_error,
+            ci95_low=low,
+            ci95_high=high,
+            median=median.value,
+            q90=q90.value,
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-friendly form (campaign rows, CLI artifacts)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "std_error": self.std_error,
+            "ci95_low": self.ci95_low,
+            "ci95_high": self.ci95_high,
+            "median": self.median,
+            "q90": self.q90,
+        }
+
+
+class ExpectedMeasures(tuple):
+    """Expected measures with uncertainty, unpackable like the legacy 2-tuple.
+
+    Historically :func:`repro.core.measures.expected_measures_over_random_ids`
+    returned a bare ``(expected_average, expected_max)`` pair.  This class
+    is the deprecation shim: it *is* that 2-tuple (so existing unpacking
+    call sites keep working unchanged) while carrying the full
+    :class:`MeasureEstimate` of each measure on ``.average`` / ``.maximum``.
+
+    >>> import types
+    >>> avg = types.SimpleNamespace(mean=1.5)
+    >>> mx = types.SimpleNamespace(mean=3.0)
+    >>> pair = ExpectedMeasures(avg, mx)
+    >>> tuple(pair)
+    (1.5, 3.0)
+    >>> pair.average.mean
+    1.5
+    """
+
+    def __new__(cls, average, maximum) -> "ExpectedMeasures":
+        """Build from the two per-measure estimates (average first)."""
+        self = super().__new__(cls, (average.mean, maximum.mean))
+        self.average = average
+        self.maximum = maximum
+        return self
+
+    def __getnewargs__(self) -> tuple:
+        """Reconstruction args for pickle/copy (``__new__`` takes the estimates)."""
+        return (self.average, self.maximum)
+
+
+@dataclass(frozen=True)
+class SampledDistributionResult:
+    """Monte-Carlo distribution plus streaming uncertainty summaries.
+
+    ``distribution`` holds the raw sample counts (total weight = number of
+    samples); ``average`` and ``maximum`` are the streaming estimates of the
+    two measures, including standard errors — the honest companion to any
+    sampled point value.
+    """
+
+    distribution: RoundDistribution
+    average: MeasureEstimate
+    maximum: MeasureEstimate
+    samples: int
+    seed: Optional[int]
+
+    def as_dict(self) -> dict:
+        """JSON-friendly form (campaign rows, CLI artifacts)."""
+        return {
+            "distribution": self.distribution.as_dict(),
+            "average": self.average.as_dict(),
+            "maximum": self.maximum.as_dict(),
+            "samples": self.samples,
+            "seed": self.seed,
+        }
+
+
+def _session_runner(graph: Graph, algorithm: BallAlgorithm) -> FrontierRunner:
+    """One engine session for a whole sampling pass."""
+    return FrontierRunner(graph, algorithm, cache=DecisionCache(algorithm))
+
+
+def _draw_assignments(n: int, samples: int, seed: SeedLike):
+    """Deterministic assignment stream: one master seed, one child per draw."""
+    master = make_rng(seed)
+    for _ in range(samples):
+        yield random_assignment(n, seed=master.getrandbits(64))
+
+
+def sample_round_distribution(
+    graph: Graph,
+    algorithm: BallAlgorithm,
+    samples: int = 256,
+    seed: SeedLike = None,
+    assignments: Optional[Sequence[IdentifierAssignment]] = None,
+) -> SampledDistributionResult:
+    """Estimate the measure distribution from random identifier assignments.
+
+    With ``assignments=None`` (the normal path), ``samples`` permutations
+    are drawn under the explicit ``seed`` — the same seed always yields the
+    same estimates.  An explicit assignment sequence overrides the drawing
+    (used by the legacy Monte-Carlo call sites).
+
+    >>> from repro.algorithms.largest_id import LargestIdAlgorithm
+    >>> from repro.topology.cycle import cycle_graph
+    >>> result = sample_round_distribution(
+    ...     cycle_graph(8), LargestIdAlgorithm(), samples=32, seed=7
+    ... )
+    >>> result.distribution.total_weight
+    32
+    >>> result.maximum.mean  # the max node always sees half the cycle
+    4.0
+    >>> result == sample_round_distribution(
+    ...     cycle_graph(8), LargestIdAlgorithm(), samples=32, seed=7
+    ... )
+    True
+    """
+    if assignments is None:
+        if samples <= 0:
+            raise AnalysisError(f"samples must be positive, got {samples}")
+        stream = _draw_assignments(graph.n, samples, seed)
+        seed_record = seed if isinstance(seed, int) else None
+    else:
+        if not assignments:
+            raise AnalysisError("sampling needs at least one assignment")
+        stream = iter(assignments)
+        seed_record = None
+    runner = _session_runner(graph, algorithm)
+    n = graph.n
+    joint: dict[tuple[int, int], int] = {}
+    marginals: list[dict[int, int]] = [{} for _ in range(n)]
+    avg_moments, max_moments = StreamingMoments(), StreamingMoments()
+    avg_median, avg_q90 = P2Quantile(0.5), P2Quantile(0.9)
+    max_median, max_q90 = P2Quantile(0.5), P2Quantile(0.9)
+    count = 0
+    for ids in stream:
+        trace = runner.run(ids)
+        key = (trace.max_radius, trace.sum_radius)
+        joint[key] = joint.get(key, 0) + 1
+        for position, radius in trace.radii().items():
+            counts = marginals[position]
+            counts[radius] = counts.get(radius, 0) + 1
+        avg_moments.update(trace.average_radius)
+        max_moments.update(float(trace.max_radius))
+        avg_median.update(trace.average_radius)
+        avg_q90.update(trace.average_radius)
+        max_median.update(float(trace.max_radius))
+        max_q90.update(float(trace.max_radius))
+        count += 1
+    distribution = RoundDistribution.from_counts(
+        n=n, joint=joint, node_marginals=marginals
+    )
+    return SampledDistributionResult(
+        distribution=distribution,
+        average=MeasureEstimate.from_stream(avg_moments, avg_median, avg_q90),
+        maximum=MeasureEstimate.from_stream(max_moments, max_median, max_q90),
+        samples=count,
+        seed=seed_record,
+    )
+
+
+def estimate_expected_measures(
+    graph: Graph,
+    algorithm: BallAlgorithm,
+    assignments: Optional[Sequence[IdentifierAssignment]] = None,
+    samples: int = 64,
+    seed: SeedLike = None,
+) -> ExpectedMeasures:
+    """Expected measures under random identifiers, with standard errors.
+
+    The estimator behind
+    :func:`repro.core.measures.expected_measures_over_random_ids`: either
+    average over the supplied ``assignments`` (the legacy contract) or draw
+    ``samples`` permutations under the explicit ``seed``.
+    """
+    result = sample_round_distribution(
+        graph, algorithm, samples=samples, seed=seed, assignments=assignments
+    )
+    return ExpectedMeasures(result.average, result.maximum)

@@ -281,3 +281,232 @@ def load_rows(path: str) -> list[dict]:
     if not isinstance(document, dict) or document.get("kind") != "repro-sweep":
         raise ConfigurationError(f"{path} is not a repro sweep JSON document")
     return list(document["rows"])
+
+
+# ----------------------------------------------------------------------
+# distribution campaigns (the `repro dist` grid)
+# ----------------------------------------------------------------------
+
+#: How a distribution cell is computed: exact orbit-weighted enumeration
+#: (:mod:`repro.dist.exact`) or seeded Monte-Carlo (:mod:`repro.dist.sampling`).
+DIST_METHODS = ("exact", "sample")
+
+
+@dataclass(frozen=True)
+class DistCell:
+    """One fully specified point of a distribution grid.
+
+    ``graph_seed`` is derived *without* the method so that the exact and
+    the sampled cell of one ``(topology, n, algorithm)`` coordinate build
+    the identical graph — the whole point of the comparison; ``seed``
+    additionally folds the method in and feeds the Monte-Carlo sampling.
+    """
+
+    index: int
+    topology: str
+    n: int
+    algorithm: str
+    method: str
+    graph_seed: int
+    seed: int
+    samples: int
+
+
+@dataclass(frozen=True)
+class DistSpec:
+    """A grid of measure-distribution computations.
+
+    The grid is ``topologies × sizes × algorithms × methods``; ``samples``
+    parameterises the Monte-Carlo cells, and the two caps guard the exact
+    cells exactly like the exact adversaries
+    (:data:`repro.dist.exact.DEFAULT_MAX_CLASSES`).
+    """
+
+    topologies: tuple[str, ...] = ("cycle",)
+    sizes: tuple[int, ...] = (6,)
+    algorithms: tuple[str, ...] = ("largest-id",)
+    methods: tuple[str, ...] = ("exact",)
+    seed: int = 0
+    samples: int = 256
+    exact_max_nodes: int = 12
+    max_classes: int = 250_000
+
+    def __post_init__(self) -> None:
+        for name in self.topologies:
+            if name not in TOPOLOGY_BUILDERS:
+                raise ConfigurationError(
+                    f"unknown topology {name!r}; known: {', '.join(sorted(TOPOLOGY_BUILDERS))}"
+                )
+        for name in self.methods:
+            if name not in DIST_METHODS:
+                raise ConfigurationError(
+                    f"unknown distribution method {name!r}; known: {', '.join(DIST_METHODS)}"
+                )
+        if self.samples <= 0:
+            raise ConfigurationError(f"samples must be positive, got {self.samples}")
+
+    def cells(self) -> list[DistCell]:
+        """Expand the grid into deterministic, individually seeded cells."""
+        grid = itertools.product(
+            self.topologies, self.sizes, self.algorithms, self.methods
+        )
+        return [
+            DistCell(
+                index=index,
+                topology=topology,
+                n=n,
+                algorithm=algorithm,
+                method=method,
+                graph_seed=derive_task_seed(self.seed, "dist", topology, n, algorithm),
+                seed=derive_task_seed(self.seed, "dist", topology, n, algorithm, method),
+                samples=self.samples,
+            )
+            for index, (topology, n, algorithm, method) in enumerate(grid)
+        ]
+
+
+def run_dist_cell(payload: tuple[DistSpec, DistCell]) -> dict:
+    """Execute one distribution cell and return its JSON-friendly row.
+
+    The row embeds the full serialised
+    :class:`~repro.dist.distribution.RoundDistribution` (key
+    ``distribution``) next to the headline statistics of both measures, so
+    consumers can either read the summary columns or reconstruct the whole
+    distribution.  Exact rows carry the
+    :class:`~repro.dist.exact.DistributionCertificate`; sampled rows carry
+    the per-measure standard errors.
+    """
+    # Imported here for the same reason as make_adversary: the engine's
+    # lower layers must stay importable without the higher dist package.
+    from repro.dist.exact import exact_round_distribution
+    from repro.dist.sampling import sample_round_distribution
+
+    spec, cell = payload
+    graph = build_topology(cell.topology, cell.n, cell.graph_seed)
+    algorithm = make_ball_algorithm(cell.algorithm, graph.n)
+    started = time.perf_counter()
+    if cell.method == "exact":
+        exact = exact_round_distribution(
+            graph,
+            algorithm,
+            max_nodes=spec.exact_max_nodes,
+            max_classes=spec.max_classes,
+        )
+        distribution = exact.distribution
+        certificate = exact.certificate.as_dict()
+        uncertainty = None
+    else:
+        sampled = sample_round_distribution(
+            graph, algorithm, samples=cell.samples, seed=cell.seed
+        )
+        distribution = sampled.distribution
+        certificate = None
+        uncertainty = {
+            "average": sampled.average.as_dict(),
+            "maximum": sampled.maximum.as_dict(),
+        }
+    elapsed = time.perf_counter() - started
+    summary = distribution.summary()
+    return {
+        "index": cell.index,
+        "topology": cell.topology,
+        "n": cell.n,
+        "graph_n": graph.n,
+        "graph": graph.name,
+        "algorithm": cell.algorithm,
+        "method": cell.method,
+        "exact": cell.method == "exact",
+        "seed": cell.seed,
+        "samples": None if cell.method == "exact" else cell.samples,
+        "total_weight": distribution.total_weight,
+        "average": summary["average"],
+        "max": summary["max"],
+        "uncertainty": uncertainty,
+        "certificate": certificate,
+        "distribution": distribution.as_dict(),
+        "wall_time_s": elapsed,
+    }
+
+
+def run_dist_campaign(spec: DistSpec, workers: Optional[int] = 1) -> list[dict]:
+    """Run every cell of a distribution campaign, optionally across processes.
+
+    Rows come back ordered by cell index, identical at any worker count.
+    """
+    cells = spec.cells()
+    payloads = [(spec, cell) for cell in cells]
+    rows = BatchExecutor(workers).map(run_dist_cell, payloads)
+    return sorted(rows, key=lambda row: row["index"])
+
+
+def aggregate_dist_rows(rows: Sequence[dict]) -> list[dict]:
+    """Pool distribution rows across graphs, per ``(algorithm, method)``.
+
+    Scalar measure marginals of different-sized graphs are pooled by weight
+    (:meth:`~repro.dist.distribution.DiscreteDistribution.pooled`), giving
+    the distribution of each measure over the whole graph family — the
+    cross-graph aggregation the campaign layer owes the experiments.
+    """
+    from repro.dist.distribution import DiscreteDistribution, RoundDistribution
+
+    groups: dict[tuple[str, str], list[dict]] = {}
+    for row in rows:
+        groups.setdefault((row["algorithm"], row["method"]), []).append(row)
+    aggregates = []
+    for (algorithm, method), members in sorted(groups.items()):
+        distributions = [
+            RoundDistribution.from_dict(member["distribution"]) for member in members
+        ]
+        pooled_average = DiscreteDistribution.pooled(
+            [distribution.average_distribution() for distribution in distributions]
+        )
+        pooled_max = DiscreteDistribution.pooled(
+            [distribution.max_distribution() for distribution in distributions]
+        )
+        aggregates.append(
+            {
+                "algorithm": algorithm,
+                "method": method,
+                "cells": len(members),
+                "total_weight": pooled_average.total_weight,
+                "average": pooled_average.summary(),
+                "max": pooled_max.summary(),
+            }
+        )
+    return aggregates
+
+
+def write_dist_rows(
+    rows: Sequence[dict], path: str, aggregates: Optional[Sequence[dict]] = None
+) -> None:
+    """Write distribution rows as a JSON document with a self-describing header.
+
+    The document schema (``kind: "repro-dist"``) is specified in
+    ``docs/distributions.md``; :func:`load_dist_rows` reads it back.
+    ``aggregates`` accepts a precomputed :func:`aggregate_dist_rows` result
+    (recomputing it re-deserializes every row's distribution).
+    """
+    import json
+
+    if aggregates is None:
+        aggregates = aggregate_dist_rows(rows)
+    document = {
+        "kind": "repro-dist",
+        "version": 1,
+        "rows": list(rows),
+        "aggregates": list(aggregates),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_dist_rows(path: str) -> list[dict]:
+    """Read rows previously written by :func:`write_dist_rows`."""
+    import json
+
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict) or document.get("kind") != "repro-dist":
+        raise ConfigurationError(f"{path} is not a repro dist JSON document")
+    return list(document["rows"])

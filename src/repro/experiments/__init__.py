@@ -13,6 +13,7 @@ from repro.experiments.harness import ExperimentResult, run_all_experiments
 from repro.experiments import (
     characterization,
     coloring,
+    distributions,
     dynamic,
     general_graphs,
     largest_id,
@@ -29,6 +30,7 @@ __all__ = [
     "ExperimentResult",
     "characterization",
     "coloring",
+    "distributions",
     "dynamic",
     "general_graphs",
     "largest_id",

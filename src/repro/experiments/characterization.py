@@ -32,6 +32,7 @@ from repro.algorithms.largest_id import LargestIdAlgorithm
 from repro.algorithms.mis import GreedyMISByID
 from repro.algorithms.ring_coloring_via_mis import RingColoringViaMIS
 from repro.core.certification import certify
+from repro.core.measures import average_complexity, classic_complexity
 from repro.engine.cache import DecisionCache
 from repro.engine.frontier import FrontierRunner
 from repro.experiments.harness import ExperimentResult
@@ -92,19 +93,17 @@ def run(
     ]
     sorted_ids = identity_assignment(n)
     for name, algorithm in _algorithms(n):
-        averages = []
-        maxima = []
+        traces = []
         # One engine session per algorithm: the decision cache is shared
         # across all identifier assignments of the ring.
         runner = FrontierRunner(graph, algorithm, cache=DecisionCache(algorithm))
         for ids in assignments + [sorted_ids]:
             trace = runner.run(ids)
             certify(algorithm.problem, graph, ids, trace)
-            averages.append(trace.average_radius)
-            maxima.append(trace.max_radius)
-        average = max(averages)
-        average_random_only = max(averages[:-1])
-        maximum = max(maxima)
+            traces.append(trace)
+        average = average_complexity(traces)
+        average_random_only = average_complexity(traces[:-1])
+        maximum = classic_complexity(traces)
         gap = maximum / average if average else float("inf")
         table.add_row(
             algorithm=name,

@@ -20,6 +20,7 @@ from typing import Callable, Sequence
 
 from repro.algorithms.largest_id import LargestIdAlgorithm
 from repro.core.certification import certify
+from repro.core.measures import average_complexity, classic_complexity
 from repro.engine.batch import derive_task_seed
 from repro.engine.cache import DecisionCache
 from repro.engine.frontier import FrontierRunner
@@ -76,8 +77,7 @@ def run(n: int = 144, samples: int = 4, small: bool = False, seed: SeedLike = 13
     base_seed = int(seed) if isinstance(seed, int) else 0
     for family, builder in _families(n, seed=base_seed):
         graph = builder()
-        averages = []
-        maxima = []
+        traces = []
         # All samples of one family share an engine session and its cache.
         runner = FrontierRunner(graph, algorithm, cache=DecisionCache(algorithm))
         for sample in range(samples):
@@ -88,10 +88,9 @@ def run(n: int = 144, samples: int = 4, small: bool = False, seed: SeedLike = 13
             )
             trace = runner.run(ids)
             certify("largest-id", graph, ids, trace)
-            averages.append(trace.average_radius)
-            maxima.append(trace.max_radius)
-        average = max(averages)
-        maximum = max(maxima)
+            traces.append(trace)
+        average = average_complexity(traces)
+        maximum = classic_complexity(traces)
         table.add_row(
             family=family,
             nodes=graph.n,

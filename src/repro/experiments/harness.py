@@ -70,6 +70,7 @@ def run_all_experiments(small: bool = False) -> list[ExperimentResult]:
     from repro.experiments import (
         characterization,
         coloring,
+        distributions,
         dynamic,
         general_graphs,
         largest_id,
@@ -95,5 +96,6 @@ def run_all_experiments(small: bool = False) -> list[ExperimentResult]:
         lambda: characterization.run(small=small),
         lambda: general_graphs.run(small=small),
         lambda: search_strategies.run(small=small),
+        lambda: distributions.run(small=small),
     )
     return [runner() for runner in runners]

@@ -51,6 +51,7 @@ def run(
             "n",
             "samples",
             "expected_avg",
+            "se_avg",
             "harmonic_Hn",
             "worst_case_avg_bound",
             "expected_max",
@@ -72,13 +73,15 @@ def run(
         graph = cycle_graph(n)
         rngs = spawn_rngs(seed, samples)
         assignments = [random_assignment(n, seed=rng.getrandbits(64)) for rng in rngs]
-        expected_avg, expected_max = expected_measures_over_random_ids(
-            graph, algorithm, assignments
-        )
+        # The streaming estimator returns the legacy 2-tuple plus standard
+        # errors on .average/.maximum; the table now reports the uncertainty.
+        estimate = expected_measures_over_random_ids(graph, algorithm, assignments)
+        expected_avg, expected_max = estimate
         table.add_row(
             n=n,
             samples=samples,
             expected_avg=expected_avg,
+            se_avg=estimate.average.std_error,
             harmonic_Hn=largest_id_random_ids_expected_average(n),
             worst_case_avg_bound=largest_id_average_upper_bound(n),
             expected_max=expected_max,

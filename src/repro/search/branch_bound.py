@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional, Sequence
 
 from repro.core.adversary import SESSION_CACHE_MAX_ENTRIES, validate_objective
 from repro.core.algorithm import BallAlgorithm
@@ -197,12 +197,24 @@ class BranchAndBoundSearch:
     def run(
         self,
         incumbent: Optional[tuple[int, ...]] = None,
+        on_leaf: Optional[Callable[[Sequence[int], Sequence[int]], None]] = None,
     ) -> SearchOutcome:
         """Run the search; ``incumbent`` optionally seeds the bound.
 
         The incumbent, when given, is a full position->identifier tuple; it
         is evaluated through the same engine session and becomes the value
         to beat.  The returned optimum is exact either way.
+
+        ``on_leaf`` is the weighted-enumeration hook used by
+        :mod:`repro.dist.exact`: it is invoked at every canonical leaf with
+        ``(ids_by_position, radius_by_position)``.  Each leaf represents
+        exactly ``group.order`` assignments (the group acts freely on
+        bijective assignments), so callbacks can weight whatever they
+        accumulate by the group order.  Both sequences are the search's
+        mutable state — read them synchronously, copy what must survive the
+        call.  Callbacks only see every canonical class when the bound is
+        disabled (``use_bound=False``); with bounding enabled, subtrees that
+        cannot beat the incumbent are skipped and never reach the hook.
         """
         graph, runner = self.graph, self.runner
         n = graph.n
@@ -334,6 +346,8 @@ class BranchAndBoundSearch:
             nonlocal best_int, best_ids
             if depth == n:
                 stats["leaves"] += 1
+                if on_leaf is not None:
+                    on_leaf(ids_by_position, radius_of)
                 if maximise_max:
                     value = max(radius_of[v] for v in range(n))  # type: ignore[type-var]
                 else:

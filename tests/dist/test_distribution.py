@@ -1,0 +1,154 @@
+"""Tests for the distribution value types."""
+
+import math
+
+import pytest
+
+from repro.dist.distribution import DiscreteDistribution, RoundDistribution, ascii_pmf
+from repro.errors import AnalysisError
+
+
+class TestDiscreteDistribution:
+    def test_moments_match_the_definition(self):
+        d = DiscreteDistribution.from_weights({0: 1, 1: 2, 2: 1})
+        assert d.total_weight == 4
+        assert d.mean() == 1.0
+        assert d.variance() == pytest.approx(0.5)
+        assert d.std() == pytest.approx(0.5**0.5)
+        assert d.min() == 0 and d.max() == 2
+
+    def test_pmf_sums_to_one(self):
+        d = DiscreteDistribution.from_weights({1: 3, 2: 5, 7: 2})
+        assert sum(d.pmf().values()) == pytest.approx(1.0)
+        assert d.pmf()[2] == 0.5
+
+    def test_quantiles_walk_the_cdf(self):
+        d = DiscreteDistribution.from_weights({1: 1, 2: 1, 3: 1, 4: 1})
+        assert d.quantile(0.25) == 1
+        assert d.quantile(0.5) == 2
+        assert d.quantile(0.75) == 3
+        assert d.quantile(1.0) == 4
+        assert d.cdf(2) == 0.5
+
+    def test_quantile_exact_boundary_at_factorial_weights(self):
+        # 0.55 * 9! rounds up in float; the boundary support value must
+        # still win (cdf(1) == 0.55 exactly).
+        d = DiscreteDistribution.from_weights({1: 199584, 2: 163296})
+        assert d.total_weight == 362880  # 9!
+        assert d.cdf(1) == 0.55
+        assert d.quantile(0.55) == 1
+
+    def test_quantile_level_validated(self):
+        d = DiscreteDistribution.from_weights({1: 1})
+        with pytest.raises(AnalysisError, match="quantile level"):
+            d.quantile(0.0)
+        with pytest.raises(AnalysisError, match="quantile level"):
+            d.quantile(1.5)
+
+    def test_rejects_empty_and_nonpositive_weights(self):
+        with pytest.raises(AnalysisError, match="at least one"):
+            DiscreteDistribution.from_weights({})
+        with pytest.raises(AnalysisError, match="positive"):
+            DiscreteDistribution.from_weights({1: 0})
+
+    def test_pooled_sums_weights(self):
+        a = DiscreteDistribution.from_weights({1: 2, 2: 2})
+        b = DiscreteDistribution.from_weights({2: 4})
+        pooled = DiscreteDistribution.pooled([a, b])
+        assert pooled.weights() == {1: 2, 2: 6}
+        assert pooled.total_weight == a.total_weight + b.total_weight
+
+    def test_scaled_multiplies_weights_but_not_statistics(self):
+        d = DiscreteDistribution.from_weights({1: 1, 3: 1})
+        scaled = d.scaled(7)
+        assert scaled.total_weight == 14
+        assert scaled.mean() == d.mean()
+        assert scaled.quantile(0.5) == d.quantile(0.5)
+
+    def test_pairs_round_trip(self):
+        d = DiscreteDistribution.from_weights({1.25: 3, 2.5: 1})
+        assert DiscreteDistribution.from_pairs(d.as_pairs()) == d
+
+    def test_summary_contains_the_headline_statistics(self):
+        summary = DiscreteDistribution.from_weights({2: 1, 4: 3}).summary()
+        assert set(summary) == {"mean", "std", "min", "median", "q90", "max"}
+        assert summary["mean"] == 3.5
+        assert summary["max"] == 4.0
+
+    def test_ascii_pmf_draws_one_bar_per_support_point(self):
+        art = ascii_pmf(DiscreteDistribution.from_weights({0: 1, 1: 3}), width=8)
+        lines = art.splitlines()
+        assert len(lines) == 2
+        assert lines[1].endswith("#" * 8)
+
+
+class TestRoundDistribution:
+    def _example(self):
+        return RoundDistribution.from_counts(
+            n=2,
+            joint={(1, 2): 3, (2, 3): 1},
+            node_marginals=[{1: 3, 2: 1}, {1: 4}],
+        )
+
+    def test_total_weight_and_means(self):
+        d = self._example()
+        assert d.total_weight == 4
+        assert d.mean_max() == pytest.approx((1 * 3 + 2 * 1) / 4)
+        assert d.mean_average() == pytest.approx((2 * 3 + 3 * 1) / (4 * 2))
+
+    def test_scalar_marginals(self):
+        d = self._example()
+        assert d.max_distribution().weights() == {1: 3, 2: 1}
+        assert d.sum_distribution().weights() == {2: 3, 3: 1}
+        assert d.average_distribution().weights() == {1.0: 3, 1.5: 1}
+
+    def test_node_marginals(self):
+        d = self._example()
+        assert d.node_marginal(0).weights() == {1: 3, 2: 1}
+        assert d.node_marginal(1).weights() == {1: 4}
+        with pytest.raises(AnalysisError, match="out of range"):
+            d.node_marginal(2)
+
+    def test_marginal_totals_must_match_the_joint(self):
+        with pytest.raises(AnalysisError, match="different total weight"):
+            RoundDistribution.from_counts(
+                n=1, joint={(1, 1): 2}, node_marginals=[{1: 1}]
+            )
+
+    def test_inconsistent_joint_outcomes_rejected(self):
+        # sum < max is impossible.
+        with pytest.raises(AnalysisError, match="inconsistent joint outcome"):
+            RoundDistribution.from_counts(n=3, joint={(2, 1): 1})
+        # sum > n * max is impossible.
+        with pytest.raises(AnalysisError, match="inconsistent joint outcome"):
+            RoundDistribution.from_counts(n=2, joint={(1, 3): 1})
+
+    def test_json_round_trip_preserves_everything(self):
+        d = self._example()
+        assert RoundDistribution.from_json(d.to_json()) == d
+        document = d.as_dict()
+        assert document["kind"] == "round-distribution"
+        assert document["total_weight"] == 4
+
+    def test_from_dict_rejects_foreign_documents(self):
+        with pytest.raises(AnalysisError, match="not a round-distribution"):
+            RoundDistribution.from_dict({"kind": "something-else"})
+
+    def test_pooled_requires_matching_n(self):
+        d = self._example()
+        other = RoundDistribution.from_counts(n=3, joint={(1, 3): 1})
+        with pytest.raises(AnalysisError, match="different n"):
+            RoundDistribution.pooled([d, other])
+
+    def test_pooled_sums_joint_and_marginals(self):
+        d = self._example()
+        pooled = RoundDistribution.pooled([d, d])
+        assert pooled.total_weight == 8
+        assert pooled.mean_average() == pytest.approx(d.mean_average())
+        assert pooled.node_marginal(1).weights() == {1: 8}
+
+    def test_scaled_keeps_statistics(self):
+        d = self._example()
+        scaled = d.scaled(math.factorial(4))
+        assert scaled.total_weight == 4 * 24
+        assert scaled.mean_max() == pytest.approx(d.mean_max())

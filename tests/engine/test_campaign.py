@@ -1,12 +1,19 @@
 """Tests for the campaign / sweep API."""
 
+import math
+
 import pytest
 
 from repro.engine.campaign import (
     CampaignSpec,
+    DistSpec,
+    aggregate_dist_rows,
     build_topology,
+    load_dist_rows,
     load_rows,
     run_campaign,
+    run_dist_campaign,
+    write_dist_rows,
     write_rows,
 )
 from repro.errors import ConfigurationError
@@ -130,3 +137,105 @@ class TestBuildTopology:
 def test_spec_rejects_unknown_objective_eagerly():
     with pytest.raises(ConfigurationError, match="unknown objective"):
         _small_spec(objective="avg")
+
+
+def _small_dist_spec(**overrides):
+    defaults = dict(
+        topologies=("cycle", "path"),
+        sizes=(6,),
+        algorithms=("largest-id",),
+        methods=("exact", "sample"),
+        samples=16,
+        seed=13,
+    )
+    defaults.update(overrides)
+    return DistSpec(**defaults)
+
+
+class TestDistSpec:
+    def test_rejects_unknown_topology(self):
+        with pytest.raises(ConfigurationError, match="unknown topology"):
+            _small_dist_spec(topologies=("moebius",))
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(ConfigurationError, match="unknown distribution method"):
+            _small_dist_spec(methods=("oracle",))
+
+    def test_rejects_nonpositive_samples(self):
+        with pytest.raises(ConfigurationError, match="samples"):
+            _small_dist_spec(samples=0)
+
+    def test_cells_cover_the_grid_with_unique_seeds(self):
+        cells = _small_dist_spec().cells()
+        assert len(cells) == 2 * 1 * 1 * 2
+        assert [cell.index for cell in cells] == list(range(len(cells)))
+        assert len({cell.seed for cell in cells}) == len(cells)
+
+
+class TestRunDistCampaign:
+    def test_exact_rows_cover_n_factorial_with_certificates(self):
+        rows = run_dist_campaign(_small_dist_spec(methods=("exact",)))
+        assert len(rows) == 2
+        for row in rows:
+            assert row["exact"]
+            assert row["total_weight"] == math.factorial(row["graph_n"])
+            certificate = row["certificate"]
+            assert (
+                certificate["canonical_leaves"] * certificate["class_weight"]
+                == certificate["space_size"]
+            )
+            assert row["uncertainty"] is None
+            assert row["distribution"]["kind"] == "round-distribution"
+
+    def test_sampled_rows_carry_standard_errors(self):
+        rows = run_dist_campaign(
+            _small_dist_spec(topologies=("cycle",), methods=("sample",))
+        )
+        (row,) = rows
+        assert not row["exact"]
+        assert row["total_weight"] == 16
+        assert row["certificate"] is None
+        assert row["uncertainty"]["average"]["std_error"] >= 0.0
+
+    def test_workers_do_not_change_results(self):
+        spec = _small_dist_spec()
+        serial = run_dist_campaign(spec, workers=1)
+        parallel = run_dist_campaign(spec, workers=2)
+        strip = lambda row: {k: v for k, v in row.items() if k != "wall_time_s"}
+        assert [strip(r) for r in serial] == [strip(r) for r in parallel]
+
+    def test_exact_and_sample_cells_share_the_graph_on_random_topologies(self):
+        # The comparison is meaningless unless both methods see the same
+        # instance: the graph seed must not depend on the method.
+        cells = _small_dist_spec(topologies=("random-tree",), sizes=(7,)).cells()
+        assert len(cells) == 2
+        exact_cell, sample_cell = cells
+        assert exact_cell.graph_seed == sample_cell.graph_seed
+        assert exact_cell.seed != sample_cell.seed  # sampling streams still differ
+        exact_graph = build_topology("random-tree", 7, exact_cell.graph_seed)
+        sample_graph = build_topology("random-tree", 7, sample_cell.graph_seed)
+        assert [
+            exact_graph.neighbors(v) for v in exact_graph.positions()
+        ] == [sample_graph.neighbors(v) for v in sample_graph.positions()]
+
+    def test_aggregates_pool_across_graphs(self):
+        rows = run_dist_campaign(_small_dist_spec(methods=("exact",)))
+        aggregates = aggregate_dist_rows(rows)
+        (aggregate,) = aggregates
+        assert aggregate["cells"] == 2
+        assert aggregate["total_weight"] == 2 * math.factorial(6)
+        assert aggregate["average"]["mean"] > 0
+
+
+class TestDistRowsRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        rows = run_dist_campaign(_small_dist_spec(topologies=("cycle",)))
+        path = tmp_path / "dist_rows.json"
+        write_dist_rows(rows, str(path))
+        assert load_dist_rows(str(path)) == rows
+
+    def test_load_rejects_foreign_documents(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text("{}", encoding="utf-8")
+        with pytest.raises(ConfigurationError, match="not a repro dist"):
+            load_dist_rows(str(path))

@@ -1,6 +1,8 @@
-"""Tests for the further-work experiments E10 and E11."""
+"""Tests for the further-work experiments E10, E11 and E13."""
 
-from repro.experiments import characterization, general_graphs
+import math
+
+from repro.experiments import characterization, distributions, general_graphs
 from repro.experiments.harness import run_all_experiments
 
 
@@ -40,8 +42,39 @@ class TestE11GeneralGraphs:
         assert rows["gnp-dense"]["gap_max_over_avg"] < rows["cycle"]["gap_max_over_avg"]
 
 
+class TestE13Distributions:
+    def test_exact_rows_cover_all_assignments(self):
+        result = distributions.run(sizes=[5], samples=32)
+        assert result.experiment_id == "E13"
+        exact_rows = [row for row in result.table.rows if row["method"] == "exact"]
+        assert exact_rows
+        assert all(row["weight"] == math.factorial(row["n"]) for row in exact_rows)
+
+    def test_cycle_max_is_a_point_mass_at_half_n(self):
+        result = distributions.run(sizes=[6], samples=32)
+        cycle_exact = [
+            row
+            for row in result.table.rows
+            if row["family"] == "cycle" and row["method"] == "exact"
+        ]
+        assert all(row["max_std"] == 0.0 for row in cycle_exact)
+        assert all(row["max_mean"] == row["n"] // 2 for row in cycle_exact)
+
+    def test_sampled_rows_report_standard_errors(self):
+        result = distributions.run(sizes=[5], samples=32)
+        sampled = [row for row in result.table.rows if row["method"] == "sample"]
+        assert all(row["avg_se"] > 0 for row in sampled)
+
+    def test_small_mode_shrinks_the_sizes(self):
+        result = distributions.run(small=True)
+        assert all(row["n"] <= 6 for row in result.table.rows)
+
+
 class TestRunAll:
     def test_run_all_experiments_includes_the_new_ones(self):
         results = run_all_experiments(small=True)
         ids = [result.experiment_id for result in results]
-        assert ids == ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"]
+        assert ids == [
+            "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10",
+            "E11", "E12", "E13",
+        ]

@@ -33,7 +33,7 @@ class TestListCommands:
     def test_list_experiments_prints_the_index(self, capsys):
         assert main(["list-experiments"]) == 0
         output = capsys.readouterr().out
-        assert "E1:" in output and "E12:" in output
+        assert "E1:" in output and "E12:" in output and "E13:" in output
 
 
 class TestSimulate:
@@ -127,6 +127,64 @@ class TestGap:
         output = capsys.readouterr().out
         assert "classic measure 64" in output
         assert "gap" in output
+
+
+class TestDist:
+    def test_dist_defaults(self):
+        args = build_parser().parse_args(["dist"])
+        assert args.topologies == "cycle"
+        assert args.methods == "exact"
+        assert args.samples == 256
+
+    def test_exact_dist_covers_n_factorial(self, capsys):
+        assert main(["dist", "--topologies", "cycle", "--sizes", "6"]) == 0
+        output = capsys.readouterr().out
+        assert "720" in output  # total weight 6!
+        assert "avg_mean" in output
+
+    def test_exact_and_sampled_methods_share_the_table(self, capsys):
+        assert (
+            main(
+                [
+                    "dist",
+                    "--topologies", "cycle",
+                    "--sizes", "6",
+                    "--methods", "exact,sample",
+                    "--samples", "16",
+                    "--seed", "2",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "exact" in output and "sample" in output
+
+    def test_plot_prints_a_pmf(self, capsys):
+        assert main(["dist", "--sizes", "5", "--plot"]) == 0
+        output = capsys.readouterr().out
+        assert "pmf of the average measure" in output
+        assert "#" in output
+
+    def test_dist_writes_a_json_document(self, capsys, tmp_path):
+        out = tmp_path / "dist.json"
+        assert (
+            main(["dist", "--sizes", "6", "--output", str(out)])
+            == 0
+        )
+        import json
+
+        document = json.loads(out.read_text(encoding="utf-8"))
+        assert document["kind"] == "repro-dist"
+        assert document["rows"][0]["total_weight"] == 720
+        assert document["aggregates"][0]["method"] == "exact"
+
+    def test_dist_rejects_bad_sizes(self):
+        with pytest.raises(ConfigurationError, match="--sizes"):
+            main(["dist", "--sizes", "six"])
+
+    def test_dist_rejects_unknown_method(self):
+        with pytest.raises(ConfigurationError, match="unknown distribution method"):
+            main(["dist", "--methods", "oracle"])
 
 
 class TestSweep:

@@ -58,7 +58,13 @@ def test_every_public_module_has_an_api_page(built_site):
 
 def test_guide_pages_are_built(built_site):
     out, _ = built_site
-    for page in ("index", "architecture", "tutorial-measures", "adversary-search"):
+    for page in (
+        "index",
+        "architecture",
+        "tutorial-measures",
+        "adversary-search",
+        "distributions",
+    ):
         assert (out / f"{page}.md").exists()
         html = (out / f"{page}.html").read_text(encoding="utf-8")
         assert html.startswith("<!DOCTYPE html>")

@@ -1,8 +1,8 @@
-"""Run the doctest examples of the public core modules in tier-1.
+"""Run the doctest examples of the public core and dist modules in tier-1.
 
-The examples in :mod:`repro.core.measures` and :mod:`repro.core.adversary`
-double as executable documentation (the docs build renders them verbatim),
-so they must keep passing like any other test.
+The examples in :mod:`repro.core.measures`, :mod:`repro.core.adversary` and
+the :mod:`repro.dist` modules double as executable documentation (the docs
+build renders them verbatim), so they must keep passing like any other test.
 """
 
 from __future__ import annotations
@@ -13,8 +13,17 @@ import pytest
 
 import repro.core.adversary
 import repro.core.measures
+import repro.dist.distribution
+import repro.dist.exact
+import repro.dist.sampling
 
-MODULES = (repro.core.adversary, repro.core.measures)
+MODULES = (
+    repro.core.adversary,
+    repro.core.measures,
+    repro.dist.distribution,
+    repro.dist.exact,
+    repro.dist.sampling,
+)
 
 
 @pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)

@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test docs bench bench-smoke sweep-smoke clean
+.PHONY: test docs bench bench-smoke sweep-smoke examples clean
 
 ## tier-1 test suite (tests + benchmarks), exactly as CI runs it
 test:
@@ -13,7 +13,7 @@ docs:
 
 ## the speedup benchmarks with their JSON artifacts
 bench:
-	$(PYTHON) -m pytest -q benchmarks/test_bench_engine.py benchmarks/test_bench_search.py benchmarks/test_bench_dist.py
+	$(PYTHON) -m pytest -q benchmarks/test_bench_engine.py benchmarks/test_bench_search.py benchmarks/test_bench_dist.py benchmarks/test_bench_api.py
 
 ## every benchmark in fast smoke mode (reduced sizes, same assertions and
 ## JSON artifacts), so BENCH_*.json regressions surface on PRs
@@ -24,6 +24,13 @@ bench-smoke:
 sweep-smoke:
 	$(PYTHON) -m repro sweep --topologies cycle --sizes 8 \
 		--algorithms largest-id --adversaries branch-and-bound --seed 3
+
+## run every documented example end to end at reduced sizes (the CI smoke job)
+examples:
+	@set -e; for script in examples/*.py; do \
+		echo "== $$script"; \
+		REPRO_EXAMPLES_SMALL=1 $(PYTHON) $$script > /dev/null; \
+	done; echo "all examples ok"
 
 clean:
 	rm -rf docs/_build .pytest_cache

@@ -4,45 +4,53 @@ The paper's conclusion notes that results for more general graphs are
 missing.  This example runs the largest-ID algorithm on several topology
 families of comparable size, prints both measures for each, and draws a
 small ASCII plot of how the two measures diverge with the ring size — the
-picture behind the "exponential separation" headline.
+picture behind the "exponential separation" headline.  The scaling data
+comes from one declarative ``simulate`` query over the whole size grid.
 
 Run with:  python examples/beyond_the_ring.py
+(REPRO_EXAMPLES_SMALL=1, as set by `make examples`, shrinks the sizes)
 """
 
-from repro import LargestIdAlgorithm, certify, cycle_graph, random_assignment, run_ball_algorithm
+import os
+
+import repro
 from repro.experiments import general_graphs
 from repro.theory.bounds import largest_id_average_upper_bound, largest_id_worst_case_bound
 from repro.utils.ascii_plot import ascii_plot
 
+SMALL = os.environ.get("REPRO_EXAMPLES_SMALL") == "1"
+
 
 def topology_sweep() -> None:
-    result = general_graphs.run(n=100, samples=3)
+    result = general_graphs.run(n=36 if SMALL else 100, samples=2 if SMALL else 3)
     print(result)
     print()
 
 
 def ring_scaling_plot() -> None:
-    sizes = [16, 32, 64, 128, 256, 512]
-    averages = []
-    maxima = []
-    for n in sizes:
-        graph = cycle_graph(n)
-        ids = random_assignment(n, seed=n)
-        trace = run_ball_algorithm(graph, ids, LargestIdAlgorithm())
-        certify("largest-id", graph, ids, trace)
-        averages.append(trace.average_radius)
-        maxima.append(float(trace.max_radius))
+    sizes = (16, 32, 64) if SMALL else (16, 32, 64, 128, 256, 512)
+    result = repro.query(
+        mode="simulate",
+        topologies="cycle",
+        sizes=sizes,
+        algorithms="largest-id",
+        ids="random",
+        seed=1,
+    )
+    averages = [row["average"] for row in result.rows]
+    maxima = [float(row["classic"]) for row in result.rows]
     print(
         ascii_plot(
-            sizes,
+            list(sizes),
             {"max radius (classic)": maxima, "average radius": averages},
             title="largest-ID on the n-cycle, random identifiers",
         )
     )
     print()
-    print("analytic bounds at n=512:",
-          f"classic {largest_id_worst_case_bound(512)},",
-          f"average {largest_id_average_upper_bound(512):.2f}")
+    top = sizes[-1]
+    print(f"analytic bounds at n={top}:",
+          f"classic {largest_id_worst_case_bound(top)},",
+          f"average {largest_id_average_upper_bound(top):.2f}")
 
 
 def main() -> None:

@@ -8,7 +8,10 @@ with the paper's estimate (twice the average radius, plus one) and with the
 far larger estimate the classic worst-case measure would suggest.
 
 Run with:  python examples/dynamic_network_repair.py
+(REPRO_EXAMPLES_SMALL=1, as set by `make examples`, shrinks the sizes)
 """
+
+import os
 
 from repro import LargestIdAlgorithm, cycle_graph, random_assignment
 from repro.applications.dynamic_networks import (
@@ -17,10 +20,12 @@ from repro.applications.dynamic_networks import (
     expected_repair_cost,
 )
 
+SMALL = os.environ.get("REPRO_EXAMPLES_SMALL") == "1"
+
 
 def main() -> None:
-    n = 256
-    events = 40
+    n = 64 if SMALL else 256
+    events = 10 if SMALL else 40
     graph = cycle_graph(n)
     ids = random_assignment(n, seed=7)
     simulator = DynamicRepairSimulator(graph, ids, LargestIdAlgorithm())

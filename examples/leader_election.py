@@ -4,48 +4,67 @@ Reproduces the paper's Section 2 story end to end:
 
 * evaluates the largest-ID algorithm on the provably worst identifier
   arrangement (built from the segment recurrence), on random identifiers,
-  and on the best assignment an adversarial local search can find;
+  and on the best assignment an adversarial local search can find — the
+  adversarial column comes from one declarative ``worst-case`` query over
+  the whole size grid;
 * compares the measured averages with the exact recurrence bound
   ``(floor(n/2) + a(n-1)) / n`` and the measured maxima with ``floor(n/2)``;
 * prints the growth of both measures so the Theta(n) / Theta(log n)
   separation is visible directly.
 
 Run with:  python examples/leader_election.py
+(REPRO_EXAMPLES_SMALL=1, as set by `make examples`, shrinks the sizes)
 """
 
-from repro import (
-    IdentifierAssignment,
-    LargestIdAlgorithm,
-    LocalSearchAdversary,
-    cycle_graph,
-    random_assignment,
-    run_ball_algorithm,
-)
+import os
+
+import repro
 from repro.theory.bounds import largest_id_average_upper_bound, largest_id_worst_case_bound
 from repro.theory.recurrence import worst_case_cycle_arrangement
 from repro.utils.tables import Table
 
+SMALL = os.environ.get("REPRO_EXAMPLES_SMALL") == "1"
+
 
 def main() -> None:
-    algorithm = LargestIdAlgorithm()
+    sizes = (16, 32, 64) if SMALL else (16, 32, 64, 128, 256)
+    algorithm = repro.LargestIdAlgorithm()
+    session = repro.Session()
+
+    # One query answers the "best assignment an adversary can find" column
+    # for every ring size at once.
+    found = session.worst_case(
+        repro.Query(
+            mode="worst-case",
+            topologies="cycle",
+            sizes=sizes,
+            algorithms="largest-id",
+            adversaries="local-search",
+            measure="average",
+            restarts=2,
+            swaps_per_step=12,
+            max_steps=12,
+            seed=7,
+        )
+    )
+    adversary_value = {row["n"]: row["value"] for row in found.rows}
+
     table = Table(
         columns=("n", "avg worst ids", "avg bound", "avg random ids", "avg adversary", "max", "max bound"),
         title="largest-ID on the n-cycle: average vs classic measure",
     )
-    for n in (16, 32, 64, 128, 256):
-        graph = cycle_graph(n)
-        worst_ids = IdentifierAssignment(worst_case_cycle_arrangement(n))
-        worst = run_ball_algorithm(graph, worst_ids, algorithm)
-        random_trace = run_ball_algorithm(graph, random_assignment(n, seed=n), algorithm)
-        adversary = LocalSearchAdversary(restarts=2, swaps_per_step=12, max_steps=12, seed=n)
-        found = adversary.maximise(graph, algorithm, objective="average")
+    for n in sizes:
+        graph = session.graph("cycle", n)
+        worst_ids = repro.IdentifierAssignment(worst_case_cycle_arrangement(n))
+        worst = session.trace(graph, worst_ids, algorithm)
+        random_trace = session.trace(graph, repro.random_assignment(n, seed=n), algorithm)
         table.add_row(
             **{
                 "n": n,
                 "avg worst ids": worst.average_radius,
                 "avg bound": largest_id_average_upper_bound(n),
                 "avg random ids": random_trace.average_radius,
-                "avg adversary": found.value,
+                "avg adversary": adversary_value[n],
                 "max": worst.max_radius,
                 "max bound": largest_id_worst_case_bound(n),
             }

@@ -8,18 +8,23 @@ largest-ID algorithm with the greedy list scheduler and compares against the
 lock-step simulator that cannot exploit early stopping.
 
 Run with:  python examples/parallel_simulation.py
+(REPRO_EXAMPLES_SMALL=1, as set by `make examples`, shrinks the sizes)
 """
 
-from repro import LargestIdAlgorithm, cycle_graph, random_assignment, run_ball_algorithm
+import os
+
+from repro import LargestIdAlgorithm, Session, cycle_graph, random_assignment
 from repro.applications.parallel_sim import list_schedule, naive_makespan
 from repro.utils.tables import Table
 
+SMALL = os.environ.get("REPRO_EXAMPLES_SMALL") == "1"
+
 
 def main() -> None:
-    n = 512
+    n = 128 if SMALL else 512
     graph = cycle_graph(n)
     ids = random_assignment(n, seed=13)
-    trace = run_ball_algorithm(graph, ids, LargestIdAlgorithm())
+    trace = Session().trace(graph, ids, LargestIdAlgorithm())
     durations = [max(1, radius) for radius in trace.radii().values()]
 
     print(f"simulating the {n} node-jobs of largest-ID (avg radius "

@@ -1,36 +1,56 @@
-"""Quickstart: run a LOCAL algorithm and read both complexity measures.
+"""Quickstart: ask the library a question with ``repro.query(...)``.
 
-This is the smallest end-to-end use of the library: build a ring, assign
-random identifiers, run the paper's largest-ID algorithm, certify the output
-and print the classic (max) and average radii that the paper compares.
+The smallest end-to-end use of the unified API: one declarative query runs
+the paper's largest-ID algorithm on a ring and reports both complexity
+measures; a second query — answered by the same process-wide session, so the
+ring's frontier plans and the decision cache are reused — certifies the
+worst case over identifier assignments by branch and bound.
 
 Run with:  python examples/quickstart.py
+(REPRO_EXAMPLES_SMALL=1, as set by `make examples`, shrinks the sizes)
 """
 
-from repro import (
-    LargestIdAlgorithm,
-    certify,
-    cycle_graph,
-    random_assignment,
-    run_ball_algorithm,
-)
+import os
+
+import repro
+
+SMALL = os.environ.get("REPRO_EXAMPLES_SMALL") == "1"
 
 
 def main() -> None:
-    n = 128
-    graph = cycle_graph(n)
-    ids = random_assignment(n, seed=2026)
-    algorithm = LargestIdAlgorithm()
-
-    trace = run_ball_algorithm(graph, ids, algorithm)
-    certify("largest-id", graph, ids, trace)
-
+    n = 32 if SMALL else 128
+    result = repro.query(
+        mode="simulate",
+        topologies="cycle",
+        sizes=n,
+        algorithms="largest-id",
+        ids="random",
+        seed=2026,
+    )
+    row = result.rows[0]
     print(f"largest-ID on the {n}-cycle with random identifiers")
-    print(f"  classic measure (max radius) : {trace.max_radius}")
-    print(f"  average measure (mean radius): {trace.average_radius:.3f}")
-    print(f"  radius histogram             : {trace.radius_histogram()}")
-    leader = [p for p, out in trace.outputs_by_position().items() if out][0]
-    print(f"  elected leader               : position {leader} (identifier {ids[leader]})")
+    print(f"  classic measure (max radius) : {row['classic']}")
+    print(f"  average measure (mean radius): {row['average']:.3f}")
+    print(f"  radius histogram             : {row['histogram']}")
+    print(f"  output certified             : {row['certified']}")
+    print()
+
+    worst_n = 8 if SMALL else 10
+    worst = repro.query(
+        "worst-case",
+        topologies="cycle",
+        sizes=worst_n,
+        algorithms="largest-id",
+        adversaries="branch-and-bound",
+        measure="average",
+    )
+    wrow = worst.rows[0]
+    certificate = wrow["certificate"]
+    print(f"certified worst-case average on the {worst_n}-cycle: {wrow['value']:.3f}")
+    print(f"  exact               : {worst.exact}")
+    print(f"  witness identifiers : {wrow['witness_ids']}")
+    print(f"  search certificate  : |Aut| = {certificate['group_order']}, "
+          f"{certificate['canonical_leaves']} canonical leaves")
     print()
     print("The single vertex holding the maximum identifier pays the linear")
     print("worst case; almost every other vertex stops after a couple of")

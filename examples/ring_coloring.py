@@ -8,15 +8,18 @@ the proof of Theorem 1 and evaluates the algorithm on the resulting "hard"
 identifier permutation.
 
 Run with:  python examples/ring_coloring.py
+(REPRO_EXAMPLES_SMALL=1, as set by `make examples`, shrinks the sizes)
 """
+
+import os
 
 from repro import (
     BallSimulationOfRounds,
     ColeVishkinRing,
+    Session,
     certify,
     cycle_graph,
     random_assignment,
-    run_ball_algorithm,
     run_round_algorithm,
 )
 from repro.theory.linial import linial_lower_bound_radius
@@ -24,13 +27,16 @@ from repro.theory.lower_bound import build_hard_assignment
 from repro.utils.math_functions import log_star
 from repro.utils.tables import Table
 
+SMALL = os.environ.get("REPRO_EXAMPLES_SMALL") == "1"
+
 
 def main() -> None:
     table = Table(
         columns=("n", "log*", "linial threshold", "CV avg radius", "CV max radius", "avg on hard pi"),
         title="3-colouring the n-ring with Cole-Vishkin",
     )
-    for n in (16, 32, 64, 128):
+    session = Session()
+    for n in (8, 16, 32) if SMALL else (16, 32, 64, 128):
         graph = cycle_graph(n)
         ids = random_assignment(n, seed=n)
         round_trace = run_round_algorithm(graph, ids, ColeVishkinRing(n))
@@ -38,7 +44,7 @@ def main() -> None:
 
         ball_algorithm = BallSimulationOfRounds(ColeVishkinRing(n))
         construction = build_hard_assignment(n, ball_algorithm, seed=n)
-        hard_trace = run_ball_algorithm(graph, construction.assignment, ball_algorithm)
+        hard_trace = session.trace(graph, construction.assignment, ball_algorithm)
         certify("3-coloring", graph, construction.assignment, hard_trace)
 
         table.add_row(

@@ -40,6 +40,7 @@ SRC_DIR = REPO_ROOT / "src"
 GUIDE_PAGES = (
     "index.md",
     "architecture.md",
+    "api.md",
     "tutorial-measures.md",
     "adversary-search.md",
     "distributions.md",

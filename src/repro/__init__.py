@@ -24,16 +24,22 @@ for the LOCAL Model* (PODC 2015).  The library provides:
 * a distributional measure layer (:mod:`repro.dist`) — the exact joint
   distribution of both measures over all ``n!`` identifier assignments
   (orbit-weighted canonical enumeration, ``n!/|Aut|`` simulations) and
-  seeded streaming Monte-Carlo estimators with standard errors.
+  seeded streaming Monte-Carlo estimators with standard errors; and
+* the unified query API (:mod:`repro.api`) — one declarative, validated
+  :class:`Query` over all four answer modes (simulate, worst-case,
+  distribution, sweep), executed by a cache-owning :class:`Session` and
+  answered with a single versioned :class:`Result` type.
 
 Quick start::
 
-    from repro import LargestIdAlgorithm, cycle_graph, random_assignment, run_ball_algorithm
+    import repro
 
-    graph = cycle_graph(64)
-    ids = random_assignment(64, seed=1)
-    trace = run_ball_algorithm(graph, ids, LargestIdAlgorithm())
-    print(trace.average_radius, trace.max_radius)
+    result = repro.query(mode="simulate", topologies="cycle", sizes=64, seed=1)
+    print(result.measures)           # {'classic': ..., 'average': ..., 'sum': ...}
+
+    worst = repro.query("worst-case", topologies="cycle", sizes=10,
+                        adversaries="branch-and-bound", measure="average")
+    print(worst.exact, worst.measures)
 """
 
 from repro.algorithms import (
@@ -106,7 +112,19 @@ from repro.topology import (
     random_tree,
 )
 
-__version__ = "1.0.0"
+# The unified query API sits on top of every other layer, so it is imported
+# last; `repro.query(...)` is the library's declarative front door.
+from repro.api import (
+    ID_FAMILIES,
+    Query,
+    QueryBuilder,
+    Result,
+    Session,
+    default_session,
+    query,
+)
+
+__version__ = "1.1.0"
 
 __all__ = [
     "AlgorithmError",
@@ -130,6 +148,7 @@ __all__ = [
     "Graph",
     "GreedyColoringByID",
     "GreedyMISByID",
+    "ID_FAMILIES",
     "IdentifierAssignment",
     "IdentifierError",
     "LargestIdAlgorithm",
@@ -137,10 +156,14 @@ __all__ = [
     "Measure",
     "PortfolioAdversary",
     "PrunedExhaustiveAdversary",
+    "Query",
+    "QueryBuilder",
     "RandomSearchAdversary",
     "ReproError",
+    "Result",
     "RoundAlgorithm",
     "RoundDistribution",
+    "Session",
     "SwapEvaluator",
     "TopologyError",
     "__version__",
@@ -148,6 +171,7 @@ __all__ = [
     "certify",
     "complete_graph",
     "cycle_graph",
+    "default_session",
     "evaluate_assignment",
     "exact_round_distribution",
     "exact_worst_case",
@@ -157,12 +181,13 @@ __all__ = [
     "grid_graph",
     "make_algorithm",
     "path_graph",
+    "query",
     "random_assignment",
     "random_tree",
     "run_ball_algorithm",
     "run_campaign",
-    "sample_round_distribution",
     "run_round_algorithm",
     "run_simulation_batch",
+    "sample_round_distribution",
     "worst_case_over_assignments",
 ]

@@ -1,0 +1,381 @@
+"""The declarative, validated query spec of the unified API.
+
+A :class:`Query` describes one question about the paper's measures as pure
+data — *which* grid of instances (topologies × sizes × algorithms), *which*
+measure, *which* mode of answering (a single simulation, a worst case over
+identifier assignments, the whole distribution, or a sweep campaign) and
+*which* budgets — without running anything.  It unifies and subsumes the
+engine's :class:`~repro.engine.campaign.CampaignSpec` and
+:class:`~repro.engine.campaign.DistSpec`: both convert losslessly in either
+direction, and every legacy argument convention (``seed=``, ``samples=``,
+``workers=`` scattered across call sites) has exactly one home here.
+
+A query can be built three ways:
+
+* directly from keyword arguments — ``Query(mode="sweep", topologies="cycle",
+  sizes=(8, 16))`` (scalars are promoted to 1-tuples);
+* fluently, via :meth:`Query.builder`;
+* from a versioned JSON document (``kind: "repro-query"``) with
+  :meth:`Query.from_json` — the schema consumed by ``repro query --spec``.
+
+Validation is eager and complete: every registry name (topology, algorithm,
+adversary, distribution method, identifier family, measure) is checked at
+construction time, so a misspelt grid fails before any simulation runs.
+:class:`~repro.api.session.Session` executes queries;
+:class:`~repro.api.results.Result` carries the answers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.algorithms.registry import algorithm_registry
+from repro.core.measures import get_measure
+from repro.engine.campaign import (
+    ADVERSARY_NAMES,
+    DIST_METHODS,
+    TOPOLOGY_BUILDERS,
+    CampaignSpec,
+    DistSpec,
+)
+from repro.errors import ConfigurationError
+from repro.model.identifiers import ID_FAMILIES
+
+#: The four kinds of question the API answers.
+MODES = ("simulate", "worst-case", "distribution", "sweep")
+
+#: Document tag and schema version of the JSON form (see ``docs/api.md``).
+QUERY_KIND = "repro-query"
+QUERY_VERSION = 1
+
+
+def _as_tuple(value, kind) -> tuple:
+    """Promote a scalar to a 1-tuple and any sequence to a tuple."""
+    if isinstance(value, (str, int)):
+        return (value,)
+    try:
+        return tuple(value)
+    except TypeError as exc:
+        raise ConfigurationError(f"{kind} must be a name or a sequence, got {value!r}") from exc
+
+
+@dataclass(frozen=True)
+class Query:
+    """One declarative question: graph grid × algorithm × measure × mode × budget.
+
+    Scalar values are accepted wherever a tuple field is declared
+    (``topologies="cycle"`` means ``("cycle",)``); all names are validated
+    against the live registries at construction time.
+
+    >>> Query(mode="sweep", topologies="cycle", sizes=8).topologies
+    ('cycle',)
+    >>> Query(topologies="hypercube")
+    Traceback (most recent call last):
+        ...
+    repro.errors.ConfigurationError: unknown topology 'hypercube'; known: complete, cycle, gnp, grid, path, random-tree
+    """
+
+    #: One of :data:`MODES`.
+    mode: str = "simulate"
+    #: Names from :data:`repro.engine.campaign.TOPOLOGY_BUILDERS`.
+    topologies: tuple = ("cycle",)
+    #: Node counts of the grid.
+    sizes: tuple = (8,)
+    #: Registered algorithm names.
+    algorithms: tuple = ("largest-id",)
+    #: Measure name (``classic``/``average``/``sum``) or objective key.
+    measure: str = "average"
+    #: Identifier family for ``simulate`` mode (see :data:`ID_FAMILIES`).
+    ids: str = "random"
+    #: Adversary names for ``worst-case``/``sweep`` modes.
+    adversaries: tuple = ("branch-and-bound",)
+    #: Distribution methods (``exact``/``sample``) for ``distribution`` mode.
+    methods: tuple = ("exact",)
+    #: Base seed; every cell derives a private seed from it.
+    seed: int = 0
+    #: Randomised budget: random-search draws / Monte-Carlo samples per cell.
+    samples: int = 64
+    #: Local-search restarts per cell.
+    restarts: int = 2
+    #: Process fan-out (cells in ``sweep``/``distribution``, portfolio
+    #: strategies in ``worst-case``).
+    workers: int = 1
+    #: Local-search swap candidates per step.
+    swaps_per_step: int = 16
+    #: Local-search step cap.
+    max_steps: int = 32
+    #: Node cap of the legacy exhaustive adversary.
+    exhaustive_max_nodes: int = 9
+    #: Node cap of the symmetry-pruned exact searches.
+    exact_max_nodes: int = 12
+    #: Cap on ``n!/|Aut|`` canonical classes for exact distributions.
+    max_classes: int = 250_000
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "topologies", _as_tuple(self.topologies, "topologies"))
+        object.__setattr__(self, "sizes", _as_tuple(self.sizes, "sizes"))
+        object.__setattr__(self, "algorithms", _as_tuple(self.algorithms, "algorithms"))
+        object.__setattr__(self, "adversaries", _as_tuple(self.adversaries, "adversaries"))
+        object.__setattr__(self, "methods", _as_tuple(self.methods, "methods"))
+        if self.mode not in MODES:
+            raise ConfigurationError(
+                f"unknown mode {self.mode!r}; known: {', '.join(MODES)}"
+            )
+        for name in self.topologies:
+            if name not in TOPOLOGY_BUILDERS:
+                raise ConfigurationError(
+                    f"unknown topology {name!r}; known: {', '.join(sorted(TOPOLOGY_BUILDERS))}"
+                )
+        registry = algorithm_registry()
+        for name in self.algorithms:
+            if name not in registry:
+                raise ConfigurationError(
+                    f"unknown algorithm {name!r}; known: {', '.join(sorted(registry))}"
+                )
+        for name in self.adversaries:
+            if name not in ADVERSARY_NAMES:
+                raise ConfigurationError(
+                    f"unknown adversary {name!r}; known: {', '.join(ADVERSARY_NAMES)}"
+                )
+        for name in self.methods:
+            if name not in DIST_METHODS:
+                raise ConfigurationError(
+                    f"unknown distribution method {name!r}; known: {', '.join(DIST_METHODS)}"
+                )
+        if self.ids not in ID_FAMILIES:
+            raise ConfigurationError(
+                f"unknown identifier family {self.ids!r}; known: {', '.join(sorted(ID_FAMILIES))}"
+            )
+        for n in self.sizes:
+            if not isinstance(n, int) or isinstance(n, bool) or n <= 0:
+                raise ConfigurationError(f"sizes must be positive ints, got {n!r}")
+        if self.samples <= 0:
+            raise ConfigurationError(f"samples must be positive, got {self.samples}")
+        if self.workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {self.workers}")
+        try:
+            get_measure(self.measure)
+        except Exception as exc:  # AnalysisError; re-tag as a spec problem
+            raise ConfigurationError(str(exc)) from exc
+
+    # ------------------------------------------------------------------
+    # derived views
+    # ------------------------------------------------------------------
+    @property
+    def objective(self) -> str:
+        """The adversary/trace objective key of :attr:`measure`."""
+        return get_measure(self.measure).objective
+
+    def with_changes(self, **changes) -> "Query":
+        """A copy with the given fields replaced (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # legacy-spec interop (Query subsumes CampaignSpec and DistSpec)
+    # ------------------------------------------------------------------
+    def to_campaign_spec(self) -> CampaignSpec:
+        """The equivalent engine :class:`CampaignSpec` (worst-case/sweep grids)."""
+        return CampaignSpec(
+            topologies=self.topologies,
+            sizes=self.sizes,
+            algorithms=self.algorithms,
+            adversaries=self.adversaries,
+            objective=self.objective,
+            seed=self.seed,
+            samples=self.samples,
+            restarts=self.restarts,
+            swaps_per_step=self.swaps_per_step,
+            max_steps=self.max_steps,
+            exhaustive_max_nodes=self.exhaustive_max_nodes,
+            exact_max_nodes=self.exact_max_nodes,
+        )
+
+    def to_dist_spec(self) -> DistSpec:
+        """The equivalent engine :class:`DistSpec` (distribution grids)."""
+        return DistSpec(
+            topologies=self.topologies,
+            sizes=self.sizes,
+            algorithms=self.algorithms,
+            methods=self.methods,
+            seed=self.seed,
+            samples=self.samples,
+            exact_max_nodes=self.exact_max_nodes,
+            max_classes=self.max_classes,
+        )
+
+    @classmethod
+    def from_campaign_spec(cls, spec: CampaignSpec, mode: str = "sweep") -> "Query":
+        """Adopt a legacy :class:`CampaignSpec` (mode defaults to ``sweep``)."""
+        return cls(
+            mode=mode,
+            topologies=spec.topologies,
+            sizes=spec.sizes,
+            algorithms=spec.algorithms,
+            adversaries=spec.adversaries,
+            measure=spec.objective,
+            seed=spec.seed,
+            samples=spec.samples,
+            restarts=spec.restarts,
+            swaps_per_step=spec.swaps_per_step,
+            max_steps=spec.max_steps,
+            exhaustive_max_nodes=spec.exhaustive_max_nodes,
+            exact_max_nodes=spec.exact_max_nodes,
+        )
+
+    @classmethod
+    def from_dist_spec(cls, spec: DistSpec) -> "Query":
+        """Adopt a legacy :class:`DistSpec` as a ``distribution`` query."""
+        return cls(
+            mode="distribution",
+            topologies=spec.topologies,
+            sizes=spec.sizes,
+            algorithms=spec.algorithms,
+            methods=spec.methods,
+            seed=spec.seed,
+            samples=spec.samples,
+            exact_max_nodes=spec.exact_max_nodes,
+            max_classes=spec.max_classes,
+        )
+
+    # ------------------------------------------------------------------
+    # the versioned JSON document
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """The versioned plain-dict form (``kind``/``version`` + all fields)."""
+        document = {"kind": QUERY_KIND, "version": QUERY_VERSION}
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            document[field.name] = list(value) if isinstance(value, tuple) else value
+        return document
+
+    def to_json(self) -> str:
+        """Serialise as a ``repro-query`` JSON document."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_dict(cls, document: Mapping) -> "Query":
+        """Parse the dict form; unknown keys and wrong kind/version are errors.
+
+        >>> Query.from_dict({"kind": "repro-query", "version": 1, "mode": "sweep"}).mode
+        'sweep'
+        """
+        if not isinstance(document, Mapping):
+            raise ConfigurationError(f"a query document must be an object, got {type(document).__name__}")
+        if document.get("kind") != QUERY_KIND:
+            raise ConfigurationError(
+                f"not a {QUERY_KIND} document: kind={document.get('kind')!r}"
+            )
+        if document.get("version") != QUERY_VERSION:
+            raise ConfigurationError(
+                f"unsupported {QUERY_KIND} version {document.get('version')!r} "
+                f"(this library reads version {QUERY_VERSION})"
+            )
+        known = {field.name for field in dataclasses.fields(cls)}
+        fields = {}
+        for key, value in document.items():
+            if key in ("kind", "version"):
+                continue
+            if key not in known:
+                raise ConfigurationError(
+                    f"unknown query field {key!r}; known: {', '.join(sorted(known))}"
+                )
+            fields[key] = value
+        return cls(**fields)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Query":
+        """Parse a document previously produced by :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def load(cls, path: str) -> "Query":
+        """Read a ``repro-query`` JSON document from ``path``."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+    @classmethod
+    def builder(cls, mode: str = "simulate") -> "QueryBuilder":
+        """Start a fluent :class:`QueryBuilder` (terminated by ``.build()``)."""
+        return QueryBuilder(mode)
+
+
+class QueryBuilder:
+    """Fluent construction of a :class:`Query`; every method returns ``self``.
+
+    >>> (Query.builder().worst_case().on("cycle").sizes(8)
+    ...     .adversaries("branch-and-bound").measure("sum").build().mode)
+    'worst-case'
+    """
+
+    def __init__(self, mode: str = "simulate") -> None:
+        self._fields: dict = {"mode": mode}
+
+    # -- mode selectors -------------------------------------------------
+    def simulate(self) -> "QueryBuilder":
+        """Answer with single runs (one per grid cell)."""
+        self._fields["mode"] = "simulate"
+        return self
+
+    def worst_case(self) -> "QueryBuilder":
+        """Answer with the worst case over identifier assignments."""
+        self._fields["mode"] = "worst-case"
+        return self
+
+    def distribution(self) -> "QueryBuilder":
+        """Answer with the measure distribution over assignments."""
+        self._fields["mode"] = "distribution"
+        return self
+
+    def sweep(self) -> "QueryBuilder":
+        """Answer with a full campaign grid of adversarial searches."""
+        self._fields["mode"] = "sweep"
+        return self
+
+    # -- the grid -------------------------------------------------------
+    def on(self, *topologies: str) -> "QueryBuilder":
+        """Set the topology names of the grid."""
+        self._fields["topologies"] = topologies
+        return self
+
+    def sizes(self, *sizes: int) -> "QueryBuilder":
+        """Set the node counts of the grid."""
+        self._fields["sizes"] = sizes
+        return self
+
+    def algorithms(self, *names: str) -> "QueryBuilder":
+        """Set the registered algorithm names of the grid."""
+        self._fields["algorithms"] = names
+        return self
+
+    def measure(self, name: str) -> "QueryBuilder":
+        """Set the measure (``classic``/``average``/``sum`` or objective key)."""
+        self._fields["measure"] = name
+        return self
+
+    def identifiers(self, family: str) -> "QueryBuilder":
+        """Set the identifier family used by ``simulate`` mode."""
+        self._fields["ids"] = family
+        return self
+
+    def adversaries(self, *names: str) -> "QueryBuilder":
+        """Set the adversaries raced by ``worst-case``/``sweep`` modes."""
+        self._fields["adversaries"] = names
+        return self
+
+    def methods(self, *names: str) -> "QueryBuilder":
+        """Set the distribution methods (``exact``/``sample``)."""
+        self._fields["methods"] = names
+        return self
+
+    # -- budgets --------------------------------------------------------
+    def budget(self, **budgets) -> "QueryBuilder":
+        """Set budget fields (``seed``, ``samples``, ``restarts``, ``workers``, ...)."""
+        self._fields.update(budgets)
+        return self
+
+    def build(self) -> Query:
+        """Validate and freeze the accumulated fields into a :class:`Query`."""
+        return Query(**self._fields)

@@ -1,0 +1,259 @@
+"""The single, versioned result type of the unified API.
+
+Every mode of the API — simulate, worst-case, distribution, sweep — answers
+with the same :class:`Result` shape: the spec echo of the query that asked,
+one JSON-friendly row per grid cell, headline ``measures``, aggregate cache
+statistics and timing.  Certificates (exact searches, exact distributions)
+and standard errors (sampled distributions) travel inside the rows, exactly
+where the engine produced them.
+
+The JSON document (``kind: "repro-result"``, ``version: 1``; schema in
+``docs/api.md``) round-trips through :meth:`Result.to_json` /
+:meth:`Result.from_json`.  ``from_json`` additionally *adopts* the two
+pre-API document kinds — ``repro-sweep`` and ``repro-dist`` — so archived
+campaign outputs remain readable through the new surface.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from repro.core.measures import get_measure
+from repro.errors import AnalysisError
+from repro.utils.tables import Table
+
+#: Document tag and schema version (see ``docs/api.md``).
+RESULT_KIND = "repro-result"
+RESULT_VERSION = 1
+
+#: Per-row keys that vary between runs of the same query (timings, cache
+#: luck across worker counts); parity comparisons strip them.
+VOLATILE_ROW_KEYS = ("wall_time_s", "cache")
+
+#: Table columns per mode (the CLI renders these).
+_TABLE_COLUMNS = {
+    "simulate": ("topology", "n", "algorithm", "ids", "classic", "average", "sum"),
+    "worst-case": (
+        "topology", "n", "algorithm", "adversary", "value",
+        "evaluations", "exact", "cache_hit_rate",
+    ),
+    "sweep": (
+        "topology", "n", "algorithm", "adversary", "value",
+        "evaluations", "exact", "cache_hit_rate",
+    ),
+    "distribution": (
+        "topology", "n", "algorithm", "method", "weight", "avg_mean",
+        "avg_std", "avg_q90", "avg_se", "max_mean", "max_std",
+    ),
+}
+
+
+def strip_volatile(rows: Sequence[Mapping]) -> list[dict]:
+    """Rows without their run-dependent keys (for old-vs-new parity checks)."""
+    return [
+        {key: value for key, value in row.items() if key not in VOLATILE_ROW_KEYS}
+        for row in rows
+    ]
+
+
+def _aggregate_cache(rows: Sequence[Mapping]) -> Optional[dict]:
+    """Sum the per-row decision-cache counters (None when no row has any)."""
+    hits = misses = 0
+    seen = False
+    for row in rows:
+        cache = row.get("cache")
+        if cache:
+            seen = True
+            hits += int(cache.get("hits", 0))
+            misses += int(cache.get("misses", 0))
+    if not seen:
+        return None
+    lookups = hits + misses
+    return {
+        "hits": hits,
+        "misses": misses,
+        "hit_rate": (hits / lookups) if lookups else 0.0,
+    }
+
+
+def _headline_measures(mode: str, rows: Sequence[Mapping]) -> dict:
+    """The headline scalars of a row set (documented per mode in docs/api.md).
+
+    ``simulate``: the worst value of each measure over the grid cells.
+    ``worst-case``/``sweep``: the worst objective value found, keyed by the
+    measure's paper-facing name.  ``distribution``: the worst *mean* of each
+    measure's marginal over the cells (full statistics stay in the rows).
+    """
+    if not rows:
+        return {}
+    if mode == "simulate":
+        return {
+            "classic": max(row["classic"] for row in rows),
+            "average": max(row["average"] for row in rows),
+            "sum": max(row["sum"] for row in rows),
+        }
+    if mode in ("worst-case", "sweep"):
+        name = get_measure(rows[0]["objective"]).name
+        return {name: max(row["value"] for row in rows)}
+    if mode == "distribution":
+        return {
+            "average": max(row["average"]["mean"] for row in rows),
+            "classic": max(row["max"]["mean"] for row in rows),
+        }
+    raise AnalysisError(f"unknown result mode {mode!r}")
+
+
+@dataclass(frozen=True)
+class Result:
+    """Uniform answer of every API mode: spec echo, rows, measures, stats.
+
+    ``rows`` keep the exact per-cell dictionaries the engine layers emit
+    (including certificates and standard errors where present), so the
+    Result is a lossless superset of every legacy return shape.
+    """
+
+    #: The mode that produced the rows (one of :data:`repro.api.query.MODES`).
+    mode: str
+    #: Spec echo: the originating query's :meth:`~repro.api.query.Query.to_dict`.
+    query: dict
+    #: One JSON-friendly dict per grid cell, in cell-index order.
+    rows: tuple = ()
+    #: Headline scalars (see :func:`_headline_measures` / ``docs/api.md``).
+    measures: dict = field(default_factory=dict)
+    #: Whether *every* row's answer is certified exact (None for simulate).
+    exact: Optional[bool] = None
+    #: Aggregated decision-cache counters across rows (None when untracked).
+    cache: Optional[dict] = None
+    #: Timing summary: total wall time across cells.
+    timing: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_rows(cls, mode: str, query: Mapping, rows: Sequence[Mapping]) -> "Result":
+        """Assemble a Result from engine rows (aggregates computed here)."""
+        rows = tuple(dict(row) for row in rows)
+        if mode == "simulate":
+            exact = None
+        else:
+            exact = bool(rows) and all(bool(row.get("exact")) for row in rows)
+        return cls(
+            mode=mode,
+            query=dict(query),
+            rows=rows,
+            measures=_headline_measures(mode, rows),
+            exact=exact,
+            cache=_aggregate_cache(rows),
+            timing={"wall_time_s": sum(row.get("wall_time_s", 0.0) for row in rows)},
+        )
+
+    # ------------------------------------------------------------------
+    # presentation
+    # ------------------------------------------------------------------
+    def table(self) -> Table:
+        """Render the rows as the mode's standard ASCII table."""
+        columns = _TABLE_COLUMNS[self.mode]
+        measure = self.query.get("measure", "")
+        titles = {
+            "simulate": "simulate: both measures per instance",
+            "worst-case": f"worst-case {measure} over identifier assignments",
+            "sweep": f"sweep: worst-case {measure} over identifier assignments",
+            "distribution": "dist: measure distributions over identifier assignments",
+        }
+        table = Table(columns=columns, title=titles[self.mode])
+        for row in self.rows:
+            table.add_row(**{name: self._cell(row, name) for name in columns})
+        return table
+
+    @staticmethod
+    def _cell(row: Mapping, column: str):
+        """One table cell (flattening the nested distribution statistics)."""
+        if column == "cache_hit_rate":
+            return (row.get("cache") or {}).get("hit_rate", 0.0)
+        if column == "weight":
+            return row["total_weight"]
+        if column.startswith("avg_") or column.startswith("max_"):
+            marginal = row["average"] if column.startswith("avg_") else row["max"]
+            statistic = column.split("_", 1)[1]
+            if statistic == "se":
+                uncertainty = row.get("uncertainty") or {}
+                value = (uncertainty.get("average") or {}).get("std_error")
+                return "-" if value is None else value
+            return marginal[statistic]
+        return row.get(column)
+
+    # ------------------------------------------------------------------
+    # the versioned JSON document
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict:
+        """The versioned plain-dict form of the whole result."""
+        return {
+            "kind": RESULT_KIND,
+            "version": RESULT_VERSION,
+            "mode": self.mode,
+            "query": self.query,
+            "rows": list(self.rows),
+            "measures": self.measures,
+            "exact": self.exact,
+            "cache": self.cache,
+            "timing": self.timing,
+        }
+
+    def to_json(self) -> str:
+        """Serialise as a ``repro-result`` JSON document."""
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n"
+
+    def save(self, path: str) -> None:
+        """Write :meth:`to_json` to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def from_dict(cls, document: Mapping) -> "Result":
+        """Parse a result document (native, or an adopted legacy kind).
+
+        Native ``repro-result`` documents reconstruct the Result exactly.
+        The two pre-API kinds are adopted by recomputing the aggregates
+        from their rows: ``repro-sweep`` becomes a ``sweep`` result and
+        ``repro-dist`` a ``distribution`` result (with an empty spec echo,
+        since the legacy documents never recorded their spec).
+        """
+        if not isinstance(document, Mapping):
+            raise AnalysisError(
+                f"a result document must be an object, got {type(document).__name__}"
+            )
+        kind = document.get("kind")
+        if kind == RESULT_KIND:
+            if document.get("version") != RESULT_VERSION:
+                raise AnalysisError(
+                    f"unsupported {RESULT_KIND} version {document.get('version')!r} "
+                    f"(this library reads version {RESULT_VERSION})"
+                )
+            return cls(
+                mode=document["mode"],
+                query=dict(document["query"]),
+                rows=tuple(document["rows"]),
+                measures=dict(document["measures"]),
+                exact=document.get("exact"),
+                cache=document.get("cache"),
+                timing=dict(document.get("timing") or {}),
+            )
+        if kind == "repro-sweep":
+            return cls.from_rows("sweep", {}, document["rows"])
+        if kind == "repro-dist":
+            return cls.from_rows("distribution", {}, document["rows"])
+        raise AnalysisError(
+            f"not a result document: kind={kind!r} (expected {RESULT_KIND}, "
+            f"repro-sweep or repro-dist)"
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Result":
+        """Parse a document previously produced by :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def load(cls, path: str) -> "Result":
+        """Read a result (or adoptable legacy) JSON document from ``path``."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))

@@ -1,0 +1,456 @@
+"""Sessions: one owner for the shared execution infrastructure.
+
+Before this layer, every entry point built its own world per call — a fresh
+graph, fresh frontier plans, a fresh :class:`~repro.engine.cache.DecisionCache`,
+a fresh automorphism group.  A :class:`Session` owns all of that *across*
+calls:
+
+* built graphs are cached per ``(topology, n, seed)`` — and because frontier
+  plans and automorphism groups live on the :class:`~repro.model.graph.Graph`
+  object, every later query on the same instance reuses them;
+* ball-compiled algorithm instances are cached per ``(name, n)``;
+* one :class:`~repro.engine.frontier.FrontierRunner` +
+  :class:`~repro.engine.cache.DecisionCache` pair is kept per
+  ``(graph, algorithm)``, so repeated ``simulate`` queries skip both the
+  plan construction and most ``decide`` calls;
+* process fan-out goes through one :class:`~repro.engine.batch.BatchExecutor`
+  configuration.
+
+``benchmarks/test_bench_api.py`` measures the effect: a warm session beats
+fresh per-call setup by well over the asserted 1.5× on repeated-query
+workloads (artifact ``BENCH_api.json``).
+
+The four public methods — :meth:`Session.simulate`, :meth:`Session.worst_case`,
+:meth:`Session.distribution`, :meth:`Session.sweep` — all accept a
+:class:`~repro.api.query.Query` (or its keyword arguments) and return a
+:class:`~repro.api.results.Result`.  Module level,
+:func:`query` runs against a lazily created default session — the one-liner
+``repro.query(...)`` of the README quickstart.
+
+Determinism: cell seeds derive from the query seed and the cell coordinates
+(:func:`~repro.engine.batch.derive_task_seed`), so a query returns the same
+rows at any worker count — warm or cold, only the ``cache``/``wall_time_s``
+diagnostics differ.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.api.query import Query
+from repro.api.results import Result
+from repro.core.certification import certify
+from repro.core.measures import ComplexityReport
+from repro.engine.batch import BatchExecutor, derive_task_seed
+from repro.engine.cache import DecisionCache
+from repro.engine.campaign import (
+    DETERMINISTIC_TOPOLOGIES,
+    build_topology,
+    dist_cell_row,
+    make_adversary,
+    make_ball_algorithm,
+    run_cell,
+    run_dist_cell,
+    search_cell_row,
+)
+from repro.engine.frontier import FrontierRunner
+from repro.errors import ConfigurationError
+from repro.model.graph import Graph
+from repro.model.identifiers import IdentifierAssignment, make_identifier_assignment
+from repro.model.trace import ExecutionTrace
+
+#: Bound on each per-(graph, algorithm) decision-cache table, matching the
+#: adversaries' session caches.
+SESSION_CACHE_MAX_ENTRIES = 1 << 18
+
+#: Bounds on how many graphs / algorithm instances / engine runners a
+#: session retains.  Long-lived sessions (the process-wide default behind
+#: ``repro.query``) stream arbitrarily many distinct instances through, so
+#: each cache evicts its oldest entry once full instead of growing without
+#: bound — eviction only costs warmth, never correctness.
+SESSION_MAX_GRAPHS = 256
+SESSION_MAX_ALGORITHMS = 256
+SESSION_MAX_RUNNERS = 64
+
+
+@dataclass(frozen=True)
+class SimulateCell:
+    """One fully specified point of a ``simulate`` grid.
+
+    ``graph_seed`` is derived without the algorithm (all algorithms of one
+    coordinate see the identical random graph); ``seed`` additionally folds
+    the algorithm and the identifier family in, and feeds the family
+    builder.
+    """
+
+    index: int
+    topology: str
+    n: int
+    algorithm: str
+    ids: str
+    graph_seed: int
+    seed: int
+
+
+def simulate_cells(query: Query) -> list[SimulateCell]:
+    """Expand a ``simulate`` query into deterministic, individually seeded cells."""
+    import itertools
+
+    grid = itertools.product(query.topologies, query.sizes, query.algorithms)
+    return [
+        SimulateCell(
+            index=index,
+            topology=topology,
+            n=n,
+            algorithm=algorithm,
+            ids=query.ids,
+            graph_seed=derive_task_seed(query.seed, "simulate", topology, n),
+            seed=derive_task_seed(
+                query.seed, "simulate", topology, n, algorithm, query.ids
+            ),
+        )
+        for index, (topology, n, algorithm) in enumerate(grid)
+    ]
+
+
+def simulate_cell_row(
+    cell: SimulateCell,
+    graph: Optional[Graph] = None,
+    algorithm=None,
+    runner: Optional[FrontierRunner] = None,
+) -> dict:
+    """Execute one simulate cell and return its JSON-friendly result row.
+
+    The defaults build everything fresh (the worker-process path); a
+    :class:`Session` passes its cached graph/algorithm/runner so repeated
+    queries share plans and memoised decisions.  The ``cache`` entry of the
+    row is the *delta* of the runner's cache counters over this run.
+    """
+    if graph is None:
+        graph = build_topology(cell.topology, cell.n, cell.graph_seed)
+    if algorithm is None:
+        algorithm = make_ball_algorithm(cell.algorithm, graph.n)
+    if runner is None:
+        runner = FrontierRunner(
+            graph,
+            algorithm,
+            cache=DecisionCache(algorithm, max_entries=SESSION_CACHE_MAX_ENTRIES),
+        )
+    ids = make_identifier_assignment(cell.ids, graph.n, cell.seed)
+    stats = runner.cache.stats if runner.cache is not None else None
+    hits_before = stats.hits if stats else 0
+    misses_before = stats.misses if stats else 0
+    started = time.perf_counter()
+    trace = runner.run(ids)
+    elapsed = time.perf_counter() - started
+    certify(algorithm.problem, graph, ids, trace)
+    cache = None
+    if stats is not None:
+        hits = stats.hits - hits_before
+        misses = stats.misses - misses_before
+        lookups = hits + misses
+        cache = {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": (hits / lookups) if lookups else 0.0,
+        }
+    return {
+        "index": cell.index,
+        "topology": cell.topology,
+        "n": cell.n,
+        "graph_n": graph.n,
+        "graph_m": graph.m,
+        "graph": graph.name,
+        "algorithm": cell.algorithm,
+        "ids": cell.ids,
+        "identifiers": list(ids.identifiers()),
+        "seed": cell.seed,
+        "graph_seed": cell.graph_seed,
+        "classic": trace.max_radius,
+        "average": trace.average_radius,
+        "sum": trace.sum_radius,
+        "histogram": {str(radius): count for radius, count in trace.radius_histogram().items()},
+        "certified": True,
+        "cache": cache,
+        "wall_time_s": elapsed,
+    }
+
+
+def run_simulate_cell(cell: SimulateCell) -> dict:
+    """Worker entry point: execute one simulate cell from a picklable payload."""
+    return simulate_cell_row(cell)
+
+
+class Session:
+    """Shared-infrastructure owner executing :class:`~repro.api.query.Query` objects.
+
+    Parameters
+    ----------
+    workers:
+        Optional override of every query's ``workers`` field.  ``None``
+        (the default) respects the per-query setting.
+
+    A session is cheap to create and safe to keep for a whole process; its
+    caches only ever make repeated queries faster, never change their
+    answers, and they are bounded (oldest-first eviction at
+    :data:`SESSION_MAX_GRAPHS` / :data:`SESSION_MAX_ALGORITHMS` /
+    :data:`SESSION_MAX_RUNNERS` entries), so memory stays flat even when a
+    long-lived session streams arbitrarily many distinct instances.
+    Sessions are not thread-safe.
+    """
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        if workers is not None and workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self._graphs: dict[tuple[str, int, int], Graph] = {}
+        self._algorithms: dict[tuple[str, int], object] = {}
+        self._runners: dict[tuple[int, int], tuple[Graph, object, FrontierRunner]] = {}
+        #: Queries executed so far (diagnostic only).
+        self.queries = 0
+
+    # ------------------------------------------------------------------
+    # shared infrastructure
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _bound(cache: dict, limit: int) -> None:
+        """Evict oldest entries (dict insertion order) until under ``limit``."""
+        while len(cache) > limit:
+            del cache[next(iter(cache))]
+
+    def graph(self, topology: str, n: int, seed: int = 0) -> Graph:
+        """A built topology, cached per ``(topology, n, seed)``.
+
+        Frontier plans and automorphism groups live on the returned object,
+        so reuse compounds across every later query touching it.  Topologies
+        whose builders ignore the seed (cycle, path, grid, complete) share
+        one instance across seeds; random families key by seed.
+        """
+        key = (topology, n, 0 if topology in DETERMINISTIC_TOPOLOGIES else seed)
+        graph = self._graphs.get(key)
+        if graph is None:
+            graph = self._graphs[key] = build_topology(topology, n, seed)
+            self._bound(self._graphs, SESSION_MAX_GRAPHS)
+        return graph
+
+    def ball_algorithm(self, name: str, n: int):
+        """A registered algorithm instance (ball-compiled), cached per ``(name, n)``."""
+        key = (name, n)
+        algorithm = self._algorithms.get(key)
+        if algorithm is None:
+            algorithm = self._algorithms[key] = make_ball_algorithm(name, n)
+            self._bound(self._algorithms, SESSION_MAX_ALGORITHMS)
+        return algorithm
+
+    def runner(self, graph: Graph, algorithm) -> FrontierRunner:
+        """The session's engine runner for ``(graph, algorithm)``, with its cache.
+
+        Cached per object-identity pair — sound because every cached entry
+        keeps its graph and algorithm alive, so a key can only collide with
+        the identical objects.
+        """
+        key = (id(graph), id(algorithm))
+        entry = self._runners.get(key)
+        if entry is None:
+            runner = FrontierRunner(
+                graph,
+                algorithm,
+                cache=DecisionCache(algorithm, max_entries=SESSION_CACHE_MAX_ENTRIES),
+            )
+            entry = self._runners[key] = (graph, algorithm, runner)
+            self._bound(self._runners, SESSION_MAX_RUNNERS)
+        return entry[2]
+
+    def trace(self, graph: Graph, ids: IdentifierAssignment, algorithm) -> ExecutionTrace:
+        """Run one algorithm on one explicit instance through the session.
+
+        The object-level sibling of :meth:`simulate` for callers that hold a
+        :class:`Graph` already (experiments, examples): same engine path,
+        same caches, no declarative grid.
+        """
+        return self.runner(graph, algorithm).run(ids)
+
+    def report(
+        self, graph: Graph, ids: IdentifierAssignment, algorithm
+    ) -> ComplexityReport:
+        """Both measures of one explicit instance (a cached-session run)."""
+        return ComplexityReport.from_trace(self.trace(graph, ids, algorithm), graph, algorithm)
+
+    def _workers_for(self, query: Query) -> int:
+        return self.workers if self.workers is not None else query.workers
+
+    # ------------------------------------------------------------------
+    # the four modes
+    # ------------------------------------------------------------------
+    def run(self, query: Optional[Query] = None, **kwargs) -> Result:
+        """Execute a query in whatever mode it declares."""
+        query = _coerce(query, kwargs)
+        method = {
+            "simulate": self.simulate,
+            "worst-case": self.worst_case,
+            "distribution": self.distribution,
+            "sweep": self.sweep,
+        }[query.mode]
+        return method(query)
+
+    def simulate(self, query: Optional[Query] = None, **kwargs) -> Result:
+        """Single runs over the grid: both measures of one assignment per cell."""
+        query = _coerce(query, kwargs, mode="simulate")
+        self.queries += 1
+        cells = simulate_cells(query)
+        workers = self._workers_for(query)
+        if workers > 1 and len(cells) > 1:
+            rows = BatchExecutor(workers).map(run_simulate_cell, cells)
+        else:
+            rows = []
+            for cell in cells:
+                graph = self.graph(cell.topology, cell.n, cell.graph_seed)
+                algorithm = self.ball_algorithm(cell.algorithm, graph.n)
+                rows.append(
+                    simulate_cell_row(
+                        cell, graph, algorithm, self.runner(graph, algorithm)
+                    )
+                )
+        rows.sort(key=lambda row: row["index"])
+        return Result.from_rows("simulate", query.to_dict(), rows)
+
+    def worst_case(self, query: Optional[Query] = None, **kwargs) -> Result:
+        """Worst case over identifier assignments, one adversary search per cell.
+
+        Cells run in-process (sharing the session's graphs, and therefore
+        their automorphism groups and frontier plans); ``workers`` feeds the
+        portfolio adversary's strategy fan-out instead of sharding cells —
+        the historical ``repro search --workers`` semantics.
+        """
+        query = _coerce(query, kwargs, mode="worst-case")
+        self.queries += 1
+        spec = query.to_campaign_spec()
+        workers = self._workers_for(query)
+        rows = []
+        for cell in spec.cells():
+            graph = self.graph(cell.topology, cell.n, cell.seed)
+            algorithm = self.ball_algorithm(cell.algorithm, graph.n)
+            adversary = make_adversary(
+                cell.adversary, spec, seed=cell.seed, workers=workers
+            )
+            rows.append(search_cell_row(spec, cell, graph, algorithm, adversary))
+        return Result.from_rows("worst-case", query.to_dict(), rows)
+
+    def sweep(self, query: Optional[Query] = None, **kwargs) -> Result:
+        """A full campaign grid of adversarial searches (the ``repro sweep`` mode).
+
+        With ``workers > 1`` the cells are sharded across processes exactly
+        like the legacy :func:`~repro.engine.campaign.run_campaign_rows`;
+        serial runs stay in-process and reuse the session's cached graphs.
+        Rows are identical either way.
+        """
+        query = _coerce(query, kwargs, mode="sweep")
+        self.queries += 1
+        spec = query.to_campaign_spec()
+        cells = spec.cells()
+        workers = self._workers_for(query)
+        if workers > 1 and len(cells) > 1:
+            rows = BatchExecutor(workers).map(run_cell, [(spec, cell) for cell in cells])
+        else:
+            rows = []
+            for cell in cells:
+                graph = self.graph(cell.topology, cell.n, cell.seed)
+                algorithm = self.ball_algorithm(cell.algorithm, graph.n)
+                rows.append(search_cell_row(spec, cell, graph, algorithm))
+        rows = sorted(rows, key=lambda row: row["index"])
+        return Result.from_rows("sweep", query.to_dict(), rows)
+
+    def distribution(self, query: Optional[Query] = None, **kwargs) -> Result:
+        """Exact and/or sampled measure distributions over identifier assignments."""
+        query = _coerce(query, kwargs, mode="distribution")
+        self.queries += 1
+        spec = query.to_dist_spec()
+        cells = spec.cells()
+        workers = self._workers_for(query)
+        if workers > 1 and len(cells) > 1:
+            rows = BatchExecutor(workers).map(
+                run_dist_cell, [(spec, cell) for cell in cells]
+            )
+        else:
+            rows = []
+            for cell in cells:
+                graph = self.graph(cell.topology, cell.n, cell.graph_seed)
+                algorithm = self.ball_algorithm(cell.algorithm, graph.n)
+                rows.append(dist_cell_row(spec, cell, graph, algorithm))
+        rows = sorted(rows, key=lambda row: row["index"])
+        return Result.from_rows("distribution", query.to_dict(), rows)
+
+
+def _coerce(query: Optional[Query], kwargs: dict, mode: Optional[str] = None) -> Query:
+    """Normalise the ``(query, **kwargs)`` calling convention of every mode.
+
+    An explicit :class:`Query` whose declared mode contradicts the method
+    being called is rejected rather than silently rewritten — the caller
+    either meant :meth:`Session.run` (which dispatches on the query's own
+    mode) or built the wrong query.
+    """
+    if query is None:
+        if mode is not None:
+            kwargs.setdefault("mode", mode)
+        return Query(**kwargs)
+    if not isinstance(query, Query):
+        raise ConfigurationError(
+            f"expected a Query or keyword arguments, got {type(query).__name__}"
+        )
+    changes = dict(kwargs)
+    effective_mode = changes.get("mode", query.mode)
+    if mode is not None and effective_mode != mode:
+        raise ConfigurationError(
+            f"query declares mode {effective_mode!r} but the session's "
+            f"{mode.replace('-', '_')}() method was called; use Session.run() "
+            f"to dispatch on the query's mode, or build the query with "
+            f"mode={mode!r}"
+        )
+    return query.with_changes(**changes) if changes else query
+
+
+#: The lazily created process-wide session behind :func:`query`.
+_default_session: Optional[Session] = None
+
+
+def default_session() -> Session:
+    """The shared module-level session (created on first use)."""
+    global _default_session
+    if _default_session is None:
+        _default_session = Session()
+    return _default_session
+
+
+def reset_default_session() -> None:
+    """Drop the shared session (and all its cached graphs and runners)."""
+    global _default_session
+    _default_session = None
+
+
+def query(spec=None, **kwargs) -> Result:
+    """Run one query on the default session — the library's one-line front door.
+
+    ``spec`` may be a :class:`~repro.api.query.Query`, a mode name (with the
+    remaining fields as keyword arguments), or omitted entirely::
+
+        import repro
+
+        repro.query(mode="simulate", topologies="cycle", sizes=64)
+        repro.query("worst-case", topologies="cycle", sizes=10,
+                    adversaries="branch-and-bound", measure="sum")
+        repro.query(repro.Query.load("examples/spec.json"))
+    """
+    if spec is None:
+        built = Query(**kwargs)
+    elif isinstance(spec, str):
+        built = Query(mode=spec, **kwargs)
+    elif isinstance(spec, Query):
+        built = spec.with_changes(**kwargs) if kwargs else spec
+    else:
+        raise ConfigurationError(
+            f"repro.query expects a Query, a mode name or keyword arguments; "
+            f"got {type(spec).__name__}"
+        )
+    return default_session().run(built)

@@ -14,65 +14,51 @@ any Python:
                                      identifier assignments) with its
                                      certificate;
 * ``sweep --topologies cycle,path --sizes 8,16 --algorithms largest-id``
-                                   — run an engine campaign over a
-                                     (topology × n × algorithm × adversary)
-                                     grid, print the rows and optionally
-                                     write them as JSON;
+                                   — run a campaign over a (topology × n ×
+                                     algorithm × adversary) grid, print the
+                                     rows and optionally write them as JSON;
 * ``dist --topology cycle --n 8 --methods exact,sample``
                                    — the distribution of both measures over
-                                     identifier assignments: exact (orbit-
-                                     weighted enumeration, total weight
-                                     ``n!``) and/or sampled (with standard
-                                     errors), optionally written as JSON.
+                                     identifier assignments, exact and/or
+                                     sampled;
+* ``query --spec spec.json``       — run a declarative
+                                     :class:`~repro.api.query.Query` JSON
+                                     document (any mode) and optionally
+                                     write the versioned
+                                     :class:`~repro.api.results.Result`.
 
-The CLI prints plain text only (tables and, where helpful, ASCII plots), so
-its output can be piped into files or diffed between runs.  ``sweep`` and
-``dist`` additionally emit machine-readable JSON documents (``--output``)
-whose schemas are documented in ``docs/distributions.md``.
+Running ``python -m repro`` with no arguments prints this subcommand summary
+and exits 0; ``--version`` prints the library version.
+
+Every data-producing subcommand is a thin front-end over one shared
+:class:`repro.api.session.Session`: ``simulate``/``search``/``sweep``/``dist``
+build the equivalent :class:`~repro.api.query.Query` from their flags, and
+``query`` reads one straight from disk.  The CLI prints plain text (tables
+and, where helpful, ASCII plots); ``sweep`` and ``dist`` additionally emit
+the historical machine-readable JSON documents (``--output``, schemas in
+``docs/distributions.md``) while ``query --output`` writes the unified
+``repro-result`` schema of ``docs/api.md``.
 """
 
 from __future__ import annotations
 
 import argparse
-from typing import Callable, Sequence
+from typing import Sequence
 
-from repro.algorithms.registry import algorithm_registry, make_algorithm
-from repro.core.certification import certify
-from repro.core.runner import run_ball_algorithm
+from repro import __version__
+from repro.algorithms.registry import algorithm_registry
+from repro.api import ID_FAMILIES, Query, Session
 from repro.engine.campaign import (
     ADVERSARY_NAMES,
     DIST_METHODS,
     TOPOLOGY_BUILDERS,
-    CampaignSpec,
-    DistSpec,
     aggregate_dist_rows,
-    run_campaign,
-    run_dist_campaign,
     write_dist_rows,
     write_rows,
 )
 from repro.errors import ConfigurationError
-from repro.model.identifiers import (
-    IdentifierAssignment,
-    bit_reversal_assignment,
-    identity_assignment,
-    random_assignment,
-    reversed_assignment,
-)
-from repro.model.rounds import run_round_algorithm
-from repro.theory.bounds import largest_id_average_upper_bound, largest_id_worst_case_bound
-from repro.theory.recurrence import worst_case_cycle_arrangement
 from repro.utils.ascii_plot import plot_experiment_column
 from repro.utils.tables import Table
-
-#: Identifier-family names accepted by ``simulate``.
-ID_FAMILIES: dict[str, Callable[[int, int], IdentifierAssignment]] = {
-    "random": lambda n, seed: random_assignment(n, seed=seed),
-    "sorted": lambda n, seed: identity_assignment(n),
-    "reversed": lambda n, seed: reversed_assignment(n),
-    "bit-reversal": lambda n, seed: bit_reversal_assignment(n),
-    "worst-largest-id": lambda n, seed: IdentifierAssignment(worst_case_cycle_arrangement(n)),
-}
 
 #: Topology names accepted by ``simulate`` and ``sweep`` — the engine's
 #: campaign registry, re-exported under the CLI's historical name.
@@ -119,7 +105,10 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Average complexity for the LOCAL model — simulator, experiments, bounds.",
     )
-    commands = parser.add_subparsers(dest="command", required=True)
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    commands = parser.add_subparsers(dest="command")
 
     commands.add_parser("list-algorithms", help="print the registered algorithm names")
     commands.add_parser("list-experiments", help="print the experiment index")
@@ -246,6 +235,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="write rows + aggregates as a repro-dist JSON document",
     )
 
+    query_parser = commands.add_parser(
+        "query",
+        help="run a declarative query (any mode) from a repro-query JSON spec",
+    )
+    query_parser.add_argument(
+        "--spec", required=True, help="path to a repro-query JSON document"
+    )
+    query_parser.add_argument(
+        "--workers", type=int, default=None, help="override the spec's worker count"
+    )
+    query_parser.add_argument(
+        "--output",
+        default=None,
+        help="write the versioned repro-result JSON document to this file",
+    )
+
     return parser
 
 
@@ -282,26 +287,35 @@ def _cmd_run_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_simulate(args: argparse.Namespace) -> int:
-    graph = TOPOLOGIES[args.topology](args.n, args.seed)
-    ids = ID_FAMILIES[args.ids](graph.n, args.seed)
-    algorithm = make_algorithm(args.algorithm, graph.n)
-    if hasattr(algorithm, "decide"):
-        trace = run_ball_algorithm(graph, ids, algorithm)
-    else:
-        trace = run_round_algorithm(graph, ids, algorithm)
-    certify(algorithm.problem, graph, ids, trace)
-    print(f"algorithm        : {args.algorithm}")
-    print(f"graph            : {graph.name} ({graph.n} nodes, {graph.m} edges)")
-    print(f"identifiers      : {args.ids}")
-    print(f"classic measure  : {trace.max_radius}")
-    print(f"average measure  : {trace.average_radius:.4f}")
-    print(f"radius histogram : {trace.radius_histogram()}")
-    print("output certified : yes")
+def _cmd_simulate(args: argparse.Namespace, session: Session) -> int:
+    result = session.simulate(
+        Query(
+            mode="simulate",
+            topologies=args.topology,
+            sizes=args.n,
+            algorithms=args.algorithm,
+            ids=args.ids,
+            seed=args.seed,
+        )
+    )
+    row = result.rows[0]
+    histogram = {int(radius): count for radius, count in row["histogram"].items()}
+    print(f"algorithm        : {row['algorithm']}")
+    print(f"graph            : {row['graph']} ({row['graph_n']} nodes, {row['graph_m']} edges)")
+    print(f"identifiers      : {row['ids']}")
+    print(f"classic measure  : {row['classic']}")
+    print(f"average measure  : {row['average']:.4f}")
+    print(f"radius histogram : {histogram}")
+    print("output certified : yes" if row["certified"] else "output certified : no")
     return 0
 
 
 def _cmd_gap(args: argparse.Namespace) -> int:
+    from repro.theory.bounds import (
+        largest_id_average_upper_bound,
+        largest_id_worst_case_bound,
+    )
+
     n = args.n
     average = largest_id_average_upper_bound(n)
     worst = largest_id_worst_case_bound(n)
@@ -312,25 +326,32 @@ def _cmd_gap(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_search(args: argparse.Namespace) -> int:
-    from repro.engine.campaign import make_adversary, make_ball_algorithm
-
-    graph = TOPOLOGIES[args.topology](args.n, args.seed)
-    algorithm = make_ball_algorithm(args.algorithm, graph.n)
-    adversary = make_adversary(args.adversary, seed=args.seed, workers=args.workers)
-    result = adversary.maximise(graph, algorithm, objective=args.objective)
-    print(f"algorithm        : {args.algorithm}")
-    print(f"graph            : {graph.name} ({graph.n} nodes, {graph.m} edges)")
-    print(f"adversary        : {args.adversary}")
-    print(f"objective        : {args.objective}")
-    print(f"value            : {result.value:.4f}")
-    print(f"exact            : {result.exact}")
-    print(f"evaluations      : {result.evaluations}")
-    print(f"witness ids      : {list(result.assignment.identifiers())}")
-    if result.cache_stats is not None:
-        print(f"cache hit rate   : {result.cache_stats.hit_rate:.3f}")
-    if result.certificate is not None:
-        print(f"certificate      : {result.certificate.as_dict()}")
+def _cmd_search(args: argparse.Namespace, session: Session) -> int:
+    result = session.worst_case(
+        Query(
+            mode="worst-case",
+            topologies=args.topology,
+            sizes=args.n,
+            algorithms=args.algorithm,
+            adversaries=args.adversary,
+            measure=args.objective,
+            seed=args.seed,
+            workers=args.workers,
+        )
+    )
+    row = result.rows[0]
+    print(f"algorithm        : {row['algorithm']}")
+    print(f"graph            : {row['graph']} ({row['graph_n']} nodes)")
+    print(f"adversary        : {row['adversary']}")
+    print(f"objective        : {row['objective']}")
+    print(f"value            : {row['value']:.4f}")
+    print(f"exact            : {row['exact']}")
+    print(f"evaluations      : {row['evaluations']}")
+    print(f"witness ids      : {row['witness_ids']}")
+    if row.get("cache") is not None:
+        print(f"cache hit rate   : {row['cache']['hit_rate']:.3f}")
+    if row.get("certificate") is not None:
+        print(f"certificate      : {row['certificate']}")
     return 0
 
 
@@ -338,103 +359,52 @@ def _parse_csv(raw: str) -> tuple[str, ...]:
     return tuple(item.strip() for item in raw.split(",") if item.strip())
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
+def _parse_sizes(raw: str) -> tuple[int, ...]:
     try:
-        sizes = tuple(int(item) for item in _parse_csv(args.sizes))
+        return tuple(int(item) for item in _parse_csv(raw))
     except ValueError as exc:
         raise ConfigurationError(f"--sizes must be comma-separated integers: {exc}") from exc
-    spec = CampaignSpec(
-        topologies=_parse_csv(args.topologies),
-        sizes=sizes,
-        algorithms=_parse_csv(args.algorithms),
-        adversaries=_parse_csv(args.adversaries),
-        objective=args.objective,
-        seed=args.seed,
-        samples=args.samples,
-        restarts=args.restarts,
-    )
-    rows = run_campaign(spec, workers=args.workers)
-    table = Table(
-        columns=(
-            "topology",
-            "n",
-            "algorithm",
-            "adversary",
-            "value",
-            "evaluations",
-            "exact",
-            "cache_hit_rate",
-        ),
-        title=f"sweep: worst-case {args.objective} over identifier assignments",
-    )
-    for row in rows:
-        cache = row.get("cache") or {}
-        table.add_row(
-            topology=row["topology"],
-            n=row["n"],
-            algorithm=row["algorithm"],
-            adversary=row["adversary"],
-            value=row["value"],
-            evaluations=row["evaluations"],
-            exact=row["exact"],
-            cache_hit_rate=cache.get("hit_rate", 0.0),
+
+
+def _cmd_sweep(args: argparse.Namespace, session: Session) -> int:
+    result = session.sweep(
+        Query(
+            mode="sweep",
+            topologies=_parse_csv(args.topologies),
+            sizes=_parse_sizes(args.sizes),
+            algorithms=_parse_csv(args.algorithms),
+            adversaries=_parse_csv(args.adversaries),
+            measure=args.objective,
+            seed=args.seed,
+            samples=args.samples,
+            restarts=args.restarts,
+            workers=args.workers,
         )
-    print(table)
+    )
+    print(result.table())
     if args.output:
-        write_rows(rows, args.output)
-        print(f"wrote {len(rows)} rows to {args.output}")
+        write_rows(result.rows, args.output)
+        print(f"wrote {len(result.rows)} rows to {args.output}")
     return 0
 
 
-def _cmd_dist(args: argparse.Namespace) -> int:
+def _cmd_dist(args: argparse.Namespace, session: Session) -> int:
     from repro.dist.distribution import RoundDistribution, ascii_pmf
 
-    try:
-        sizes = tuple(int(item) for item in _parse_csv(args.sizes))
-    except ValueError as exc:
-        raise ConfigurationError(f"--sizes must be comma-separated integers: {exc}") from exc
-    spec = DistSpec(
-        topologies=_parse_csv(args.topologies),
-        sizes=sizes,
-        algorithms=_parse_csv(args.algorithms),
-        methods=_parse_csv(args.methods),
-        seed=args.seed,
-        samples=args.samples,
-    )
-    rows = run_dist_campaign(spec, workers=args.workers)
-    table = Table(
-        columns=(
-            "topology",
-            "n",
-            "algorithm",
-            "method",
-            "weight",
-            "avg_mean",
-            "avg_std",
-            "avg_q90",
-            "avg_se",
-            "max_mean",
-            "max_std",
-        ),
-        title="dist: measure distributions over identifier assignments",
-    )
-    for row in rows:
-        uncertainty = row.get("uncertainty") or {}
-        average_se = (uncertainty.get("average") or {}).get("std_error")
-        table.add_row(
-            topology=row["topology"],
-            n=row["n"],
-            algorithm=row["algorithm"],
-            method=row["method"],
-            weight=row["total_weight"],
-            avg_mean=row["average"]["mean"],
-            avg_std=row["average"]["std"],
-            avg_q90=row["average"]["q90"],
-            avg_se="-" if average_se is None else average_se,
-            max_mean=row["max"]["mean"],
-            max_std=row["max"]["std"],
+    result = session.distribution(
+        Query(
+            mode="distribution",
+            topologies=_parse_csv(args.topologies),
+            sizes=_parse_sizes(args.sizes),
+            algorithms=_parse_csv(args.algorithms),
+            methods=_parse_csv(args.methods),
+            seed=args.seed,
+            samples=args.samples,
+            workers=args.workers,
         )
-    print(table)
+    )
+    rows = result.rows
+    print(result.table())
     aggregates = None
     if len(rows) > 1:
         aggregates = aggregate_dist_rows(rows)
@@ -468,25 +438,50 @@ def _cmd_dist(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_query(args: argparse.Namespace, session: Session) -> int:
+    spec = Query.load(args.spec)
+    if args.workers is not None:
+        spec = spec.with_changes(workers=args.workers)
+    result = session.run(spec)
+    print(result.table())
+    print()
+    print(f"mode     : {result.mode}")
+    print(f"cells    : {len(result.rows)}")
+    if result.exact is not None:
+        print(f"exact    : {result.exact}")
+    print(f"measures : {result.measures}")
+    print(f"wall time: {result.timing.get('wall_time_s', 0.0):.3f}s")
+    if args.output:
+        result.save(args.output)
+        print(f"wrote repro-result document to {args.output}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point used by ``python -m repro`` and the console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 0
     if args.command == "list-algorithms":
         return _cmd_list_algorithms()
     if args.command == "list-experiments":
         return _cmd_list_experiments()
     if args.command == "run-experiment":
         return _cmd_run_experiment(args)
-    if args.command == "simulate":
-        return _cmd_simulate(args)
     if args.command == "gap":
         return _cmd_gap(args)
+    session = Session()
+    if args.command == "simulate":
+        return _cmd_simulate(args, session)
     if args.command == "search":
-        return _cmd_search(args)
+        return _cmd_search(args, session)
     if args.command == "sweep":
-        return _cmd_sweep(args)
+        return _cmd_sweep(args, session)
     if args.command == "dist":
-        return _cmd_dist(args)
+        return _cmd_dist(args, session)
+    if args.command == "query":
+        return _cmd_query(args, session)
     parser.error(f"unhandled command {args.command!r}")
     return 2

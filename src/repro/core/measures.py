@@ -200,21 +200,37 @@ class ComplexityReport:
 def evaluate_assignment(
     graph: Graph, ids: IdentifierAssignment, algorithm: BallAlgorithm
 ) -> ComplexityReport:
-    """Run the algorithm once and report both measures.
+    """Deprecated: use :meth:`repro.api.session.Session.report` instead.
 
+    Thin delegating shim (it now runs through the default API session, so
+    repeated calls share that session's engine caches); the historical
+    :class:`ComplexityReport` shape is unchanged.
+
+    >>> import warnings
     >>> from repro.algorithms.largest_id import LargestIdAlgorithm
     >>> from repro.model.identifiers import identity_assignment
     >>> from repro.topology.cycle import cycle_graph
-    >>> report = evaluate_assignment(
-    ...     cycle_graph(6), identity_assignment(6), LargestIdAlgorithm()
-    ... )
+    >>> with warnings.catch_warnings():
+    ...     warnings.simplefilter("ignore", DeprecationWarning)
+    ...     report = evaluate_assignment(
+    ...         cycle_graph(6), identity_assignment(6), LargestIdAlgorithm()
+    ...     )
     >>> report.n, report.max_radius
     (6, 3)
     >>> report.sum_radius == round(report.average_radius * report.n)
     True
     """
-    trace = run_ball_algorithm(graph, ids, algorithm)
-    return ComplexityReport.from_trace(trace, graph, algorithm)
+    import warnings
+
+    warnings.warn(
+        "evaluate_assignment is deprecated; use repro.Session().report(...) "
+        "or the declarative repro.query(mode='simulate', ...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.api.session import default_session
+
+    return default_session().report(graph, ids, algorithm)
 
 
 def classic_complexity(traces: Iterable[ExecutionTrace]) -> int:
@@ -267,12 +283,23 @@ def worst_case_over_assignments(
     adversary: Adversary,
     objective: str = "average",
 ) -> AdversaryResult:
-    """Approximate ``max`` over identifier assignments of the chosen measure.
+    """Deprecated: use :meth:`repro.api.session.Session.worst_case` instead.
 
-    The adversary searches the space of assignments; exhaustive adversaries
-    make the result exact, sampling/local-search adversaries give a lower
-    bound on the true worst case (any assignment they find is a witness).
+    Thin delegating shim over ``adversary.maximise`` (the historical
+    :class:`AdversaryResult` shape is unchanged).  The unified API runs the
+    same search declaratively — ``repro.query(mode="worst-case",
+    adversaries="branch-and-bound", ...)`` — and wraps the answer in a
+    versioned :class:`~repro.api.results.Result`.
     """
+    import warnings
+
+    warnings.warn(
+        "worst_case_over_assignments is deprecated; call adversary.maximise "
+        "directly or use repro.Session().worst_case(...) / "
+        "repro.query(mode='worst-case', ...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return adversary.maximise(graph, algorithm, objective=objective)
 
 

@@ -23,12 +23,20 @@ from repro.engine.batch import BatchExecutor, derive_task_seed, run_simulation_b
 from repro.engine.cache import CacheStats, DecisionCache
 from repro.engine.campaign import (
     ADVERSARY_NAMES,
+    DIST_METHODS,
     TOPOLOGY_BUILDERS,
     CampaignCell,
     CampaignSpec,
+    DistCell,
+    DistSpec,
     build_topology,
+    load_dist_rows,
     load_rows,
     run_campaign,
+    run_campaign_rows,
+    run_dist_campaign,
+    run_dist_campaign_rows,
+    write_dist_rows,
     write_rows,
 )
 from repro.engine.frontier import FrontierRunner, frontier_run
@@ -39,14 +47,22 @@ __all__ = [
     "CacheStats",
     "CampaignCell",
     "CampaignSpec",
+    "DIST_METHODS",
     "DecisionCache",
+    "DistCell",
+    "DistSpec",
     "FrontierRunner",
     "TOPOLOGY_BUILDERS",
     "build_topology",
     "derive_task_seed",
     "frontier_run",
+    "load_dist_rows",
     "load_rows",
     "run_campaign",
+    "run_campaign_rows",
+    "run_dist_campaign",
+    "run_dist_campaign_rows",
     "run_simulation_batch",
+    "write_dist_rows",
     "write_rows",
 ]

@@ -43,6 +43,11 @@ TOPOLOGY_BUILDERS: dict[str, Callable[[int, int], Graph]] = {
     "gnp": lambda n, seed: gnp_random_graph(n, min(0.9, 8.0 / n), seed=seed),
 }
 
+#: Topologies whose builders ignore the seed (deterministic structure).
+#: Session-level graph caches key these by ``seed = 0`` so frontier plans
+#: and automorphism groups are shared across differently seeded queries.
+DETERMINISTIC_TOPOLOGIES = frozenset({"cycle", "path", "grid", "complete"})
+
 #: Adversary strategies a campaign cell can request.  The first four are
 #: the first-generation (reference) searches; the last three come from the
 #: symmetry-aware :mod:`repro.search` subsystem.
@@ -218,12 +223,26 @@ def make_ball_algorithm(name: str, n: int):
     return BallSimulationOfRounds(algorithm)
 
 
-def run_cell(payload: tuple[CampaignSpec, CampaignCell]) -> dict:
-    """Execute one campaign cell and return its JSON-friendly result row."""
-    spec, cell = payload
-    graph = build_topology(cell.topology, cell.n, cell.seed)
-    algorithm = make_ball_algorithm(cell.algorithm, graph.n)
-    adversary = _build_adversary(spec, cell)
+def search_cell_row(
+    spec: CampaignSpec,
+    cell: CampaignCell,
+    graph: Optional[Graph] = None,
+    algorithm=None,
+    adversary=None,
+) -> dict:
+    """Execute one search cell and return its JSON-friendly result row.
+
+    ``graph``, ``algorithm`` and ``adversary`` default to freshly built
+    instances (the behaviour of the worker path); a
+    :class:`repro.api.session.Session` passes its cached objects instead so
+    repeated queries share frontier plans and automorphism groups.
+    """
+    if graph is None:
+        graph = build_topology(cell.topology, cell.n, cell.seed)
+    if algorithm is None:
+        algorithm = make_ball_algorithm(cell.algorithm, graph.n)
+    if adversary is None:
+        adversary = _build_adversary(spec, cell)
     started = time.perf_counter()
     result = adversary.maximise(graph, algorithm, objective=cell.objective)
     elapsed = time.perf_counter() - started
@@ -249,17 +268,43 @@ def run_cell(payload: tuple[CampaignSpec, CampaignCell]) -> dict:
     }
 
 
-def run_campaign(
-    spec: CampaignSpec, workers: Optional[int] = 1
-) -> list[dict]:
+def run_cell(payload: tuple[CampaignSpec, CampaignCell]) -> dict:
+    """Worker entry point: execute one campaign cell from a picklable payload."""
+    spec, cell = payload
+    return search_cell_row(spec, cell)
+
+
+def run_campaign_rows(spec: CampaignSpec, workers: Optional[int] = 1) -> list[dict]:
     """Run every cell of the campaign, optionally sharded across processes.
 
     Rows come back ordered by cell index, identical at any worker count.
+    This is the engine-internal path; user code should prefer
+    :meth:`repro.api.session.Session.sweep`, which returns the same rows
+    wrapped in a versioned :class:`repro.api.results.Result`.
     """
     cells = spec.cells()
     payloads = [(spec, cell) for cell in cells]
     rows = BatchExecutor(workers).map(run_cell, payloads)
     return sorted(rows, key=lambda row: row["index"])
+
+
+def run_campaign(spec: CampaignSpec, workers: Optional[int] = 1) -> list[dict]:
+    """Deprecated: use :meth:`repro.api.session.Session.sweep` instead.
+
+    Thin shim over :func:`run_campaign_rows` (the historical row list is
+    returned unchanged); it exists so pre-API callers keep working while
+    new code goes through the unified query surface.
+    """
+    import warnings
+
+    warnings.warn(
+        "run_campaign is deprecated; use repro.Session().sweep(...) or "
+        "repro.query(mode='sweep', ...) (repro.api), which return the same "
+        "rows inside a versioned Result",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return run_campaign_rows(spec, workers=workers)
 
 
 def write_rows(rows: Sequence[dict], path: str) -> None:
@@ -365,7 +410,12 @@ class DistSpec:
         ]
 
 
-def run_dist_cell(payload: tuple[DistSpec, DistCell]) -> dict:
+def dist_cell_row(
+    spec: DistSpec,
+    cell: DistCell,
+    graph: Optional[Graph] = None,
+    algorithm=None,
+) -> dict:
     """Execute one distribution cell and return its JSON-friendly row.
 
     The row embeds the full serialised
@@ -374,16 +424,18 @@ def run_dist_cell(payload: tuple[DistSpec, DistCell]) -> dict:
     consumers can either read the summary columns or reconstruct the whole
     distribution.  Exact rows carry the
     :class:`~repro.dist.exact.DistributionCertificate`; sampled rows carry
-    the per-measure standard errors.
+    the per-measure standard errors.  Like :func:`search_cell_row`,
+    ``graph``/``algorithm`` accept a session's cached objects.
     """
     # Imported here for the same reason as make_adversary: the engine's
     # lower layers must stay importable without the higher dist package.
     from repro.dist.exact import exact_round_distribution
     from repro.dist.sampling import sample_round_distribution
 
-    spec, cell = payload
-    graph = build_topology(cell.topology, cell.n, cell.graph_seed)
-    algorithm = make_ball_algorithm(cell.algorithm, graph.n)
+    if graph is None:
+        graph = build_topology(cell.topology, cell.n, cell.graph_seed)
+    if algorithm is None:
+        algorithm = make_ball_algorithm(cell.algorithm, graph.n)
     started = time.perf_counter()
     if cell.method == "exact":
         exact = exact_round_distribution(
@@ -428,15 +480,41 @@ def run_dist_cell(payload: tuple[DistSpec, DistCell]) -> dict:
     }
 
 
-def run_dist_campaign(spec: DistSpec, workers: Optional[int] = 1) -> list[dict]:
+def run_dist_cell(payload: tuple[DistSpec, DistCell]) -> dict:
+    """Worker entry point: execute one distribution cell from a picklable payload."""
+    spec, cell = payload
+    return dist_cell_row(spec, cell)
+
+
+def run_dist_campaign_rows(spec: DistSpec, workers: Optional[int] = 1) -> list[dict]:
     """Run every cell of a distribution campaign, optionally across processes.
 
     Rows come back ordered by cell index, identical at any worker count.
+    Engine-internal; user code should prefer
+    :meth:`repro.api.session.Session.distribution`.
     """
     cells = spec.cells()
     payloads = [(spec, cell) for cell in cells]
     rows = BatchExecutor(workers).map(run_dist_cell, payloads)
     return sorted(rows, key=lambda row: row["index"])
+
+
+def run_dist_campaign(spec: DistSpec, workers: Optional[int] = 1) -> list[dict]:
+    """Deprecated: use :meth:`repro.api.session.Session.distribution` instead.
+
+    Thin shim over :func:`run_dist_campaign_rows`; the historical row list
+    is returned unchanged.
+    """
+    import warnings
+
+    warnings.warn(
+        "run_dist_campaign is deprecated; use repro.Session().distribution(...) "
+        "or repro.query(mode='distribution', ...) (repro.api), which return "
+        "the same rows inside a versioned Result",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return run_dist_campaign_rows(spec, workers=workers)
 
 
 def aggregate_dist_rows(rows: Sequence[dict]) -> list[dict]:

@@ -33,8 +33,7 @@ from repro.algorithms.mis import GreedyMISByID
 from repro.algorithms.ring_coloring_via_mis import RingColoringViaMIS
 from repro.core.certification import certify
 from repro.core.measures import average_complexity, classic_complexity
-from repro.engine.cache import DecisionCache
-from repro.engine.frontier import FrontierRunner
+from repro.api.session import Session
 from repro.experiments.harness import ExperimentResult
 from repro.model.identifiers import identity_assignment, random_assignment
 from repro.topology.cycle import cycle_graph
@@ -92,13 +91,13 @@ def run(
         random_assignment(n, seed=rng.getrandbits(64)) for rng in spawn_rngs(seed, samples)
     ]
     sorted_ids = identity_assignment(n)
+    # One API session for the whole experiment: every algorithm keeps its
+    # engine runner and decision cache warm across all assignments.
+    session = Session()
     for name, algorithm in _algorithms(n):
         traces = []
-        # One engine session per algorithm: the decision cache is shared
-        # across all identifier assignments of the ring.
-        runner = FrontierRunner(graph, algorithm, cache=DecisionCache(algorithm))
         for ids in assignments + [sorted_ids]:
-            trace = runner.run(ids)
+            trace = session.trace(graph, ids, algorithm)
             certify(algorithm.problem, graph, ids, trace)
             traces.append(trace)
         average = average_complexity(traces)

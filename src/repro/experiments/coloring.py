@@ -21,7 +21,7 @@ from typing import Sequence
 from repro.algorithms.cole_vishkin import ColeVishkinRing, cv_rounds_needed
 from repro.algorithms.greedy_coloring import GreedyColoringByID
 from repro.core.certification import certify
-from repro.core.runner import run_ball_algorithm
+from repro.api.session import Session
 from repro.experiments.harness import ExperimentResult, default_ring_sizes
 from repro.model.identifiers import identity_assignment, random_assignment
 from repro.model.rounds import run_round_algorithm
@@ -57,19 +57,20 @@ def run(
         table=table,
     )
     greedy = GreedyColoringByID()
+    session = Session()
     for n in sizes:
         graph = cycle_graph(n)
         ids = random_assignment(n, seed=seed)
         cv_trace = run_round_algorithm(graph, ids, ColeVishkinRing(n))
         certify("3-coloring", graph, ids, cv_trace)
-        greedy_random_trace = run_ball_algorithm(graph, ids, greedy)
+        greedy_random_trace = session.trace(graph, ids, greedy)
         certify("coloring", graph, ids, greedy_random_trace)
         # The sorted-identifier contrast run is Theta(n) per node for the
         # greedy algorithm, so it is only simulated up to moderate sizes.
         greedy_max_sorted = None
         if n <= 256:
             sorted_ids = identity_assignment(n)
-            greedy_sorted_trace = run_ball_algorithm(graph, sorted_ids, greedy)
+            greedy_sorted_trace = session.trace(graph, sorted_ids, greedy)
             certify("coloring", graph, sorted_ids, greedy_sorted_trace)
             greedy_max_sorted = greedy_sorted_trace.max_radius
         table.add_row(

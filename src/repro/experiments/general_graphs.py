@@ -22,8 +22,7 @@ from repro.algorithms.largest_id import LargestIdAlgorithm
 from repro.core.certification import certify
 from repro.core.measures import average_complexity, classic_complexity
 from repro.engine.batch import derive_task_seed
-from repro.engine.cache import DecisionCache
-from repro.engine.frontier import FrontierRunner
+from repro.api.session import Session
 from repro.experiments.harness import ExperimentResult
 from repro.model.graph import Graph
 from repro.model.identifiers import random_assignment
@@ -75,18 +74,19 @@ def run(n: int = 144, samples: int = 4, small: bool = False, seed: SeedLike = 13
     )
     algorithm = LargestIdAlgorithm()
     base_seed = int(seed) if isinstance(seed, int) else 0
+    # All families and samples share one API session (per-graph runners
+    # with warm decision caches).
+    session = Session()
     for family, builder in _families(n, seed=base_seed):
         graph = builder()
         traces = []
-        # All samples of one family share an engine session and its cache.
-        runner = FrontierRunner(graph, algorithm, cache=DecisionCache(algorithm))
         for sample in range(samples):
             # derive_task_seed, not hash(): builtin hash() is salted per
             # interpreter, which made this experiment non-reproducible.
             ids = random_assignment(
                 graph.n, seed=derive_task_seed(base_seed, family, sample)
             )
-            trace = runner.run(ids)
+            trace = session.trace(graph, ids, algorithm)
             certify("largest-id", graph, ids, trace)
             traces.append(trace)
         average = average_complexity(traces)

@@ -20,10 +20,9 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.algorithms.largest_id import LargestIdAlgorithm
+from repro.api.session import Session
 from repro.core.analysis import fit_growth
 from repro.core.certification import certify
-from repro.engine.cache import DecisionCache
-from repro.engine.frontier import FrontierRunner
 from repro.experiments.harness import ExperimentResult, default_ring_sizes
 from repro.model.identifiers import IdentifierAssignment, random_assignment
 from repro.theory.bounds import largest_id_average_upper_bound, largest_id_worst_case_bound
@@ -59,15 +58,16 @@ def run(
     )
     averages = []
     maxima = []
+    # Every size and assignment shares one API session: each (graph,
+    # algorithm) pair keeps its engine runner and decision cache warm.
+    session = Session()
     for n in sizes:
         graph = cycle_graph(n)
-        # Both assignments of each size share one engine session (and cache).
-        runner = FrontierRunner(graph, algorithm, cache=DecisionCache(algorithm))
         worst_ids = IdentifierAssignment(worst_case_cycle_arrangement(n))
-        worst_trace = runner.run(worst_ids)
+        worst_trace = session.trace(graph, worst_ids, algorithm)
         certify("largest-id", graph, worst_ids, worst_trace)
         random_ids = random_assignment(n, seed=seed)
-        random_trace = runner.run(random_ids)
+        random_trace = session.trace(graph, random_ids, algorithm)
         certify("largest-id", graph, random_ids, random_trace)
         avg_bound = largest_id_average_upper_bound(n)
         max_bound = largest_id_worst_case_bound(n)

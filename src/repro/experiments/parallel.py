@@ -21,8 +21,7 @@ from typing import Sequence
 
 from repro.algorithms.largest_id import LargestIdAlgorithm
 from repro.applications.parallel_sim import list_schedule, naive_makespan
-from repro.engine.cache import DecisionCache
-from repro.engine.frontier import FrontierRunner
+from repro.api.session import Session
 from repro.experiments.harness import ExperimentResult
 from repro.model.identifiers import random_assignment
 from repro.topology.cycle import cycle_graph
@@ -60,12 +59,13 @@ def run(
         table=table,
     )
     algorithm = LargestIdAlgorithm()
+    session = Session()
     for n in sizes:
         graph = cycle_graph(n)
         ids = random_assignment(n, seed=seed)
-        # Simulate once per size through the engine; the processor sweep only
-        # re-schedules the resulting durations.
-        trace = FrontierRunner(graph, algorithm, cache=DecisionCache(algorithm)).run(ids)
+        # Simulate once per size through the shared API session; the
+        # processor sweep only re-schedules the resulting durations.
+        trace = session.trace(graph, ids, algorithm)
         durations = [max(1, radius) for radius in trace.radii().values()]
         for processors in processor_counts:
             greedy = list_schedule(durations, processors)

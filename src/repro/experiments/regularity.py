@@ -19,7 +19,7 @@ from typing import Sequence
 from repro.algorithms.cole_vishkin import ColeVishkinRing
 from repro.algorithms.full_gather import BallSimulationOfRounds
 from repro.algorithms.largest_id import LargestIdAlgorithm
-from repro.core.runner import run_ball_algorithm
+from repro.api.session import Session
 from repro.experiments.harness import ExperimentResult
 from repro.model.identifiers import random_assignment
 from repro.theory.minimality import lemma2_violations, minimum_lemma3_ratio
@@ -52,11 +52,12 @@ def run(
         claim="radii of nearby vertices cannot differ wildly for colouring algorithms",
         table=table,
     )
+    session = Session()
     for n in sizes:
         graph = cycle_graph(n)
         ids = random_assignment(n, seed=seed)
-        cv_trace = run_ball_algorithm(graph, ids, BallSimulationOfRounds(ColeVishkinRing(n)))
-        largest_trace = run_ball_algorithm(graph, ids, LargestIdAlgorithm())
+        cv_trace = session.trace(graph, ids, BallSimulationOfRounds(ColeVishkinRing(n)))
+        largest_trace = session.trace(graph, ids, LargestIdAlgorithm())
         for name, trace in (("cole-vishkin", cv_trace), ("largest-id", largest_trace)):
             table.add_row(
                 n=n,

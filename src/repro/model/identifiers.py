@@ -15,7 +15,7 @@ identifier pool is supplied.
 
 from __future__ import annotations
 
-from typing import Iterator, Mapping, Sequence
+from typing import Callable, Iterator, Mapping, Sequence
 
 from repro.errors import IdentifierError
 from repro.utils.rng import SeedLike, make_rng
@@ -154,6 +154,54 @@ def bit_reversal_assignment(n: int) -> IdentifierAssignment:
     for identifier, position in enumerate(reversed_rank):
         ids[position] = identifier
     return IdentifierAssignment(ids)
+
+
+def worst_largest_id_assignment(n: int) -> IdentifierAssignment:
+    """The provably worst arrangement for largest-ID on the ``n``-cycle.
+
+    Built from the segment recurrence of the paper
+    (:func:`repro.theory.recurrence.worst_case_cycle_arrangement`); the
+    import is deferred so the model layer stays import-acyclic.
+    """
+    require_positive_int(n, "n")
+    from repro.theory.recurrence import worst_case_cycle_arrangement
+
+    return IdentifierAssignment(worst_case_cycle_arrangement(n))
+
+
+#: The canonical identifier-family registry: family name -> builder
+#: ``(n, seed) -> IdentifierAssignment``.  This is the single source of
+#: truth shared by the CLI (``simulate --ids``), the unified query API
+#: (:mod:`repro.api`) and the experiments; deterministic families simply
+#: ignore the seed.
+ID_FAMILIES: dict[str, Callable[[int, int], IdentifierAssignment]] = {
+    "random": lambda n, seed: random_assignment(n, seed=seed),
+    "sorted": lambda n, seed: identity_assignment(n),
+    "reversed": lambda n, seed: reversed_assignment(n),
+    "bit-reversal": lambda n, seed: bit_reversal_assignment(n),
+    "worst-largest-id": lambda n, seed: worst_largest_id_assignment(n),
+}
+
+
+def make_identifier_assignment(
+    family: str, n: int, seed: int = 0
+) -> IdentifierAssignment:
+    """Build an assignment from a registered family (raises on unknown names).
+
+    >>> make_identifier_assignment("sorted", 4).identifiers()
+    (0, 1, 2, 3)
+    >>> make_identifier_assignment("oracle", 4)
+    Traceback (most recent call last):
+        ...
+    repro.errors.IdentifierError: unknown identifier family 'oracle'; known: bit-reversal, random, reversed, sorted, worst-largest-id
+    """
+    try:
+        builder = ID_FAMILIES[family]
+    except KeyError as exc:
+        raise IdentifierError(
+            f"unknown identifier family {family!r}; known: {', '.join(sorted(ID_FAMILIES))}"
+        ) from exc
+    return builder(n, seed)
 
 
 def adversarial_block_assignment(n: int, block: int = 2) -> IdentifierAssignment:

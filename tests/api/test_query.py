@@ -1,0 +1,156 @@
+"""Tests for the declarative Query spec (validation, builder, JSON, interop)."""
+
+import json
+
+import pytest
+
+from repro.api.query import MODES, Query, QueryBuilder
+from repro.engine.campaign import CampaignSpec, DistSpec
+from repro.errors import ConfigurationError
+
+
+class TestConstruction:
+    def test_scalars_are_promoted_to_tuples(self):
+        query = Query(topologies="cycle", sizes=8, algorithms="largest-id")
+        assert query.topologies == ("cycle",)
+        assert query.sizes == (8,)
+        assert query.algorithms == ("largest-id",)
+
+    def test_sequences_are_frozen_to_tuples(self):
+        query = Query(topologies=["cycle", "path"], sizes=[6, 8])
+        assert query.topologies == ("cycle", "path")
+        assert query.sizes == (6, 8)
+
+    def test_defaults_are_valid_for_every_mode(self):
+        for mode in MODES:
+            assert Query(mode=mode).mode == mode
+
+    def test_objective_resolves_the_measure(self):
+        assert Query(measure="classic").objective == "max"
+        assert Query(measure="average").objective == "average"
+        assert Query(measure="max").objective == "max"
+
+    def test_with_changes_revalidates(self):
+        query = Query(sizes=8)
+        assert query.with_changes(sizes=16).sizes == (16,)
+        with pytest.raises(ConfigurationError):
+            query.with_changes(topologies="hypercube")
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            ({"mode": "oracle"}, "unknown mode"),
+            ({"topologies": "hypercube"}, "unknown topology"),
+            ({"algorithms": "quantum"}, "unknown algorithm"),
+            ({"adversaries": "oracle"}, "unknown adversary"),
+            ({"methods": "oracle"}, "unknown distribution method"),
+            ({"ids": "oracle"}, "unknown identifier family"),
+            ({"measure": "median"}, "unknown measure"),
+            ({"sizes": 0}, "sizes must be positive"),
+            ({"samples": 0}, "samples must be positive"),
+            ({"workers": 0}, "workers must be"),
+        ],
+    )
+    def test_bad_fields_rejected_eagerly(self, kwargs, match):
+        with pytest.raises(ConfigurationError, match=match):
+            Query(**kwargs)
+
+
+class TestBuilder:
+    def test_fluent_chain_builds_the_query(self):
+        query = (
+            Query.builder()
+            .sweep()
+            .on("cycle", "path")
+            .sizes(6, 8)
+            .algorithms("largest-id")
+            .adversaries("rotation")
+            .measure("sum")
+            .identifiers("sorted")
+            .budget(seed=3, samples=5, workers=2)
+            .build()
+        )
+        assert query.mode == "sweep"
+        assert query.topologies == ("cycle", "path")
+        assert query.sizes == (6, 8)
+        assert query.adversaries == ("rotation",)
+        assert query.measure == "sum"
+        assert query.ids == "sorted"
+        assert (query.seed, query.samples, query.workers) == (3, 5, 2)
+
+    def test_every_mode_selector(self):
+        assert QueryBuilder().simulate().build().mode == "simulate"
+        assert QueryBuilder().worst_case().build().mode == "worst-case"
+        assert QueryBuilder().distribution().build().mode == "distribution"
+        assert QueryBuilder().sweep().build().mode == "sweep"
+
+    def test_builder_validates_on_build(self):
+        with pytest.raises(ConfigurationError):
+            Query.builder().on("hypercube").build()
+
+
+class TestJson:
+    def test_round_trip(self):
+        query = Query(mode="distribution", topologies=("cycle", "path"), sizes=(5, 6), methods=("exact", "sample"), samples=32)
+        assert Query.from_json(query.to_json()) == query
+
+    def test_document_is_versioned(self):
+        document = json.loads(Query().to_json())
+        assert document["kind"] == "repro-query"
+        assert document["version"] == 1
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="not a repro-query"):
+            Query.from_dict({"kind": "repro-sweep", "version": 1})
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(ConfigurationError, match="version"):
+            Query.from_dict({"kind": "repro-query", "version": 99})
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown query field"):
+            Query.from_dict({"kind": "repro-query", "version": 1, "topolgies": ["cycle"]})
+
+    def test_load_reads_the_example_spec(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(Query(mode="sweep", sizes=6).to_json(), encoding="utf-8")
+        assert Query.load(str(path)).mode == "sweep"
+
+
+class TestSpecInterop:
+    def test_campaign_spec_round_trip(self):
+        spec = CampaignSpec(
+            topologies=("cycle", "path"),
+            sizes=(6, 8),
+            algorithms=("largest-id",),
+            adversaries=("rotation", "random-search"),
+            objective="sum",
+            seed=5,
+            samples=7,
+            restarts=3,
+        )
+        query = Query.from_campaign_spec(spec)
+        assert query.mode == "sweep"
+        assert query.to_campaign_spec() == spec
+
+    def test_dist_spec_round_trip(self):
+        spec = DistSpec(
+            topologies=("cycle",),
+            sizes=(5,),
+            algorithms=("largest-id",),
+            methods=("exact", "sample"),
+            seed=2,
+            samples=64,
+        )
+        query = Query.from_dist_spec(spec)
+        assert query.mode == "distribution"
+        assert query.to_dist_spec() == spec
+
+    def test_query_cells_match_campaign_cells(self):
+        query = Query(mode="sweep", topologies=("cycle",), sizes=(6, 8), adversaries=("rotation",), seed=9)
+        assert query.to_campaign_spec().cells() == CampaignSpec(
+            topologies=("cycle",), sizes=(6, 8), adversaries=("rotation",),
+            samples=query.samples, seed=9,
+        ).cells()

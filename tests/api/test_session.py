@@ -1,0 +1,175 @@
+"""Tests for the Session execution layer and the repro.query front door."""
+
+import math
+
+import pytest
+
+import repro
+from repro.api.query import Query
+from repro.api.results import strip_volatile
+from repro.api.session import Session, default_session, query, reset_default_session
+from repro.errors import ConfigurationError
+
+
+class TestSimulate:
+    def test_row_shape_and_measures(self):
+        result = Session().simulate(topologies="cycle", sizes=8, seed=1)
+        assert result.mode == "simulate"
+        row = result.rows[0]
+        assert row["graph_n"] == 8
+        assert row["certified"] is True
+        assert row["classic"] == 4  # floor(n/2) for largest-id on the cycle
+        assert math.isclose(row["sum"], row["average"] * 8)
+        assert result.measures["classic"] == 4
+        assert result.exact is None
+        assert result.timing["wall_time_s"] >= 0.0
+
+    def test_grid_expansion_is_ordered(self):
+        result = Session().simulate(topologies=("cycle", "path"), sizes=(6, 8))
+        coordinates = [(row["topology"], row["n"]) for row in result.rows]
+        assert coordinates == [("cycle", 6), ("cycle", 8), ("path", 6), ("path", 8)]
+
+    def test_identifiers_are_recorded_and_reproducible(self):
+        session = Session()
+        first = session.simulate(topologies="cycle", sizes=8, seed=3)
+        second = session.simulate(topologies="cycle", sizes=8, seed=3)
+        assert first.rows[0]["identifiers"] == second.rows[0]["identifiers"]
+
+    def test_warm_session_reuses_runner_and_graph(self):
+        session = Session()
+        session.simulate(topologies="cycle", sizes=8, seed=0)
+        graphs_before = len(session._graphs)
+        runners_before = len(session._runners)
+        result = session.simulate(topologies="cycle", sizes=8, seed=1)
+        assert len(session._graphs) == graphs_before
+        assert len(session._runners) == runners_before
+        # The warm decision cache answers most balls of the repeat query.
+        assert result.cache["hit_rate"] > 0.5
+
+    def test_worker_fanout_returns_identical_rows(self):
+        base = Query(mode="simulate", topologies=("cycle", "path"), sizes=(6, 8), seed=2)
+        serial = Session().simulate(base)
+        parallel = Session().simulate(base.with_changes(workers=2))
+        assert strip_volatile(serial.rows) == strip_volatile(parallel.rows)
+
+
+class TestWorstCase:
+    def test_exact_search_with_certificate(self):
+        result = Session().worst_case(
+            topologies="cycle", sizes=7, adversaries="branch-and-bound", measure="average"
+        )
+        row = result.rows[0]
+        assert result.exact is True
+        assert row["certificate"]["group_order"] == 14
+        assert math.isclose(result.measures["average"], 12 / 7)
+
+    def test_matches_direct_adversary_call(self):
+        from repro.search.adversaries import BranchAndBoundAdversary
+        from repro.topology.cycle import cycle_graph
+        from repro.algorithms.largest_id import LargestIdAlgorithm
+
+        direct = BranchAndBoundAdversary().maximise(
+            cycle_graph(7), LargestIdAlgorithm(), objective="sum"
+        )
+        result = Session().worst_case(
+            topologies="cycle", sizes=7, adversaries="branch-and-bound", measure="sum"
+        )
+        assert result.rows[0]["value"] == direct.value
+
+
+class TestSweepAndDistribution:
+    def test_sweep_rows_are_grid_ordered(self):
+        result = Session().sweep(
+            topologies=("cycle", "path"), sizes=6, adversaries=("rotation",), seed=1
+        )
+        assert [row["topology"] for row in result.rows] == ["cycle", "path"]
+        assert all(row["objective"] == "average" for row in result.rows)
+
+    def test_distribution_total_weight_is_n_factorial(self):
+        result = Session().distribution(topologies="cycle", sizes=5)
+        assert result.rows[0]["total_weight"] == math.factorial(5)
+        assert result.exact is True
+
+    def test_distribution_worker_fanout_identical(self):
+        base = Query(
+            mode="distribution", topologies=("cycle", "path"), sizes=5,
+            methods=("exact", "sample"), samples=8, seed=4,
+        )
+        serial = Session().distribution(base)
+        parallel = Session().distribution(base.with_changes(workers=2))
+        assert strip_volatile(serial.rows) == strip_volatile(parallel.rows)
+
+
+class TestDispatchAndCoercion:
+    def test_run_dispatches_on_mode(self):
+        session = Session()
+        assert session.run(Query(mode="simulate", sizes=6)).mode == "simulate"
+        assert session.run(Query(mode="distribution", sizes=5)).mode == "distribution"
+
+    def test_mode_methods_reject_a_contradicting_query_mode(self):
+        with pytest.raises(ConfigurationError, match="declares mode 'simulate'"):
+            Session().distribution(Query(mode="simulate", topologies="cycle", sizes=5))
+
+    def test_kwargs_overlay_an_explicit_query(self):
+        base = Query(mode="simulate", sizes=6)
+        result = Session().simulate(base, sizes=8)
+        assert result.rows[0]["n"] == 8
+
+    def test_rejects_non_query_objects(self):
+        with pytest.raises(ConfigurationError, match="expected a Query"):
+            Session().simulate({"mode": "simulate"})
+
+    def test_session_workers_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            Session(workers=0)
+
+
+class TestObjectLevelHelpers:
+    def test_trace_and_report_share_the_runner(self):
+        from repro.algorithms.largest_id import LargestIdAlgorithm
+        from repro.model.identifiers import random_assignment
+        from repro.topology.cycle import cycle_graph
+
+        session = Session()
+        graph = cycle_graph(9)
+        algorithm = LargestIdAlgorithm()
+        ids = random_assignment(9, seed=4)
+        trace = session.trace(graph, ids, algorithm)
+        report = session.report(graph, ids, algorithm)
+        assert report.max_radius == trace.max_radius
+        assert len(session._runners) == 1
+
+    def test_trace_equals_run_ball_algorithm(self):
+        from repro.algorithms.largest_id import LargestIdAlgorithm
+        from repro.core.runner import run_ball_algorithm
+        from repro.model.identifiers import random_assignment
+        from repro.topology.random_graphs import random_tree
+
+        graph = random_tree(9, seed=5)
+        ids = random_assignment(9, seed=6)
+        algorithm = LargestIdAlgorithm()
+        session_trace = Session().trace(graph, ids, algorithm)
+        legacy_trace = run_ball_algorithm(graph, ids, algorithm)
+        assert session_trace.radii() == legacy_trace.radii()
+        assert session_trace.outputs_by_position() == legacy_trace.outputs_by_position()
+
+
+class TestDefaultSession:
+    def test_query_uses_one_shared_session(self):
+        reset_default_session()
+        query(mode="simulate", topologies="cycle", sizes=6)
+        session = default_session()
+        assert session.queries == 1
+        query("simulate", topologies="cycle", sizes=6)
+        assert session.queries == 2
+        reset_default_session()
+        assert default_session() is not session
+
+    def test_repro_query_accepts_query_objects(self):
+        result = repro.query(Query(mode="simulate", sizes=6), seed=2)
+        assert result.mode == "simulate"
+        assert result.query["seed"] == 2
+
+    def test_repro_query_rejects_other_types(self):
+        with pytest.raises(ConfigurationError, match="repro.query expects"):
+            repro.query(42)

@@ -27,7 +27,8 @@ from repro.topology.cycle import cycle_graph
 
 class TestEvaluateAssignment:
     def test_report_contains_both_measures(self, ring12, ring12_random_ids, largest_id_algorithm):
-        report = evaluate_assignment(ring12, ring12_random_ids, largest_id_algorithm)
+        with pytest.warns(DeprecationWarning):
+            report = evaluate_assignment(ring12, ring12_random_ids, largest_id_algorithm)
         assert isinstance(report, ComplexityReport)
         assert report.n == 12
         assert report.max_radius == 6  # the maximum's eccentricity on C_12
@@ -58,9 +59,10 @@ class TestAggregates:
 class TestWorstCaseOverAssignments:
     def test_exhaustive_worst_case_on_a_tiny_cycle(self, largest_id_algorithm):
         graph = cycle_graph(5)
-        result = worst_case_over_assignments(
-            graph, largest_id_algorithm, ExhaustiveAdversary(), objective="average"
-        )
+        with pytest.warns(DeprecationWarning):
+            result = worst_case_over_assignments(
+                graph, largest_id_algorithm, ExhaustiveAdversary(), objective="average"
+            )
         assert result.exact
         # Re-run the winning assignment and confirm the reported value.
         trace = run_ball_algorithm(graph, result.assignment, largest_id_algorithm)
@@ -128,7 +130,9 @@ class TestMeasureAPI:
 
 class TestComplexityReportJson:
     def test_round_trip(self, ring12, ring12_random_ids, largest_id_algorithm):
-        report = evaluate_assignment(ring12, ring12_random_ids, largest_id_algorithm)
+        from repro.api.session import Session
+
+        report = Session().report(ring12, ring12_random_ids, largest_id_algorithm)
         assert ComplexityReport.from_json(report.to_json()) == report
 
     def test_document_is_tagged_and_versioned(self):

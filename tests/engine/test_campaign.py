@@ -11,8 +11,8 @@ from repro.engine.campaign import (
     build_topology,
     load_dist_rows,
     load_rows,
-    run_campaign,
-    run_dist_campaign,
+    run_campaign_rows,
+    run_dist_campaign_rows,
     write_dist_rows,
     write_rows,
 )
@@ -51,7 +51,7 @@ class TestCampaignSpec:
 
 class TestRunCampaign:
     def test_rows_carry_results_and_cache_stats(self):
-        rows = run_campaign(_small_spec())
+        rows = run_campaign_rows(_small_spec())
         assert len(rows) == 4
         for row in rows:
             assert row["value"] > 0
@@ -61,7 +61,7 @@ class TestRunCampaign:
             assert len(row["witness_ids"]) == row["graph_n"]
 
     def test_exhaustive_cells_are_exact(self):
-        rows = run_campaign(
+        rows = run_campaign_rows(
             _small_spec(topologies=("cycle",), sizes=(5,), adversaries=("exhaustive",))
         )
         (row,) = rows
@@ -69,7 +69,7 @@ class TestRunCampaign:
         assert row["evaluations"] == 120
 
     def test_search_adversaries_join_the_grid_with_certificates(self):
-        rows = run_campaign(
+        rows = run_campaign_rows(
             _small_spec(
                 topologies=("cycle",),
                 sizes=(6,),
@@ -89,7 +89,7 @@ class TestRunCampaign:
         assert by_name["portfolio"]["certificate"]["strategies"]
 
     def test_round_algorithms_join_via_the_ball_compiler(self):
-        rows = run_campaign(
+        rows = run_campaign_rows(
             _small_spec(
                 topologies=("cycle",),
                 sizes=(8,),
@@ -103,15 +103,15 @@ class TestRunCampaign:
 
     def test_workers_do_not_change_results(self):
         spec = _small_spec()
-        serial = run_campaign(spec, workers=1)
-        parallel = run_campaign(spec, workers=2)
+        serial = run_campaign_rows(spec, workers=1)
+        parallel = run_campaign_rows(spec, workers=2)
         strip = lambda row: {k: v for k, v in row.items() if k != "wall_time_s"}
         assert [strip(r) for r in serial] == [strip(r) for r in parallel]
 
 
 class TestRowsRoundTrip:
     def test_write_then_load(self, tmp_path):
-        rows = run_campaign(_small_spec(topologies=("cycle",), sizes=(6,)))
+        rows = run_campaign_rows(_small_spec(topologies=("cycle",), sizes=(6,)))
         path = tmp_path / "rows.json"
         write_rows(rows, str(path))
         assert load_rows(str(path)) == rows
@@ -174,7 +174,7 @@ class TestDistSpec:
 
 class TestRunDistCampaign:
     def test_exact_rows_cover_n_factorial_with_certificates(self):
-        rows = run_dist_campaign(_small_dist_spec(methods=("exact",)))
+        rows = run_dist_campaign_rows(_small_dist_spec(methods=("exact",)))
         assert len(rows) == 2
         for row in rows:
             assert row["exact"]
@@ -188,7 +188,7 @@ class TestRunDistCampaign:
             assert row["distribution"]["kind"] == "round-distribution"
 
     def test_sampled_rows_carry_standard_errors(self):
-        rows = run_dist_campaign(
+        rows = run_dist_campaign_rows(
             _small_dist_spec(topologies=("cycle",), methods=("sample",))
         )
         (row,) = rows
@@ -199,8 +199,8 @@ class TestRunDistCampaign:
 
     def test_workers_do_not_change_results(self):
         spec = _small_dist_spec()
-        serial = run_dist_campaign(spec, workers=1)
-        parallel = run_dist_campaign(spec, workers=2)
+        serial = run_dist_campaign_rows(spec, workers=1)
+        parallel = run_dist_campaign_rows(spec, workers=2)
         strip = lambda row: {k: v for k, v in row.items() if k != "wall_time_s"}
         assert [strip(r) for r in serial] == [strip(r) for r in parallel]
 
@@ -219,7 +219,7 @@ class TestRunDistCampaign:
         ] == [sample_graph.neighbors(v) for v in sample_graph.positions()]
 
     def test_aggregates_pool_across_graphs(self):
-        rows = run_dist_campaign(_small_dist_spec(methods=("exact",)))
+        rows = run_dist_campaign_rows(_small_dist_spec(methods=("exact",)))
         aggregates = aggregate_dist_rows(rows)
         (aggregate,) = aggregates
         assert aggregate["cells"] == 2
@@ -229,7 +229,7 @@ class TestRunDistCampaign:
 
 class TestDistRowsRoundTrip:
     def test_write_then_load(self, tmp_path):
-        rows = run_dist_campaign(_small_dist_spec(topologies=("cycle",)))
+        rows = run_dist_campaign_rows(_small_dist_spec(topologies=("cycle",)))
         path = tmp_path / "dist_rows.json"
         write_dist_rows(rows, str(path))
         assert load_dist_rows(str(path)) == rows

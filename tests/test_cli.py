@@ -7,9 +7,20 @@ from repro.errors import ConfigurationError
 
 
 class TestParser:
-    def test_requires_a_command(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args([])
+    def test_no_arguments_prints_the_summary_and_exits_zero(self, capsys):
+        assert main([]) == 0
+        output = capsys.readouterr().out
+        assert "usage: repro" in output
+        for subcommand in ("simulate", "search", "sweep", "dist", "query"):
+            assert subcommand in output
+
+    def test_version_flag_prints_the_library_version(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
 
     def test_simulate_defaults(self):
         args = build_parser().parse_args(["simulate"])
@@ -175,8 +186,21 @@ class TestDist:
 
         document = json.loads(out.read_text(encoding="utf-8"))
         assert document["kind"] == "repro-dist"
+        assert document["version"] == 1
         assert document["rows"][0]["total_weight"] == 720
         assert document["aggregates"][0]["method"] == "exact"
+
+    def test_dist_output_round_trips_through_both_loaders(self, capsys, tmp_path):
+        out = tmp_path / "dist.json"
+        assert main(["dist", "--sizes", "5", "--output", str(out)]) == 0
+        from repro.api.results import Result
+        from repro.engine.campaign import load_dist_rows
+
+        rows = load_dist_rows(str(out))
+        adopted = Result.load(str(out))
+        assert adopted.mode == "distribution"
+        assert list(adopted.rows) == rows
+        assert adopted.rows[0]["total_weight"] == 120
 
     def test_dist_rejects_bad_sizes(self):
         with pytest.raises(ConfigurationError, match="--sizes"):
@@ -227,6 +251,25 @@ class TestSweep:
         assert len(rows) == 1
         assert rows[0]["adversary"] == "rotation"
 
+    def test_sweep_output_round_trips_through_both_loaders(self, capsys, tmp_path):
+        out = tmp_path / "rows.json"
+        assert (
+            main(["sweep", "--sizes", "6", "--adversaries", "rotation", "--output", str(out)])
+            == 0
+        )
+        import json
+
+        from repro.api.results import Result
+        from repro.engine.campaign import load_rows
+
+        document = json.loads(out.read_text(encoding="utf-8"))
+        assert document["kind"] == "repro-sweep"
+        assert document["version"] == 1
+        rows = load_rows(str(out))
+        adopted = Result.load(str(out))
+        assert adopted.mode == "sweep"
+        assert list(adopted.rows) == rows
+
     def test_sweep_rejects_bad_sizes(self):
         with pytest.raises(ConfigurationError, match="--sizes"):
             main(["sweep", "--sizes", "six"])
@@ -234,3 +277,46 @@ class TestSweep:
     def test_sweep_rejects_unknown_topology(self):
         with pytest.raises(ConfigurationError, match="unknown topology"):
             main(["sweep", "--topologies", "hypercube"])
+
+
+class TestQueryCommand:
+    def test_runs_the_example_spec_end_to_end(self, capsys, tmp_path):
+        from pathlib import Path
+
+        spec = Path(__file__).resolve().parent.parent / "examples" / "spec.json"
+        out = tmp_path / "out.json"
+        assert main(["query", "--spec", str(spec), "--output", str(out)]) == 0
+        output = capsys.readouterr().out
+        assert "mode     : sweep" in output
+        assert "exact    : True" in output
+        import json
+
+        from repro.api.results import Result
+
+        document = json.loads(out.read_text(encoding="utf-8"))
+        assert document["kind"] == "repro-result"
+        assert document["version"] == 1
+        result = Result.load(str(out))
+        assert result.mode == "sweep"
+        assert result.exact is True
+        assert len(result.rows) == 4
+        assert result.query["kind"] == "repro-query"
+
+    def test_simulate_spec_from_disk(self, capsys, tmp_path):
+        from repro.api.query import Query
+
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(
+            Query(mode="simulate", topologies="cycle", sizes=6).to_json(),
+            encoding="utf-8",
+        )
+        assert main(["query", "--spec", str(spec_path)]) == 0
+        output = capsys.readouterr().out
+        assert "mode     : simulate" in output
+        assert "classic" in output
+
+    def test_rejects_a_non_query_document(self, tmp_path):
+        spec_path = tmp_path / "bad.json"
+        spec_path.write_text('{"kind": "something-else"}', encoding="utf-8")
+        with pytest.raises(ConfigurationError, match="not a repro-query"):
+            main(["query", "--spec", str(spec_path)])

@@ -61,6 +61,7 @@ def test_guide_pages_are_built(built_site):
     for page in (
         "index",
         "architecture",
+        "api",
         "tutorial-measures",
         "adversary-search",
         "distributions",

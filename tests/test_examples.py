@@ -1,0 +1,51 @@
+"""Every documented example must run end to end (at reduced sizes).
+
+The examples are the library's documented entry points; this suite runs each
+one in a subprocess with ``REPRO_EXAMPLES_SMALL=1`` (exactly as ``make
+examples`` and the CI examples-smoke job do) so an API change can never
+silently break them.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES_DIR = REPO_ROOT / "examples"
+EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_the_examples_directory_is_populated():
+    assert len(EXAMPLE_SCRIPTS) >= 6
+
+
+@pytest.mark.parametrize("script", EXAMPLE_SCRIPTS, ids=lambda path: path.name)
+def test_example_runs_cleanly(script):
+    env = dict(os.environ)
+    env["REPRO_EXAMPLES_SMALL"] = "1"
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+        timeout=300,
+    )
+    assert completed.returncode == 0, (
+        f"{script.name} failed\nstdout:\n{completed.stdout}\nstderr:\n{completed.stderr}"
+    )
+    assert completed.stdout.strip(), f"{script.name} printed nothing"
+
+
+def test_example_spec_is_a_valid_query():
+    from repro.api.query import Query
+
+    spec = Query.load(str(EXAMPLES_DIR / "spec.json"))
+    assert spec.mode == "sweep"
+    assert spec.adversaries == ("branch-and-bound",)

@@ -1,0 +1,174 @@
+"""Batched sampling vs per-assignment execution, with a JSON artifact.
+
+The kernel's acceptance workload: the distribution-sampling loop on an
+8-cycle under the largest-ID algorithm.  Three executions of the same
+assignment stream are timed —
+
+* **runner** — one :class:`~repro.engine.frontier.FrontierRunner` session
+  with a warm :class:`~repro.engine.cache.DecisionCache`, one ``run`` per
+  assignment: exactly the pre-kernel sampling path;
+* **kernel/python** — the compiled instance's pure-stdlib backend,
+  ``simulate_batch`` over chunks of assignments;
+* **kernel/numpy** — the same batches through the numpy backend (skipped,
+  and omitted from the artifact, when numpy is not importable).
+
+The radii of all paths are asserted bit-identical in the same run, then the
+stdlib backend must not regress (>= ``MIN_SPEEDUP_PYTHON``) and the numpy
+backend must clear ``MIN_SPEEDUP_NUMPY``.  Timings and speedups land in
+``BENCH_kernel.json`` (checked against these floors again by
+``scripts/check_bench_floors.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from bench_smoke import SMOKE, pick
+
+from repro.algorithms.largest_id import LargestIdAlgorithm
+from repro.engine.cache import DecisionCache
+from repro.engine.frontier import FrontierRunner
+from repro.kernel import compile_instance, numpy_available, simulate_batch
+from repro.kernel.compile import DEFAULT_BATCH_ROWS
+from repro.model.identifiers import IdentifierAssignment, random_assignment
+from repro.topology.cycle import cycle_graph
+from repro.utils.rng import make_rng
+
+ARTIFACT_PATH = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
+MIN_SPEEDUP_NUMPY = 5.0
+MIN_SPEEDUP_PYTHON = 1.0
+RING_N = 8
+SAMPLES = pick(4096, 512)
+REPEATS = pick(3, 1)
+
+_RESULTS: dict[str, dict] = {}
+
+
+def _assignment_rows() -> list[tuple[int, ...]]:
+    """The deterministic sampling stream (one master seed, one child per draw)."""
+    master = make_rng(20260729)
+    return [
+        random_assignment(RING_N, seed=master.getrandbits(64)).identifiers()
+        for _ in range(SAMPLES)
+    ]
+
+
+def _best_of(fn, repeats: int = REPEATS) -> tuple[float, object]:
+    best = float("inf")
+    value = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, value
+
+
+def _write_artifact() -> None:
+    payload = {
+        "kind": "repro-bench-kernel",
+        "smoke": SMOKE,
+        "numpy_available": numpy_available(),
+        "workload": {"topology": "cycle", "n": RING_N, "samples": SAMPLES},
+        "results": _RESULTS,
+    }
+    ARTIFACT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def test_bench_batched_sampling_vs_runner():
+    graph = cycle_graph(RING_N)
+    algorithm = LargestIdAlgorithm()
+    rows = _assignment_rows()
+    chunks = [
+        rows[start : start + DEFAULT_BATCH_ROWS]
+        for start in range(0, len(rows), DEFAULT_BATCH_ROWS)
+    ]
+
+    def run_reference():
+        runner = FrontierRunner(graph, algorithm, cache=DecisionCache(algorithm))
+        radii = []
+        for row in rows:
+            trace = runner.run(IdentifierAssignment(row))
+            per_position = trace.radii()
+            radii.append(tuple(per_position[p] for p in range(RING_N)))
+        return radii
+
+    def run_kernel(backend: str):
+        instance = compile_instance(graph, algorithm, backend=backend)
+
+        def execute():
+            radii = []
+            for chunk in chunks:
+                radii.extend(simulate_batch(instance, chunk))
+            return radii
+
+        return execute
+
+    runner_s, reference = _best_of(run_reference)
+    python_s, python_radii = _best_of(run_kernel("python"))
+    # Kernel-vs-runner trace equality, asserted in the same run as the
+    # throughput claim: the speedup must not come from computing different
+    # radii.
+    assert python_radii == reference
+    python_speedup = runner_s / python_s
+    _RESULTS["batched_sampling_python"] = {
+        "runner_s": runner_s,
+        "kernel_s": python_s,
+        "speedup": python_speedup,
+        "min_speedup": MIN_SPEEDUP_PYTHON,
+        "backend": "python",
+        "samples": SAMPLES,
+    }
+    numpy_speedup = None
+    if numpy_available():
+        numpy_s, numpy_radii = _best_of(run_kernel("numpy"))
+        assert numpy_radii == reference
+        numpy_speedup = runner_s / numpy_s
+        _RESULTS["batched_sampling_numpy"] = {
+            "runner_s": runner_s,
+            "kernel_s": numpy_s,
+            "speedup": numpy_speedup,
+            "min_speedup": MIN_SPEEDUP_NUMPY,
+            "backend": "numpy",
+            "samples": SAMPLES,
+        }
+    _write_artifact()
+    print(
+        f"\nkernel sampling x{SAMPLES}: runner {runner_s:.3f}s, "
+        f"python {python_s:.3f}s ({python_speedup:.1f}x), "
+        + (
+            f"numpy {numpy_speedup:.1f}x"
+            if numpy_speedup is not None
+            else "numpy unavailable"
+        )
+    )
+    assert python_speedup >= MIN_SPEEDUP_PYTHON
+    if numpy_speedup is not None:
+        assert numpy_speedup >= MIN_SPEEDUP_NUMPY
+
+
+def test_bench_fallback_rule_matches_runner():
+    """The decide-backed fallback stays bit-identical (and is recorded)."""
+    from repro.algorithms.greedy_coloring import GreedyColoringByID
+
+    graph = cycle_graph(RING_N)
+    algorithm = GreedyColoringByID()
+    rows = _assignment_rows()[: pick(256, 64)]
+    instance = compile_instance(graph, algorithm)
+    assert not instance.vectorized
+
+    started = time.perf_counter()
+    batched = simulate_batch(instance, rows)
+    elapsed = time.perf_counter() - started
+
+    runner = FrontierRunner(graph, algorithm, cache=DecisionCache(algorithm))
+    for row, radii in zip(rows, batched):
+        per_position = runner.run(IdentifierAssignment(row)).radii()
+        assert tuple(per_position[p] for p in range(RING_N)) == radii
+    _RESULTS["fallback_rule_ring8"] = {
+        "kernel_s": elapsed,
+        "rows": len(rows),
+        "rule": instance.rule.name,
+    }
+    _write_artifact()

@@ -44,6 +44,7 @@ GUIDE_PAGES = (
     "tutorial-measures.md",
     "adversary-search.md",
     "distributions.md",
+    "performance.md",
 )
 
 

@@ -25,6 +25,10 @@ for the LOCAL Model* (PODC 2015).  The library provides:
   distribution of both measures over all ``n!`` identifier assignments
   (orbit-weighted canonical enumeration, ``n!/|Aut|`` simulations) and
   seeded streaming Monte-Carlo estimators with standard errors; and
+* the batch kernel (:mod:`repro.kernel`) — compiled instances that flatten
+  one ``(graph, algorithm)`` pair into integer arrays and evaluate whole
+  matrices of identifier assignments per call, with a numpy fast path and
+  a pure-stdlib fallback (``REPRO_KERNEL={numpy,python}``); and
 * the unified query API (:mod:`repro.api`) — one declarative, validated
   :class:`Query` over all four answer modes (simulate, worst-case,
   distribution, sweep), executed by a cache-owning :class:`Session` and
@@ -124,7 +128,7 @@ from repro.api import (
     query,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AlgorithmError",

@@ -40,6 +40,18 @@ class LargestIdAlgorithm(BallAlgorithm):
             return True
         return None
 
+    def compile_kernel_rule(self, instance):
+        """Vectorised batch rule: distance to the nearest larger identifier.
+
+        The radius of every node is a pure array lookup on a compiled
+        instance (see :class:`~repro.kernel.rules.MaxScanRule`), which is
+        what makes the batched sampling and canonical-leaf cohorts of the
+        upper layers run at array speed for this algorithm.
+        """
+        from repro.kernel.rules import MaxScanRule
+
+        return MaxScanRule(instance)
+
 
 def predicted_largest_id_radii(graph: Graph, ids: IdentifierAssignment) -> dict[int, int]:
     """Closed-form radii of :class:`LargestIdAlgorithm` on any connected graph.

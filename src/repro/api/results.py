@@ -78,6 +78,35 @@ def _aggregate_cache(rows: Sequence[Mapping]) -> Optional[dict]:
     }
 
 
+def _aggregate_kernel(rows: Sequence[Mapping]) -> Optional[dict]:
+    """Summarise the per-row batch-kernel identities (None when untracked).
+
+    Rows evaluated through the batch kernel carry a ``kernel`` entry
+    (backend, rule, vectorised flag); the aggregate records the backends and
+    rules that contributed plus how many rows the kernel answered.
+    """
+    backends: set = set()
+    rules: set = set()
+    vectorized_rows = 0
+    seen = 0
+    for row in rows:
+        kernel = row.get("kernel")
+        if kernel:
+            seen += 1
+            backends.add(kernel.get("backend"))
+            rules.add(kernel.get("rule"))
+            if kernel.get("vectorized"):
+                vectorized_rows += 1
+    if not seen:
+        return None
+    return {
+        "backends": sorted(backend for backend in backends if backend),
+        "rules": sorted(rule for rule in rules if rule),
+        "rows": seen,
+        "vectorized_rows": vectorized_rows,
+    }
+
+
 def _headline_measures(mode: str, rows: Sequence[Mapping]) -> dict:
     """The headline scalars of a row set (documented per mode in docs/api.md).
 
@@ -125,25 +154,47 @@ class Result:
     #: Whether *every* row's answer is certified exact (None for simulate).
     exact: Optional[bool] = None
     #: Aggregated decision-cache counters across rows (None when untracked).
+    #: When the executing :class:`~repro.api.session.Session` reports its
+    #: object-cache counters, they appear under the ``session`` sub-key
+    #: (hits / misses / evictions of the graph, algorithm, runner and
+    #: kernel caches combined).
     cache: Optional[dict] = None
+    #: Batch-kernel summary across rows (backends/rules used; None when no
+    #: row went through the kernel).
+    kernel: Optional[dict] = None
     #: Timing summary: total wall time across cells.
     timing: dict = field(default_factory=dict)
 
     @classmethod
-    def from_rows(cls, mode: str, query: Mapping, rows: Sequence[Mapping]) -> "Result":
-        """Assemble a Result from engine rows (aggregates computed here)."""
+    def from_rows(
+        cls,
+        mode: str,
+        query: Mapping,
+        rows: Sequence[Mapping],
+        session_cache: Optional[Mapping] = None,
+    ) -> "Result":
+        """Assemble a Result from engine rows (aggregates computed here).
+
+        ``session_cache`` optionally attaches the executing session's
+        object-cache counters (hit/miss/eviction) under ``cache["session"]``.
+        """
         rows = tuple(dict(row) for row in rows)
         if mode == "simulate":
             exact = None
         else:
             exact = bool(rows) and all(bool(row.get("exact")) for row in rows)
+        cache = _aggregate_cache(rows)
+        if session_cache is not None:
+            cache = dict(cache or {})
+            cache["session"] = dict(session_cache)
         return cls(
             mode=mode,
             query=dict(query),
             rows=rows,
             measures=_headline_measures(mode, rows),
             exact=exact,
-            cache=_aggregate_cache(rows),
+            cache=cache,
+            kernel=_aggregate_kernel(rows),
             timing={"wall_time_s": sum(row.get("wall_time_s", 0.0) for row in rows)},
         )
 
@@ -196,6 +247,7 @@ class Result:
             "measures": self.measures,
             "exact": self.exact,
             "cache": self.cache,
+            "kernel": self.kernel,
             "timing": self.timing,
         }
 
@@ -236,6 +288,7 @@ class Result:
                 measures=dict(document["measures"]),
                 exact=document.get("exact"),
                 cache=document.get("cache"),
+                kernel=document.get("kernel"),
                 timing=dict(document.get("timing") or {}),
             )
         if kind == "repro-sweep":

@@ -36,6 +36,7 @@ diagnostics differ.
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -57,6 +58,7 @@ from repro.engine.campaign import (
 )
 from repro.engine.frontier import FrontierRunner
 from repro.errors import ConfigurationError
+from repro.kernel.compile import CompiledInstance, compile_instance
 from repro.model.graph import Graph
 from repro.model.identifiers import IdentifierAssignment, make_identifier_assignment
 from repro.model.trace import ExecutionTrace
@@ -65,14 +67,60 @@ from repro.model.trace import ExecutionTrace
 #: adversaries' session caches.
 SESSION_CACHE_MAX_ENTRIES = 1 << 18
 
-#: Bounds on how many graphs / algorithm instances / engine runners a
-#: session retains.  Long-lived sessions (the process-wide default behind
-#: ``repro.query``) stream arbitrarily many distinct instances through, so
-#: each cache evicts its oldest entry once full instead of growing without
-#: bound — eviction only costs warmth, never correctness.
+#: Bounds on how many graphs / algorithm instances / engine runners /
+#: compiled kernel instances a session retains.  Long-lived sessions (the
+#: process-wide default behind ``repro.query``) stream arbitrarily many
+#: distinct instances through, so each cache evicts its least-recently-used
+#: entry once full instead of growing without bound — eviction only costs
+#: warmth, never correctness.
 SESSION_MAX_GRAPHS = 256
 SESSION_MAX_ALGORITHMS = 256
 SESSION_MAX_RUNNERS = 64
+SESSION_MAX_KERNELS = 64
+
+
+class _LruCache:
+    """A bounded mapping with least-recently-used eviction and counters.
+
+    Lookups move the hit entry to the most-recent end, so a *hot* entry —
+    one the session keeps coming back to between misses — survives a cold
+    sweep of one-shot instances that would evict it under plain
+    oldest-insertion eviction.  Hit/miss/eviction counts feed the
+    ``cache["session"]`` diagnostics of every :class:`~repro.api.results.Result`.
+    """
+
+    def __init__(self, limit: int) -> None:
+        if limit < 1:
+            raise ConfigurationError(f"cache limit must be >= 1, got {limit}")
+        self.limit = limit
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: OrderedDict = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key) -> bool:
+        return key in self._entries
+
+    def get(self, key):
+        """The cached value (refreshing its recency), or ``None``."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key, value) -> None:
+        """Insert ``value``, evicting the least recently used beyond the limit."""
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.limit:
+            self._entries.popitem(last=False)
+            self.evictions += 1
 
 
 @dataclass(frozen=True)
@@ -194,31 +242,44 @@ class Session:
 
     A session is cheap to create and safe to keep for a whole process; its
     caches only ever make repeated queries faster, never change their
-    answers, and they are bounded (oldest-first eviction at
+    answers, and they are bounded (least-recently-used eviction at
     :data:`SESSION_MAX_GRAPHS` / :data:`SESSION_MAX_ALGORITHMS` /
-    :data:`SESSION_MAX_RUNNERS` entries), so memory stays flat even when a
-    long-lived session streams arbitrarily many distinct instances.
-    Sessions are not thread-safe.
+    :data:`SESSION_MAX_RUNNERS` / :data:`SESSION_MAX_KERNELS` entries), so
+    memory stays flat even when a long-lived session streams arbitrarily
+    many distinct instances — and a hot instance keeps its warmth through a
+    sweep of cold ones.  The combined hit/miss/eviction counters surface on
+    every result under ``cache["session"]``.  Sessions are not thread-safe.
     """
 
-    def __init__(self, workers: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        max_graphs: int = SESSION_MAX_GRAPHS,
+        max_algorithms: int = SESSION_MAX_ALGORITHMS,
+        max_runners: int = SESSION_MAX_RUNNERS,
+        max_kernels: int = SESSION_MAX_KERNELS,
+    ) -> None:
         if workers is not None and workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
         self.workers = workers
-        self._graphs: dict[tuple[str, int, int], Graph] = {}
-        self._algorithms: dict[tuple[str, int], object] = {}
-        self._runners: dict[tuple[int, int], tuple[Graph, object, FrontierRunner]] = {}
+        self._graphs = _LruCache(max_graphs)
+        self._algorithms = _LruCache(max_algorithms)
+        self._runners = _LruCache(max_runners)
+        self._kernels = _LruCache(max_kernels)
         #: Queries executed so far (diagnostic only).
         self.queries = 0
 
     # ------------------------------------------------------------------
     # shared infrastructure
     # ------------------------------------------------------------------
-    @staticmethod
-    def _bound(cache: dict, limit: int) -> None:
-        """Evict oldest entries (dict insertion order) until under ``limit``."""
-        while len(cache) > limit:
-            del cache[next(iter(cache))]
+    def cache_info(self) -> dict:
+        """Combined hit/miss/eviction counters of the session's object caches."""
+        caches = (self._graphs, self._algorithms, self._runners, self._kernels)
+        return {
+            "hits": sum(cache.hits for cache in caches),
+            "misses": sum(cache.misses for cache in caches),
+            "evictions": sum(cache.evictions for cache in caches),
+        }
 
     def graph(self, topology: str, n: int, seed: int = 0) -> Graph:
         """A built topology, cached per ``(topology, n, seed)``.
@@ -231,8 +292,8 @@ class Session:
         key = (topology, n, 0 if topology in DETERMINISTIC_TOPOLOGIES else seed)
         graph = self._graphs.get(key)
         if graph is None:
-            graph = self._graphs[key] = build_topology(topology, n, seed)
-            self._bound(self._graphs, SESSION_MAX_GRAPHS)
+            graph = build_topology(topology, n, seed)
+            self._graphs.put(key, graph)
         return graph
 
     def ball_algorithm(self, name: str, n: int):
@@ -240,8 +301,8 @@ class Session:
         key = (name, n)
         algorithm = self._algorithms.get(key)
         if algorithm is None:
-            algorithm = self._algorithms[key] = make_ball_algorithm(name, n)
-            self._bound(self._algorithms, SESSION_MAX_ALGORITHMS)
+            algorithm = make_ball_algorithm(name, n)
+            self._algorithms.put(key, algorithm)
         return algorithm
 
     def runner(self, graph: Graph, algorithm) -> FrontierRunner:
@@ -259,8 +320,23 @@ class Session:
                 algorithm,
                 cache=DecisionCache(algorithm, max_entries=SESSION_CACHE_MAX_ENTRIES),
             )
-            entry = self._runners[key] = (graph, algorithm, runner)
-            self._bound(self._runners, SESSION_MAX_RUNNERS)
+            entry = (graph, algorithm, runner)
+            self._runners.put(key, entry)
+        return entry[2]
+
+    def kernel(self, graph: Graph, algorithm) -> CompiledInstance:
+        """The session's compiled batch instance for ``(graph, algorithm)``.
+
+        Cached next to the engine runners under the same object-identity
+        keying; distribution queries stream their sample chunks through it,
+        so repeated queries on one instance skip the compilation too.
+        """
+        key = (id(graph), id(algorithm))
+        entry = self._kernels.get(key)
+        if entry is None:
+            instance = compile_instance(graph, algorithm, validate=False)
+            entry = (graph, algorithm, instance)
+            self._kernels.put(key, entry)
         return entry[2]
 
     def trace(self, graph: Graph, ids: IdentifierAssignment, algorithm) -> ExecutionTrace:
@@ -314,7 +390,9 @@ class Session:
                     )
                 )
         rows.sort(key=lambda row: row["index"])
-        return Result.from_rows("simulate", query.to_dict(), rows)
+        return Result.from_rows(
+            "simulate", query.to_dict(), rows, session_cache=self.cache_info()
+        )
 
     def worst_case(self, query: Optional[Query] = None, **kwargs) -> Result:
         """Worst case over identifier assignments, one adversary search per cell.
@@ -336,7 +414,9 @@ class Session:
                 cell.adversary, spec, seed=cell.seed, workers=workers
             )
             rows.append(search_cell_row(spec, cell, graph, algorithm, adversary))
-        return Result.from_rows("worst-case", query.to_dict(), rows)
+        return Result.from_rows(
+            "worst-case", query.to_dict(), rows, session_cache=self.cache_info()
+        )
 
     def sweep(self, query: Optional[Query] = None, **kwargs) -> Result:
         """A full campaign grid of adversarial searches (the ``repro sweep`` mode).
@@ -360,7 +440,9 @@ class Session:
                 algorithm = self.ball_algorithm(cell.algorithm, graph.n)
                 rows.append(search_cell_row(spec, cell, graph, algorithm))
         rows = sorted(rows, key=lambda row: row["index"])
-        return Result.from_rows("sweep", query.to_dict(), rows)
+        return Result.from_rows(
+            "sweep", query.to_dict(), rows, session_cache=self.cache_info()
+        )
 
     def distribution(self, query: Optional[Query] = None, **kwargs) -> Result:
         """Exact and/or sampled measure distributions over identifier assignments."""
@@ -378,9 +460,16 @@ class Session:
             for cell in cells:
                 graph = self.graph(cell.topology, cell.n, cell.graph_seed)
                 algorithm = self.ball_algorithm(cell.algorithm, graph.n)
-                rows.append(dist_cell_row(spec, cell, graph, algorithm))
+                # Only sampled cells stream through the kernel; the exact
+                # path evaluates leaves inside its own search session.
+                kernel = (
+                    self.kernel(graph, algorithm) if cell.method == "sample" else None
+                )
+                rows.append(dist_cell_row(spec, cell, graph, algorithm, kernel=kernel))
         rows = sorted(rows, key=lambda row: row["index"])
-        return Result.from_rows("distribution", query.to_dict(), rows)
+        return Result.from_rows(
+            "distribution", query.to_dict(), rows, session_cache=self.cache_info()
+        )
 
 
 def _coerce(query: Optional[Query], kwargs: dict, mode: Optional[str] = None) -> Query:

@@ -57,12 +57,25 @@ from repro.engine.campaign import (
     write_rows,
 )
 from repro.errors import ConfigurationError
+from repro.kernel.backend import active_backend
 from repro.utils.ascii_plot import plot_experiment_column
 from repro.utils.tables import Table
 
 #: Topology names accepted by ``simulate`` and ``sweep`` — the engine's
 #: campaign registry, re-exported under the CLI's historical name.
 TOPOLOGIES = TOPOLOGY_BUILDERS
+
+
+class _VersionAction(argparse.Action):
+    """``--version`` with the kernel backend resolved only when printed.
+
+    Backend resolution may probe (import) numpy, so it must not run while
+    merely *building* the parser — that would tax every CLI invocation.
+    """
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        print(f"repro {__version__} (kernel backend: {active_backend()})")
+        parser.exit()
 
 
 def _experiment_modules():
@@ -106,7 +119,10 @@ def build_parser() -> argparse.ArgumentParser:
         description="Average complexity for the LOCAL model — simulator, experiments, bounds.",
     )
     parser.add_argument(
-        "--version", action="version", version=f"repro {__version__}"
+        "--version",
+        action=_VersionAction,
+        nargs=0,
+        help="show the library version and the active kernel backend",
     )
     commands = parser.add_subparsers(dest="command")
 

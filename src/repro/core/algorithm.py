@@ -70,6 +70,21 @@ class BallAlgorithm(abc.ABC):
         """
         return True
 
+    def compile_kernel_rule(self, instance: Any) -> Optional[Any]:
+        """A vectorised batch rule for ``instance``, or ``None``.
+
+        ``instance`` is the :class:`~repro.kernel.compile.CompiledInstance`
+        being built for this algorithm on one fixed graph.  Algorithms whose
+        stopping radius has an array-friendly closed form (largest-ID's
+        distance-to-nearest-larger-identifier, for example) return a
+        :class:`~repro.kernel.rules.KernelRule` here and get whole-matrix
+        batch evaluation; the default ``None`` selects the decide-backed
+        fallback, which is sound for every deterministic algorithm.  Any
+        returned rule must be bit-identical to the single-assignment
+        reference path — the kernel property suite enforces this.
+        """
+        return None
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r}, problem={self.problem!r})"
 

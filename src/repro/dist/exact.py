@@ -81,10 +81,19 @@ class DistributionCertificate:
 
 @dataclass(frozen=True)
 class ExactDistributionResult:
-    """An exact :class:`RoundDistribution` plus its certificate."""
+    """An exact :class:`RoundDistribution` plus its certificate.
+
+    ``kernel`` records how the canonical leaves were evaluated: for
+    vectorised algorithms the backend/rule of the search's
+    :class:`~repro.kernel.compile.CompiledInstance` (leaf cohorts ran as
+    batches through
+    :meth:`~repro.search.branch_bound.BranchAndBoundSearch.run_batched`);
+    ``None`` when the eager in-DFS evaluation ran instead.
+    """
 
     distribution: RoundDistribution
     certificate: DistributionCertificate
+    kernel: Optional[dict] = None
 
 
 def exact_round_distribution(
@@ -183,7 +192,15 @@ def exact_round_distribution(
         nodes_expanded=outcome.certificate.nodes_expanded,
     )
     assert certificate.total_weight == certificate.space_size
-    return ExactDistributionResult(distribution=distribution, certificate=certificate)
+    # Only claim kernel evaluation when the search actually delegated to
+    # the batched cohort path (vectorised rules); eager in-DFS evaluation
+    # reports no kernel so coverage numbers stay honest.
+    kernel = search.kernel.describe() if search.kernel.vectorized else None
+    return ExactDistributionResult(
+        distribution=distribution,
+        certificate=certificate,
+        kernel=kernel,
+    )
 
 
 def brute_force_round_distribution(

@@ -17,10 +17,16 @@ statistic is maintained in a single streaming pass:
   :func:`repro.core.measures.expected_measures_over_random_ids`, returning
   an :class:`ExpectedMeasures` that still unpacks like the legacy 2-tuple.
 
-All sampling runs through one engine session per call (a
-:class:`~repro.engine.frontier.FrontierRunner` with a shared
-:class:`~repro.engine.cache.DecisionCache`), so repeated ball patterns
-between permutations are simulated once.
+All sampling streams through the batch kernel: one
+:class:`~repro.kernel.compile.CompiledInstance` per call (or an injected,
+session-cached one), with the drawn assignments evaluated in chunks of
+:data:`~repro.kernel.compile.DEFAULT_BATCH_ROWS` rows per
+:func:`~repro.kernel.compile.simulate_batch` call.  Vectorised algorithms
+run at array speed; everything else falls back to the kernel's engine
+session (frontier plans plus a shared decision cache), so repeated ball
+patterns between permutations are still simulated once.  Either way the
+radii — and therefore every estimate — are bit-identical to the
+per-assignment :class:`~repro.engine.frontier.FrontierRunner` path.
 """
 
 from __future__ import annotations
@@ -31,9 +37,13 @@ from typing import Optional, Sequence
 
 from repro.core.algorithm import BallAlgorithm
 from repro.dist.distribution import RoundDistribution
-from repro.engine.cache import DecisionCache
-from repro.engine.frontier import FrontierRunner
 from repro.errors import AnalysisError
+from repro.kernel.compile import (
+    DEFAULT_BATCH_ROWS,
+    NUMPY_MAX_IDENTIFIER,
+    CompiledInstance,
+    compile_instance,
+)
 from repro.model.graph import Graph
 from repro.model.identifiers import IdentifierAssignment, random_assignment
 from repro.utils.rng import SeedLike, make_rng
@@ -284,11 +294,6 @@ class SampledDistributionResult:
         }
 
 
-def _session_runner(graph: Graph, algorithm: BallAlgorithm) -> FrontierRunner:
-    """One engine session for a whole sampling pass."""
-    return FrontierRunner(graph, algorithm, cache=DecisionCache(algorithm))
-
-
 def _draw_assignments(n: int, samples: int, seed: SeedLike):
     """Deterministic assignment stream: one master seed, one child per draw."""
     master = make_rng(seed)
@@ -302,13 +307,17 @@ def sample_round_distribution(
     samples: int = 256,
     seed: SeedLike = None,
     assignments: Optional[Sequence[IdentifierAssignment]] = None,
+    kernel: Optional[CompiledInstance] = None,
 ) -> SampledDistributionResult:
     """Estimate the measure distribution from random identifier assignments.
 
     With ``assignments=None`` (the normal path), ``samples`` permutations
     are drawn under the explicit ``seed`` — the same seed always yields the
     same estimates.  An explicit assignment sequence overrides the drawing
-    (used by the legacy Monte-Carlo call sites).
+    (used by the legacy Monte-Carlo call sites).  ``kernel`` optionally
+    injects a pre-compiled batch instance for ``(graph, algorithm)`` — the
+    session layer passes its cached one — and is compiled on the spot when
+    omitted; the sampled stream is evaluated through it in chunks.
 
     >>> from repro.algorithms.largest_id import LargestIdAlgorithm
     >>> from repro.topology.cycle import cycle_graph
@@ -334,7 +343,22 @@ def sample_round_distribution(
             raise AnalysisError("sampling needs at least one assignment")
         stream = iter(assignments)
         seed_record = None
-    runner = _session_runner(graph, algorithm)
+    if kernel is None:
+        kernel = compile_instance(graph, algorithm)
+    if assignments is not None and kernel.backend == "numpy":
+        # Explicit assignments may carry identifiers beyond the numpy
+        # backend's int64 range (legal everywhere else); degrade to the
+        # stdlib backend for this pass rather than rejecting them — the
+        # radii, and therefore the estimates, are identical either way.
+        largest = max(
+            (
+                max(ids.identifiers() if hasattr(ids, "identifiers") else ids)
+                for ids in assignments
+            ),
+            default=0,
+        )
+        if largest > NUMPY_MAX_IDENTIFIER:
+            kernel = compile_instance(graph, algorithm, backend="python")
     n = graph.n
     joint: dict[tuple[int, int], int] = {}
     marginals: list[dict[int, int]] = [{} for _ in range(n)]
@@ -342,20 +366,44 @@ def sample_round_distribution(
     avg_median, avg_q90 = P2Quantile(0.5), P2Quantile(0.9)
     max_median, max_q90 = P2Quantile(0.5), P2Quantile(0.9)
     count = 0
-    for ids in stream:
-        trace = runner.run(ids)
-        key = (trace.max_radius, trace.sum_radius)
+
+    def fold(radii: Sequence[int]) -> None:
+        nonlocal count
+        max_radius = max(radii)
+        sum_radius = sum(radii)
+        key = (max_radius, sum_radius)
         joint[key] = joint.get(key, 0) + 1
-        for position, radius in trace.radii().items():
+        for position, radius in enumerate(radii):
             counts = marginals[position]
             counts[radius] = counts.get(radius, 0) + 1
-        avg_moments.update(trace.average_radius)
-        max_moments.update(float(trace.max_radius))
-        avg_median.update(trace.average_radius)
-        avg_q90.update(trace.average_radius)
-        max_median.update(float(trace.max_radius))
-        max_q90.update(float(trace.max_radius))
+        average_radius = sum_radius / n
+        avg_moments.update(average_radius)
+        max_moments.update(float(max_radius))
+        avg_median.update(average_radius)
+        avg_q90.update(average_radius)
+        max_median.update(float(max_radius))
+        max_q90.update(float(max_radius))
         count += 1
+
+    # Stream the draws through the kernel in chunks: the whole chunk is one
+    # simulate_batch call (array speed for vectorised rules), then the
+    # streaming statistics fold each row in draw order — so the estimates
+    # are bit-identical to the historical one-assignment-at-a-time loop.
+    # Internally drawn rows are permutations of 0..n-1 by construction, so
+    # the kernel's per-row re-validation is skipped for them; explicit
+    # caller-supplied assignments keep full validation (they may cover the
+    # wrong number of positions — the runner path used to reject that).
+    trusted = assignments is None
+    chunk: list[tuple[int, ...]] = []
+    for ids in stream:
+        chunk.append(ids.identifiers() if hasattr(ids, "identifiers") else tuple(ids))
+        if len(chunk) >= DEFAULT_BATCH_ROWS:
+            for radii in kernel.batch_radii(chunk, pre_validated=trusted):
+                fold(radii)
+            chunk.clear()
+    if chunk:
+        for radii in kernel.batch_radii(chunk, pre_validated=trusted):
+            fold(radii)
     distribution = RoundDistribution.from_counts(
         n=n, joint=joint, node_marginals=marginals
     )

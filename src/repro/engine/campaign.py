@@ -415,6 +415,7 @@ def dist_cell_row(
     cell: DistCell,
     graph: Optional[Graph] = None,
     algorithm=None,
+    kernel=None,
 ) -> dict:
     """Execute one distribution cell and return its JSON-friendly row.
 
@@ -425,7 +426,10 @@ def dist_cell_row(
     distribution.  Exact rows carry the
     :class:`~repro.dist.exact.DistributionCertificate`; sampled rows carry
     the per-measure standard errors.  Like :func:`search_cell_row`,
-    ``graph``/``algorithm`` accept a session's cached objects.
+    ``graph``/``algorithm`` accept a session's cached objects, and
+    ``kernel`` a session-cached
+    :class:`~repro.kernel.compile.CompiledInstance` for the sampled method;
+    the row's ``kernel`` entry records which backend and rule evaluated it.
     """
     # Imported here for the same reason as make_adversary: the engine's
     # lower layers must stay importable without the higher dist package.
@@ -447,9 +451,14 @@ def dist_cell_row(
         distribution = exact.distribution
         certificate = exact.certificate.as_dict()
         uncertainty = None
+        kernel_info = exact.kernel
     else:
+        if kernel is None:
+            from repro.kernel.compile import compile_instance
+
+            kernel = compile_instance(graph, algorithm, validate=False)
         sampled = sample_round_distribution(
-            graph, algorithm, samples=cell.samples, seed=cell.seed
+            graph, algorithm, samples=cell.samples, seed=cell.seed, kernel=kernel
         )
         distribution = sampled.distribution
         certificate = None
@@ -457,6 +466,7 @@ def dist_cell_row(
             "average": sampled.average.as_dict(),
             "maximum": sampled.maximum.as_dict(),
         }
+        kernel_info = kernel.describe()
     elapsed = time.perf_counter() - started
     summary = distribution.summary()
     return {
@@ -475,6 +485,7 @@ def dist_cell_row(
         "max": summary["max"],
         "uncertainty": uncertainty,
         "certificate": certificate,
+        "kernel": kernel_info,
         "distribution": distribution.as_dict(),
         "wall_time_s": elapsed,
     }

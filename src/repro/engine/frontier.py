@@ -168,6 +168,52 @@ class _CenterPlan:
         return parts[bounded]
 
 
+def engine_structure(
+    graph: Graph,
+) -> tuple[
+    list[tuple[tuple[int, int, int], ...]],
+    dict[int, _CenterPlan],
+    tuple[int, ...],
+]:
+    """The graph's shared ``(adjacency, frontier plans, degrees)`` structure.
+
+    Adjacency triples ``(neighbour, port_v_to_u, port_u_to_v)``, the
+    per-centre :class:`_CenterPlan` table and the degree vector are pure
+    graph structure, so they are computed once and cached *on the graph
+    object* — every :class:`FrontierRunner` session and every
+    :class:`~repro.kernel.compile.CompiledInstance` that touches the graph
+    shares them.
+    """
+    structure = getattr(graph, "_engine_structure", None)
+    if structure is None:
+        adjacency: list[tuple[tuple[int, int, int], ...]] = []
+        for v in graph.positions():
+            triples = []
+            for port_vu, u in enumerate(graph.neighbors(v)):
+                triples.append((u, port_vu, graph.port_to(u, v)))
+            adjacency.append(tuple(triples))
+        degrees = tuple(len(triples) for triples in adjacency)
+        structure = (adjacency, {}, degrees)
+        graph._engine_structure = structure  # type: ignore[attr-defined]
+    return structure
+
+
+def center_plan(graph: Graph, center: int) -> _CenterPlan:
+    """The (cached) frontier plan of ``center`` on ``graph``.
+
+    The single construction point for :class:`_CenterPlan` objects:
+    :meth:`FrontierRunner._plan` and the kernel's compiled instances both
+    resolve plans through here, so the shared per-graph table can never
+    hold plans built two different ways.
+    """
+    adjacency, plans, degrees = engine_structure(graph)
+    plan = plans.get(center)
+    if plan is None:
+        plan = _CenterPlan(center, adjacency, degrees)
+        plans[center] = plan
+    return plan
+
+
 class FrontierRunner:
     """Fast execution session for one ``(graph, algorithm)`` pair.
 
@@ -215,23 +261,13 @@ class FrontierRunner:
         self.algorithm = algorithm
         self.cache = cache
         self.max_radius = max_radius
-        self._degrees: tuple[int, ...] = tuple(graph.degree(v) for v in graph.positions())
         # (neighbour, port_v_to_u, port_u_to_v) triples; computing the reverse
         # ports once per graph replaces one list.index() per ball edge per
-        # extraction in the legacy path.  Adjacency and frontier plans are
-        # pure graph structure, so they are cached *on the graph* and shared
-        # by every session (and every algorithm) that touches it.
-        structure = getattr(graph, "_engine_structure", None)
-        if structure is None:
-            adjacency: list[tuple[tuple[int, int, int], ...]] = []
-            for v in graph.positions():
-                triples = []
-                for port_vu, u in enumerate(graph.neighbors(v)):
-                    triples.append((u, port_vu, graph.port_to(u, v)))
-                adjacency.append(tuple(triples))
-            structure = (adjacency, {})
-            graph._engine_structure = structure  # type: ignore[attr-defined]
-        self._adjacency, self._plans = structure
+        # extraction in the legacy path.  Adjacency, frontier plans and the
+        # degree vector are pure graph structure, so they are cached *on the
+        # graph* and shared by every session (and every algorithm) that
+        # touches it.
+        self._adjacency, self._plans, self._degrees = engine_structure(graph)
         # Interning table for structural keys: same small integer <=> same
         # structural growth history, across centres and radii.  Per session,
         # because the interned ids are only meaningful relative to one table.
@@ -246,11 +282,7 @@ class FrontierRunner:
     # plans and structural keys
     # ------------------------------------------------------------------
     def _plan(self, center: int) -> _CenterPlan:
-        plan = self._plans.get(center)
-        if plan is None:
-            plan = _CenterPlan(center, self._adjacency, self._degrees)
-            self._plans[center] = plan
-        return plan
+        return center_plan(self.graph, center)
 
     def _struct_id(self, plan: _CenterPlan, radius: int) -> int:
         """Interned structural key of ``plan``'s radius-``radius`` ball.

@@ -1,0 +1,301 @@
+"""Compiled instances: one ``(graph, algorithm)`` pair as flat arrays.
+
+Every aggregate measure in the paper — the classic worst case over
+identifier assignments, Feuilloley's average measure, the full measure
+distributions — evaluates *one* fixed ``(graph, algorithm)`` pair under
+*many* assignments.  A :class:`CompiledInstance` hoists everything that
+does not depend on the assignment out of that loop, once per pair:
+
+* the CSR adjacency of the graph (``indptr`` / ``indices`` / ``ports``);
+* per-centre frontier prefixes in BFS discovery order (reusing the engine's
+  :class:`~repro.engine.frontier._CenterPlan` objects, which are cached on
+  the graph and shared with every :class:`~repro.engine.frontier.FrontierRunner`);
+* each centre's saturation radius and radius cap; and
+* a precompiled :class:`~repro.kernel.rules.KernelRule` — vectorised when
+  the algorithm offers one
+  (:meth:`~repro.core.algorithm.BallAlgorithm.compile_kernel_rule`),
+  otherwise the decide-backed :class:`~repro.kernel.rules.RunnerTableRule`
+  fallback behind the same interface.
+
+:func:`simulate_batch` then evaluates a whole **matrix** of assignments per
+call — rows are assignments, columns are positions — and returns the matrix
+of per-node output radii.  The numpy fast path and the pure-stdlib fallback
+are chosen at import time (see :mod:`repro.kernel.backend`) and can be
+overridden per instance; both are bit-identical to
+:meth:`FrontierRunner.run <repro.engine.frontier.FrontierRunner.run>`,
+which stays as the single-assignment reference path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
+
+from repro.engine.frontier import center_plan, engine_structure
+from repro.errors import IdentifierError, TopologyError
+from repro.kernel.backend import resolve_backend
+from repro.kernel.rules import KernelRule, RunnerTableRule
+from repro.model.graph import Graph
+from repro.model.trace import ExecutionTrace, NodeRecord
+
+if TYPE_CHECKING:  # pragma: no cover - import for type checkers only
+    from repro.core.algorithm import BallAlgorithm
+
+#: Default bound on the fallback rule's decision table, matching the
+#: session caches of the adversaries and the API layer.
+DEFAULT_MAX_TABLE_ENTRIES = 1 << 18
+
+#: Largest identifier the numpy backend can gather (int64 arrays).  The
+#: stdlib backend has no such limit; oversized identifiers on the numpy
+#: path are rejected with a clear error instead of a raw OverflowError.
+NUMPY_MAX_IDENTIFIER = 2**63 - 1
+
+#: Default number of assignment rows per kernel call when a consumer
+#: streams an unbounded workload (sampling, canonical-leaf cohorts).
+#: Large enough to amortise the per-batch dispatch, small enough to keep
+#: the working set (rows × n integers) in cache at realistic sizes.
+DEFAULT_BATCH_ROWS = 256
+
+
+@dataclass
+class KernelStats:
+    """Usage counters of one compiled instance."""
+
+    batches: int = 0
+    rows: int = 0
+
+    def as_dict(self) -> dict:
+        """JSON-friendly form (result rows, benchmark artifacts)."""
+        return {"batches": self.batches, "rows": self.rows}
+
+
+class CompiledInstance:
+    """The assignment-independent arrays of one ``(graph, algorithm)`` pair.
+
+    Parameters
+    ----------
+    graph, algorithm:
+        The fixed instance.  Connectivity and ``algorithm.supports_graph``
+        are checked once at construction (disable with ``validate=False``
+        when the caller already did).
+    backend:
+        ``"numpy"`` or ``"python"``; ``None`` uses the process default
+        selected at import time (:func:`repro.kernel.backend.active_backend`).
+    max_table_entries:
+        Bound on the fallback rule's decision table.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        algorithm: "BallAlgorithm",
+        backend: Optional[str] = None,
+        max_table_entries: int = DEFAULT_MAX_TABLE_ENTRIES,
+        validate: bool = True,
+    ) -> None:
+        if validate:
+            if not graph.is_connected():
+                raise TopologyError("the LOCAL simulators require a connected graph")
+            if not algorithm.supports_graph(graph):
+                raise TopologyError(
+                    f"algorithm {algorithm.name!r} does not support graph {graph.name!r}"
+                )
+        self.graph = graph
+        self.algorithm = algorithm
+        self.backend = resolve_backend(backend)
+        self.max_table_entries = max_table_entries
+        self.n = graph.n
+        self._csr: Optional[tuple[tuple[int, ...], ...]] = None
+        # Frontier prefixes, straight from the shared _CenterPlan objects:
+        # discovery[v] lists the ball members of centre v in BFS order,
+        # distances[v][i] is the layer (= radius of first visibility) of
+        # discovery[v][i], member_counts[v][r] the prefix length of the
+        # radius-r ball.
+        plans = [center_plan(graph, v) for v in graph.positions()]
+        self.discovery = tuple(plan.discovery for plan in plans)
+        self.distances = tuple(plan.distances for plan in plans)
+        self.member_counts = tuple(tuple(plan.member_counts) for plan in plans)
+        self.saturation = tuple(plan.saturation_radius() for plan in plans)
+        self.caps = tuple(radius + 1 for radius in self.saturation)
+        self.stats = KernelStats()
+        # The vectorised rule (or None) is compiled eagerly — it is cheap
+        # and callers branch on `vectorized` before ever running a batch.
+        # The decide-backed fallback carries a full engine session, so it
+        # is only built when a batch actually runs on this instance.
+        self._vector_rule: Optional[KernelRule] = algorithm.compile_kernel_rule(self)
+        self._fallback_rule: Optional[KernelRule] = None
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def rule(self) -> KernelRule:
+        """The instance's batch rule (fallback materialised on first use)."""
+        if self._vector_rule is not None:
+            return self._vector_rule
+        if self._fallback_rule is None:
+            self._fallback_rule = RunnerTableRule(self)
+        return self._fallback_rule
+
+    @property
+    def vectorized(self) -> bool:
+        """Whether the instance evaluates batches with array expressions."""
+        return self._vector_rule is not None and self._vector_rule.vectorized
+
+    def _csr_arrays(self) -> tuple[tuple[int, ...], ...]:
+        """CSR adjacency (built on first access): neighbours of position
+        ``v`` are ``indices[indptr[v]:indptr[v + 1]]``, with ``ports[k]``
+        the port of the edge on the ``v`` side — the flat-array form of the
+        graph for rules (and external tooling) that want to gather against
+        adjacency rather than frontier prefixes."""
+        if self._csr is None:
+            adjacency, _, _ = engine_structure(self.graph)
+            indptr = [0]
+            indices: list[int] = []
+            ports: list[int] = []
+            for triples in adjacency:
+                for u, port_vu, _ in triples:
+                    indices.append(u)
+                    ports.append(port_vu)
+                indptr.append(len(indices))
+            self._csr = (tuple(indptr), tuple(indices), tuple(ports))
+        return self._csr
+
+    @property
+    def indptr(self) -> tuple[int, ...]:
+        """CSR row pointers (see :meth:`_csr_arrays`)."""
+        return self._csr_arrays()[0]
+
+    @property
+    def indices(self) -> tuple[int, ...]:
+        """CSR neighbour stream (see :meth:`_csr_arrays`)."""
+        return self._csr_arrays()[1]
+
+    @property
+    def ports(self) -> tuple[int, ...]:
+        """CSR port stream (see :meth:`_csr_arrays`)."""
+        return self._csr_arrays()[2]
+
+    def describe(self) -> dict:
+        """JSON-friendly identity of the compiled instance (result rows)."""
+        return {
+            "backend": self.backend,
+            "rule": self.rule.name,
+            "vectorized": self.rule.vectorized,
+        }
+
+    # ------------------------------------------------------------------
+    # batch evaluation
+    # ------------------------------------------------------------------
+    def normalize_rows(self, ids_matrix: Iterable) -> list[tuple[int, ...]]:
+        """Coerce an assignment matrix into validated rows of id tuples.
+
+        Accepts any iterable of per-assignment rows — tuples, lists,
+        :class:`~repro.model.identifiers.IdentifierAssignment` objects, or a
+        2-D numpy array — and checks each row covers exactly ``n`` positions
+        with pairwise-distinct identifiers.
+        """
+        rows = []
+        for row in ids_matrix:
+            identifiers = row.identifiers() if hasattr(row, "identifiers") else row
+            values = tuple(int(identifier) for identifier in identifiers)
+            if len(values) != self.n:
+                raise TopologyError(
+                    f"assignment row covers {len(values)} positions "
+                    f"but graph has {self.n}"
+                )
+            if len(set(values)) != self.n:
+                raise IdentifierError("identifiers must be pairwise distinct")
+            if (
+                self.backend == "numpy"
+                and values
+                and max(values) > NUMPY_MAX_IDENTIFIER
+            ):
+                raise IdentifierError(
+                    f"identifier {max(values)} exceeds the numpy backend's "
+                    f"int64 range; use REPRO_KERNEL=python (or "
+                    f"backend='python') for identifiers above 2**63 - 1"
+                )
+            rows.append(values)
+        return rows
+
+    def batch_radii(
+        self, ids_matrix: Iterable, pre_validated: bool = False
+    ) -> list[tuple[int, ...]]:
+        """Output radii for a whole matrix of assignments (rows = assignments).
+
+        ``pre_validated=True`` skips :meth:`normalize_rows` for trusted
+        internal callers whose rows are valid by construction (canonical-leaf
+        enumeration, draws that already passed
+        :class:`~repro.model.identifiers.IdentifierAssignment` validation) —
+        the per-row check is measurable inside those hot loops.  Rows must
+        then already be sequences of ``n`` distinct ints.
+        """
+        rows = list(ids_matrix) if pre_validated else self.normalize_rows(ids_matrix)
+        if not rows:
+            return []
+        self.stats.batches += 1
+        self.stats.rows += len(rows)
+        return self.rule.batch_radii(rows)
+
+    def batch_traces(self, ids_matrix: Iterable) -> list[ExecutionTrace]:
+        """Full :class:`ExecutionTrace` objects for a matrix of assignments.
+
+        The trace-parity surface: the property suite asserts these are
+        bit-identical to :meth:`FrontierRunner.run` for every registered
+        algorithm under both backends.
+        """
+        rows = self.normalize_rows(ids_matrix)
+        if not rows:
+            return []
+        self.stats.batches += 1
+        self.stats.rows += len(rows)
+        radii_rows, output_rows = self.rule.batch_radii_outputs(rows)
+        traces = []
+        for ids, radii, outputs in zip(rows, radii_rows, output_rows):
+            records = {
+                position: NodeRecord(
+                    position=position,
+                    identifier=ids[position],
+                    radius=radii[position],
+                    output=outputs[position],
+                )
+                for position in range(self.n)
+            }
+            traces.append(ExecutionTrace(records))
+        return traces
+
+
+def compile_instance(
+    graph: Graph,
+    algorithm: "BallAlgorithm",
+    backend: Optional[str] = None,
+    max_table_entries: int = DEFAULT_MAX_TABLE_ENTRIES,
+    validate: bool = True,
+) -> CompiledInstance:
+    """Compile one ``(graph, algorithm)`` pair for batch evaluation."""
+    return CompiledInstance(
+        graph,
+        algorithm,
+        backend=backend,
+        max_table_entries=max_table_entries,
+        validate=validate,
+    )
+
+
+def simulate_batch(
+    instance: CompiledInstance, ids_matrix: Sequence
+) -> list[tuple[int, ...]]:
+    """Evaluate a matrix of assignments: rows = assignments, columns = positions.
+
+    Returns one tuple of per-position output radii per input row, in input
+    order, bit-identical to running each row through
+    :meth:`FrontierRunner.run <repro.engine.frontier.FrontierRunner.run>`.
+
+    >>> from repro.algorithms.largest_id import LargestIdAlgorithm
+    >>> from repro.topology.cycle import cycle_graph
+    >>> instance = compile_instance(cycle_graph(5), LargestIdAlgorithm())
+    >>> simulate_batch(instance, [(0, 1, 2, 3, 4), (4, 3, 2, 1, 0)])
+    [(1, 1, 1, 1, 2), (2, 1, 1, 1, 1)]
+    """
+    return instance.batch_radii(ids_matrix)

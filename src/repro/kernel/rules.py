@@ -1,0 +1,202 @@
+"""Precompiled decision rules evaluated by the batch kernel.
+
+A :class:`KernelRule` answers *whole matrices* of identifier assignments
+for one compiled ``(graph, algorithm)`` pair: given rows of
+position -> identifier tuples it returns, per row, the radius at which every
+node outputs (and, on request, the outputs themselves).  Rules come in two
+flavours:
+
+* **vectorised** rules (``vectorized = True``) know a closed-form,
+  array-friendly description of the algorithm's stopping radius and run it
+  either as numpy expressions or as tight stdlib loops.
+  :class:`MaxScanRule` — the rule of the paper's largest-ID algorithm — is
+  the canonical example: a node's radius is the BFS distance to the nearest
+  strictly larger identifier, or its saturation radius when it carries the
+  global maximum.  Algorithms opt in through
+  :meth:`repro.core.algorithm.BallAlgorithm.compile_kernel_rule`.
+
+* the **decide-backed** fallback (:class:`RunnerTableRule`) for everything
+  that cannot be table-compiled: rows run one at a time through the
+  instance's private :class:`~repro.engine.frontier.FrontierRunner` session
+  (frontier plans plus a warm :class:`~repro.engine.cache.DecisionCache`,
+  i.e. per-``(centre, radius)`` decision tables keyed by identifier
+  patterns), so the kernel interface stays uniform and the results stay
+  bit-identical to the single-assignment reference path by construction.
+
+Every rule must agree with :class:`~repro.engine.frontier.FrontierRunner`
+bit for bit — ``tests/property/test_property_kernel.py`` enforces this for
+every registered algorithm under both backends.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Sequence
+
+from repro.engine.cache import DecisionCache
+from repro.engine.frontier import FrontierRunner
+from repro.model.identifiers import IdentifierAssignment
+
+if TYPE_CHECKING:  # pragma: no cover - imports for type checkers only
+    from repro.kernel.compile import CompiledInstance
+
+Rows = Sequence[tuple[int, ...]]
+
+
+class KernelRule:
+    """One algorithm's batch evaluation strategy on a compiled instance."""
+
+    #: Short rule identifier recorded in result rows and benchmark artifacts.
+    name: str = "kernel-rule"
+
+    #: Whether the rule evaluates whole matrices with array expressions.
+    #: Non-vectorised rules fall back to per-row execution; batching them is
+    #: an interface convenience, not a throughput win, and callers like the
+    #: swap evaluator use this flag to decide whether batching pays.
+    vectorized: bool = False
+
+    def batch_radii(self, rows: Rows) -> list[tuple[int, ...]]:
+        """Per-row tuple of per-position output radii."""
+        raise NotImplementedError
+
+    def batch_radii_outputs(
+        self, rows: Rows
+    ) -> tuple[list[tuple[int, ...]], list[tuple[Any, ...]]]:
+        """Per-row radii and outputs (the trace-parity surface)."""
+        raise NotImplementedError
+
+
+class RunnerTableRule(KernelRule):
+    """Decide-backed fallback: one engine session, rows evaluated one by one.
+
+    The session's :class:`~repro.engine.cache.DecisionCache` *is* the
+    decision table — interned per-``(centre, radius)`` structural keys plus
+    identifier patterns — so repeated ball contents across the rows of a
+    batch (and across batches) are decided once.  Everything the cache
+    cannot answer goes to the algorithm's own ``decide``, exactly like the
+    single-assignment path.
+    """
+
+    name = "runner-table"
+    vectorized = False
+
+    def __init__(self, instance: "CompiledInstance") -> None:
+        algorithm = instance.algorithm
+        self._runner = FrontierRunner(
+            instance.graph,
+            algorithm,
+            cache=DecisionCache(algorithm, max_entries=instance.max_table_entries),
+            validate=False,
+        )
+
+    def batch_radii(self, rows: Rows) -> list[tuple[int, ...]]:
+        return [radii for radii, _ in map(self._run_row, rows)]
+
+    def batch_radii_outputs(self, rows):
+        results = [self._run_row(row) for row in rows]
+        return [radii for radii, _ in results], [outputs for _, outputs in results]
+
+    def _run_row(self, row: tuple[int, ...]) -> tuple[tuple[int, ...], tuple[Any, ...]]:
+        trace = self._runner.run(IdentifierAssignment(row))
+        radii = trace.radii()
+        outputs = trace.outputs_by_position()
+        positions = range(len(row))
+        return (
+            tuple(radii[position] for position in positions),
+            tuple(outputs[position] for position in positions),
+        )
+
+
+class MaxScanRule(KernelRule):
+    """Vectorised largest-ID rule: distance to the nearest larger identifier.
+
+    The largest-ID algorithm outputs ``False`` at the first radius whose
+    ball shows an identifier above the centre's own, and ``True`` once its
+    ball covers the whole graph.  On a compiled instance both events are
+    pure array lookups: each centre's ball members arrive in BFS discovery
+    order, so the first discovery index carrying a larger identifier sits in
+    the earliest layer that contains one — its layer number (the plan's
+    ``distances`` entry) *is* the output radius — and a centre with no
+    larger identifier anywhere outputs ``True`` at its saturation radius.
+    """
+
+    name = "max-scan"
+    vectorized = True
+
+    def __init__(self, instance: "CompiledInstance") -> None:
+        self._backend = instance.backend
+        self._n = instance.n
+        self._discovery = instance.discovery
+        self._distances = instance.distances
+        self._saturation = instance.saturation
+        self._np_tables = None
+
+    # ------------------------------------------------------------------
+    # stdlib path
+    # ------------------------------------------------------------------
+    def _row(self, ids: tuple[int, ...]) -> tuple[tuple[int, ...], tuple[bool, ...]]:
+        radii = []
+        outputs = []
+        for v in range(self._n):
+            own = ids[v]
+            distances = self._distances[v]
+            radius = self._saturation[v]
+            larger = False
+            for index, position in enumerate(self._discovery[v]):
+                if ids[position] > own:
+                    radius = distances[index]
+                    larger = True
+                    break
+            radii.append(radius)
+            outputs.append(not larger)
+        return tuple(radii), tuple(outputs)
+
+    # ------------------------------------------------------------------
+    # numpy path
+    # ------------------------------------------------------------------
+    def _tables(self):
+        """Per-centre gather tables as numpy arrays (built on first batch)."""
+        if self._np_tables is None:
+            from repro.kernel.backend import numpy_module
+
+            np = numpy_module()
+            self._np_tables = (
+                np,
+                [np.asarray(discovery, dtype=np.int64) for discovery in self._discovery],
+                [np.asarray(distances, dtype=np.int64) for distances in self._distances],
+            )
+        return self._np_tables
+
+    def _batch_numpy(self, rows: Rows):
+        np, discovery, distances = self._tables()
+        ids = np.asarray(rows, dtype=np.int64)
+        batch = ids.shape[0]
+        radii = np.empty((batch, self._n), dtype=np.int64)
+        larger_seen = np.empty((batch, self._n), dtype=bool)
+        for v in range(self._n):
+            gathered = ids[:, discovery[v]]
+            mask = gathered > ids[:, v, None]
+            seen = mask.any(axis=1)
+            first = mask.argmax(axis=1)
+            radii[:, v] = np.where(seen, distances[v][first], self._saturation[v])
+            larger_seen[:, v] = seen
+        return radii, larger_seen
+
+    # ------------------------------------------------------------------
+    # KernelRule interface
+    # ------------------------------------------------------------------
+    def batch_radii(self, rows: Rows) -> list[tuple[int, ...]]:
+        if self._backend == "numpy":
+            radii, _ = self._batch_numpy(rows)
+            return [tuple(row) for row in radii.tolist()]
+        return [self._row(ids)[0] for ids in rows]
+
+    def batch_radii_outputs(self, rows):
+        if self._backend == "numpy":
+            radii, larger_seen = self._batch_numpy(rows)
+            outputs = (~larger_seen).tolist()
+            return (
+                [tuple(row) for row in radii.tolist()],
+                [tuple(row) for row in outputs],
+            )
+        results = [self._row(ids) for ids in rows]
+        return [radii for radii, _ in results], [outputs for _, outputs in results]

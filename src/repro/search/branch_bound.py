@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from typing import Any, Callable, Optional, Sequence
 
 from repro.core.adversary import SESSION_CACHE_MAX_ENTRIES, validate_objective
 from repro.core.algorithm import BallAlgorithm
@@ -46,6 +46,12 @@ from repro.search.automorphisms import (
 #: Session cache bound — the same memory policy as every other search
 #: session (:data:`repro.core.adversary.SESSION_CACHE_MAX_ENTRIES`).
 SEARCH_CACHE_MAX_ENTRIES = SESSION_CACHE_MAX_ENTRIES
+
+#: Canonical leaves buffered per kernel call on the batched path.
+LEAF_COHORT_ROWS = 256
+
+#: Lazy-compilation sentinel for the search's kernel instance.
+_KERNEL_UNSET = object()
 
 
 @dataclass(frozen=True)
@@ -140,7 +146,25 @@ class BranchAndBoundSearch:
         )
         self.cache = DecisionCache(algorithm, max_entries=SEARCH_CACHE_MAX_ENTRIES)
         self.runner = FrontierRunner(graph, algorithm, cache=self.cache)
+        self._kernel: Any = _KERNEL_UNSET
         self._prepare_static_tables()
+
+    @property
+    def kernel(self):
+        """The search's compiled batch instance (built on first use).
+
+        Used by the canonical-leaf cohort path (:meth:`run_batched`): leaves
+        are buffered and evaluated as whole matrices through
+        :func:`repro.kernel.compile.simulate_batch` instead of one eager
+        simulation per DFS step.
+        """
+        if self._kernel is _KERNEL_UNSET:
+            from repro.kernel.compile import compile_instance
+
+            self._kernel = compile_instance(
+                self.graph, self.algorithm, validate=False
+            )
+        return self._kernel
 
     # ------------------------------------------------------------------
     # static precomputation (assignment-independent)
@@ -215,7 +239,15 @@ class BranchAndBoundSearch:
         call.  Callbacks only see every canonical class when the bound is
         disabled (``use_bound=False``); with bounding enabled, subtrees that
         cannot beat the incumbent are skipped and never reach the hook.
+
+        When bounding is disabled *and* the algorithm compiles to a
+        vectorised kernel rule, the search delegates to :meth:`run_batched`:
+        the enumeration is identical (same canonical leaves, same expansion
+        counters, same witness), but leaves are evaluated as whole cohorts
+        through the batch kernel instead of eagerly during the DFS.
         """
+        if not self.use_bound and self.kernel.vectorized:
+            return self.run_batched(incumbent=incumbent, on_leaf=on_leaf)
         graph, runner = self.graph, self.runner
         n = graph.n
         objective = self.objective
@@ -433,6 +465,170 @@ class BranchAndBoundSearch:
             nodes_expanded=stats["nodes"],
             pruned_by_symmetry=stats["sym"],
             pruned_by_bound=stats["bound"],
+            incumbent_seeded=incumbent_seeded,
+        )
+        return SearchOutcome(identifiers=best_ids, value=value, certificate=certificate)
+
+    # ------------------------------------------------------------------
+    # batched canonical enumeration
+    # ------------------------------------------------------------------
+    def _enumerate_canonical(self, visit: Callable[[tuple[int, ...]], None]) -> dict:
+        """Depth-first canonical enumeration without eager simulation.
+
+        Runs the exact symmetry pruning of :meth:`run` — only lex-minimal
+        orbit representatives survive — but defers all evaluation to the
+        caller: ``visit`` receives each canonical leaf as a full
+        position -> identifier tuple, in the same DFS order the eager path
+        produces.  Returns the ``nodes`` / ``leaves`` / ``sym`` counters,
+        which are identical to the eager path's by construction (simulation
+        never influenced the tree shape when bounding is off).
+
+        The symmetry logic here is a deliberate twin of the inlined loop in
+        :meth:`run` — both hot paths stay closure-free rather than sharing
+        a hook-parameterised skeleton.  Any change to the ``sigma_slots``
+        lex test or its undo bookkeeping must be mirrored in both places;
+        ``tests/search/test_branch_bound.py::TestBatchedEnumeration`` pins
+        them to each other leaf by leaf (assignments, radii, counters and
+        witness), so a one-sided edit fails loudly.
+        """
+        n = self.graph.n
+        full_symmetric = self.group.full_symmetric
+        sigma_slots = self.sigma_slots
+        order = self.order
+        val: list[int] = [-1] * n
+        ids_by_position: list[int] = [-1] * n
+        used = [False] * n
+        cmp_index = [0] * len(sigma_slots)
+        stats = {"nodes": 0, "leaves": 0, "sym": 0}
+
+        def dfs(depth: int) -> None:
+            if depth == n:
+                stats["leaves"] += 1
+                visit(tuple(ids_by_position))
+                return
+            slot = depth
+            position = order[slot]
+            if full_symmetric:
+                candidates: "range | tuple[int, ...]" = (slot,)
+            else:
+                candidates = range(n)
+            for identifier in candidates:
+                if used[identifier]:
+                    continue
+                stats["nodes"] += 1
+                val[slot] = identifier
+                ids_by_position[position] = identifier
+                new_depth = depth + 1
+                used[identifier] = True
+                sym_undo: list[tuple[int, int]] = []
+                pruned = False
+                for s, slots in enumerate(sigma_slots):
+                    j = cmp_index[s]
+                    if j < 0:
+                        continue
+                    advanced = j
+                    verdict = 0
+                    while advanced < new_depth:
+                        other = slots[advanced]
+                        if other >= new_depth:
+                            break
+                        a, b = val[advanced], val[other]
+                        if a != b:
+                            verdict = -1 if a < b else 1
+                            break
+                        advanced += 1
+                    if verdict == 1:
+                        stats["sym"] += 1
+                        pruned = True
+                        sym_undo.append((s, j))
+                        cmp_index[s] = advanced
+                        break
+                    new_index = -1 if verdict == -1 else advanced
+                    if new_index != j:
+                        sym_undo.append((s, j))
+                        cmp_index[s] = new_index
+                if not pruned:
+                    dfs(new_depth)
+                for s, j in sym_undo:
+                    cmp_index[s] = j
+                used[identifier] = False
+                ids_by_position[position] = -1
+                val[slot] = -1
+
+        dfs(0)
+        return stats
+
+    def run_batched(
+        self,
+        incumbent: Optional[tuple[int, ...]] = None,
+        on_leaf: Optional[Callable[[Sequence[int], Sequence[int]], None]] = None,
+        cohort_rows: int = LEAF_COHORT_ROWS,
+    ) -> SearchOutcome:
+        """Exhaust every canonical class, evaluating leaf cohorts as batches.
+
+        The batch twin of :meth:`run` with ``use_bound=False``: canonical
+        assignments are enumerated by pure symmetry-pruned DFS, buffered
+        ``cohort_rows`` at a time, and each cohort is one
+        :func:`repro.kernel.compile.simulate_batch` call on the search's
+        compiled instance — array speed for vectorised rules, the engine
+        session fallback otherwise.  The optimum, the witness, the
+        ``on_leaf`` stream (``(ids_by_position, radius_by_position)`` per
+        canonical leaf, in DFS order) and the certificate counters are all
+        identical to the eager path; bound pruning never applies here, so
+        ``pruned_by_bound`` is 0 by construction.
+        """
+        n = self.graph.n
+        objective = self.objective
+        maximise_max = objective == "max"
+        kernel = self.kernel
+
+        best_int = -1
+        best_ids: Optional[tuple[int, ...]] = None
+        incumbent_seeded = False
+        if incumbent is not None:
+            trace = self.runner.run(_as_assignment(incumbent))
+            best_int = trace.max_radius if maximise_max else trace.sum_radius
+            best_ids = tuple(incumbent)
+            incumbent_seeded = True
+
+        buffer: list[tuple[int, ...]] = []
+
+        def flush() -> None:
+            nonlocal best_int, best_ids
+            if not buffer:
+                return
+            batched = kernel.batch_radii(buffer, pre_validated=True)
+            for ids_row, radii in zip(buffer, batched):
+                if on_leaf is not None:
+                    on_leaf(list(ids_row), list(radii))
+                value = max(radii) if maximise_max else sum(radii)
+                if value > best_int:
+                    best_int = value
+                    best_ids = ids_row
+            buffer.clear()
+
+        def visit(ids_row: tuple[int, ...]) -> None:
+            buffer.append(ids_row)
+            if len(buffer) >= cohort_rows:
+                flush()
+
+        stats = self._enumerate_canonical(visit)
+        flush()
+        if best_ids is None:
+            raise AnalysisError(
+                "search terminated without a witness — empty assignment space"
+            )
+        value = best_int / n if objective == "average" else float(best_int)
+        certificate = SearchCertificate(
+            exact=True,
+            objective=objective,
+            space_size=math.factorial(n),
+            group_order=self.group.order,
+            group_respects_ports=self.group.respects_ports,
+            canonical_leaves=stats["leaves"],
+            nodes_expanded=stats["nodes"],
+            pruned_by_symmetry=stats["sym"],
+            pruned_by_bound=0,
             incumbent_seeded=incumbent_seeded,
         )
         return SearchOutcome(identifiers=best_ids, value=value, certificate=certificate)

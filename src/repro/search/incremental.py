@@ -12,12 +12,23 @@ or annealing step orders of magnitude cheaper than a full re-run.
 :class:`SwapEvaluator` maintains the per-node radii and outputs of a current
 assignment inside one engine session (frontier plans + decision cache), so
 repeated examinations of the same swap also hit the decision cache.
+
+For algorithms with a vectorised kernel rule there is a second gear:
+:meth:`SwapEvaluator.peek_values_batch` scores a whole *set* of candidate
+transpositions in one :func:`repro.kernel.compile.simulate_batch` call —
+one matrix row per candidate — which is how the portfolio strategies
+(:mod:`repro.search.strategies`) examine their per-step swap samples.  The
+values are bit-identical to :meth:`SwapEvaluator.peek`; the chosen swap is
+then committed through the incremental path as before (batch scoring
+returns values only, so the winner is re-examined once by :meth:`peek` to
+obtain its :class:`SwapDelta` — one extra cheap incremental evaluation per
+committed step, counted by ``evaluations`` like any other examination).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Any, Optional, Sequence
 
 from repro.core.adversary import SESSION_CACHE_MAX_ENTRIES, validate_objective
 from repro.core.algorithm import BallAlgorithm
@@ -30,6 +41,13 @@ from repro.model.trace import ExecutionTrace, NodeRecord
 #: Session cache bound — the same memory policy as every other search
 #: session (:data:`repro.core.adversary.SESSION_CACHE_MAX_ENTRIES`).
 SWAP_CACHE_MAX_ENTRIES = SESSION_CACHE_MAX_ENTRIES
+
+#: Minimum candidate-set size at which batch scoring beats per-swap
+#: incremental re-simulation; below it the fixed batch dispatch dominates.
+MIN_BATCH_SWAPS = 4
+
+#: Lazy-compilation sentinel for the evaluator's kernel instance.
+_KERNEL_UNSET = object()
 
 
 @dataclass(frozen=True)
@@ -76,6 +94,7 @@ class SwapEvaluator:
         self.objective = objective
         self.cache = DecisionCache(algorithm, max_entries=SWAP_CACHE_MAX_ENTRIES)
         self.runner = FrontierRunner(graph, algorithm, cache=self.cache)
+        self._kernel: Any = _KERNEL_UNSET
         self.evaluations = 0
         self._radii: list[int] = []
         self._outputs: list[Any] = []
@@ -186,6 +205,69 @@ class SwapEvaluator:
             sum_radius=new_sum,
             changes=tuple(changes),
         )
+
+    def peek_values_batch(
+        self, pairs: Sequence[tuple[int, int]]
+    ) -> list[float]:
+        """Objective values of many candidate transpositions, batch-scored.
+
+        One matrix row per candidate (the current assignment with that pair
+        swapped), evaluated in a single kernel batch when the algorithm has
+        a vectorised rule and the candidate set is worth a batch; otherwise
+        each pair goes through the incremental :meth:`peek` path.  Both
+        paths return exactly ``[self.peek(a, b).value for a, b in pairs]``
+        and count ``len(pairs)`` evaluations, so strategy trajectories are
+        identical whichever gear runs.  Scoring never moves the evaluator:
+        commit the chosen swap with :meth:`peek` + :meth:`commit` (or
+        :meth:`apply_swap`).
+        """
+        if not pairs:
+            return []
+        kernel = self._batch_kernel()
+        if (
+            kernel is None
+            or len(pairs) < MIN_BATCH_SWAPS
+            or not self._kernel_accepts_ids(kernel)
+        ):
+            return [self.peek(a, b).value for a, b in pairs]
+        base = self._ids
+        rows = []
+        for a, b in pairs:
+            row = list(base)
+            row[a], row[b] = row[b], row[a]
+            rows.append(row)
+        self.evaluations += len(pairs)
+        values = []
+        for radii in kernel.batch_radii(rows, pre_validated=True):
+            if self.objective == "max":
+                values.append(float(max(radii)))
+            elif self.objective == "sum":
+                values.append(float(sum(radii)))
+            else:
+                values.append(sum(radii) / self.graph.n)
+        return values
+
+    def _batch_kernel(self):
+        """The compiled batch instance, or ``None`` without a vectorised rule."""
+        if self._kernel is _KERNEL_UNSET:
+            from repro.kernel.compile import compile_instance
+
+            instance = compile_instance(self.graph, self.algorithm, validate=False)
+            self._kernel = instance if instance.vectorized else None
+        return self._kernel
+
+    def _kernel_accepts_ids(self, kernel) -> bool:
+        """Whether the kernel backend can represent the current identifiers.
+
+        The numpy backend gathers int64 arrays; assignments carrying
+        identifiers beyond that range (perfectly legal for the runner path)
+        quietly take the per-pair incremental gear instead.
+        """
+        from repro.kernel.compile import NUMPY_MAX_IDENTIFIER
+
+        if kernel.backend != "numpy":
+            return True
+        return max(self._ids) <= NUMPY_MAX_IDENTIFIER
 
     def commit(self, delta: SwapDelta) -> float:
         """Apply a previously examined transposition and return the new value."""

@@ -6,6 +6,18 @@ assignment it has *seen* (not necessarily the one it ends on — annealing and
 tabu search deliberately walk through worse states).  All strategies draw
 every random choice from the supplied ``rng``, so a fixed seed makes a
 strategy fully deterministic; the parallel portfolio relies on this.
+
+The population-based strategies — hill climbing and tabu search, which
+examine a whole *sample* of candidate swaps per step — score that sample
+through :meth:`~repro.search.incremental.SwapEvaluator.peek_values_batch`
+(one kernel batch per step for vectorised algorithms) and only run the
+incremental :meth:`~repro.search.incremental.SwapEvaluator.peek` for the
+single swap they commit — that re-examination of the winner costs one
+extra evaluation per improving step relative to the pre-batch code, and is
+counted in ``evaluations`` like any other examination.  Batch scoring is
+value-identical to peeking each pair, so trajectories do not depend on
+which gear runs.  Annealing examines one swap per step (the acceptance
+test needs the current state), so it keeps the purely incremental path.
 """
 
 from __future__ import annotations
@@ -55,19 +67,21 @@ def hill_climb(
     current = evaluator.value
     steps = 0
     for _ in range(max_steps):
-        best_delta = None
+        pairs = []
         for _ in range(swaps_per_step):
             a, b = _sample_pair(rng, evaluator.graph.n)
             if a == b:
                 continue
-            delta = evaluator.peek(a, b)
-            if delta.value > current and (
-                best_delta is None or delta.value > best_delta.value
-            ):
-                best_delta = delta
-        if best_delta is None:
+            pairs.append((a, b))
+        best_pair = None
+        best_value = current
+        for pair, value in zip(pairs, evaluator.peek_values_batch(pairs)):
+            if value > best_value:
+                best_pair = pair
+                best_value = value
+        if best_pair is None:
             break
-        current = evaluator.commit(best_delta)
+        current = evaluator.commit(evaluator.peek(*best_pair))
         steps += 1
     return StrategyResult(
         name="hill-climb",
@@ -136,24 +150,25 @@ def tabu_search(
     best_ids = evaluator.identifiers
     tabu_until: dict[tuple[int, int], int] = {}
     for step in range(steps):
-        best_delta = None
+        pairs = []
         for _ in range(sample):
             a, b = _sample_pair(rng, evaluator.graph.n)
             if a == b:
                 continue
+            pairs.append((a, b))
+        best_pair = None
+        best_pair_value = None
+        for (a, b), value in zip(pairs, evaluator.peek_values_batch(pairs)):
             pair = (min(a, b), max(a, b))
-            delta = evaluator.peek(a, b)
-            if tabu_until.get(pair, -1) > step and delta.value <= best_value:
+            if tabu_until.get(pair, -1) > step and value <= best_value:
                 continue  # tabu, and aspiration does not apply
-            if best_delta is None or delta.value > best_delta.value:
-                best_delta = delta
-        if best_delta is None:
+            if best_pair is None or value > best_pair_value:
+                best_pair = (a, b)
+                best_pair_value = value
+        if best_pair is None:
             continue
-        current = evaluator.commit(best_delta)
-        pair = (
-            min(best_delta.position_a, best_delta.position_b),
-            max(best_delta.position_a, best_delta.position_b),
-        )
+        current = evaluator.commit(evaluator.peek(*best_pair))
+        pair = (min(best_pair), max(best_pair))
         tabu_until[pair] = step + tenure
         if current > best_value:
             best_value = current

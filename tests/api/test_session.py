@@ -154,6 +154,65 @@ class TestObjectLevelHelpers:
         assert session_trace.outputs_by_position() == legacy_trace.outputs_by_position()
 
 
+class TestSessionCaches:
+    def test_hot_graph_survives_a_cold_sweep(self):
+        # The LRU regression scenario: one instance stays hot while a sweep
+        # of one-shot instances streams through a tiny cache.  Under the old
+        # oldest-insertion eviction the hot graph (oldest insertion, most
+        # recent use) would be evicted; under LRU it must survive.
+        session = Session(max_graphs=3)
+        hot = session.graph("cycle", 8)
+        for n in (10, 12, 14, 16, 18, 20):
+            session.graph("cycle", n)   # the cold sweep
+            assert session.graph("cycle", 8) is hot   # the hot instance, re-hit
+        assert session._graphs.evictions > 0
+
+    def test_eviction_drops_the_least_recently_used(self):
+        session = Session(max_graphs=2)
+        first = session.graph("cycle", 6)
+        session.graph("cycle", 8)
+        session.graph("cycle", 6)        # refresh first
+        session.graph("cycle", 10)       # evicts the 8-cycle, not the 6-cycle
+        assert session.graph("cycle", 6) is first
+        assert ("cycle", 8, 0) not in session._graphs
+
+    def test_cache_info_counts_hits_misses_and_evictions(self):
+        session = Session(max_graphs=2)
+        info = session.cache_info()
+        assert info == {"hits": 0, "misses": 0, "evictions": 0}
+        session.graph("cycle", 6)
+        session.graph("cycle", 6)
+        session.graph("cycle", 8)
+        session.graph("cycle", 10)
+        info = session.cache_info()
+        assert info["hits"] == 1
+        assert info["misses"] == 3
+        assert info["evictions"] == 1
+
+    def test_results_surface_the_session_cache_counters(self):
+        session = Session()
+        first = session.simulate(topologies="cycle", sizes=8, seed=0)
+        assert first.cache["session"]["misses"] > 0
+        second = session.simulate(topologies="cycle", sizes=8, seed=1)
+        assert second.cache["session"]["hits"] > first.cache["session"]["hits"]
+        assert second.cache["session"]["evictions"] == 0
+
+    def test_distribution_reuses_the_session_kernel(self):
+        session = Session()
+        session.distribution(topologies="cycle", sizes=6, methods="sample", samples=8)
+        kernels_after_first = len(session._kernels)
+        result = session.distribution(
+            topologies="cycle", sizes=6, methods="sample", samples=8, seed=1
+        )
+        assert len(session._kernels) == kernels_after_first == 1
+        assert result.rows[0]["kernel"]["rule"] in ("max-scan", "runner-table")
+        assert result.kernel["rows"] == 1
+
+    def test_cache_limits_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            Session(max_graphs=0)
+
+
 class TestDefaultSession:
     def test_query_uses_one_shared_session(self):
         reset_default_session()

@@ -136,3 +136,56 @@ class TestBranchAndBound:
         legacy = ExhaustiveAdversary().maximise(graph, algorithm, "average")
         bounded = BranchAndBoundAdversary().maximise(graph, algorithm, "average")
         assert bounded.value == legacy.value
+
+
+class TestBatchedEnumeration:
+    """run_batched must be indistinguishable from the eager full enumeration."""
+
+    @pytest.mark.parametrize("objective", ["sum", "max", "average"])
+    def test_matches_eager_enumeration_leaf_by_leaf(self, objective):
+        # Greedy colouring has no vectorised rule, so run() keeps the eager
+        # path — making it the reference run_batched is compared against.
+        algorithm = GreedyColoringByID()
+        graph = cycle_graph(6)
+        eager = BranchAndBoundSearch(graph, algorithm, objective, use_bound=False)
+        assert not eager.kernel.vectorized
+        eager_leaves = []
+        eager_outcome = eager.run(
+            on_leaf=lambda ids, radii: eager_leaves.append((tuple(ids), tuple(radii)))
+        )
+        batched = BranchAndBoundSearch(graph, algorithm, objective, use_bound=False)
+        batched_leaves = []
+        batched_outcome = batched.run_batched(
+            on_leaf=lambda ids, radii: batched_leaves.append((tuple(ids), tuple(radii))),
+            cohort_rows=7,   # force several partial cohorts
+        )
+        assert batched_leaves == eager_leaves
+        assert batched_outcome.value == eager_outcome.value
+        assert batched_outcome.identifiers == eager_outcome.identifiers
+        eager_cert = eager_outcome.certificate.as_dict()
+        batched_cert = batched_outcome.certificate.as_dict()
+        assert batched_cert == eager_cert
+
+    def test_vectorised_algorithms_delegate_from_run(self, largest_id_algorithm):
+        # For largest-id, run(use_bound=False) IS the batched path; its
+        # outcome must still match the bounded exact search and the legacy
+        # exhaustive optimum.
+        graph = cycle_graph(7)
+        search = BranchAndBoundSearch(graph, largest_id_algorithm, "sum", use_bound=False)
+        assert search.kernel.vectorized
+        outcome = search.run()
+        legacy = ExhaustiveAdversary().maximise(graph, largest_id_algorithm, "sum")
+        assert outcome.value == legacy.value
+        assert outcome.certificate.canonical_leaves == math.factorial(7) // 14
+        assert outcome.certificate.pruned_by_bound == 0
+
+    def test_incumbent_seeding_matches_eager_semantics(self, largest_id_algorithm):
+        graph = cycle_graph(6)
+        incumbent = tuple(range(6))
+        search = BranchAndBoundSearch(graph, largest_id_algorithm, "sum", use_bound=False)
+        outcome = search.run_batched(incumbent=incumbent)
+        assert outcome.certificate.incumbent_seeded
+        reference = BranchAndBoundSearch(graph, largest_id_algorithm, "sum").run(
+            incumbent=incumbent
+        )
+        assert outcome.value == reference.value

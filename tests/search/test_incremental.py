@@ -82,3 +82,55 @@ class TestSwapEvaluator:
         evaluator.peek(0, 1)
         evaluator.apply_swap(2, 3)
         assert evaluator.evaluations == start + 2
+
+    def test_batch_values_match_peek_for_every_objective(
+        self, ring12, largest_id_algorithm
+    ):
+        import random
+
+        for objective in ("average", "max", "sum"):
+            evaluator = SwapEvaluator(ring12, largest_id_algorithm, objective=objective)
+            rng = random.Random(7)
+            for _ in range(3):
+                pairs = [tuple(rng.sample(range(12), 2)) for _ in range(9)]
+                expected = [evaluator.peek(a, b).value for a, b in pairs]
+                assert evaluator.peek_values_batch(pairs) == expected
+                evaluator.apply_swap(*pairs[0])
+
+    def test_batch_values_match_peek_on_the_fallback_rule(self, ring12):
+        # Non-vectorised algorithms take the per-pair path inside the batch
+        # API; values and evaluation counting must be identical.
+        from repro.algorithms.greedy_coloring import GreedyColoringByID
+
+        evaluator = SwapEvaluator(ring12, GreedyColoringByID())
+        pairs = [(0, 5), (1, 7), (2, 2), (3, 11), (4, 8)]
+        expected = [evaluator.peek(a, b).value for a, b in pairs]
+        before = evaluator.evaluations
+        assert evaluator.peek_values_batch(pairs) == expected
+        assert evaluator.evaluations == before + len(pairs)
+
+    def test_batch_values_with_identifiers_beyond_int64(self, largest_id_algorithm):
+        # Identifiers above the numpy int64 range are legal for the runner;
+        # the batch path must quietly take the incremental gear rather than
+        # overflow inside the numpy gather.
+        from repro.model.identifiers import IdentifierAssignment
+        from repro.topology.cycle import cycle_graph
+
+        ids = IdentifierAssignment(tuple(2**63 + i for i in range(8)))
+        evaluator = SwapEvaluator(cycle_graph(8), largest_id_algorithm, ids=ids)
+        pairs = [(0, 1), (2, 3), (4, 5), (6, 7), (1, 6)]
+        expected = [evaluator.peek(a, b).value for a, b in pairs]
+        assert evaluator.peek_values_batch(pairs) == expected
+
+    def test_batch_counts_evaluations_and_does_not_move_state(
+        self, ring12, largest_id_algorithm
+    ):
+        evaluator = SwapEvaluator(ring12, largest_id_algorithm)
+        identifiers = evaluator.identifiers
+        value = evaluator.value
+        before = evaluator.evaluations
+        assert evaluator.peek_values_batch([]) == []
+        evaluator.peek_values_batch([(0, 1), (2, 3), (4, 5), (6, 7), (8, 9)])
+        assert evaluator.evaluations == before + 5
+        assert evaluator.identifiers == identifiers
+        assert evaluator.value == value

@@ -1,0 +1,95 @@
+"""The benchmark-regression guard, and the committed artifacts it gates."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCRIPTS = REPO_ROOT / "scripts"
+
+sys.path.insert(0, str(SCRIPTS))
+
+import check_bench_floors  # noqa: E402
+
+
+class TestCommittedArtifacts:
+    def test_every_committed_artifact_meets_its_floor(self):
+        assert check_bench_floors.main(["--quiet"]) == 0
+
+    def test_every_artifact_kind_is_known_to_the_guard(self):
+        # Some artifacts are committed (api, dist, kernel), others are
+        # regenerated per run (engine, search, gitignored); whatever is on
+        # disk must be a kind the guard knows how to gate.
+        kinds = {
+            json.loads(path.read_text())["kind"]
+            for path in REPO_ROOT.glob("BENCH_*.json")
+        }
+        assert kinds
+        assert kinds <= set(check_bench_floors.GATED_RESULTS)
+
+
+class TestGuardLogic:
+    def _write(self, tmp_path, name, document):
+        (tmp_path / name).write_text(json.dumps(document))
+
+    def test_detects_a_regressed_speedup(self, tmp_path):
+        self._write(
+            tmp_path,
+            "BENCH_engine.json",
+            {
+                "kind": "repro-bench-engine",
+                "min_speedup": 3.0,
+                "results": {
+                    "exhaustive_ring_n7": {"speedup": 1.2},
+                    "sampling_sweep_n64": {"speedup": 4.0},
+                },
+            },
+        )
+        assert check_bench_floors.main(["--root", str(tmp_path), "--quiet"]) == 1
+
+    def test_detects_a_missing_required_entry(self, tmp_path):
+        self._write(
+            tmp_path,
+            "BENCH_kernel.json",
+            {"kind": "repro-bench-kernel", "results": {}},
+        )
+        assert check_bench_floors.main(["--root", str(tmp_path), "--quiet"]) == 1
+
+    def test_optional_entries_may_be_absent(self, tmp_path):
+        # The kernel's numpy leg is absent on numpy-free machines; only the
+        # stdlib entry is mandatory.
+        self._write(
+            tmp_path,
+            "BENCH_kernel.json",
+            {
+                "kind": "repro-bench-kernel",
+                "results": {
+                    "batched_sampling_python": {"speedup": 2.0, "min_speedup": 1.0}
+                },
+            },
+        )
+        assert check_bench_floors.main(["--root", str(tmp_path), "--quiet"]) == 0
+
+    def test_entry_floor_overrides_the_artifact_floor(self, tmp_path):
+        self._write(
+            tmp_path,
+            "BENCH_kernel.json",
+            {
+                "kind": "repro-bench-kernel",
+                "results": {
+                    "batched_sampling_python": {"speedup": 0.9, "min_speedup": 1.0},
+                },
+            },
+        )
+        assert check_bench_floors.main(["--root", str(tmp_path), "--quiet"]) == 1
+
+    def test_unknown_kind_is_flagged(self, tmp_path):
+        self._write(tmp_path, "BENCH_new.json", {"kind": "repro-bench-new", "results": {}})
+        assert check_bench_floors.main(["--root", str(tmp_path), "--quiet"]) == 1
+
+    @pytest.mark.parametrize("quiet", [True, False])
+    def test_empty_root_fails(self, tmp_path, quiet, capsys):
+        argv = ["--root", str(tmp_path)] + (["--quiet"] if quiet else [])
+        assert check_bench_floors.main(argv) == 1

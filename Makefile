@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test docs bench bench-floors bench-smoke sweep-smoke examples clean
+.PHONY: test docs bench bench-floors bench-trend bench-smoke sweep-smoke examples clean
 
 ## tier-1 test suite (tests + benchmarks), exactly as CI runs it
 test:
@@ -13,11 +13,15 @@ docs:
 
 ## the speedup benchmarks with their JSON artifacts, plus the micro suite
 bench:
-	$(PYTHON) -m pytest -q benchmarks/test_bench_engine.py benchmarks/test_bench_search.py benchmarks/test_bench_dist.py benchmarks/test_bench_api.py benchmarks/test_bench_kernel.py benchmarks/test_bench_micro.py
+	$(PYTHON) -m pytest -q benchmarks/test_bench_engine.py benchmarks/test_bench_search.py benchmarks/test_bench_dist.py benchmarks/test_bench_api.py benchmarks/test_bench_kernel.py benchmarks/test_bench_obs.py benchmarks/test_bench_micro.py
 
 ## assert every committed BENCH_*.json speedup still meets its floor
 bench-floors:
 	$(PYTHON) scripts/check_bench_floors.py
+
+## speedup trajectories over the BENCH_*.json git history, with headroom
+bench-trend:
+	$(PYTHON) scripts/bench_trend.py
 
 ## every benchmark in fast smoke mode (reduced sizes, same assertions and
 ## JSON artifacts), so BENCH_*.json regressions surface on PRs

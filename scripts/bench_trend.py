@@ -1,0 +1,218 @@
+#!/usr/bin/env python
+"""Benchmark trend report: speedup trajectories over the BENCH_*.json history.
+
+``scripts/check_bench_floors.py`` asserts each artifact's *current* speedups
+against their floors; this report adds the time axis.  For every result
+entry of every ``BENCH_*.json`` artifact it prints
+
+* the current speedup and its floor (the entry's ``min_speedup``, falling
+  back to the artifact's top-level one);
+* the **headroom** — ``speedup / floor`` — how far the benchmark sits above
+  the cliff (a shrinking headroom is a regression in progress even while
+  the floor still holds);
+* the speedup **trajectory** across the artifact's git history (oldest to
+  newest, the working tree last), as numbers and an ASCII sparkline.
+
+Artifacts without git history (untracked — several BENCH files are
+regenerated and gitignored — or git absent) fall back to a current-only
+report; ``--no-git`` forces that mode.  Pure stdlib; run directly or via
+``make bench-trend``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from check_bench_floors import GATED_RESULTS  # noqa: E402
+
+#: Sparkline glyphs, lowest to highest.
+SPARKS = "▁▂▃▄▅▆▇█"
+
+
+def git_history_documents(path: Path, root: Path, limit: int) -> list[dict]:
+    """The artifact's committed versions, oldest first (empty when none).
+
+    Reads at most ``limit`` commits touching ``path`` via ``git log`` +
+    ``git show``; unreadable or unparsable historical versions are skipped
+    rather than failing the report.
+    """
+    relative = path.resolve().relative_to(root.resolve()).as_posix()
+    try:
+        log = subprocess.run(
+            ["git", "log", "--format=%h", "-n", str(limit), "--", relative],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return []
+    revisions = [line.strip() for line in log.stdout.splitlines() if line.strip()]
+    documents = []
+    for revision in reversed(revisions):  # oldest first
+        shown = subprocess.run(
+            ["git", "show", f"{revision}:{relative}"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+        )
+        if shown.returncode != 0:
+            continue
+        try:
+            document = json.loads(shown.stdout)
+        except ValueError:
+            continue
+        document["_revision"] = revision
+        documents.append(document)
+    return documents
+
+
+def sparkline(values: list[float]) -> str:
+    """An ASCII sparkline of ``values`` (empty string for fewer than two)."""
+    if len(values) < 2:
+        return ""
+    low, high = min(values), max(values)
+    if high - low < 1e-12:
+        return SPARKS[-1] * len(values)
+    scale = (len(SPARKS) - 1) / (high - low)
+    return "".join(SPARKS[int((value - low) * scale + 0.5)] for value in values)
+
+
+def entry_floor(key: str, entry: dict, document: dict):
+    """The floor governing one result entry, ``None`` for ungated entries.
+
+    Mirrors ``check_bench_floors``: only result keys matching a gated
+    prefix for the artifact's kind are held to a floor (the entry's
+    ``min_speedup``, falling back to the artifact's top-level one);
+    everything else is recorded for information only.
+    """
+    gated = GATED_RESULTS.get(document.get("kind"), ())
+    if not any(key.startswith(prefix) for prefix, _required in gated):
+        return None
+    return entry.get("min_speedup", document.get("min_speedup"))
+
+
+def trend_rows(path: Path, root: Path, history: int, use_git: bool) -> list[dict]:
+    """Per-result trend rows for one artifact (current version last)."""
+    current = json.loads(path.read_text(encoding="utf-8"))
+    documents = (
+        git_history_documents(path, root, history) if use_git and history else []
+    )
+    documents.append(current)
+    rows = []
+    for key, entry in sorted(current.get("results", {}).items()):
+        speedup = entry.get("speedup")
+        if speedup is None:
+            continue
+        trajectory = [
+            past["results"][key]["speedup"]
+            for past in documents
+            if past.get("results", {}).get(key, {}).get("speedup") is not None
+        ]
+        floor = entry_floor(key, entry, current)
+        rows.append(
+            {
+                "artifact": path.name,
+                "key": key,
+                "speedup": speedup,
+                "floor": floor,
+                "headroom": (speedup / floor) if floor else None,
+                "trajectory": trajectory,
+            }
+        )
+    return rows
+
+
+def render_text(rows: list[dict], artifacts: int) -> str:
+    """The report as aligned plain text."""
+    lines = [f"benchmark trend report — {artifacts} artifacts"]
+    current_artifact = None
+    for row in rows:
+        if row["artifact"] != current_artifact:
+            current_artifact = row["artifact"]
+            lines.append("")
+            lines.append(current_artifact)
+        floor = f"{row['floor']:.2f}x" if row["floor"] is not None else "-"
+        headroom = (
+            f"{row['headroom']:.2f}x" if row["headroom"] is not None else "-"
+        )
+        spark = sparkline(row["trajectory"])
+        trail = f"  {spark}" if spark else ""
+        points = len(row["trajectory"])
+        history = f" ({points} versions)" if points > 1 else ""
+        lines.append(
+            f"  {row['key']:<30} {row['speedup']:>9.2f}x  floor {floor:>7}  "
+            f"headroom {headroom:>7}{trail}{history}"
+        )
+    return "\n".join(lines)
+
+
+def render_markdown(rows: list[dict]) -> str:
+    """The report as a GitHub-flavoured markdown table."""
+    lines = [
+        "| artifact | benchmark | speedup | floor | headroom | trend |",
+        "| --- | --- | ---: | ---: | ---: | --- |",
+    ]
+    for row in rows:
+        floor = f"{row['floor']:.2f}x" if row["floor"] is not None else "-"
+        headroom = (
+            f"{row['headroom']:.2f}x" if row["headroom"] is not None else "-"
+        )
+        spark = sparkline(row["trajectory"]) or "-"
+        lines.append(
+            f"| {row['artifact']} | {row['key']} | {row['speedup']:.2f}x "
+            f"| {floor} | {headroom} | {spark} |"
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    """Entry point: print the trend report for every BENCH_*.json found."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        default=str(REPO_ROOT),
+        help="directory holding the BENCH_*.json files (and the git repo)",
+    )
+    parser.add_argument(
+        "--history",
+        type=int,
+        default=20,
+        metavar="N",
+        help="look back at most N commits per artifact (default 20)",
+    )
+    parser.add_argument(
+        "--no-git",
+        action="store_true",
+        help="skip git history, report current values only",
+    )
+    parser.add_argument(
+        "--markdown",
+        action="store_true",
+        help="emit a markdown table instead of aligned text",
+    )
+    args = parser.parse_args(argv)
+    root = Path(args.root)
+    artifacts = sorted(root.glob("BENCH_*.json"))
+    if not artifacts:
+        print(f"no BENCH_*.json artifacts under {root}", file=sys.stderr)
+        return 1
+    rows: list[dict] = []
+    for path in artifacts:
+        rows.extend(trend_rows(path, root, args.history, use_git=not args.no_git))
+    if args.markdown:
+        print(render_markdown(rows))
+    else:
+        print(render_text(rows, len(artifacts)))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

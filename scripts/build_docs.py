@@ -45,6 +45,7 @@ GUIDE_PAGES = (
     "adversary-search.md",
     "distributions.md",
     "performance.md",
+    "observability.md",
 )
 
 

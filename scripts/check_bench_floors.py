@@ -50,6 +50,9 @@ GATED_RESULTS = {
         # The numpy leg only exists where numpy is importable.
         ("batched_sampling_numpy", False),
     ),
+    # speedup = off_s / on_s; the 0.95 floor tolerates ~5% instrumentation
+    # overhead (the noop_span_call entry is informational, hence ungated).
+    "repro-bench-obs": (("obs_overhead", True),),
 }
 
 

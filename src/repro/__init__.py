@@ -32,7 +32,11 @@ for the LOCAL Model* (PODC 2015).  The library provides:
 * the unified query API (:mod:`repro.api`) — one declarative, validated
   :class:`Query` over all four answer modes (simulate, worst-case,
   distribution, sweep), executed by a cache-owning :class:`Session` and
-  answered with a single versioned :class:`Result` type.
+  answered with a single versioned :class:`Result` type; and
+* the cross-cutting instrumentation subsystem (:mod:`repro.obs`) —
+  hierarchical spans, a process-wide metrics registry, per-query
+  ``profile`` blocks and Chrome trace export, switched by
+  ``REPRO_OBS={on,off}`` and near-free while off.
 
 Quick start::
 
@@ -128,7 +132,7 @@ from repro.api import (
     query,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AlgorithmError",

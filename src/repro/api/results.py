@@ -29,8 +29,9 @@ RESULT_KIND = "repro-result"
 RESULT_VERSION = 1
 
 #: Per-row keys that vary between runs of the same query (timings, cache
-#: luck across worker counts); parity comparisons strip them.
-VOLATILE_ROW_KEYS = ("wall_time_s", "cache")
+#: luck across worker counts, instrumentation output); parity comparisons
+#: strip them.
+VOLATILE_ROW_KEYS = ("wall_time_s", "cache", "profile")
 
 #: Table columns per mode (the CLI renders these).
 _TABLE_COLUMNS = {
@@ -164,6 +165,11 @@ class Result:
     kernel: Optional[dict] = None
     #: Timing summary: total wall time across cells.
     timing: dict = field(default_factory=dict)
+    #: Per-query instrumentation profile (span tree summary + metrics
+    #: snapshot, see :func:`repro.obs.build_profile`); ``None`` unless the
+    #: query ran with observability on (``REPRO_OBS=on`` or
+    #: ``repro query --profile``).  Volatile, like ``wall_time_s``.
+    profile: Optional[dict] = None
 
     @classmethod
     def from_rows(
@@ -172,11 +178,13 @@ class Result:
         query: Mapping,
         rows: Sequence[Mapping],
         session_cache: Optional[Mapping] = None,
+        profile: Optional[Mapping] = None,
     ) -> "Result":
         """Assemble a Result from engine rows (aggregates computed here).
 
         ``session_cache`` optionally attaches the executing session's
-        object-cache counters (hit/miss/eviction) under ``cache["session"]``.
+        object-cache counters (hit/miss/eviction) under ``cache["session"]``;
+        ``profile`` the instrumentation profile of the producing query.
         """
         rows = tuple(dict(row) for row in rows)
         if mode == "simulate":
@@ -196,6 +204,7 @@ class Result:
             cache=cache,
             kernel=_aggregate_kernel(rows),
             timing={"wall_time_s": sum(row.get("wall_time_s", 0.0) for row in rows)},
+            profile=dict(profile) if profile is not None else None,
         )
 
     # ------------------------------------------------------------------
@@ -214,6 +223,40 @@ class Result:
         table = Table(columns=columns, title=titles[self.mode])
         for row in self.rows:
             table.add_row(**{name: self._cell(row, name) for name in columns})
+        return table
+
+    def profile_table(self) -> Table:
+        """Render the profile's span tree as an ASCII table (hottest first).
+
+        One row per aggregated span-tree node, indented by depth, with call
+        count, total and self wall seconds and the share of the profile's
+        total.  Raises :class:`~repro.errors.AnalysisError` when the result
+        carries no profile (run with ``REPRO_OBS=on``, ``repro query
+        --profile``, or enable :mod:`repro.obs` before querying).
+        """
+        if not self.profile:
+            raise AnalysisError(
+                "this result carries no profile; run the query with "
+                "REPRO_OBS=on (or `repro query --profile`) to record one"
+            )
+        total = self.profile.get("total_s") or 0.0
+        table = Table(
+            columns=("span", "count", "total_s", "self_s", "share"),
+            title="per-query span profile",
+        )
+
+        def walk(nodes, depth: int) -> None:
+            for node in nodes:
+                table.add_row(
+                    span="  " * depth + node["name"],
+                    count=node["count"],
+                    total_s=f"{node['total_s']:.6f}",
+                    self_s=f"{node['self_s']:.6f}",
+                    share=f"{(node['total_s'] / total):.1%}" if total else "-",
+                )
+                walk(node.get("children", ()), depth + 1)
+
+        walk(self.profile.get("spans", ()), 0)
         return table
 
     @staticmethod
@@ -249,6 +292,7 @@ class Result:
             "cache": self.cache,
             "kernel": self.kernel,
             "timing": self.timing,
+            "profile": self.profile,
         }
 
     def to_json(self) -> str:
@@ -290,6 +334,7 @@ class Result:
                 cache=document.get("cache"),
                 kernel=document.get("kernel"),
                 timing=dict(document.get("timing") or {}),
+                profile=document.get("profile"),
             )
         if kind == "repro-sweep":
             return cls.from_rows("sweep", {}, document["rows"])

@@ -62,6 +62,8 @@ from repro.kernel.compile import CompiledInstance, compile_instance
 from repro.model.graph import Graph
 from repro.model.identifiers import IdentifierAssignment, make_identifier_assignment
 from repro.model.trace import ExecutionTrace
+from repro.obs import build_profile, metrics as _metrics
+from repro.obs.spans import span as _obs_span
 
 #: Bound on each per-(graph, algorithm) decision-cache table, matching the
 #: adversaries' session caches.
@@ -191,7 +193,13 @@ def simulate_cell_row(
     hits_before = stats.hits if stats else 0
     misses_before = stats.misses if stats else 0
     started = time.perf_counter()
-    trace = runner.run(ids)
+    with _obs_span(
+        "engine.simulate_cell",
+        topology=cell.topology,
+        n=cell.n,
+        algorithm=cell.algorithm,
+    ):
+        trace = runner.run(ids)
     elapsed = time.perf_counter() - started
     certify(algorithm.problem, graph, ids, trace)
     cache = None
@@ -280,6 +288,24 @@ class Session:
             "misses": sum(cache.misses for cache in caches),
             "evictions": sum(cache.evictions for cache in caches),
         }
+
+    def _query_profile(self, root) -> Optional[dict]:
+        """The ``profile`` block of one query — ``None`` while obs is off.
+
+        ``root`` is the query's ``api.query`` span: the no-op singleton when
+        instrumentation is disabled (in which case no profile is recorded),
+        a finished :class:`~repro.obs.spans.Span` otherwise.  Publishes the
+        session's cache counters into the metrics registry before taking
+        the snapshot, so every profile carries them.
+        """
+        if not getattr(root, "enabled", False):
+            return None
+        info = self.cache_info()
+        _metrics.set_gauge("api.session.cache_hits", info["hits"])
+        _metrics.set_gauge("api.session.cache_misses", info["misses"])
+        _metrics.set_gauge("api.session.cache_evictions", info["evictions"])
+        _metrics.add("api.queries")
+        return build_profile(root)
 
     def graph(self, topology: str, n: int, seed: int = 0) -> Graph:
         """A built topology, cached per ``(topology, n, seed)``.
@@ -377,21 +403,26 @@ class Session:
         self.queries += 1
         cells = simulate_cells(query)
         workers = self._workers_for(query)
-        if workers > 1 and len(cells) > 1:
-            rows = BatchExecutor(workers).map(run_simulate_cell, cells)
-        else:
-            rows = []
-            for cell in cells:
-                graph = self.graph(cell.topology, cell.n, cell.graph_seed)
-                algorithm = self.ball_algorithm(cell.algorithm, graph.n)
-                rows.append(
-                    simulate_cell_row(
-                        cell, graph, algorithm, self.runner(graph, algorithm)
+        with _obs_span("api.query", mode="simulate", cells=len(cells)) as root:
+            if workers > 1 and len(cells) > 1:
+                rows = BatchExecutor(workers).map(run_simulate_cell, cells)
+            else:
+                rows = []
+                for cell in cells:
+                    graph = self.graph(cell.topology, cell.n, cell.graph_seed)
+                    algorithm = self.ball_algorithm(cell.algorithm, graph.n)
+                    rows.append(
+                        simulate_cell_row(
+                            cell, graph, algorithm, self.runner(graph, algorithm)
+                        )
                     )
-                )
-        rows.sort(key=lambda row: row["index"])
+            rows.sort(key=lambda row: row["index"])
         return Result.from_rows(
-            "simulate", query.to_dict(), rows, session_cache=self.cache_info()
+            "simulate",
+            query.to_dict(),
+            rows,
+            session_cache=self.cache_info(),
+            profile=self._query_profile(root),
         )
 
     def worst_case(self, query: Optional[Query] = None, **kwargs) -> Result:
@@ -406,16 +437,22 @@ class Session:
         self.queries += 1
         spec = query.to_campaign_spec()
         workers = self._workers_for(query)
-        rows = []
-        for cell in spec.cells():
-            graph = self.graph(cell.topology, cell.n, cell.seed)
-            algorithm = self.ball_algorithm(cell.algorithm, graph.n)
-            adversary = make_adversary(
-                cell.adversary, spec, seed=cell.seed, workers=workers
-            )
-            rows.append(search_cell_row(spec, cell, graph, algorithm, adversary))
+        cells = spec.cells()
+        with _obs_span("api.query", mode="worst-case", cells=len(cells)) as root:
+            rows = []
+            for cell in cells:
+                graph = self.graph(cell.topology, cell.n, cell.seed)
+                algorithm = self.ball_algorithm(cell.algorithm, graph.n)
+                adversary = make_adversary(
+                    cell.adversary, spec, seed=cell.seed, workers=workers
+                )
+                rows.append(search_cell_row(spec, cell, graph, algorithm, adversary))
         return Result.from_rows(
-            "worst-case", query.to_dict(), rows, session_cache=self.cache_info()
+            "worst-case",
+            query.to_dict(),
+            rows,
+            session_cache=self.cache_info(),
+            profile=self._query_profile(root),
         )
 
     def sweep(self, query: Optional[Query] = None, **kwargs) -> Result:
@@ -431,17 +468,24 @@ class Session:
         spec = query.to_campaign_spec()
         cells = spec.cells()
         workers = self._workers_for(query)
-        if workers > 1 and len(cells) > 1:
-            rows = BatchExecutor(workers).map(run_cell, [(spec, cell) for cell in cells])
-        else:
-            rows = []
-            for cell in cells:
-                graph = self.graph(cell.topology, cell.n, cell.seed)
-                algorithm = self.ball_algorithm(cell.algorithm, graph.n)
-                rows.append(search_cell_row(spec, cell, graph, algorithm))
-        rows = sorted(rows, key=lambda row: row["index"])
+        with _obs_span("api.query", mode="sweep", cells=len(cells)) as root:
+            if workers > 1 and len(cells) > 1:
+                rows = BatchExecutor(workers).map(
+                    run_cell, [(spec, cell) for cell in cells]
+                )
+            else:
+                rows = []
+                for cell in cells:
+                    graph = self.graph(cell.topology, cell.n, cell.seed)
+                    algorithm = self.ball_algorithm(cell.algorithm, graph.n)
+                    rows.append(search_cell_row(spec, cell, graph, algorithm))
+            rows = sorted(rows, key=lambda row: row["index"])
         return Result.from_rows(
-            "sweep", query.to_dict(), rows, session_cache=self.cache_info()
+            "sweep",
+            query.to_dict(),
+            rows,
+            session_cache=self.cache_info(),
+            profile=self._query_profile(root),
         )
 
     def distribution(self, query: Optional[Query] = None, **kwargs) -> Result:
@@ -451,24 +495,33 @@ class Session:
         spec = query.to_dist_spec()
         cells = spec.cells()
         workers = self._workers_for(query)
-        if workers > 1 and len(cells) > 1:
-            rows = BatchExecutor(workers).map(
-                run_dist_cell, [(spec, cell) for cell in cells]
-            )
-        else:
-            rows = []
-            for cell in cells:
-                graph = self.graph(cell.topology, cell.n, cell.graph_seed)
-                algorithm = self.ball_algorithm(cell.algorithm, graph.n)
-                # Only sampled cells stream through the kernel; the exact
-                # path evaluates leaves inside its own search session.
-                kernel = (
-                    self.kernel(graph, algorithm) if cell.method == "sample" else None
+        with _obs_span("api.query", mode="distribution", cells=len(cells)) as root:
+            if workers > 1 and len(cells) > 1:
+                rows = BatchExecutor(workers).map(
+                    run_dist_cell, [(spec, cell) for cell in cells]
                 )
-                rows.append(dist_cell_row(spec, cell, graph, algorithm, kernel=kernel))
-        rows = sorted(rows, key=lambda row: row["index"])
+            else:
+                rows = []
+                for cell in cells:
+                    graph = self.graph(cell.topology, cell.n, cell.graph_seed)
+                    algorithm = self.ball_algorithm(cell.algorithm, graph.n)
+                    # Only sampled cells stream through the kernel; the exact
+                    # path evaluates leaves inside its own search session.
+                    kernel = (
+                        self.kernel(graph, algorithm)
+                        if cell.method == "sample"
+                        else None
+                    )
+                    rows.append(
+                        dist_cell_row(spec, cell, graph, algorithm, kernel=kernel)
+                    )
+            rows = sorted(rows, key=lambda row: row["index"])
         return Result.from_rows(
-            "distribution", query.to_dict(), rows, session_cache=self.cache_info()
+            "distribution",
+            query.to_dict(),
+            rows,
+            session_cache=self.cache_info(),
+            profile=self._query_profile(root),
         )
 
 

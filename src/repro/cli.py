@@ -38,6 +38,11 @@ and, where helpful, ASCII plots); ``sweep`` and ``dist`` additionally emit
 the historical machine-readable JSON documents (``--output``, schemas in
 ``docs/distributions.md``) while ``query --output`` writes the unified
 ``repro-result`` schema of ``docs/api.md``.
+
+``query --profile`` / ``query --trace out.json`` switch on the
+instrumentation subsystem (``docs/observability.md``) for the run: the
+former prints the per-query span profile, the latter writes a Chrome
+trace-event file; both make every timing read-out list the top spans.
 """
 
 from __future__ import annotations
@@ -266,6 +271,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the versioned repro-result JSON document to this file",
     )
+    query_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="enable instrumentation (as REPRO_OBS=on) and print the "
+        "per-query span profile",
+    )
+    query_parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="enable instrumentation and write a Chrome trace-event JSON "
+        "(load in chrome://tracing or Perfetto)",
+    )
 
     return parser
 
@@ -323,6 +341,7 @@ def _cmd_simulate(args: argparse.Namespace, session: Session) -> int:
     print(f"average measure  : {row['average']:.4f}")
     print(f"radius histogram : {histogram}")
     print("output certified : yes" if row["certified"] else "output certified : no")
+    print(format_timing(result))
     return 0
 
 
@@ -368,6 +387,7 @@ def _cmd_search(args: argparse.Namespace, session: Session) -> int:
         print(f"cache hit rate   : {row['cache']['hit_rate']:.3f}")
     if row.get("certificate") is not None:
         print(f"certificate      : {row['certificate']}")
+    print(format_timing(result))
     return 0
 
 
@@ -398,6 +418,7 @@ def _cmd_sweep(args: argparse.Namespace, session: Session) -> int:
         )
     )
     print(result.table())
+    print(format_timing(result))
     if args.output:
         write_rows(result.rows, args.output)
         print(f"wrote {len(result.rows)} rows to {args.output}")
@@ -421,6 +442,7 @@ def _cmd_dist(args: argparse.Namespace, session: Session) -> int:
     )
     rows = result.rows
     print(result.table())
+    print(format_timing(result))
     aggregates = None
     if len(rows) > 1:
         aggregates = aggregate_dist_rows(rows)
@@ -454,7 +476,36 @@ def _cmd_dist(args: argparse.Namespace, session: Session) -> int:
     return 0
 
 
+def format_timing(result) -> str:
+    """The CLI's timing read-out for one :class:`~repro.api.results.Result`.
+
+    Always the summed wall time; when the result carries a ``profile``
+    block (``REPRO_OBS=on`` or ``query --profile``/``--trace``), also the
+    top three spans by self time — so the read-out says *where* the time
+    went, not just how much there was.
+    """
+    lines = [f"wall time: {result.timing.get('wall_time_s', 0.0):.3f}s"]
+    profile = getattr(result, "profile", None)
+    if profile:
+        from repro.obs import top_spans
+
+        for node in top_spans(profile["spans"], 3):
+            lines.append(
+                f"  {node['name']}: {node['total_s']:.3f}s total / "
+                f"{node['self_s']:.3f}s self ({node['count']}x)"
+            )
+    return "\n".join(lines)
+
+
 def _cmd_query(args: argparse.Namespace, session: Session) -> int:
+    if args.profile or args.trace:
+        # Flags win over REPRO_OBS=off: instrumentation was asked for
+        # explicitly, so switch it on for this process before running.
+        from repro.obs import enable, reset_metrics, reset_spans
+
+        enable()
+        reset_spans()
+        reset_metrics()
     spec = Query.load(args.spec)
     if args.workers is not None:
         spec = spec.with_changes(workers=args.workers)
@@ -466,7 +517,15 @@ def _cmd_query(args: argparse.Namespace, session: Session) -> int:
     if result.exact is not None:
         print(f"exact    : {result.exact}")
     print(f"measures : {result.measures}")
-    print(f"wall time: {result.timing.get('wall_time_s', 0.0):.3f}s")
+    print(format_timing(result))
+    if args.profile:
+        print()
+        print(result.profile_table())
+    if args.trace:
+        from repro.obs import write_chrome_trace
+
+        events = write_chrome_trace(args.trace)
+        print(f"wrote {events} trace events to {args.trace}")
     if args.output:
         result.save(args.output)
         print(f"wrote repro-result document to {args.output}")

@@ -36,6 +36,7 @@ from repro.engine.frontier import FrontierRunner
 from repro.errors import ConfigurationError
 from repro.model.graph import Graph
 from repro.model.identifiers import IdentifierAssignment
+from repro.obs.spans import span as _obs_span
 from repro.search.automorphisms import orbit_partition
 from repro.search.branch_bound import BranchAndBoundSearch
 
@@ -159,7 +160,8 @@ def exact_round_distribution(
         key = (max_radius, sum_radius)
         joint[key] = joint.get(key, 0) + 1
 
-    outcome = search.run(on_leaf=collect)
+    with _obs_span("dist.exact", n=n, classes=classes):
+        outcome = search.run(on_leaf=collect)
     leaves = outcome.certificate.canonical_leaves
     order = group.order
     # The group acts freely on bijective assignments, so every orbit has

@@ -46,6 +46,7 @@ from repro.kernel.compile import (
 )
 from repro.model.graph import Graph
 from repro.model.identifiers import IdentifierAssignment, random_assignment
+from repro.obs.spans import span as _obs_span
 from repro.utils.rng import SeedLike, make_rng
 
 #: z-score of the two-sided 95% normal confidence interval.
@@ -394,16 +395,19 @@ def sample_round_distribution(
     # caller-supplied assignments keep full validation (they may cover the
     # wrong number of positions — the runner path used to reject that).
     trusted = assignments is None
-    chunk: list[tuple[int, ...]] = []
-    for ids in stream:
-        chunk.append(ids.identifiers() if hasattr(ids, "identifiers") else tuple(ids))
-        if len(chunk) >= DEFAULT_BATCH_ROWS:
+    with _obs_span("dist.sampling", n=n, samples=samples if trusted else None):
+        chunk: list[tuple[int, ...]] = []
+        for ids in stream:
+            chunk.append(
+                ids.identifiers() if hasattr(ids, "identifiers") else tuple(ids)
+            )
+            if len(chunk) >= DEFAULT_BATCH_ROWS:
+                for radii in kernel.batch_radii(chunk, pre_validated=trusted):
+                    fold(radii)
+                chunk.clear()
+        if chunk:
             for radii in kernel.batch_radii(chunk, pre_validated=trusted):
                 fold(radii)
-            chunk.clear()
-    if chunk:
-        for radii in kernel.batch_radii(chunk, pre_validated=trusted):
-            fold(radii)
     distribution = RoundDistribution.from_counts(
         n=n, joint=joint, node_marginals=marginals
     )

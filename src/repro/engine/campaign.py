@@ -26,6 +26,7 @@ from typing import Callable, Optional, Sequence
 from repro.engine.batch import BatchExecutor, derive_task_seed
 from repro.errors import ConfigurationError
 from repro.model.graph import Graph
+from repro.obs.spans import span as _obs_span
 from repro.topology.complete import complete_graph
 from repro.topology.cycle import cycle_graph
 from repro.topology.grid import grid_graph
@@ -244,7 +245,14 @@ def search_cell_row(
     if adversary is None:
         adversary = _build_adversary(spec, cell)
     started = time.perf_counter()
-    result = adversary.maximise(graph, algorithm, objective=cell.objective)
+    with _obs_span(
+        "engine.search_cell",
+        topology=cell.topology,
+        n=cell.n,
+        algorithm=cell.algorithm,
+        adversary=cell.adversary,
+    ):
+        result = adversary.maximise(graph, algorithm, objective=cell.objective)
     elapsed = time.perf_counter() - started
     cache_stats = result.cache_stats.as_dict() if result.cache_stats else None
     certificate = result.certificate
@@ -441,32 +449,38 @@ def dist_cell_row(
     if algorithm is None:
         algorithm = make_ball_algorithm(cell.algorithm, graph.n)
     started = time.perf_counter()
-    if cell.method == "exact":
-        exact = exact_round_distribution(
-            graph,
-            algorithm,
-            max_nodes=spec.exact_max_nodes,
-            max_classes=spec.max_classes,
-        )
-        distribution = exact.distribution
-        certificate = exact.certificate.as_dict()
-        uncertainty = None
-        kernel_info = exact.kernel
-    else:
-        if kernel is None:
-            from repro.kernel.compile import compile_instance
+    with _obs_span(
+        "engine.dist_cell",
+        topology=cell.topology,
+        n=cell.n,
+        method=cell.method,
+    ):
+        if cell.method == "exact":
+            exact = exact_round_distribution(
+                graph,
+                algorithm,
+                max_nodes=spec.exact_max_nodes,
+                max_classes=spec.max_classes,
+            )
+            distribution = exact.distribution
+            certificate = exact.certificate.as_dict()
+            uncertainty = None
+            kernel_info = exact.kernel
+        else:
+            if kernel is None:
+                from repro.kernel.compile import compile_instance
 
-            kernel = compile_instance(graph, algorithm, validate=False)
-        sampled = sample_round_distribution(
-            graph, algorithm, samples=cell.samples, seed=cell.seed, kernel=kernel
-        )
-        distribution = sampled.distribution
-        certificate = None
-        uncertainty = {
-            "average": sampled.average.as_dict(),
-            "maximum": sampled.maximum.as_dict(),
-        }
-        kernel_info = kernel.describe()
+                kernel = compile_instance(graph, algorithm, validate=False)
+            sampled = sample_round_distribution(
+                graph, algorithm, samples=cell.samples, seed=cell.seed, kernel=kernel
+            )
+            distribution = sampled.distribution
+            certificate = None
+            uncertainty = {
+                "average": sampled.average.as_dict(),
+                "maximum": sampled.maximum.as_dict(),
+            }
+            kernel_info = kernel.describe()
     elapsed = time.perf_counter() - started
     summary = distribution.summary()
     return {

@@ -35,6 +35,7 @@ from repro.model.ball import BallView
 from repro.model.graph import Graph
 from repro.model.identifiers import IdentifierAssignment
 from repro.model.trace import ExecutionTrace, NodeRecord
+from repro.obs import metrics as _metrics
 
 if TYPE_CHECKING:  # pragma: no cover - import for type checkers only
     from repro.core.algorithm import BallAlgorithm
@@ -523,6 +524,11 @@ class FrontierRunner:
         if cache is not None:
             cache.stats.hits += hits
             cache.stats.misses += misses
+            # Same bulk flush publishes the process-wide metrics (no-op
+            # unless REPRO_OBS=on, so the hot loop stays counter-local).
+            _metrics.add("engine.decide_hits", hits)
+            _metrics.add("engine.decide_misses", misses)
+        _metrics.add("engine.runs")
         if exhausted:
             position = min(exhausted)
             raise AlgorithmError(

@@ -37,6 +37,8 @@ from repro.kernel.backend import resolve_backend
 from repro.kernel.rules import KernelRule, RunnerTableRule
 from repro.model.graph import Graph
 from repro.model.trace import ExecutionTrace, NodeRecord
+from repro.obs import metrics as _metrics
+from repro.obs.spans import obs_enabled as _obs_enabled, span as _obs_span
 
 if TYPE_CHECKING:  # pragma: no cover - import for type checkers only
     from repro.core.algorithm import BallAlgorithm
@@ -236,6 +238,13 @@ class CompiledInstance:
             return []
         self.stats.batches += 1
         self.stats.rows += len(rows)
+        if _obs_enabled():
+            _metrics.add("kernel.batches")
+            _metrics.add("kernel.rows", len(rows))
+            with _obs_span(
+                "kernel.simulate_batch", rows=len(rows), backend=self.backend
+            ):
+                return self.rule.batch_radii(rows)
         return self.rule.batch_radii(rows)
 
     def batch_traces(self, ids_matrix: Iterable) -> list[ExecutionTrace]:
@@ -250,7 +259,15 @@ class CompiledInstance:
             return []
         self.stats.batches += 1
         self.stats.rows += len(rows)
-        radii_rows, output_rows = self.rule.batch_radii_outputs(rows)
+        if _obs_enabled():
+            _metrics.add("kernel.batches")
+            _metrics.add("kernel.rows", len(rows))
+            with _obs_span(
+                "kernel.simulate_batch", rows=len(rows), backend=self.backend
+            ):
+                radii_rows, output_rows = self.rule.batch_radii_outputs(rows)
+        else:
+            radii_rows, output_rows = self.rule.batch_radii_outputs(rows)
         traces = []
         for ids, radii, outputs in zip(rows, radii_rows, output_rows):
             records = {

@@ -1,0 +1,85 @@
+"""Observability: hierarchical spans, process metrics, per-query profiles.
+
+The instrumentation subsystem of the library (``docs/observability.md``),
+cross-cutting every execution layer:
+
+* :mod:`repro.obs.spans` — hierarchical span tracing (``with
+  span("dist.exact"):``) with Chrome trace-event export, switched by
+  ``REPRO_OBS={on,off}`` and free when off (the no-op singleton pattern);
+* :mod:`repro.obs.metrics` — the process-wide counter/gauge/timer registry
+  the scattered cache/kernel/search counters publish into.
+
+:func:`build_profile` combines both into the ``profile`` block a
+:class:`~repro.api.results.Result` carries when instrumentation is on:
+the aggregated span tree of one query plus a metrics snapshot.
+"""
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    add,
+    metrics_snapshot,
+    observe,
+    registry,
+    reset_metrics,
+    set_gauge,
+)
+from repro.obs.spans import (
+    NOOP_SPAN,
+    OBS_ENV,
+    OBS_MODES,
+    Span,
+    Tracer,
+    chrome_trace_events,
+    disable,
+    enable,
+    finished_roots,
+    obs_enabled,
+    reset_spans,
+    span,
+    summarize_spans,
+    top_spans,
+    tracer,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "OBS_ENV",
+    "OBS_MODES",
+    "Span",
+    "Tracer",
+    "add",
+    "build_profile",
+    "chrome_trace_events",
+    "disable",
+    "enable",
+    "finished_roots",
+    "metrics_snapshot",
+    "obs_enabled",
+    "observe",
+    "registry",
+    "reset_metrics",
+    "reset_spans",
+    "set_gauge",
+    "span",
+    "summarize_spans",
+    "top_spans",
+    "tracer",
+    "write_chrome_trace",
+]
+
+
+def build_profile(root) -> dict:
+    """The ``profile`` block of one query: its span tree + a metrics snapshot.
+
+    ``root`` is the query's finished root :class:`~repro.obs.spans.Span`;
+    the summary tree covers exactly that query's spans, while the metrics
+    snapshot is the process-wide registry state at profile time (documented
+    as such in ``docs/api.md``).
+    """
+    return {
+        "spans": summarize_spans([root]),
+        "metrics": metrics_snapshot(),
+        "total_s": root.duration_s,
+    }

@@ -1,0 +1,412 @@
+"""Hierarchical span tracing with a near-zero disabled path.
+
+A **span** is one timed region of work — ``with span("dist.exact", n=8):``
+— and spans opened while another span is active become its children, so a
+query leaves behind a tree mirroring the call structure: the Session's
+``api.query`` root, the campaign cells under it, the kernel batches under
+those.  Each span records its wall time (``time.perf_counter``) and a small
+dict of attributes.
+
+The whole subsystem follows the ``REPRO_KERNEL`` pattern of
+:mod:`repro.kernel.backend`: the switch is **resolved once per process**,
+on first use, from ``REPRO_OBS`` (``on`` or ``off``, default off) and then
+frozen; :func:`enable` / :func:`disable` override it explicitly (the CLI's
+``--profile`` / ``--trace`` flags, the benchmarks).  While disabled,
+:func:`span` returns the process-wide :data:`NOOP_SPAN` singleton — no
+span object is ever allocated, a guarantee the test suite enforces with a
+subprocess check — so instrumented hot paths cost one module-global read.
+
+Finished root spans accumulate on a process-wide :class:`Tracer` (bounded:
+the oldest roots are dropped beyond :data:`MAX_ROOT_SPANS`, and a parent
+folds children beyond :data:`MAX_CHILD_SPANS` into an aggregate instead of
+retaining them), from which three read-out forms are derived:
+
+* :func:`summarize_spans` — the aggregated span tree (name, call count,
+  total and self wall time) that becomes the ``profile`` block of a
+  :class:`~repro.api.results.Result`;
+* :func:`top_spans` — the flattened hottest-first view the CLI prints;
+* :func:`write_chrome_trace` — Chrome trace-event JSON (``ph: "X"``
+  complete events), loadable in ``chrome://tracing`` or Perfetto.
+
+The tracer is process-global and not thread-safe, matching the library's
+single-threaded execution model (parallelism is process-based).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+from time import perf_counter
+from typing import Iterable, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+#: Environment variable switching the instrumentation on or off.
+OBS_ENV = "REPRO_OBS"
+
+#: The recognised ``REPRO_OBS`` values (unset means ``off``).
+OBS_MODES = ("on", "off")
+
+#: Bound on retained finished *root* spans (oldest dropped beyond it), so
+#: an instrumented long-running process keeps flat memory.
+MAX_ROOT_SPANS = 4096
+
+#: Bound on retained children per parent span.  Beyond it a child is still
+#: timed but folded into the parent's per-name aggregate (count + total
+#: seconds) instead of being kept as an object — exhaustive adversaries run
+#: the engine once per assignment, and none of the read-outs need more than
+#: the aggregate for those.
+MAX_CHILD_SPANS = 8192
+
+
+def _resolve_default() -> bool:
+    """Resolve the process default from ``REPRO_OBS`` (unset = off)."""
+    requested = os.environ.get(OBS_ENV, "").strip().lower()
+    if requested in ("", "off"):
+        return False
+    if requested == "on":
+        return True
+    raise ConfigurationError(
+        f"{OBS_ENV} must be one of {', '.join(OBS_MODES)}; got {requested!r}"
+    )
+
+
+#: The process-wide switch; ``None`` until first use, then frozen (or set
+#: explicitly through :func:`enable` / :func:`disable`).
+_state: Optional[bool] = None
+
+
+def obs_enabled() -> bool:
+    """Whether instrumentation is on (resolving ``REPRO_OBS`` on first use)."""
+    global _state
+    if _state is None:
+        _state = _resolve_default()
+    return _state
+
+
+def enable() -> None:
+    """Switch instrumentation on, overriding the environment resolution."""
+    global _state
+    _state = True
+
+
+def disable() -> None:
+    """Switch instrumentation off, overriding the environment resolution."""
+    global _state
+    _state = False
+
+
+class _NoopSpan:
+    """The do-nothing span returned while instrumentation is disabled.
+
+    A process-wide singleton (:data:`NOOP_SPAN`): identity-comparable, so a
+    subprocess test can assert that disabled hot paths never allocate.
+    """
+
+    __slots__ = ()
+
+    #: Discriminates real spans (profile attachment checks this).
+    enabled = False
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attrs) -> "_NoopSpan":
+        """Ignore the attributes (the enabled-span API, at zero cost)."""
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<noop span>"
+
+
+#: The singleton every :func:`span` call returns while disabled.
+NOOP_SPAN = _NoopSpan()
+
+
+class Span:
+    """One timed, attributed region of work in the span tree.
+
+    Use through :func:`span` as a context manager; entering records the
+    start time and pushes the span on the tracer stack (making it the
+    parent of spans opened inside), exiting records the end time and
+    attaches it to its parent (or to the tracer's finished roots).
+    """
+
+    __slots__ = ("name", "attrs", "start_s", "end_s", "children", "overflow")
+
+    #: Discriminates real spans from :data:`NOOP_SPAN`.
+    enabled = True
+
+    def __init__(self, name: str, attrs: Optional[dict] = None) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.start_s = 0.0
+        self.end_s = 0.0
+        self.children: list["Span"] = []
+        #: Folded children beyond :data:`MAX_CHILD_SPANS`:
+        #: name -> [count, total_seconds].
+        self.overflow: Optional[dict] = None
+
+    @property
+    def duration_s(self) -> float:
+        """Wall seconds between enter and exit (0.0 while still open)."""
+        return max(0.0, self.end_s - self.start_s)
+
+    def set(self, **attrs) -> "Span":
+        """Attach (or overwrite) attributes after creation; returns self."""
+        if self.attrs is None:
+            self.attrs = attrs
+        else:
+            self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        _tracer.stack.append(self)
+        self.start_s = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.end_s = perf_counter()
+        stack = _tracer.stack
+        if stack and stack[-1] is self:
+            stack.pop()
+        if stack:
+            parent = stack[-1]
+            if len(parent.children) < MAX_CHILD_SPANS:
+                parent.children.append(self)
+            else:
+                folded = parent.overflow
+                if folded is None:
+                    folded = parent.overflow = {}
+                entry = folded.get(self.name)
+                if entry is None:
+                    folded[self.name] = [1, self.duration_s]
+                else:
+                    entry[0] += 1
+                    entry[1] += self.duration_s
+        else:
+            roots = _tracer.roots
+            if len(roots) == roots.maxlen:
+                _tracer.dropped_roots += 1
+            roots.append(self)
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<span {self.name!r} {self.duration_s:.6f}s>"
+
+
+class Tracer:
+    """Process-wide holder of the span stack and the finished root spans.
+
+    ``roots`` is bounded (:data:`MAX_ROOT_SPANS`, oldest dropped first,
+    counted in ``dropped_roots``); ``origin_s`` anchors the Chrome trace
+    timeline so exported timestamps start near zero.
+    """
+
+    def __init__(self) -> None:
+        self.stack: list[Span] = []
+        self.roots: deque = deque(maxlen=MAX_ROOT_SPANS)
+        self.origin_s = perf_counter()
+        self.dropped_roots = 0
+
+    def reset(self) -> None:
+        """Drop every recorded span and restart the export timeline."""
+        self.stack.clear()
+        self.roots.clear()
+        self.origin_s = perf_counter()
+        self.dropped_roots = 0
+
+
+#: The process-wide tracer behind :func:`span`.
+_tracer = Tracer()
+
+
+def tracer() -> Tracer:
+    """The process-wide :class:`Tracer` (for export and inspection)."""
+    return _tracer
+
+
+def span(name: str, **attrs):
+    """Open a span named ``name`` (a context manager).
+
+    While instrumentation is disabled this returns :data:`NOOP_SPAN`
+    without allocating anything; while enabled it returns a fresh
+    :class:`Span` carrying ``attrs``.
+
+    >>> from repro.obs import spans
+    >>> spans.enable(); spans.reset_spans()
+    >>> with spans.span("dist.exact", n=6):
+    ...     with spans.span("kernel.simulate_batch", rows=3):
+    ...         pass
+    >>> [root.name for root in spans.finished_roots()]
+    ['dist.exact']
+    >>> spans.disable()
+    >>> spans.span("dist.exact") is spans.NOOP_SPAN
+    True
+    """
+    state = _state
+    if not (state if state is not None else obs_enabled()):
+        return NOOP_SPAN
+    return Span(name, attrs or None)
+
+
+def reset_spans() -> None:
+    """Clear all recorded spans (the CLI calls this before a traced query)."""
+    _tracer.reset()
+
+
+def finished_roots() -> list[Span]:
+    """The finished root spans recorded so far, oldest first."""
+    return list(_tracer.roots)
+
+
+# ----------------------------------------------------------------------
+# read-outs: aggregated tree, hottest-first list, Chrome trace
+# ----------------------------------------------------------------------
+def summarize_spans(roots: Optional[Iterable] = None) -> list[dict]:
+    """Aggregate a span forest by name into a JSON-friendly summary tree.
+
+    Sibling spans sharing a name merge into one node with ``count``,
+    ``total_s`` (summed wall time), ``self_s`` (total minus the children's
+    totals) and recursively summarised ``children`` (hottest first).
+    Children a parent folded beyond :data:`MAX_CHILD_SPANS` re-enter the
+    summary from the fold, so the tree's times stay complete.
+    """
+    spans_list = finished_roots() if roots is None else list(roots)
+    return _summarize(spans_list)
+
+
+def _summarize(spans_list: Sequence) -> list[dict]:
+    buckets: dict[str, dict] = {}
+    for item in spans_list:
+        bucket = buckets.get(item.name)
+        if bucket is None:
+            bucket = buckets[item.name] = {
+                "count": 0,
+                "total_s": 0.0,
+                "children": [],
+                "overflow": {},
+            }
+        bucket["count"] += 1
+        bucket["total_s"] += item.duration_s
+        bucket["children"].extend(item.children)
+        if item.overflow:
+            for name, (count, total_s) in item.overflow.items():
+                entry = bucket["overflow"].get(name)
+                if entry is None:
+                    bucket["overflow"][name] = [count, total_s]
+                else:
+                    entry[0] += count
+                    entry[1] += total_s
+    nodes = []
+    for name, bucket in buckets.items():
+        children = _summarize(bucket["children"])
+        for folded_name, (count, total_s) in sorted(bucket["overflow"].items()):
+            for child in children:
+                if child["name"] == folded_name:
+                    child["count"] += count
+                    child["total_s"] += total_s
+                    child["self_s"] += total_s
+                    break
+            else:
+                children.append(
+                    {
+                        "name": folded_name,
+                        "count": count,
+                        "total_s": total_s,
+                        "self_s": total_s,
+                        "children": [],
+                    }
+                )
+        children.sort(key=lambda child: child["total_s"], reverse=True)
+        child_total = sum(child["total_s"] for child in children)
+        nodes.append(
+            {
+                "name": name,
+                "count": bucket["count"],
+                "total_s": bucket["total_s"],
+                "self_s": max(0.0, bucket["total_s"] - child_total),
+                "children": children,
+            }
+        )
+    nodes.sort(key=lambda node: node["total_s"], reverse=True)
+    return nodes
+
+
+def top_spans(summary: Sequence[dict], k: int = 3) -> list[dict]:
+    """The ``k`` hottest summary nodes by *self* time, flattened.
+
+    Self time (wall time not covered by child spans) ranks the nodes, so
+    wrapper spans that merely contain hot children do not crowd out the
+    leaves actually burning the time.  Entries keep ``name`` / ``count`` /
+    ``total_s`` / ``self_s`` but drop the subtree.
+    """
+    flat: list[dict] = []
+
+    def walk(nodes: Sequence[dict]) -> None:
+        for node in nodes:
+            flat.append(
+                {
+                    "name": node["name"],
+                    "count": node["count"],
+                    "total_s": node["total_s"],
+                    "self_s": node["self_s"],
+                }
+            )
+            walk(node["children"])
+
+    walk(summary)
+    flat.sort(key=lambda node: node["self_s"], reverse=True)
+    return flat[: max(0, k)]
+
+
+def chrome_trace_events(roots: Optional[Iterable] = None) -> list[dict]:
+    """The span forest as Chrome trace-event dicts (``ph: "X"`` completes).
+
+    Timestamps and durations are microseconds relative to the tracer's
+    origin; nesting is implied by time containment, exactly how
+    ``chrome://tracing`` and Perfetto render complete events.
+    """
+    spans_list = finished_roots() if roots is None else list(roots)
+    origin = _tracer.origin_s
+    pid = os.getpid()
+    events: list[dict] = []
+
+    def emit(item) -> None:
+        event = {
+            "name": item.name,
+            "ph": "X",
+            "ts": round((item.start_s - origin) * 1e6, 3),
+            "dur": round(item.duration_s * 1e6, 3),
+            "pid": pid,
+            "tid": 1,
+            "cat": item.name.split(".", 1)[0],
+        }
+        if item.attrs:
+            event["args"] = dict(item.attrs)
+        events.append(event)
+        for child in item.children:
+            emit(child)
+
+    for root in spans_list:
+        emit(root)
+    return events
+
+
+def write_chrome_trace(path: str, roots: Optional[Iterable] = None) -> int:
+    """Write the span forest as a Chrome trace-event JSON file.
+
+    The document is the object form (``{"traceEvents": [...]}``) both
+    ``chrome://tracing`` and Perfetto load directly; returns the number of
+    events written.
+    """
+    events = chrome_trace_events(roots)
+    document = {"traceEvents": events, "displayTimeUnit": "ms"}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1)
+        handle.write("\n")
+    return len(events)

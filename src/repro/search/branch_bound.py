@@ -37,6 +37,8 @@ from repro.engine.cache import DecisionCache
 from repro.engine.frontier import FrontierRunner
 from repro.errors import AlgorithmError, AnalysisError
 from repro.model.graph import Graph
+from repro.obs import metrics as _metrics
+from repro.obs.spans import span as _obs_span
 from repro.search.automorphisms import (
     DEFAULT_MAX_GROUP_SIZE,
     AutomorphismGroup,
@@ -52,6 +54,18 @@ LEAF_COHORT_ROWS = 256
 
 #: Lazy-compilation sentinel for the search's kernel instance.
 _KERNEL_UNSET = object()
+
+
+def _publish_search_metrics(stats: dict) -> None:
+    """Push one finished search's counters into the process-wide registry.
+
+    Called once per search at the same point the local ``stats`` dict is
+    folded into the certificate — no-op unless ``REPRO_OBS=on``.
+    """
+    _metrics.add("search.nodes", stats["nodes"])
+    _metrics.add("search.leaves", stats["leaves"])
+    _metrics.add("search.pruned_by_symmetry", stats["sym"])
+    _metrics.add("search.pruned_by_bound", stats.get("bound", 0))
 
 
 @dataclass(frozen=True)
@@ -444,9 +458,13 @@ class BranchAndBoundSearch:
                 val[slot] = -1
             return
 
-        dfs(0)
+        with _obs_span(
+            "search.branch_bound", n=n, objective=objective, bounded=self.use_bound
+        ):
+            dfs(0)
         cache.stats.hits += stats["hits"]
         cache.stats.misses += stats["misses"]
+        _publish_search_metrics(stats)
         if best_ids is None:
             raise AnalysisError(
                 "search terminated without a witness — empty assignment space"
@@ -612,8 +630,12 @@ class BranchAndBoundSearch:
             if len(buffer) >= cohort_rows:
                 flush()
 
-        stats = self._enumerate_canonical(visit)
-        flush()
+        with _obs_span(
+            "search.branch_bound", n=n, objective=objective, bounded=False
+        ):
+            stats = self._enumerate_canonical(visit)
+            flush()
+        _publish_search_metrics(stats)
         if best_ids is None:
             raise AnalysisError(
                 "search terminated without a witness — empty assignment space"

@@ -1,0 +1,21 @@
+"""Shared isolation for the obs tests: save/restore the process switch."""
+
+import pytest
+
+from repro.obs import metrics, spans
+
+
+@pytest.fixture(autouse=True)
+def _obs_isolation():
+    """Restore the obs switch and clear spans/metrics around every test.
+
+    The switch is process-global (frozen from ``REPRO_OBS`` on first use),
+    so tests that enable/disable explicitly must not leak their choice into
+    the rest of the suite — tier-1 runs both with and without
+    ``REPRO_OBS=on`` in CI.
+    """
+    state = spans._state
+    yield
+    spans._state = state
+    spans.reset_spans()
+    metrics.reset_metrics()

@@ -1,0 +1,92 @@
+"""Subprocess checks of the REPRO_OBS gate: truly free off, effective on."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+SRC = str(Path(__file__).resolve().parent.parent.parent / "src")
+
+
+def _run(code: str, **env_overrides) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env.pop("REPRO_OBS", None)
+    env["PYTHONPATH"] = SRC
+    env.update(env_overrides)
+    return subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+
+
+def test_off_never_allocates_span_objects():
+    # Poison the Span constructor: if any instrumented path tried to build
+    # a real span while REPRO_OBS=off, the query below would explode.
+    code = """
+from repro.obs import spans
+def _boom(cls, *args, **kwargs):
+    raise AssertionError("Span allocated while REPRO_OBS=off")
+spans.Span.__new__ = classmethod(_boom)
+
+import repro
+result = repro.query(
+    mode="distribution", topologies="cycle", sizes=8,
+    algorithms="largest-id", methods="sample", samples=32, seed=3,
+)
+assert result.profile is None
+assert spans.span("anything") is spans.NOOP_SPAN
+print("CLEAN")
+"""
+    proc = _run(code, REPRO_OBS="off")
+    assert proc.returncode == 0, proc.stderr
+    assert "CLEAN" in proc.stdout
+
+
+def test_on_attaches_a_profile_block():
+    code = """
+import repro
+result = repro.query(
+    mode="distribution", topologies="cycle", sizes=8,
+    algorithms="largest-id", methods="sample", samples=32, seed=3,
+)
+profile = result.profile
+assert profile is not None
+assert profile["spans"][0]["name"] == "api.query"
+names = {child["name"] for child in profile["spans"][0]["children"]}
+assert "engine.dist_cell" in names
+assert profile["metrics"]["counters"]["kernel.rows"] >= 32
+assert profile["total_s"] > 0.0
+print("PROFILED")
+"""
+    proc = _run(code, REPRO_OBS="on")
+    assert proc.returncode == 0, proc.stderr
+    assert "PROFILED" in proc.stdout
+
+
+def test_unset_defaults_to_off():
+    code = """
+from repro.obs import spans
+assert spans.obs_enabled() is False
+assert spans.span("x") is spans.NOOP_SPAN
+print("OFF")
+"""
+    proc = _run(code)
+    assert proc.returncode == 0, proc.stderr
+    assert "OFF" in proc.stdout
+
+
+def test_unknown_value_raises_configuration_error():
+    code = """
+from repro.errors import ConfigurationError
+from repro.obs import spans
+try:
+    spans.obs_enabled()
+except ConfigurationError as exc:
+    assert "REPRO_OBS" in str(exc)
+    print("REJECTED")
+"""
+    proc = _run(code, REPRO_OBS="sometimes")
+    assert proc.returncode == 0, proc.stderr
+    assert "REJECTED" in proc.stdout

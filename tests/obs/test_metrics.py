@@ -1,0 +1,90 @@
+"""Metrics registry: instruments, snapshots, and the REPRO_OBS gate."""
+
+from repro.obs import metrics, spans
+from repro.obs.metrics import (
+    MetricsRegistry,
+    add,
+    metrics_snapshot,
+    observe,
+    registry,
+    reset_metrics,
+    set_gauge,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.counter("kernel.rows").inc(5)
+        reg.counter("kernel.rows").inc()
+        assert reg.snapshot()["counters"]["kernel.rows"] == 6
+
+    def test_gauge_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("api.session.cache_hits").set(3)
+        reg.gauge("api.session.cache_hits").set(8)
+        assert reg.snapshot()["gauges"]["api.session.cache_hits"] == 8
+
+    def test_timer_accumulates_count_and_total(self):
+        reg = MetricsRegistry()
+        reg.timer("engine.run").observe(0.25)
+        reg.timer("engine.run").observe(0.75)
+        assert reg.snapshot()["timers"]["engine.run"] == {
+            "count": 2,
+            "total_s": 1.0,
+        }
+
+    def test_instruments_are_created_once_per_name(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.timer("c") is reg.timer("c")
+
+    def test_snapshot_is_sorted_by_name(self):
+        reg = MetricsRegistry()
+        for name in ("z", "a", "m"):
+            reg.counter(name).inc()
+        assert list(reg.snapshot()["counters"]) == ["a", "m", "z"]
+
+    def test_reset_drops_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.gauge("b").set(1)
+        reg.timer("c").observe(1.0)
+        reg.reset()
+        assert reg.snapshot() == {"counters": {}, "gauges": {}, "timers": {}}
+
+
+class TestModuleHelpers:
+    def test_helpers_record_while_enabled(self):
+        spans.enable()
+        reset_metrics()
+        add("search.nodes", 10)
+        add("search.nodes")
+        set_gauge("api.session.cache_hits", 4)
+        observe("engine.run", 0.5)
+        snapshot = metrics_snapshot()
+        assert snapshot["counters"]["search.nodes"] == 11
+        assert snapshot["gauges"]["api.session.cache_hits"] == 4
+        assert snapshot["timers"]["engine.run"]["count"] == 1
+
+    def test_helpers_are_noops_while_disabled(self):
+        spans.disable()
+        reset_metrics()
+        add("search.nodes", 10)
+        set_gauge("api.session.cache_hits", 4)
+        observe("engine.run", 0.5)
+        assert metrics_snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "timers": {},
+        }
+
+    def test_direct_registry_access_is_never_gated(self):
+        spans.disable()
+        reset_metrics()
+        registry().counter("tooling.count").inc(3)
+        assert metrics_snapshot()["counters"]["tooling.count"] == 3
+
+    def test_registry_is_the_process_singleton(self):
+        assert registry() is metrics._registry

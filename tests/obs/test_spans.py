@@ -1,0 +1,237 @@
+"""Span tracer: nesting, timing, read-outs, bounds, and the off switch."""
+
+import json
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import spans
+from repro.obs.spans import (
+    MAX_CHILD_SPANS,
+    MAX_ROOT_SPANS,
+    NOOP_SPAN,
+    Span,
+    chrome_trace_events,
+    finished_roots,
+    span,
+    summarize_spans,
+    top_spans,
+    tracer,
+    write_chrome_trace,
+)
+
+
+def _enabled():
+    spans.enable()
+    spans.reset_spans()
+
+
+class TestSwitch:
+    def test_disabled_returns_the_noop_singleton(self):
+        spans.disable()
+        assert span("dist.exact") is NOOP_SPAN
+        assert span("kernel.simulate_batch", rows=3) is NOOP_SPAN
+
+    def test_noop_span_is_inert(self):
+        spans.disable()
+        with span("a") as item:
+            assert item is NOOP_SPAN
+            assert item.set(n=3) is NOOP_SPAN
+        assert finished_roots() == []
+        assert item.enabled is False
+
+    def test_enabled_returns_real_spans(self):
+        _enabled()
+        item = span("a", n=3)
+        assert isinstance(item, Span)
+        assert item.enabled is True
+        assert item.attrs == {"n": 3}
+
+    def test_env_resolution_rejects_unknown_values(self, monkeypatch):
+        monkeypatch.setenv(spans.OBS_ENV, "sometimes")
+        spans._state = None
+        with pytest.raises(ConfigurationError, match="REPRO_OBS"):
+            spans.obs_enabled()
+        spans._state = None
+
+    @pytest.mark.parametrize(
+        "raw, expected",
+        [("", False), ("off", False), ("on", True), (" ON ", True)],
+    )
+    def test_env_resolution_accepts_documented_values(
+        self, monkeypatch, raw, expected
+    ):
+        monkeypatch.setenv(spans.OBS_ENV, raw)
+        spans._state = None
+        assert spans.obs_enabled() is expected
+
+
+class TestNesting:
+    def test_children_attach_to_the_enclosing_span(self):
+        _enabled()
+        with span("api.query"):
+            with span("engine.search_cell"):
+                with span("kernel.simulate_batch"):
+                    pass
+            with span("engine.search_cell"):
+                pass
+        roots = finished_roots()
+        assert [root.name for root in roots] == ["api.query"]
+        cells = roots[0].children
+        assert [cell.name for cell in cells] == [
+            "engine.search_cell",
+            "engine.search_cell",
+        ]
+        assert [child.name for child in cells[0].children] == [
+            "kernel.simulate_batch"
+        ]
+        assert cells[1].children == []
+
+    def test_sequential_roots_accumulate(self):
+        _enabled()
+        for _ in range(3):
+            with span("api.query"):
+                pass
+        assert len(finished_roots()) == 3
+
+    def test_durations_are_positive_and_nested_within_parent(self):
+        _enabled()
+        with span("outer") as outer:
+            with span("inner") as inner:
+                time.sleep(0.002)
+        assert inner.duration_s > 0.0
+        assert outer.duration_s >= inner.duration_s
+
+    def test_set_updates_attributes_after_creation(self):
+        _enabled()
+        with span("a", n=1) as item:
+            item.set(rows=7)
+        assert item.attrs == {"n": 1, "rows": 7}
+
+    def test_exceptions_propagate_and_still_record_the_span(self):
+        _enabled()
+        with pytest.raises(ValueError):
+            with span("api.query"):
+                raise ValueError("boom")
+        roots = finished_roots()
+        assert [root.name for root in roots] == ["api.query"]
+        assert tracer().stack == []
+
+
+class TestBounds:
+    def test_root_deque_drops_oldest_beyond_the_cap(self):
+        _enabled()
+        for index in range(MAX_ROOT_SPANS + 5):
+            with span("root", index=index):
+                pass
+        assert len(finished_roots()) == MAX_ROOT_SPANS
+        assert tracer().dropped_roots == 5
+        assert finished_roots()[0].attrs == {"index": 5}
+
+    def test_children_beyond_the_cap_fold_into_the_aggregate(self):
+        _enabled()
+        with span("parent") as parent:
+            for _ in range(MAX_CHILD_SPANS + 10):
+                with span("child"):
+                    pass
+        assert len(parent.children) == MAX_CHILD_SPANS
+        assert parent.overflow["child"][0] == 10
+        summary = summarize_spans([parent])
+        child_node = summary[0]["children"][0]
+        assert child_node["count"] == MAX_CHILD_SPANS + 10
+
+
+class TestSummary:
+    def test_same_name_siblings_merge(self):
+        _enabled()
+        with span("api.query"):
+            for _ in range(4):
+                with span("engine.search_cell"):
+                    pass
+        summary = summarize_spans()
+        assert summary[0]["name"] == "api.query"
+        assert summary[0]["count"] == 1
+        (cells,) = summary[0]["children"]
+        assert cells["name"] == "engine.search_cell"
+        assert cells["count"] == 4
+
+    def test_self_time_is_total_minus_children(self):
+        _enabled()
+        with span("outer"):
+            with span("inner"):
+                time.sleep(0.002)
+        (outer,) = summarize_spans()
+        (inner,) = outer["children"]
+        assert outer["self_s"] == pytest.approx(
+            outer["total_s"] - inner["total_s"]
+        )
+        assert outer["self_s"] >= 0.0
+
+    def test_summary_is_json_serialisable(self):
+        _enabled()
+        with span("a", n=3):
+            with span("b"):
+                pass
+        json.dumps(summarize_spans())
+
+    def test_top_spans_ranks_by_self_time(self):
+        _enabled()
+        with span("wrapper"):
+            with span("hot"):
+                time.sleep(0.005)
+        top = top_spans(summarize_spans(), 2)
+        assert top[0]["name"] == "hot"
+        assert "children" not in top[0]
+
+    def test_top_spans_respects_k(self):
+        _enabled()
+        for name in ("a", "b", "c", "d"):
+            with span(name):
+                pass
+        assert len(top_spans(summarize_spans(), 2)) == 2
+        assert top_spans(summarize_spans(), 0) == []
+
+
+class TestChromeTrace:
+    def test_events_cover_the_whole_tree(self):
+        _enabled()
+        with span("api.query", mode="sweep"):
+            with span("engine.search_cell"):
+                pass
+        events = chrome_trace_events()
+        assert [event["name"] for event in events] == [
+            "api.query",
+            "engine.search_cell",
+        ]
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0.0
+            assert event["dur"] >= 0.0
+            assert event["tid"] == 1
+        assert events[0]["cat"] == "api"
+        assert events[0]["args"] == {"mode": "sweep"}
+        # Child contained in the parent interval (how tracing UIs nest).
+        assert events[1]["ts"] >= events[0]["ts"]
+        parent_end = events[0]["ts"] + events[0]["dur"]
+        assert events[1]["ts"] + events[1]["dur"] <= parent_end + 1e-3
+
+    def test_write_chrome_trace_emits_a_loadable_document(self, tmp_path):
+        _enabled()
+        with span("api.query"):
+            with span("dist.sampling"):
+                pass
+        path = tmp_path / "trace.json"
+        count = write_chrome_trace(str(path))
+        assert count == 2
+        document = json.loads(path.read_text())
+        assert document["displayTimeUnit"] == "ms"
+        assert len(document["traceEvents"]) == 2
+
+    def test_reset_restarts_the_timeline(self):
+        _enabled()
+        with span("a"):
+            pass
+        spans.reset_spans()
+        assert finished_roots() == []
+        assert chrome_trace_events() == []

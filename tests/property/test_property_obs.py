@@ -1,0 +1,103 @@
+"""Instrumentation must observe, never perturb: on/off row parity.
+
+The acceptance bar of the observability subsystem: running the same query
+with ``REPRO_OBS=on`` returns rows bit-identical to the disabled run modulo
+the volatile diagnostics (``wall_time_s``, ``cache``, ``profile`` — exactly
+:data:`repro.api.results.VOLATILE_ROW_KEYS`), and the profile block exists
+precisely when instrumentation was on.
+"""
+
+import pytest
+
+from repro.api.query import Query
+from repro.api.results import VOLATILE_ROW_KEYS, strip_volatile
+from repro.api.session import Session
+from repro.obs import metrics, spans
+
+QUERIES = (
+    Query(mode="simulate", topologies=("cycle", "path"), sizes=(6, 7), seed=5),
+    Query(
+        mode="worst-case",
+        topologies=("cycle", "random-tree"),
+        sizes=(6,),
+        adversaries="branch-and-bound",
+        measure="average",
+        seed=3,
+    ),
+    Query(
+        mode="sweep",
+        topologies=("cycle",),
+        sizes=(6, 7),
+        adversaries=("rotation", "random-search"),
+        measure="sum",
+        samples=4,
+        seed=11,
+    ),
+    Query(
+        mode="distribution",
+        topologies=("cycle", "gnp"),
+        sizes=(6,),
+        methods=("exact", "sample"),
+        samples=32,
+        seed=7,
+    ),
+)
+
+
+@pytest.fixture(autouse=True)
+def _obs_isolation():
+    state = spans._state
+    yield
+    spans._state = state
+    spans.reset_spans()
+    metrics.reset_metrics()
+
+
+def _run(query: Query, enabled: bool):
+    if enabled:
+        spans.enable()
+        spans.reset_spans()
+        metrics.reset_metrics()
+    else:
+        spans.disable()
+    # Fresh sessions: the parity claim must not lean on shared caches.
+    return Session().run(query)
+
+
+class TestOnOffParity:
+    @pytest.mark.parametrize("query", QUERIES, ids=lambda q: q.mode)
+    def test_rows_bit_identical_modulo_volatile_keys(self, query):
+        off = _run(query, enabled=False)
+        on = _run(query, enabled=True)
+        assert strip_volatile(off.rows) == strip_volatile(on.rows)
+        assert off.measures == on.measures
+        assert off.exact == on.exact
+
+    @pytest.mark.parametrize("query", QUERIES, ids=lambda q: q.mode)
+    def test_profile_present_exactly_when_enabled(self, query):
+        assert _run(query, enabled=False).profile is None
+        profile = _run(query, enabled=True).profile
+        assert profile is not None
+        assert profile["spans"][0]["name"] == "api.query"
+        assert profile["total_s"] >= 0.0
+        assert profile["metrics"]["counters"]["api.queries"] >= 1
+
+    def test_profile_wall_time_coheres_with_timing(self):
+        # The span tree of one query must account for the measured wall
+        # time: the api.query root encloses every instrumented cell, so its
+        # duration is at least the summed per-row wall times and (with slack
+        # for scheduling noise) within 10x of them on this tiny workload.
+        query = QUERIES[0]
+        result = _run(query, enabled=True)
+        total = result.profile["total_s"]
+        assert total >= 0.0
+        assert result.timing["wall_time_s"] <= total * 10 + 0.05
+
+
+class TestVolatileKeys:
+    def test_profile_is_declared_volatile(self):
+        assert "profile" in VOLATILE_ROW_KEYS
+
+    def test_strip_volatile_removes_profile_from_rows(self):
+        rows = [{"value": 1, "profile": {"spans": []}, "wall_time_s": 0.2}]
+        assert strip_volatile(rows) == [{"value": 1}]

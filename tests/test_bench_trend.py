@@ -1,0 +1,128 @@
+"""The bench-trend report: floors, headroom, sparklines, git fallback."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCRIPTS = REPO_ROOT / "scripts"
+
+sys.path.insert(0, str(SCRIPTS))
+
+import bench_trend  # noqa: E402
+
+
+def _write(tmp_path, name, document):
+    (tmp_path / name).write_text(json.dumps(document), encoding="utf-8")
+
+
+KERNEL_DOC = {
+    "kind": "repro-bench-kernel",
+    "results": {
+        "batched_sampling_python": {"speedup": 8.0, "min_speedup": 1.0},
+        "fallback_rule_ring8": {"kernel_s": 0.5},
+    },
+}
+
+OBS_DOC = {
+    "kind": "repro-bench-obs",
+    "results": {
+        "obs_overhead_sampling": {"speedup": 1.02, "min_speedup": 0.95},
+        "noop_span_call": {"calls": 1000, "total_s": 0.001},
+    },
+}
+
+
+class TestSparkline:
+    def test_maps_low_to_high_glyphs(self):
+        line = bench_trend.sparkline([1.0, 2.0, 3.0])
+        assert len(line) == 3
+        assert line[0] == bench_trend.SPARKS[0]
+        assert line[-1] == bench_trend.SPARKS[-1]
+
+    def test_flat_series_renders_full_blocks(self):
+        assert bench_trend.sparkline([2.0, 2.0]) == bench_trend.SPARKS[-1] * 2
+
+    def test_short_series_renders_nothing(self):
+        assert bench_trend.sparkline([]) == ""
+        assert bench_trend.sparkline([1.0]) == ""
+
+
+class TestTrendRows:
+    def test_rows_carry_floor_and_headroom(self, tmp_path):
+        _write(tmp_path, "BENCH_kernel.json", KERNEL_DOC)
+        rows = bench_trend.trend_rows(
+            tmp_path / "BENCH_kernel.json", tmp_path, history=0, use_git=False
+        )
+        # Entries without a speedup (timing-only) are skipped entirely.
+        assert [row["key"] for row in rows] == ["batched_sampling_python"]
+        (row,) = rows
+        assert row["speedup"] == 8.0
+        assert row["floor"] == 1.0
+        assert row["headroom"] == pytest.approx(8.0)
+        assert row["trajectory"] == [8.0]
+
+    def test_ungated_entries_have_no_floor(self, tmp_path):
+        document = {
+            "kind": "repro-bench-api",
+            "min_speedup": 1.5,
+            "results": {
+                "repeated_simulate_n64": {"speedup": 9.0},
+                "repeated_worst_case_n8": {"speedup": 0.9},
+            },
+        }
+        _write(tmp_path, "BENCH_api.json", document)
+        rows = bench_trend.trend_rows(
+            tmp_path / "BENCH_api.json", tmp_path, history=0, use_git=False
+        )
+        by_key = {row["key"]: row for row in rows}
+        # The gated entry inherits the artifact-level floor ...
+        assert by_key["repeated_simulate_n64"]["floor"] == 1.5
+        assert by_key["repeated_simulate_n64"]["headroom"] == pytest.approx(6.0)
+        # ... while the informational entry is reported floor-free.
+        assert by_key["repeated_worst_case_n8"]["floor"] is None
+        assert by_key["repeated_worst_case_n8"]["headroom"] is None
+
+    def test_untracked_artifact_degrades_to_current_only(self, tmp_path):
+        # tmp_path is no git repository: history lookup must come back
+        # empty and the trajectory contain only the working-tree value.
+        _write(tmp_path, "BENCH_obs.json", OBS_DOC)
+        rows = bench_trend.trend_rows(
+            tmp_path / "BENCH_obs.json", tmp_path, history=10, use_git=True
+        )
+        assert rows[0]["trajectory"] == [1.02]
+
+
+class TestMain:
+    def test_text_report_lists_every_artifact(self, tmp_path, capsys):
+        _write(tmp_path, "BENCH_kernel.json", KERNEL_DOC)
+        _write(tmp_path, "BENCH_obs.json", OBS_DOC)
+        assert bench_trend.main(["--root", str(tmp_path), "--no-git"]) == 0
+        output = capsys.readouterr().out
+        assert "2 artifacts" in output
+        assert "BENCH_kernel.json" in output
+        assert "batched_sampling_python" in output
+        assert "obs_overhead_sampling" in output
+        assert "headroom" in output
+
+    def test_markdown_report_is_a_table(self, tmp_path, capsys):
+        _write(tmp_path, "BENCH_obs.json", OBS_DOC)
+        assert (
+            bench_trend.main(["--root", str(tmp_path), "--no-git", "--markdown"])
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "| artifact | benchmark |" in output
+        assert "| BENCH_obs.json | obs_overhead_sampling | 1.02x | 0.95x |" in output
+
+    def test_empty_root_fails(self, tmp_path):
+        assert bench_trend.main(["--root", str(tmp_path)]) == 1
+
+    def test_runs_against_the_real_repository(self, capsys):
+        # The committed artifacts must produce a healthy report end to end
+        # (git history included — this exercises the subprocess path).
+        assert bench_trend.main(["--root", str(REPO_ROOT)]) == 0
+        output = capsys.readouterr().out
+        assert "BENCH_obs.json" in output

@@ -320,3 +320,91 @@ class TestQueryCommand:
         spec_path.write_text('{"kind": "something-else"}', encoding="utf-8")
         with pytest.raises(ConfigurationError, match="not a repro-query"):
             main(["query", "--spec", str(spec_path)])
+
+
+class TestQueryProfiling:
+    @pytest.fixture(autouse=True)
+    def _obs_isolation(self):
+        from repro.obs import metrics, spans
+
+        state = spans._state
+        yield
+        spans._state = state
+        spans.reset_spans()
+        metrics.reset_metrics()
+
+    def test_profile_and_trace_end_to_end(self, capsys, tmp_path):
+        import json
+        from pathlib import Path
+
+        spec = Path(__file__).resolve().parent.parent / "examples" / "spec.json"
+        trace_path = tmp_path / "trace.json"
+        assert (
+            main(
+                [
+                    "query",
+                    "--spec",
+                    str(spec),
+                    "--profile",
+                    "--trace",
+                    str(trace_path),
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "per-query span profile" in output
+        assert "api.query" in output
+        assert "search.branch_bound" in output
+        assert f"trace events to {trace_path}" in output
+        document = json.loads(trace_path.read_text(encoding="utf-8"))
+        events = document["traceEvents"]
+        assert events, "trace must carry events"
+        names = {event["name"] for event in events}
+        assert "api.query" in names
+        assert "engine.search_cell" in names
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["dur"] >= 0.0
+
+    def test_profile_wall_time_coheres_with_span_tree(self, capsys, tmp_path):
+        # Acceptance check: the span-tree total accounts for the summed
+        # wall time within 10% — the root span encloses every cell, so it
+        # can only exceed the per-row sum (by scheduling noise), never
+        # undershoot it by more than the tolerance.
+        import json
+        from pathlib import Path
+
+        from repro.api.results import Result
+
+        spec = Path(__file__).resolve().parent.parent / "examples" / "spec.json"
+        out = tmp_path / "result.json"
+        assert (
+            main(["query", "--spec", str(spec), "--profile", "--output", str(out)])
+            == 0
+        )
+        capsys.readouterr()
+        result = Result.load(str(out))
+        assert result.profile is not None
+        wall = result.timing["wall_time_s"]
+        total = result.profile["total_s"]
+        assert wall <= total * 1.10 + 1e-6
+        tree_total = sum(node["total_s"] for node in result.profile["spans"])
+        assert tree_total == pytest.approx(total, rel=1e-9)
+        document = json.loads(out.read_text(encoding="utf-8"))
+        assert document["profile"]["spans"][0]["name"] == "api.query"
+
+    def test_plain_query_prints_timing_without_spans(self, capsys, tmp_path):
+        from repro.api.query import Query
+        from repro.obs import spans
+
+        spans.disable()
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(
+            Query(mode="simulate", topologies="cycle", sizes=6).to_json(),
+            encoding="utf-8",
+        )
+        assert main(["query", "--spec", str(spec_path)]) == 0
+        output = capsys.readouterr().out
+        assert "wall time:" in output
+        assert "per-query span profile" not in output

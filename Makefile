@@ -13,7 +13,7 @@ docs:
 
 ## the speedup benchmarks with their JSON artifacts, plus the micro suite
 bench:
-	$(PYTHON) -m pytest -q benchmarks/test_bench_engine.py benchmarks/test_bench_search.py benchmarks/test_bench_dist.py benchmarks/test_bench_api.py benchmarks/test_bench_kernel.py benchmarks/test_bench_obs.py benchmarks/test_bench_micro.py
+	REPRO_BENCH_WRITE=1 $(PYTHON) -m pytest -q benchmarks/test_bench_engine.py benchmarks/test_bench_search.py benchmarks/test_bench_dist.py benchmarks/test_bench_api.py benchmarks/test_bench_kernel.py benchmarks/test_bench_obs.py benchmarks/test_bench_micro.py
 
 ## assert every committed BENCH_*.json speedup still meets its floor
 bench-floors:
@@ -26,7 +26,7 @@ bench-trend:
 ## every benchmark in fast smoke mode (reduced sizes, same assertions and
 ## JSON artifacts), so BENCH_*.json regressions surface on PRs
 bench-smoke:
-	REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest -q benchmarks
+	REPRO_BENCH_SMOKE=1 REPRO_BENCH_WRITE=1 $(PYTHON) -m pytest -q benchmarks
 
 ## a tiny end-to-end sweep through the campaign CLI
 sweep-smoke:

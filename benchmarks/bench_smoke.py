@@ -9,16 +9,44 @@ every PR instead of only on full local runs.
 Benchmark modules call :func:`pick` for anything that should shrink in
 smoke mode; artifacts record the mode so a smoke JSON is never mistaken
 for a full one.
+
+Artifact writes are gated separately: the committed ``BENCH_*.json`` files
+are only rewritten under ``REPRO_BENCH_WRITE=1`` (set by ``make bench`` and
+``make bench-smoke``).  An ordinary ``pytest`` run — tier-1 collects the
+benchmarks too — times and asserts exactly the same workloads but writes
+its JSON to a scratch directory, so plain test runs never dirty the tree.
 """
 
 from __future__ import annotations
 
 import os
+import tempfile
+from pathlib import Path
 
 #: True when the suite runs under ``make bench-smoke`` / the CI smoke job.
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
+
+#: True when artifact writes should land on the committed BENCH_*.json
+#: files (``make bench`` / ``make bench-smoke`` set REPRO_BENCH_WRITE=1).
+WRITE_ARTIFACTS = os.environ.get("REPRO_BENCH_WRITE", "") == "1"
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def pick(full, smoke):
     """Return ``full`` normally, ``smoke`` under ``REPRO_BENCH_SMOKE=1``."""
     return smoke if SMOKE else full
+
+
+def artifact_path(filename: str) -> Path:
+    """Where a benchmark should write its ``BENCH_*.json`` artifact.
+
+    The committed repo-root path under ``REPRO_BENCH_WRITE=1``, otherwise a
+    per-process scratch file under the system temp directory, so ordinary
+    test runs leave the committed artifacts untouched.
+    """
+    if WRITE_ARTIFACTS:
+        return _REPO_ROOT / filename
+    scratch = Path(tempfile.gettempdir()) / f"repro-bench-scratch-{os.getpid()}"
+    scratch.mkdir(exist_ok=True)
+    return scratch / filename

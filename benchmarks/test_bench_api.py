@@ -24,14 +24,13 @@ from __future__ import annotations
 
 import json
 import time
-from pathlib import Path
 
-from bench_smoke import SMOKE, pick
+from bench_smoke import SMOKE, artifact_path, pick
 
 from repro.api.query import Query
 from repro.api.session import Session
 
-ARTIFACT_PATH = Path(__file__).resolve().parent.parent / "BENCH_api.json"
+ARTIFACT_PATH = artifact_path("BENCH_api.json")
 MIN_SPEEDUP = 1.5
 REPEATS = pick(3, 2)
 

@@ -22,16 +22,15 @@ from __future__ import annotations
 import json
 import math
 import time
-from pathlib import Path
 
-from bench_smoke import SMOKE, pick
+from bench_smoke import SMOKE, artifact_path, pick
 
 from repro.algorithms.largest_id import LargestIdAlgorithm
 from repro.dist.exact import brute_force_round_distribution, exact_round_distribution
 from repro.dist.sampling import sample_round_distribution
 from repro.topology.cycle import cycle_graph
 
-ARTIFACT_PATH = Path(__file__).resolve().parent.parent / "BENCH_dist.json"
+ARTIFACT_PATH = artifact_path("BENCH_dist.json")
 MIN_SPEEDUP = pick(3.0, 2.0)
 EXACT_N = pick(8, 7)
 SAMPLING_N = 64

@@ -19,9 +19,8 @@ from __future__ import annotations
 import itertools
 import json
 import time
-from pathlib import Path
 
-from bench_smoke import SMOKE, pick
+from bench_smoke import SMOKE, artifact_path, pick
 
 from repro.algorithms.largest_id import LargestIdAlgorithm
 from repro.core.adversary import (
@@ -34,7 +33,7 @@ from repro.model.identifiers import IdentifierAssignment, random_assignment
 from repro.topology.cycle import cycle_graph
 from repro.utils.rng import make_rng
 
-ARTIFACT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+ARTIFACT_PATH = artifact_path("BENCH_engine.json")
 MIN_SPEEDUP = 3.0
 REPEATS = pick(2, 1)
 

@@ -23,9 +23,8 @@ from __future__ import annotations
 
 import json
 import time
-from pathlib import Path
 
-from bench_smoke import SMOKE, pick
+from bench_smoke import SMOKE, artifact_path, pick
 
 from repro.algorithms.largest_id import LargestIdAlgorithm
 from repro.engine.cache import DecisionCache
@@ -36,11 +35,16 @@ from repro.model.identifiers import IdentifierAssignment, random_assignment
 from repro.topology.cycle import cycle_graph
 from repro.utils.rng import make_rng
 
-ARTIFACT_PATH = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
+ARTIFACT_PATH = artifact_path("BENCH_kernel.json")
 MIN_SPEEDUP_NUMPY = 5.0
 MIN_SPEEDUP_PYTHON = 1.0
+#: Per-algorithm floors for the vectorised rules against the decide-backed
+#: RunnerTableRule fallback (cold cache) on the same assignment stream.
+MIN_SPEEDUP_VECTOR_NUMPY = 3.0
+MIN_SPEEDUP_VECTOR_PYTHON = 1.0
 RING_N = 8
 SAMPLES = pick(4096, 512)
+VECTOR_ROWS = pick(512, 64)
 REPEATS = pick(3, 1)
 
 _RESULTS: dict[str, dict] = {}
@@ -151,9 +155,18 @@ def test_bench_batched_sampling_vs_runner():
 def test_bench_fallback_rule_matches_runner():
     """The decide-backed fallback stays bit-identical (and is recorded)."""
     from repro.algorithms.greedy_coloring import GreedyColoringByID
+    from repro.core.algorithm import FunctionBallAlgorithm
 
     graph = cycle_graph(RING_N)
-    algorithm = GreedyColoringByID()
+    # An opaque FunctionBallAlgorithm offers no compile_kernel_rule, so it
+    # still selects the fallback (every registered algorithm vectorises).
+    algorithm = FunctionBallAlgorithm(
+        GreedyColoringByID().decide,
+        name="greedy-coloring-opaque",
+        problem="coloring",
+        order_invariant=True,
+        uses_ports=False,
+    )
     rows = _assignment_rows()[: pick(256, 64)]
     instance = compile_instance(graph, algorithm)
     assert not instance.vectorized
@@ -172,3 +185,68 @@ def test_bench_fallback_rule_matches_runner():
         "rule": instance.rule.name,
     }
     _write_artifact()
+
+
+def test_bench_per_algorithm_vector_rules():
+    """Every registered algorithm's vectorised rule beats the fallback.
+
+    One permutation stream per run; for each registry name the stream is
+    timed through a cold :class:`RunnerTableRule` (the decide-backed
+    fallback every algorithm would use without its vectorised rule) and
+    through the compiled rule under both backends.  Radii are asserted
+    bit-identical in the same run, and the per-algorithm speedups land in
+    the artifact under ``vector_rule_<backend>_<name>`` with their own
+    floors, re-checked by ``scripts/check_bench_floors.py``.
+    """
+    from repro.algorithms.registry import algorithm_registry
+    from repro.engine.campaign import make_ball_algorithm
+    from repro.kernel.rules import RunnerTableRule
+
+    graph = cycle_graph(RING_N)
+    master = make_rng(20260808)
+    # Permutations of 0..n-1: valid for every algorithm, including the
+    # Cole-Vishkin family whose identifier space is bounded by n.
+    rows = [
+        tuple(master.sample(range(RING_N), RING_N)) for _ in range(VECTOR_ROWS)
+    ]
+    report_lines = []
+    for name in sorted(algorithm_registry()):
+        algorithm = make_ball_algorithm(name, RING_N)
+
+        def run_fallback():
+            # Constructed inside the timed closure: the decide table starts
+            # cold, exactly as a fresh fallback compile would.
+            rule = RunnerTableRule(compile_instance(graph, algorithm))
+            return rule.batch_radii(rows)
+
+        fallback_s, reference = _best_of(run_fallback, repeats=1)
+        line = f"{name}: fallback {fallback_s:.3f}s"
+        for backend, floor in (
+            ("python", MIN_SPEEDUP_VECTOR_PYTHON),
+            ("numpy", MIN_SPEEDUP_VECTOR_NUMPY),
+        ):
+            if backend == "numpy" and not numpy_available():
+                continue
+            instance = compile_instance(graph, algorithm, backend=backend)
+            assert instance.vectorized, f"{name} lost its vectorised rule"
+            vector_s, radii = _best_of(lambda: simulate_batch(instance, rows))
+            assert radii == reference, f"{name}/{backend} radii diverge"
+            speedup = fallback_s / vector_s
+            _RESULTS[f"vector_rule_{backend}_{name}"] = {
+                "fallback_s": fallback_s,
+                "kernel_s": vector_s,
+                "speedup": speedup,
+                "min_speedup": floor,
+                "backend": backend,
+                "rule": instance.rule.name,
+                "rows": len(rows),
+            }
+            line += f", {backend} {vector_s:.3f}s ({speedup:.1f}x)"
+            assert speedup >= floor, (
+                f"{name}/{backend} speedup {speedup:.2f}x below {floor:.2f}x"
+            )
+        report_lines.append(line)
+    _write_artifact()
+    print("\nvector rules x" + str(len(rows)) + " rows:")
+    for line in report_lines:
+        print("  " + line)

@@ -22,9 +22,8 @@ from __future__ import annotations
 
 import json
 import time
-from pathlib import Path
 
-from bench_smoke import SMOKE, pick
+from bench_smoke import SMOKE, artifact_path, pick
 
 from repro.algorithms.largest_id import LargestIdAlgorithm
 from repro.dist.sampling import sample_round_distribution
@@ -32,7 +31,7 @@ from repro.kernel import compile_instance
 from repro.obs import metrics, spans
 from repro.topology.cycle import cycle_graph
 
-ARTIFACT_PATH = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+ARTIFACT_PATH = artifact_path("BENCH_obs.json")
 
 #: Floor on ``off_s / on_s``: 0.95 allows ~5% instrumentation overhead.
 MIN_SPEEDUP = 0.95

@@ -25,9 +25,8 @@ from __future__ import annotations
 import json
 import math
 import time
-from pathlib import Path
 
-from bench_smoke import SMOKE, pick
+from bench_smoke import SMOKE, artifact_path, pick
 
 from repro.algorithms.largest_id import LargestIdAlgorithm
 from repro.core.adversary import ExhaustiveAdversary
@@ -39,7 +38,7 @@ from repro.theory.bounds import largest_id_sum_upper_bound
 from repro.topology.complete import complete_graph
 from repro.topology.cycle import cycle_graph
 
-ARTIFACT_PATH = Path(__file__).resolve().parent.parent / "BENCH_search.json"
+ARTIFACT_PATH = artifact_path("BENCH_search.json")
 MIN_SPEEDUP = pick(5.0, 2.0)
 PRUNED_N = pick(8, 7)
 EXACT_N = pick(10, 9)

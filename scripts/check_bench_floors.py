@@ -49,6 +49,10 @@ GATED_RESULTS = {
         ("batched_sampling_python", True),
         # The numpy leg only exists where numpy is importable.
         ("batched_sampling_numpy", False),
+        # Per-algorithm vectorised-rule-vs-fallback floors (one entry per
+        # registered algorithm; again, the numpy legs only where available).
+        ("vector_rule_python", True),
+        ("vector_rule_numpy", False),
     ),
     # speedup = off_s / on_s; the 0.95 floor tolerates ~5% instrumentation
     # overhead (the noop_span_call entry is informational, hence ungated).

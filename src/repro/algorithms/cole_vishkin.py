@@ -104,6 +104,20 @@ class ColeVishkinRing(RoundAlgorithm):
         phase = "cv" if self.cv_iterations > 0 else "reduce"
         return _CVMemory(color=identifier, phase=phase, iteration=0, reduce_target=5)
 
+    def compile_ball_kernel_rule(self, instance):
+        """Batched bit-trick kernel (:class:`~repro.kernel.cvring.ColeVishkinRingRule`).
+
+        Every node commits at the same fixed round, so the output radius is
+        assignment-independent and the outputs are one batched replay of the
+        global execution.  Only claimed on consistently oriented rings — on
+        anything else the fallback reproduces the reference errors.
+        """
+        if not is_consistently_oriented_ring(instance.graph):
+            return None
+        from repro.kernel.cvring import ColeVishkinRingRule
+
+        return ColeVishkinRingRule(instance, self)
+
     def send(self, memory: _CVMemory, round_number: int) -> Mapping[int, Any]:
         if memory.phase == "cv":
             # The successor needs my colour for its bit-trick step.

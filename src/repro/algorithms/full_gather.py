@@ -45,6 +45,16 @@ class BallSimulationOfRounds(BallAlgorithm):
         """Forward the wrapped round algorithm's structural requirements."""
         return bool(self.round_algorithm.supports_graph(graph))
 
+    def compile_kernel_rule(self, instance: Any) -> Optional[Any]:
+        """Forward to the wrapped algorithm's batch compiler.
+
+        The ball simulation is a faithful replay, so a vectorised rule for
+        the round algorithm's commit schedule
+        (:meth:`repro.model.rounds.RoundAlgorithm.compile_ball_kernel_rule`)
+        is equally valid for this wrapper.
+        """
+        return self.round_algorithm.compile_ball_kernel_rule(instance)
+
     def decide(self, ball: BallView) -> Optional[Any]:
         algorithm = self.round_algorithm
         members = sorted(ball.ids())

@@ -46,3 +46,12 @@ class GreedyColoringByID(BallAlgorithm):
             ball, lambda identifier, higher: _smallest_free_color(higher)
         )
         return determined.get(ball.center_id)
+
+    def compile_kernel_rule(self, instance):
+        """Dependency-cone rule (:class:`~repro.kernel.cone.GreedyConeRule`):
+        the radius is the largest neighbourhood extent over the centre's
+        cone of increasing-identifier paths, the colour the global greedy
+        mex — both batchable over whole assignment matrices."""
+        from repro.kernel.cone import GreedyConeRule
+
+        return GreedyConeRule(instance, problem="coloring")

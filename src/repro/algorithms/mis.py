@@ -37,3 +37,11 @@ class GreedyMISByID(BallAlgorithm):
             lambda identifier, higher: not any(higher.values()),
         )
         return determined.get(ball.center_id)
+
+    def compile_kernel_rule(self, instance):
+        """Dependency-cone rule (:class:`~repro.kernel.cone.GreedyConeRule`):
+        same cone-extent radius as greedy colouring, with membership
+        resolved by the batched descending-identifier recursion."""
+        from repro.kernel.cone import GreedyConeRule
+
+        return GreedyConeRule(instance, problem="mis")

@@ -10,11 +10,24 @@ therefore compute its own output as soon as its ball contains the whole
 :func:`resolve_by_descending_id` implements that computation once, so the
 individual algorithms only supply the combination rule ("my output given my
 higher neighbours' outputs").
+
+The kernel's vectorised rules (:mod:`repro.kernel.cone`) run the same
+recursion over whole assignment matrices.  Two assignment-level helpers live
+here so the ball-based reference and the batch form share one definition:
+
+* :func:`resolve_assignment_row` — the full-graph, single-pass form of
+  :func:`resolve_by_descending_id`: one descending-identifier sweep yields
+  every node's greedy output *and* its dependency cone (as a position
+  bitmask).
+* :func:`neighborhood_extent_table` — the assignment-independent radius at
+  which a centre's ball contains all of another node's neighbours, which
+  turns a cone into an output radius: a node decides at the first radius
+  covering the neighbourhood of every cone member.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Mapping
+from typing import Any, Callable, Mapping, Sequence
 
 from repro.model.ball import BallView
 
@@ -50,6 +63,90 @@ def resolve_by_descending_id(ball: BallView, combine: CombineRule) -> dict[int, 
             identifier, {neighbor: determined[neighbor] for neighbor in higher_neighbors}
         )
     return determined
+
+
+def resolve_assignment_row(
+    ids: Sequence[int],
+    indptr: Sequence[int],
+    indices: Sequence[int],
+    problem: str,
+) -> tuple[list[int], list[Any]]:
+    """One descending-ID sweep over a *full* assignment row.
+
+    The batch-kernel form of :func:`resolve_by_descending_id`: with the whole
+    graph visible the recursion always terminates, and a single pass in
+    decreasing identifier order yields, per position ``u``:
+
+    * ``cones[u]`` — the dependency cone of ``u`` as a bitmask of positions
+      (``u`` itself plus the cones of its higher-identifier neighbours); and
+    * ``values[u]`` — the greedy output: the smallest colour unused by the
+      higher neighbours (``problem="coloring"``) or membership in the greedy
+      MIS (``problem="mis"``, ``True`` iff no higher neighbour joined).
+
+    ``indptr``/``indices`` are the CSR adjacency of the graph in position
+    space (:attr:`repro.kernel.compile.CompiledInstance.indices`).
+    """
+    if problem not in ("coloring", "mis"):
+        raise ValueError(f"unknown greedy-by-ID problem {problem!r}")
+    coloring = problem == "coloring"
+    n = len(ids)
+    order = sorted(range(n), key=ids.__getitem__, reverse=True)
+    cones = [0] * n
+    values: list[Any] = [0] * n
+    for u in order:
+        cone = 1 << u
+        used = 0  # colour bitmask ("coloring") / higher-member flag ("mis")
+        own = ids[u]
+        for k in range(indptr[u], indptr[u + 1]):
+            w = indices[k]
+            if ids[w] > own:
+                cone |= cones[w]
+                if coloring:
+                    used |= 1 << values[w]
+                elif values[w]:
+                    used = 1
+        cones[u] = cone
+        if coloring:
+            unused = ~used
+            values[u] = (unused & -unused).bit_length() - 1
+        else:
+            values[u] = not used
+    return cones, values
+
+
+def neighborhood_extent_table(
+    indptr: Sequence[int],
+    indices: Sequence[int],
+    discovery: Sequence[Sequence[int]],
+    distances: Sequence[Sequence[int]],
+) -> tuple[tuple[int, ...], ...]:
+    """``extent[v][u]``: first radius at which ``v``'s ball holds all of ``N(u)``.
+
+    This is the assignment-independent half of the greedy-by-ID radius: node
+    ``v`` outputs at the first radius whose ball contains the neighbourhood
+    of every member of its dependency cone (visibility of ``N(u)`` is what
+    :func:`resolve_by_descending_id` demands before determining ``u``), so
+    ``radius(v) = max(extent[v][u] for u in cone(v))``.  ``discovery`` and
+    ``distances`` are the per-centre BFS prefixes of a compiled instance.
+    """
+    n = len(indptr) - 1
+    table = []
+    for v in range(n):
+        dist_v = [0] * n
+        row_discovery = discovery[v]
+        row_distances = distances[v]
+        for index in range(len(row_discovery)):
+            dist_v[row_discovery[index]] = row_distances[index]
+        row = []
+        for u in range(n):
+            extent = 0
+            for k in range(indptr[u], indptr[u + 1]):
+                d = dist_v[indices[k]]
+                if d > extent:
+                    extent = d
+            row.append(extent)
+        table.append(tuple(row))
+    return tuple(table)
 
 
 def dependency_depth(ball: BallView, identifier: int) -> int | None:

@@ -47,6 +47,19 @@ class RingColoringViaMIS(BallAlgorithm):
     def supports_graph(self, graph: Graph) -> bool:
         return graph.is_cycle()
 
+    def compile_kernel_rule(self, instance):
+        """Cone rule spanning three cones
+        (:class:`~repro.kernel.cone.RingMISConeRule`): a member outputs at
+        its own cone's extent, a non-member once its ball also resolves both
+        neighbours' membership.  Only claimed on cycles (the rule indexes
+        exactly two neighbours per node); elsewhere the fallback surfaces
+        the reference errors."""
+        if not instance.graph.is_cycle():
+            return None
+        from repro.kernel.cone import RingMISConeRule
+
+        return RingMISConeRule(instance)
+
     def decide(self, ball: BallView) -> Optional[int]:
         membership = resolve_by_descending_id(
             ball, lambda identifier, higher: not any(higher.values())

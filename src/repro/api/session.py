@@ -50,6 +50,7 @@ from repro.engine.campaign import (
     DETERMINISTIC_TOPOLOGIES,
     build_topology,
     dist_cell_row,
+    dist_cell_rows_batched,
     make_adversary,
     make_ball_algorithm,
     run_cell,
@@ -502,19 +503,31 @@ class Session:
                 )
             else:
                 rows = []
+                # Sampled cells go through the kernel as ONE cross-cell
+                # multi-instance batch (cells sharing a cached compiled
+                # instance merge into a single row stream); the exact cells
+                # evaluate leaves inside their own search sessions.
+                sampled = [cell for cell in cells if cell.method == "sample"]
+                if sampled:
+                    rows.extend(
+                        dist_cell_rows_batched(
+                            spec,
+                            sampled,
+                            graph_for=lambda cell: self.graph(
+                                cell.topology, cell.n, cell.graph_seed
+                            ),
+                            algorithm_for=lambda cell, graph: self.ball_algorithm(
+                                cell.algorithm, graph.n
+                            ),
+                            kernel_for=self.kernel,
+                        )
+                    )
                 for cell in cells:
+                    if cell.method == "sample":
+                        continue
                     graph = self.graph(cell.topology, cell.n, cell.graph_seed)
                     algorithm = self.ball_algorithm(cell.algorithm, graph.n)
-                    # Only sampled cells stream through the kernel; the exact
-                    # path evaluates leaves inside its own search session.
-                    kernel = (
-                        self.kernel(graph, algorithm)
-                        if cell.method == "sample"
-                        else None
-                    )
-                    rows.append(
-                        dist_cell_row(spec, cell, graph, algorithm, kernel=kernel)
-                    )
+                    rows.append(dist_cell_row(spec, cell, graph, algorithm))
             rows = sorted(rows, key=lambda row: row["index"])
         return Result.from_rows(
             "distribution",

@@ -39,7 +39,9 @@ from repro.dist.sampling import (
     P2Quantile,
     SampledDistributionResult,
     StreamingMoments,
+    draw_sample_rows,
     estimate_expected_measures,
+    fold_sampled_radii,
     sample_round_distribution,
 )
 
@@ -55,7 +57,9 @@ __all__ = [
     "StreamingMoments",
     "ascii_pmf",
     "brute_force_round_distribution",
+    "draw_sample_rows",
     "estimate_expected_measures",
+    "fold_sampled_radii",
     "exact_round_distribution",
     "sample_round_distribution",
 ]

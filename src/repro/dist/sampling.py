@@ -302,6 +302,94 @@ def _draw_assignments(n: int, samples: int, seed: SeedLike):
         yield random_assignment(n, seed=master.getrandbits(64))
 
 
+def draw_sample_rows(n: int, samples: int, seed: SeedLike = None) -> list[tuple[int, ...]]:
+    """The deterministic row stream behind :func:`sample_round_distribution`.
+
+    Materialises the same ``samples`` seeded permutation draws the sampling
+    estimator folds, as plain identifier tuples.  Callers that evaluate the
+    rows elsewhere — the campaign layer batches many cells' draws through
+    one :func:`repro.kernel.compile.simulate_many` submission — pair this
+    with :func:`fold_sampled_radii` to reproduce
+    :func:`sample_round_distribution` bit for bit.
+    """
+    if samples <= 0:
+        raise AnalysisError(f"samples must be positive, got {samples}")
+    return [
+        assignment.identifiers()
+        for assignment in _draw_assignments(n, samples, seed)
+    ]
+
+
+class _DistributionFold:
+    """Streaming accumulator shared by the sampling entry points.
+
+    Folds per-row radius vectors in draw order into the joint/marginal
+    counts and the streaming moment/quantile estimators, so every caller —
+    the chunked single-instance stream and the batched multi-cell path —
+    produces the same :class:`SampledDistributionResult` for the same rows.
+    """
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self.joint: dict[tuple[int, int], int] = {}
+        self.marginals: list[dict[int, int]] = [{} for _ in range(n)]
+        self.avg_moments, self.max_moments = StreamingMoments(), StreamingMoments()
+        self.avg_median, self.avg_q90 = P2Quantile(0.5), P2Quantile(0.9)
+        self.max_median, self.max_q90 = P2Quantile(0.5), P2Quantile(0.9)
+        self.count = 0
+
+    def fold(self, radii: Sequence[int]) -> None:
+        max_radius = max(radii)
+        sum_radius = sum(radii)
+        key = (max_radius, sum_radius)
+        self.joint[key] = self.joint.get(key, 0) + 1
+        for position, radius in enumerate(radii):
+            counts = self.marginals[position]
+            counts[radius] = counts.get(radius, 0) + 1
+        average_radius = sum_radius / self.n
+        self.avg_moments.update(average_radius)
+        self.max_moments.update(float(max_radius))
+        self.avg_median.update(average_radius)
+        self.avg_q90.update(average_radius)
+        self.max_median.update(float(max_radius))
+        self.max_q90.update(float(max_radius))
+        self.count += 1
+
+    def result(self, seed_record: Optional[int]) -> SampledDistributionResult:
+        distribution = RoundDistribution.from_counts(
+            n=self.n, joint=self.joint, node_marginals=self.marginals
+        )
+        return SampledDistributionResult(
+            distribution=distribution,
+            average=MeasureEstimate.from_stream(
+                self.avg_moments, self.avg_median, self.avg_q90
+            ),
+            maximum=MeasureEstimate.from_stream(
+                self.max_moments, self.max_median, self.max_q90
+            ),
+            samples=self.count,
+            seed=seed_record,
+        )
+
+
+def fold_sampled_radii(
+    n: int, radii_rows: Sequence[Sequence[int]], seed: SeedLike = None
+) -> SampledDistributionResult:
+    """Build a :class:`SampledDistributionResult` from precomputed radii rows.
+
+    The second half of the split sampling pipeline: rows drawn with
+    :func:`draw_sample_rows` and evaluated through the kernel (possibly
+    merged with other cells' rows in one multi-instance batch) fold here
+    exactly as :func:`sample_round_distribution` would have folded them.
+    """
+    fold = _DistributionFold(n)
+    for radii in radii_rows:
+        fold.fold(radii)
+    if fold.count == 0:
+        raise AnalysisError("sampling needs at least one radii row")
+    return fold.result(seed if isinstance(seed, int) else None)
+
+
 def sample_round_distribution(
     graph: Graph,
     algorithm: BallAlgorithm,
@@ -361,31 +449,7 @@ def sample_round_distribution(
         if largest > NUMPY_MAX_IDENTIFIER:
             kernel = compile_instance(graph, algorithm, backend="python")
     n = graph.n
-    joint: dict[tuple[int, int], int] = {}
-    marginals: list[dict[int, int]] = [{} for _ in range(n)]
-    avg_moments, max_moments = StreamingMoments(), StreamingMoments()
-    avg_median, avg_q90 = P2Quantile(0.5), P2Quantile(0.9)
-    max_median, max_q90 = P2Quantile(0.5), P2Quantile(0.9)
-    count = 0
-
-    def fold(radii: Sequence[int]) -> None:
-        nonlocal count
-        max_radius = max(radii)
-        sum_radius = sum(radii)
-        key = (max_radius, sum_radius)
-        joint[key] = joint.get(key, 0) + 1
-        for position, radius in enumerate(radii):
-            counts = marginals[position]
-            counts[radius] = counts.get(radius, 0) + 1
-        average_radius = sum_radius / n
-        avg_moments.update(average_radius)
-        max_moments.update(float(max_radius))
-        avg_median.update(average_radius)
-        avg_q90.update(average_radius)
-        max_median.update(float(max_radius))
-        max_q90.update(float(max_radius))
-        count += 1
-
+    fold = _DistributionFold(n)
     # Stream the draws through the kernel in chunks: the whole chunk is one
     # simulate_batch call (array speed for vectorised rules), then the
     # streaming statistics fold each row in draw order — so the estimates
@@ -403,21 +467,12 @@ def sample_round_distribution(
             )
             if len(chunk) >= DEFAULT_BATCH_ROWS:
                 for radii in kernel.batch_radii(chunk, pre_validated=trusted):
-                    fold(radii)
+                    fold.fold(radii)
                 chunk.clear()
         if chunk:
             for radii in kernel.batch_radii(chunk, pre_validated=trusted):
-                fold(radii)
-    distribution = RoundDistribution.from_counts(
-        n=n, joint=joint, node_marginals=marginals
-    )
-    return SampledDistributionResult(
-        distribution=distribution,
-        average=MeasureEstimate.from_stream(avg_moments, avg_median, avg_q90),
-        maximum=MeasureEstimate.from_stream(max_moments, max_median, max_q90),
-        samples=count,
-        seed=seed_record,
-    )
+                fold.fold(radii)
+    return fold.result(seed_record)
 
 
 def estimate_expected_measures(

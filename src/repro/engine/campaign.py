@@ -21,7 +21,7 @@ from __future__ import annotations
 import itertools
 import time
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from typing import Any, Callable, Optional, Sequence
 
 from repro.engine.batch import BatchExecutor, derive_task_seed
 from repro.errors import ConfigurationError
@@ -482,6 +482,19 @@ def dist_cell_row(
             }
             kernel_info = kernel.describe()
     elapsed = time.perf_counter() - started
+    return _dist_row(cell, graph, distribution, certificate, uncertainty, kernel_info, elapsed)
+
+
+def _dist_row(
+    cell: DistCell,
+    graph: Graph,
+    distribution,
+    certificate,
+    uncertainty,
+    kernel_info,
+    elapsed: float,
+) -> dict:
+    """The shared row schema of :func:`dist_cell_row` and the batched path."""
     summary = distribution.summary()
     return {
         "index": cell.index,
@@ -503,6 +516,87 @@ def dist_cell_row(
         "distribution": distribution.as_dict(),
         "wall_time_s": elapsed,
     }
+
+
+def dist_cell_rows_batched(
+    spec: DistSpec,
+    cells: Sequence[DistCell],
+    graph_for: Callable[[DistCell], Graph],
+    algorithm_for: Callable[[DistCell, Graph], Any],
+    kernel_for: Callable[[Graph, Any], Any],
+) -> list[dict]:
+    """Evaluate a grid's *sampled* cells as one cross-cell kernel submission.
+
+    Every cell's deterministic draw stream is materialised up front
+    (:func:`repro.dist.sampling.draw_sample_rows`), all streams go through
+    one :func:`repro.kernel.compile.simulate_many` call — a ragged
+    multi-instance batch, so cells sharing a compiled instance merge into
+    one row stream — and each cell's radii fold back into exactly the
+    result :func:`repro.dist.sampling.sample_round_distribution` computes
+    for the same seed.  Rows are identical to :func:`dist_cell_row` apart
+    from timing: a cell's ``wall_time_s`` is its own fold time plus its
+    row-count share of the shared kernel call.
+
+    ``graph_for`` / ``algorithm_for`` / ``kernel_for`` resolve per-cell
+    objects, so the session layer can pass its caches.  Exact cells are
+    rejected — route them through :func:`dist_cell_row`.
+    """
+    from repro.dist.sampling import draw_sample_rows, fold_sampled_radii
+    from repro.kernel.compile import BatchRequest, simulate_many
+
+    prepared = []
+    for cell in cells:
+        if cell.method != "sample":
+            raise ConfigurationError(
+                f"dist_cell_rows_batched handles sampled cells only, got "
+                f"{cell.method!r} (cell {cell.index})"
+            )
+        graph = graph_for(cell)
+        algorithm = algorithm_for(cell, graph)
+        kernel = kernel_for(graph, algorithm)
+        rows = draw_sample_rows(graph.n, cell.samples, cell.seed)
+        prepared.append((cell, graph, kernel, rows))
+    if not prepared:
+        return []
+    total_rows = sum(len(rows) for _, _, _, rows in prepared)
+    batch_started = time.perf_counter()
+    radii_blocks = simulate_many(
+        [
+            BatchRequest(kernel, rows, pre_validated=True)
+            for _, _, kernel, rows in prepared
+        ]
+    )
+    batch_elapsed = time.perf_counter() - batch_started
+    out = []
+    for (cell, graph, kernel, rows), radii in zip(prepared, radii_blocks):
+        started = time.perf_counter()
+        with _obs_span(
+            "engine.dist_cell",
+            topology=cell.topology,
+            n=cell.n,
+            method=cell.method,
+        ):
+            sampled = fold_sampled_radii(graph.n, radii, seed=cell.seed)
+        elapsed = (
+            time.perf_counter() - started
+            + batch_elapsed * (len(rows) / total_rows)
+        )
+        uncertainty = {
+            "average": sampled.average.as_dict(),
+            "maximum": sampled.maximum.as_dict(),
+        }
+        out.append(
+            _dist_row(
+                cell,
+                graph,
+                sampled.distribution,
+                None,
+                uncertainty,
+                kernel.describe(),
+                elapsed,
+            )
+        )
+    return out
 
 
 def run_dist_cell(payload: tuple[DistSpec, DistCell]) -> dict:

@@ -26,25 +26,34 @@ from repro.kernel.backend import (
 )
 from repro.kernel.compile import (
     DEFAULT_BATCH_ROWS,
+    BatchRequest,
     CompiledInstance,
     KernelStats,
     compile_instance,
     simulate_batch,
+    simulate_many,
 )
+from repro.kernel.cone import GreedyConeRule, RingMISConeRule
+from repro.kernel.cvring import ColeVishkinRingRule
 from repro.kernel.rules import KernelRule, MaxScanRule, RunnerTableRule
 
 __all__ = [
+    "BatchRequest",
+    "ColeVishkinRingRule",
     "CompiledInstance",
     "DEFAULT_BATCH_ROWS",
+    "GreedyConeRule",
     "KERNEL_BACKENDS",
     "KERNEL_ENV",
     "KernelRule",
     "KernelStats",
     "MaxScanRule",
+    "RingMISConeRule",
     "RunnerTableRule",
     "active_backend",
     "compile_instance",
     "numpy_available",
     "resolve_backend",
     "simulate_batch",
+    "simulate_many",
 ]

@@ -300,6 +300,69 @@ def compile_instance(
     )
 
 
+@dataclass
+class BatchRequest:
+    """One block of a multi-instance batch: rows for one compiled instance.
+
+    ``pre_validated`` has the same meaning as in
+    :meth:`CompiledInstance.batch_radii`: set it for rows that are valid by
+    construction (permutation draws, canonical-leaf enumeration).
+    """
+
+    instance: CompiledInstance
+    rows: Sequence
+    pre_validated: bool = False
+
+
+def simulate_many(requests: Sequence[BatchRequest]) -> list[list[tuple[int, ...]]]:
+    """Evaluate many ``(instance, rows)`` blocks as one ragged multi-instance batch.
+
+    The cross-instance counterpart of :func:`simulate_batch`: requests may
+    target different ``(graph, algorithm)`` pairs (different row widths —
+    the batch is *ragged*, never padded), and blocks aimed at the same
+    compiled instance are merged so the instance evaluates one row stream
+    instead of one small batch per caller.  Each merged stream runs in
+    chunks of :data:`DEFAULT_BATCH_ROWS`; results come back per request, in
+    request order, bit-identical to calling
+    :meth:`CompiledInstance.batch_radii` per block.
+
+    This is how the distribution campaigns submit a whole grid of sampled
+    cells through one kernel entry point (see
+    :func:`repro.engine.campaign.dist_cell_rows_batched`).
+    """
+    # Normalise per request first so validation errors point at the caller's
+    # block, then merge trusted rows per instance.
+    blocks: list[tuple[CompiledInstance, list[tuple[int, ...]]]] = []
+    for request in requests:
+        rows = (
+            list(request.rows)
+            if request.pre_validated
+            else request.instance.normalize_rows(request.rows)
+        )
+        blocks.append((request.instance, rows))
+    merged: dict[int, tuple[CompiledInstance, list]] = {}
+    spans: list[tuple[int, int, int]] = []  # (instance key, start, stop)
+    for instance, rows in blocks:
+        key = id(instance)
+        if key not in merged:
+            merged[key] = (instance, [])
+        stream = merged[key][1]
+        start = len(stream)
+        stream.extend(rows)
+        spans.append((key, start, len(stream)))
+    results: dict[int, list[tuple[int, ...]]] = {}
+    for key, (instance, stream) in merged.items():
+        radii: list[tuple[int, ...]] = []
+        for offset in range(0, len(stream), DEFAULT_BATCH_ROWS):
+            radii.extend(
+                instance.batch_radii(
+                    stream[offset : offset + DEFAULT_BATCH_ROWS], pre_validated=True
+                )
+            )
+        results[key] = radii
+    return [results[key][start:stop] for key, start, stop in spans]
+
+
 def simulate_batch(
     instance: CompiledInstance, ids_matrix: Sequence
 ) -> list[tuple[int, ...]]:

@@ -62,6 +62,22 @@ class RoundAlgorithm(abc.ABC):
         """
         return True
 
+    def compile_ball_kernel_rule(self, instance: Any) -> Optional[Any]:
+        """A vectorised batch rule for the *ball simulation* of this algorithm.
+
+        The round-based counterpart of
+        :meth:`repro.core.algorithm.BallAlgorithm.compile_kernel_rule`:
+        ``instance`` is the :class:`~repro.kernel.compile.CompiledInstance`
+        being built for
+        :class:`~repro.algorithms.full_gather.BallSimulationOfRounds`
+        wrapping this algorithm, which forwards the call here.  Algorithms
+        whose commit round has an array-friendly description (Cole–Vishkin's
+        fixed ``log* n + 3`` schedule, say) return a
+        :class:`~repro.kernel.rules.KernelRule`; the default ``None`` keeps
+        the decide-backed fallback.
+        """
+        return None
+
     @abc.abstractmethod
     def send(self, memory: Any, round_number: int) -> Mapping[int, Any]:
         """Payloads to emit this round, keyed by port number."""

@@ -615,7 +615,14 @@ class BranchAndBoundSearch:
             nonlocal best_int, best_ids
             if not buffer:
                 return
-            batched = kernel.batch_radii(buffer, pre_validated=True)
+            # One cohort = one block of the kernel's multi-instance batch
+            # entry point (the same surface the campaign layer submits
+            # cross-cell batches through).
+            from repro.kernel.compile import BatchRequest, simulate_many
+
+            (batched,) = simulate_many(
+                [BatchRequest(kernel, buffer, pre_validated=True)]
+            )
             for ids_row, radii in zip(buffer, batched):
                 if on_leaf is not None:
                     on_leaf(list(ids_row), list(radii))

@@ -27,9 +27,19 @@ class TestRegistry:
             make_algorithm("quicksort", 8)
 
     def test_custom_registration_is_visible(self):
+        from repro.algorithms import registry as registry_module
+
         register_algorithm("custom-test-algorithm", lambda n: LargestIdAlgorithm())
-        assert "custom-test-algorithm" in algorithm_registry()
-        assert isinstance(make_algorithm("custom-test-algorithm", 3), LargestIdAlgorithm)
+        try:
+            assert "custom-test-algorithm" in algorithm_registry()
+            assert isinstance(
+                make_algorithm("custom-test-algorithm", 3), LargestIdAlgorithm
+            )
+        finally:
+            # The registry is process-global; leaking the test entry would
+            # break every downstream suite that walks algorithm_registry()
+            # (rule coverage, the kernel property wall, ...).
+            registry_module._REGISTRY.pop("custom-test-algorithm", None)
 
     def test_registry_returns_a_copy(self):
         snapshot = algorithm_registry()

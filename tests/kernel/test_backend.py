@@ -64,19 +64,23 @@ def _run_subprocess(code: str, **env_overrides) -> subprocess.CompletedProcess:
 class TestEnvironmentOverride:
     def test_python_mode_never_imports_numpy(self):
         # The acceptance guarantee: with REPRO_KERNEL=python, a full batch
-        # evaluation (vectorised rule and all) must not pull numpy into the
-        # process — the stdlib fallback has to be genuinely stdlib.
+        # evaluation through *every* registered algorithm's vectorised rule
+        # must not pull numpy into the process — the stdlib paths of the
+        # cone and cv-ring rules have to be genuinely stdlib.
         code = (
             "import sys\n"
             "from repro.kernel import compile_instance, simulate_batch, active_backend\n"
-            "from repro.algorithms.largest_id import LargestIdAlgorithm\n"
+            "from repro.algorithms.registry import algorithm_registry\n"
+            "from repro.engine.campaign import make_ball_algorithm\n"
             "from repro.topology.cycle import cycle_graph\n"
             "from repro.model.identifiers import random_assignment\n"
             "assert active_backend() == 'python', active_backend()\n"
-            "instance = compile_instance(cycle_graph(8), LargestIdAlgorithm())\n"
+            "graph = cycle_graph(8)\n"
             "rows = [random_assignment(8, seed=s).identifiers() for s in range(32)]\n"
-            "radii = simulate_batch(instance, rows)\n"
-            "assert len(radii) == 32\n"
+            "for name in sorted(algorithm_registry()):\n"
+            "    instance = compile_instance(graph, make_ball_algorithm(name, 8))\n"
+            "    assert instance.vectorized, name\n"
+            "    assert len(simulate_batch(instance, rows)) == 32, name\n"
             "assert 'numpy' not in sys.modules, 'numpy leaked into the python backend'\n"
             "print('ok')\n"
         )

@@ -6,6 +6,7 @@ import pytest
 
 from repro.algorithms.greedy_coloring import GreedyColoringByID
 from repro.algorithms.largest_id import LargestIdAlgorithm
+from repro.core.algorithm import FunctionBallAlgorithm
 from repro.errors import IdentifierError, TopologyError
 from repro.kernel import compile_instance, simulate_batch
 from repro.model.graph import Graph
@@ -51,9 +52,23 @@ class TestCompiledStructure:
     def test_rule_selection(self):
         graph = cycle_graph(6)
         vectorized = compile_instance(graph, LargestIdAlgorithm())
-        fallback = compile_instance(graph, GreedyColoringByID())
+        cone = compile_instance(graph, GreedyColoringByID())
+        # A bare FunctionBallAlgorithm offers no compile_kernel_rule, so it
+        # exercises the decide-backed fallback selection.
+        fallback = compile_instance(
+            graph,
+            FunctionBallAlgorithm(
+                GreedyColoringByID().decide,
+                name="greedy-coloring-opaque",
+                problem="coloring",
+                order_invariant=True,
+                uses_ports=False,
+            ),
+        )
         assert vectorized.vectorized
         assert vectorized.describe()["rule"] == "max-scan"
+        assert cone.vectorized
+        assert cone.describe()["rule"] == "greedy-cone-coloring"
         assert not fallback.vectorized
         assert fallback.describe()["rule"] == "runner-table"
 

@@ -14,8 +14,10 @@ import pytest
 
 from repro.algorithms.registry import algorithm_registry
 from repro.core.algorithm import BallAlgorithm
+from repro.engine.campaign import make_ball_algorithm
 from repro.engine.frontier import FrontierRunner
 from repro.kernel import compile_instance, numpy_available, simulate_batch
+from repro.kernel.compile import BatchRequest, simulate_many
 from repro.model.identifiers import IdentifierAssignment, random_assignment
 from repro.topology.cycle import cycle_graph
 from repro.topology.grid import grid_graph
@@ -36,21 +38,40 @@ ASSIGNMENT_SEEDS = tuple(range(6))
 
 BACKENDS = ("python",) + (("numpy",) if numpy_available() else ())
 
+#: The vectorised rule every registry name must compile to (the coverage
+#: gate in tests/kernel/test_rule_coverage.py asserts "not runner-table";
+#: here the differential tests pin the exact rule class that produced the
+#: matching traces, so a silent fallback cannot hide behind correctness).
+EXPECTED_RULES = {
+    "cole-vishkin": "cv-ring",
+    "cole-vishkin-ball": "cv-ring",
+    "greedy-coloring": "greedy-cone-coloring",
+    "greedy-mis": "greedy-cone-mis",
+    "largest-id": "max-scan",
+    "ring-coloring-via-mis": "ring-mis-cone",
+}
+
 
 def _ball_algorithms(n: int):
-    """Every registered algorithm usable in the ball view, instantiated for n."""
+    """Every registered algorithm in the ball view, instantiated for n.
+
+    Round algorithms (the bare "cole-vishkin") are wrapped in
+    :class:`BallSimulationOfRounds` by ``make_ball_algorithm``, exactly as
+    the campaign engine and the Session do, so the wall covers every
+    registry name rather than only the natively ball-shaped ones.
+    """
     algorithms = []
-    for name, factory in sorted(algorithm_registry().items()):
-        algorithm = factory(n)
-        if isinstance(algorithm, BallAlgorithm):
-            algorithms.append((name, algorithm))
+    for name in sorted(algorithm_registry()):
+        algorithm = make_ball_algorithm(name, n)
+        assert isinstance(algorithm, BallAlgorithm)
+        algorithms.append((name, algorithm))
     return algorithms
 
 
 def _supported(name: str, algorithm: BallAlgorithm, graph) -> bool:
     if not algorithm.supports_graph(graph):
         return False
-    if name == "cole-vishkin-ball":
+    if name in ("cole-vishkin", "cole-vishkin-ball"):
         from repro.algorithms.cole_vishkin import is_consistently_oriented_ring
 
         return is_consistently_oriented_ring(graph)
@@ -73,6 +94,12 @@ def test_kernel_traces_match_runner_for_every_registered_algorithm(
             continue
         runner = FrontierRunner(graph, algorithm)
         instance = compile_instance(graph, algorithm, backend=backend)
+        # The equality below must be produced by the vectorised rule, not
+        # by a silent fall back to the decide-backed runner-table path.
+        assert instance.vectorized, f"{label}/{name}/{backend}"
+        assert (
+            instance.describe()["rule"] == EXPECTED_RULES[name]
+        ), f"{label}/{name}/{backend}"
         references = [runner.run(ids) for ids in assignments]
         for ids, reference, trace in zip(
             assignments, references, instance.batch_traces(rows)
@@ -137,3 +164,44 @@ def test_kernel_matches_runner_under_identifier_assignment_inputs():
     for ids, radii in zip(assignments, simulate_batch(instance, assignments)):
         reference = runner.run(IdentifierAssignment(ids.identifiers()))
         assert tuple(reference.radii()[p] for p in range(6)) == radii
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_simulate_many_matches_per_instance_batches(backend):
+    # Multi-instance batching (the Session's cross-cell submission path):
+    # heterogeneous instances — different graphs, widths and algorithms,
+    # with repeated instances interleaved — through one simulate_many call
+    # must return, per request, exactly the rows simulate_batch produces
+    # on that request's instance alone.
+    from repro.algorithms.greedy_coloring import GreedyColoringByID
+    from repro.algorithms.largest_id import LargestIdAlgorithm
+
+    cycle = compile_instance(cycle_graph(7), LargestIdAlgorithm(), backend=backend)
+    tree = compile_instance(
+        random_tree(5, seed=3), GreedyColoringByID(), backend=backend
+    )
+    ring = compile_instance(
+        cycle_graph(6), make_ball_algorithm("cole-vishkin", 6), backend=backend
+    )
+    requests = [
+        BatchRequest(cycle, [random_assignment(7, seed=s).identifiers() for s in range(5)]),
+        BatchRequest(tree, [random_assignment(5, seed=s).identifiers() for s in range(3)]),
+        BatchRequest(cycle, [random_assignment(7, seed=s).identifiers() for s in range(5, 9)]),
+        BatchRequest(ring, [random_assignment(6, seed=s).identifiers() for s in range(4)]),
+        BatchRequest(tree, []),  # empty requests keep their slot
+    ]
+    batched = simulate_many(requests)
+    assert len(batched) == len(requests)
+    for request, rows in zip(requests, batched):
+        assert rows == simulate_batch(request.instance, list(request.rows))
+
+
+def test_simulate_many_validates_untrusted_rows():
+    from repro.algorithms.largest_id import LargestIdAlgorithm
+    from repro.errors import IdentifierError, TopologyError
+
+    instance = compile_instance(cycle_graph(5), LargestIdAlgorithm())
+    with pytest.raises(TopologyError, match="covers 4 positions"):
+        simulate_many([BatchRequest(instance, [(0, 1, 2, 3)])])
+    with pytest.raises(IdentifierError, match="distinct"):
+        simulate_many([BatchRequest(instance, [(0, 1, 1, 2, 3)])])

@@ -9,6 +9,7 @@ from repro.algorithms.cole_vishkin import ColeVishkinRing
 from repro.algorithms.greedy_coloring import GreedyColoringByID
 from repro.algorithms.largest_id import LargestIdAlgorithm
 from repro.core.adversary import ExhaustiveAdversary
+from repro.core.algorithm import FunctionBallAlgorithm
 from repro.core.measures import exact_worst_case
 from repro.core.runner import run_ball_algorithm
 from repro.errors import ConfigurationError
@@ -143,9 +144,16 @@ class TestBatchedEnumeration:
 
     @pytest.mark.parametrize("objective", ["sum", "max", "average"])
     def test_matches_eager_enumeration_leaf_by_leaf(self, objective):
-        # Greedy colouring has no vectorised rule, so run() keeps the eager
-        # path — making it the reference run_batched is compared against.
-        algorithm = GreedyColoringByID()
+        # An opaque FunctionBallAlgorithm has no vectorised rule, so run()
+        # keeps the eager path — making it the reference run_batched is
+        # compared against (every registered algorithm now vectorises).
+        algorithm = FunctionBallAlgorithm(
+            GreedyColoringByID().decide,
+            name="greedy-coloring-opaque",
+            problem="coloring",
+            order_invariant=True,
+            uses_ports=False,
+        )
         graph = cycle_graph(6)
         eager = BranchAndBoundSearch(graph, algorithm, objective, use_bound=False)
         assert not eager.kernel.vectorized

@@ -1,0 +1,90 @@
+"""Regression: ordinary test runs must not rewrite committed BENCH artifacts.
+
+The benchmark modules run under plain ``pytest`` too (tier-1 collects
+them), and they used to write their ``BENCH_*.json`` artifacts on every
+run — so a routine test run on a loaded machine could silently regress a
+committed timing.  ``benchmarks/bench_smoke.py`` now routes artifact
+writes through :func:`artifact_path`, which only targets the repo root
+under ``REPRO_BENCH_WRITE=1`` (set by ``make bench`` / ``make bench-smoke``)
+and a scratch directory otherwise.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCHMARKS = REPO_ROOT / "benchmarks"
+
+_PROBE = (
+    "import bench_smoke; print(bench_smoke.artifact_path('BENCH_kernel.json'))"
+)
+
+
+def _artifact_path_under(env_overrides: dict[str, str]) -> Path:
+    env = {
+        key: value
+        for key, value in os.environ.items()
+        if key not in ("REPRO_BENCH_WRITE", "REPRO_BENCH_SMOKE")
+    }
+    env.update(env_overrides)
+    output = subprocess.run(
+        [sys.executable, "-c", _PROBE],
+        cwd=BENCHMARKS,
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+    ).stdout.strip()
+    return Path(output)
+
+
+class TestArtifactWriteGating:
+    def test_opt_in_targets_the_committed_artifact(self):
+        path = _artifact_path_under({"REPRO_BENCH_WRITE": "1"})
+        assert path == REPO_ROOT / "BENCH_kernel.json"
+
+    def test_default_targets_a_scratch_file_outside_the_repo(self):
+        path = _artifact_path_under({})
+        assert REPO_ROOT not in path.parents
+        assert path.name == "BENCH_kernel.json"
+
+    def test_plain_pytest_leaves_committed_artifacts_untouched(self):
+        artifacts = sorted(REPO_ROOT.glob("BENCH_*.json"))
+        assert artifacts
+        before = {
+            path.name: hashlib.sha256(path.read_bytes()).hexdigest()
+            for path in artifacts
+        }
+        env = {
+            key: value
+            for key, value in os.environ.items()
+            if key != "REPRO_BENCH_WRITE"
+        }
+        env["REPRO_BENCH_SMOKE"] = "1"
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        completed = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "pytest",
+                "-q",
+                "-p",
+                "no:cacheprovider",
+                "benchmarks/test_bench_kernel.py::test_bench_batched_sampling_vs_runner",
+            ],
+            cwd=REPO_ROOT,
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        assert completed.returncode == 0, completed.stdout + completed.stderr
+        after = {
+            path.name: hashlib.sha256(path.read_bytes()).hexdigest()
+            for path in sorted(REPO_ROOT.glob("BENCH_*.json"))
+        }
+        assert after == before

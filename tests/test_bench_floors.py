@@ -58,15 +58,19 @@ class TestGuardLogic:
         assert check_bench_floors.main(["--root", str(tmp_path), "--quiet"]) == 1
 
     def test_optional_entries_may_be_absent(self, tmp_path):
-        # The kernel's numpy leg is absent on numpy-free machines; only the
-        # stdlib entry is mandatory.
+        # The kernel's numpy legs are absent on numpy-free machines; only
+        # the stdlib entries are mandatory.
         self._write(
             tmp_path,
             "BENCH_kernel.json",
             {
                 "kind": "repro-bench-kernel",
                 "results": {
-                    "batched_sampling_python": {"speedup": 2.0, "min_speedup": 1.0}
+                    "batched_sampling_python": {"speedup": 2.0, "min_speedup": 1.0},
+                    "vector_rule_python_largest-id": {
+                        "speedup": 2.0,
+                        "min_speedup": 1.0,
+                    },
                 },
             },
         )

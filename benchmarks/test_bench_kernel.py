@@ -42,6 +42,14 @@ MIN_SPEEDUP_PYTHON = 1.0
 #: RunnerTableRule fallback (cold cache) on the same assignment stream.
 MIN_SPEEDUP_VECTOR_NUMPY = 3.0
 MIN_SPEEDUP_VECTOR_PYTHON = 1.0
+#: Floor for the padded same-shape fast path over sequential per-instance
+#: evaluation of the same requests (numpy backend only).  The workload is
+#: the campaign-grid shape padding exists for: many small same-shape cells
+#: with a modest sample stream each, where per-call dispatch overhead
+#: dominates sequential evaluation.
+MIN_SPEEDUP_PADDED = 1.5
+PADDED_INSTANCES = 32
+PADDED_ROWS = 16
 RING_N = 8
 SAMPLES = pick(4096, 512)
 VECTOR_ROWS = pick(512, 64)
@@ -150,6 +158,70 @@ def test_bench_batched_sampling_vs_runner():
     assert python_speedup >= MIN_SPEEDUP_PYTHON
     if numpy_speedup is not None:
         assert numpy_speedup >= MIN_SPEEDUP_NUMPY
+
+
+def test_bench_padded_same_shape_batching():
+    """Padded same-shape stacking beats sequential per-instance evaluation.
+
+    ``PADDED_INSTANCES`` separately-compiled cycle instances (same ``(n,
+    stream length)`` shape, numpy backend) go through
+    :func:`simulate_many` twice: once with the padded fast path and once
+    with ``pad_same_shape=False``.  Results are asserted bit-identical in
+    the same run, and the speedup lands in the artifact under
+    ``padded_same_shape_numpy`` with its own floor.  Skipped (and omitted
+    from the artifact) without numpy — the padded path is numpy-only.
+    """
+    import pytest
+
+    from repro.kernel import BatchRequest, simulate_many
+
+    if not numpy_available():
+        pytest.skip("padded batching is a numpy-only fast path")
+
+    ring_n = RING_N
+    rows_per_instance = PADDED_ROWS
+    algorithm = LargestIdAlgorithm()
+    master = make_rng(20260807)
+    instances = [
+        compile_instance(cycle_graph(ring_n), algorithm, backend="numpy")
+        for _ in range(PADDED_INSTANCES)
+    ]
+    streams = [
+        [
+            random_assignment(ring_n, seed=master.getrandbits(64)).identifiers()
+            for _ in range(rows_per_instance)
+        ]
+        for _ in instances
+    ]
+    requests = [
+        BatchRequest(instance, stream)
+        for instance, stream in zip(instances, streams)
+    ]
+
+    sequential_s, reference = _best_of(
+        lambda: simulate_many(requests, pad_same_shape=False), repeats=pick(7, 3)
+    )
+    padded_s, padded = _best_of(lambda: simulate_many(requests), repeats=pick(7, 3))
+    assert padded == reference
+    speedup = sequential_s / padded_s
+    _RESULTS["padded_same_shape_numpy"] = {
+        "sequential_s": sequential_s,
+        "kernel_s": padded_s,
+        "speedup": speedup,
+        "min_speedup": MIN_SPEEDUP_PADDED,
+        "backend": "numpy",
+        "instances": PADDED_INSTANCES,
+        "rows": rows_per_instance,
+    }
+    _write_artifact()
+    print(
+        f"\npadded batching x{PADDED_INSTANCES} instances, "
+        f"{rows_per_instance} rows each: sequential {sequential_s:.3f}s, "
+        f"padded {padded_s:.3f}s ({speedup:.1f}x)"
+    )
+    assert speedup >= MIN_SPEEDUP_PADDED, (
+        f"padded speedup {speedup:.2f}x below {MIN_SPEEDUP_PADDED:.2f}x"
+    )
 
 
 def test_bench_fallback_rule_matches_runner():

@@ -1,0 +1,145 @@
+"""Million-node scale path: streamed CSR + sharded sampling, with RSS probes.
+
+The scale acceptance workload: for each size in :data:`SIZES` a **fresh
+subprocess** builds the streamed-CSR cycle, runs
+:func:`repro.kernel.shard.run_scale_probe` (sharded sampling of both
+measures under the largest-ID algorithm), and reports throughput plus its
+own ``ru_maxrss`` peak.  The subprocess isolation is the point — the parent
+pytest process has touched numpy, graphs and caches, so only a child's RSS
+honestly bounds what the scale path itself allocates.
+
+Each entry lands in ``BENCH_scale.json`` as ``scale_cycle_n<size>`` with a
+``nodes_per_s`` floor and a ``peak_rss_bytes`` ceiling, asserted in-run and
+re-checked by ``scripts/check_bench_floors.py``.  The path is pure stdlib,
+so this benchmark runs (and gates) on the numpy-free engine-smoke job too.
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``) keeps every size at or below 10^3
+nodes — ``tests/test_bench_floors.py`` pins that bound — so the CI smoke
+job exercises the identical code path in well under a second.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from bench_smoke import SMOKE, artifact_path, pick
+
+ARTIFACT_PATH = artifact_path("BENCH_scale.json")
+
+#: Full-mode sizes: the tentpole claim is the 10^6-node cycle end to end.
+SIZES_FULL = (10_000, 100_000, 1_000_000)
+#: Smoke-mode sizes: same code path, must stay at or below 10^3 nodes.
+SIZES_SMOKE = (256, 1_000)
+SIZES = pick(SIZES_FULL, SIZES_SMOKE)
+
+#: Sampled identifier assignments per size.  One full row is O(n) centres,
+#: so the 10^6 probe keeps this small; the measures still fold per shard.
+SAMPLES = pick(2, 2)
+
+#: Throughput floor in sampled centres per second.  The 1-CPU CI runner
+#: sustains ~100k nodes/s on this path; the floor is ~20x slack so only a
+#: true algorithmic regression (e.g. losing the early-stop BFS) trips it.
+MIN_NODES_PER_S = pick(5_000.0, 2_000.0)
+
+#: Peak-RSS ceiling for the probe subprocess.  The acceptance bound: the
+#: 10^6-node cycle must sample end to end in well under 2 GiB.
+MAX_RSS_BYTES = 2 * 1024**3
+
+SEED = 20260808
+
+_RESULTS: dict[str, dict] = {}
+
+_PROBE_SCRIPT = """\
+import json, sys
+from repro.kernel.shard import run_scale_probe
+
+spec = json.loads(sys.argv[1])
+print(json.dumps(run_scale_probe(**spec)))
+"""
+
+
+def _probe_in_subprocess(n: int) -> dict:
+    """Run one scale probe in a fresh interpreter and parse its JSON report."""
+    import repro
+
+    src_root = str(Path(repro.__file__).resolve().parent.parent)
+    spec = {
+        "topology": "cycle",
+        "n": n,
+        "algorithm": "largest-id",
+        "samples": SAMPLES,
+        "seed": SEED,
+        "workers": 1,
+        "row_block": 4,
+        "center_chunk": 65_536,
+    }
+    completed = subprocess.run(
+        [sys.executable, "-c", _PROBE_SCRIPT, json.dumps(spec)],
+        capture_output=True,
+        text=True,
+        env={**os.environ, "PYTHONPATH": src_root},
+        check=False,
+    )
+    assert completed.returncode == 0, (
+        f"scale probe n={n} failed:\n{completed.stderr}"
+    )
+    return json.loads(completed.stdout)
+
+
+def _write_artifact() -> None:
+    payload = {
+        "kind": "repro-bench-scale",
+        "smoke": SMOKE,
+        "workload": {
+            "topology": "cycle",
+            "algorithm": "largest-id",
+            "samples": SAMPLES,
+            "sizes": list(SIZES),
+        },
+        "results": _RESULTS,
+    }
+    ARTIFACT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def test_bench_scale_cycle_sizes():
+    report_lines = []
+    for n in SIZES:
+        probe = _probe_in_subprocess(n)
+        assert probe["n"] == n and probe["samples"] == SAMPLES
+        entry = {
+            "n": n,
+            "samples": SAMPLES,
+            "build_s": probe["build_s"],
+            "elapsed_s": probe["elapsed_s"],
+            "nodes_per_s": probe["nodes_per_s"],
+            "min_nodes_per_s": MIN_NODES_PER_S,
+            "peak_rss_bytes": probe["peak_rss_bytes"],
+            "max_rss_bytes": MAX_RSS_BYTES,
+            "avg_mean": probe["avg_mean"],
+            "max_mean": probe["max_mean"],
+            "rule": probe["rule"],
+        }
+        _RESULTS[f"scale_cycle_n{n}"] = entry
+        report_lines.append(
+            f"n={n}: {probe['nodes_per_s']:.0f} nodes/s, "
+            f"rss {probe['peak_rss_bytes'] / 1024**2:.0f} MiB, "
+            f"avg {probe['avg_mean']:.3f}, max {probe['max_mean']:.0f}"
+        )
+        # The cycle's classic measure is its eccentricity: floor(n/2).
+        assert probe["max_mean"] == n // 2
+        assert probe["nodes_per_s"] >= MIN_NODES_PER_S, (
+            f"n={n}: {probe['nodes_per_s']:.0f} nodes/s below "
+            f"{MIN_NODES_PER_S:.0f} floor"
+        )
+        assert probe["peak_rss_bytes"] <= MAX_RSS_BYTES, (
+            f"n={n}: peak RSS {probe['peak_rss_bytes']} over "
+            f"{MAX_RSS_BYTES} ceiling"
+        )
+    _write_artifact()
+    print("\nscale path (cycle, largest-id, fresh subprocess per size):")
+    for line in report_lines:
+        print("  " + line)

@@ -30,7 +30,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-from check_bench_floors import GATED_RESULTS  # noqa: E402
+from check_bench_floors import GATED_METRICS, GATED_RESULTS  # noqa: E402
 
 #: Sparkline glyphs, lowest to highest.
 SPARKS = "▁▂▃▄▅▆▇█"
@@ -85,18 +85,39 @@ def sparkline(values: list[float]) -> str:
     return "".join(SPARKS[int((value - low) * scale + 0.5)] for value in values)
 
 
-def entry_floor(key: str, entry: dict, document: dict):
+def entry_metric(entry: dict):
+    """The entry's tracked measurement as ``(field, value, unit)``.
+
+    Speedup-gated entries track ``speedup``; metric-gated ones (the scale
+    artifact) have no speedup and fall back to ``nodes_per_s``.  Returns
+    ``(None, None, None)`` for entries tracking neither.
+    """
+    if entry.get("speedup") is not None:
+        return "speedup", entry["speedup"], "x"
+    if entry.get("nodes_per_s") is not None:
+        return "nodes_per_s", entry["nodes_per_s"], " nodes/s"
+    return None, None, None
+
+
+def entry_floor(key: str, entry: dict, document: dict, field: str):
     """The floor governing one result entry, ``None`` for ungated entries.
 
     Mirrors ``check_bench_floors``: only result keys matching a gated
-    prefix for the artifact's kind are held to a floor (the entry's
-    ``min_speedup``, falling back to the artifact's top-level one);
-    everything else is recorded for information only.
+    prefix for the artifact's kind are held to a floor — the entry's
+    ``min_speedup`` (falling back to the artifact's top-level one) for
+    speedup entries, the matching ``>=`` bound from ``GATED_METRICS`` for
+    metric entries; everything else is recorded for information only.
     """
-    gated = GATED_RESULTS.get(document.get("kind"), ())
+    kind = document.get("kind")
+    gated = GATED_RESULTS.get(kind, ())
     if not any(key.startswith(prefix) for prefix, _required in gated):
         return None
-    return entry.get("min_speedup", document.get("min_speedup"))
+    if field == "speedup":
+        return entry.get("min_speedup", document.get("min_speedup"))
+    for measured_key, bound_key, direction in GATED_METRICS.get(kind, ()):
+        if measured_key == field and direction == ">=":
+            return entry.get(bound_key)
+    return None
 
 
 def trend_rows(path: Path, root: Path, history: int, use_git: bool) -> list[dict]:
@@ -108,26 +129,34 @@ def trend_rows(path: Path, root: Path, history: int, use_git: bool) -> list[dict
     documents.append(current)
     rows = []
     for key, entry in sorted(current.get("results", {}).items()):
-        speedup = entry.get("speedup")
-        if speedup is None:
+        field, value, unit = entry_metric(entry)
+        if field is None:
             continue
         trajectory = [
-            past["results"][key]["speedup"]
+            past["results"][key][field]
             for past in documents
-            if past.get("results", {}).get(key, {}).get("speedup") is not None
+            if past.get("results", {}).get(key, {}).get(field) is not None
         ]
-        floor = entry_floor(key, entry, current)
+        floor = entry_floor(key, entry, current, field)
         rows.append(
             {
                 "artifact": path.name,
                 "key": key,
-                "speedup": speedup,
+                "speedup": value,
+                "unit": unit,
                 "floor": floor,
-                "headroom": (speedup / floor) if floor else None,
+                "headroom": (value / floor) if floor else None,
                 "trajectory": trajectory,
             }
         )
     return rows
+
+
+def _format_value(value: float, unit: str) -> str:
+    """``2.41x`` for speedups, ``101,234 nodes/s`` for throughputs."""
+    if unit == "x":
+        return f"{value:.2f}x"
+    return f"{value:,.0f}{unit}"
 
 
 def render_text(rows: list[dict], artifacts: int) -> str:
@@ -139,7 +168,11 @@ def render_text(rows: list[dict], artifacts: int) -> str:
             current_artifact = row["artifact"]
             lines.append("")
             lines.append(current_artifact)
-        floor = f"{row['floor']:.2f}x" if row["floor"] is not None else "-"
+        unit = row.get("unit", "x")
+        value = _format_value(row["speedup"], unit)
+        floor = (
+            _format_value(row["floor"], unit) if row["floor"] is not None else "-"
+        )
         headroom = (
             f"{row['headroom']:.2f}x" if row["headroom"] is not None else "-"
         )
@@ -148,7 +181,7 @@ def render_text(rows: list[dict], artifacts: int) -> str:
         points = len(row["trajectory"])
         history = f" ({points} versions)" if points > 1 else ""
         lines.append(
-            f"  {row['key']:<30} {row['speedup']:>9.2f}x  floor {floor:>7}  "
+            f"  {row['key']:<30} {value:>16}  floor {floor:>15}  "
             f"headroom {headroom:>7}{trail}{history}"
         )
     return "\n".join(lines)
@@ -161,13 +194,16 @@ def render_markdown(rows: list[dict]) -> str:
         "| --- | --- | ---: | ---: | ---: | --- |",
     ]
     for row in rows:
-        floor = f"{row['floor']:.2f}x" if row["floor"] is not None else "-"
+        unit = row.get("unit", "x")
+        floor = (
+            _format_value(row["floor"], unit) if row["floor"] is not None else "-"
+        )
         headroom = (
             f"{row['headroom']:.2f}x" if row["headroom"] is not None else "-"
         )
         spark = sparkline(row["trajectory"]) or "-"
         lines.append(
-            f"| {row['artifact']} | {row['key']} | {row['speedup']:.2f}x "
+            f"| {row['artifact']} | {row['key']} | {_format_value(row['speedup'], unit)} "
             f"| {floor} | {headroom} | {spark} |"
         )
     return "\n".join(lines)

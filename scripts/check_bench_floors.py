@@ -53,10 +53,26 @@ GATED_RESULTS = {
         # registered algorithm; again, the numpy legs only where available).
         ("vector_rule_python", True),
         ("vector_rule_numpy", False),
+        # Padded same-shape stacking vs sequential (numpy-only fast path).
+        ("padded_same_shape", False),
     ),
     # speedup = off_s / on_s; the 0.95 floor tolerates ~5% instrumentation
     # overhead (the noop_span_call entry is informational, hence ungated).
     "repro-bench-obs": (("obs_overhead", True),),
+    # Million-node scale path: gated on throughput + memory, not speedup
+    # (see GATED_METRICS).
+    "repro-bench-scale": (("scale_cycle", True),),
+}
+
+#: kind -> ((measured key, bound key, direction), ...) for artifacts whose
+#: gated entries carry absolute throughput/memory bounds instead of speedup
+#: floors: ``">="`` means the measurement must meet a floor (nodes/sec),
+#: ``"<="`` that it must stay under a ceiling (peak RSS).
+GATED_METRICS = {
+    "repro-bench-scale": (
+        ("nodes_per_s", "min_nodes_per_s", ">="),
+        ("peak_rss_bytes", "max_rss_bytes", "<="),
+    ),
 }
 
 
@@ -80,6 +96,12 @@ def check_artifact(path: Path, quiet: bool = False) -> list[str]:
             continue
         for key in matches:
             entry = results[key]
+            metric_specs = GATED_METRICS.get(kind)
+            if metric_specs:
+                problems.extend(
+                    _check_metrics(path, key, entry, metric_specs, quiet=quiet)
+                )
+                continue
             speedup = entry.get("speedup")
             floor = entry.get("min_speedup", default_floor)
             if speedup is None or floor is None:
@@ -97,6 +119,34 @@ def check_artifact(path: Path, quiet: bool = False) -> list[str]:
                     f"{path.name}: {key} speedup {speedup:.2f}x is below its "
                     f"floor of {floor:.2f}x"
                 )
+    return problems
+
+
+def _check_metrics(
+    path: Path, key: str, entry: dict, specs, quiet: bool = False
+) -> list[str]:
+    """Violations of one metric-gated entry's absolute bounds."""
+    problems = []
+    for measured_key, bound_key, direction in specs:
+        measured = entry.get(measured_key)
+        bound = entry.get(bound_key)
+        if measured is None or bound is None:
+            problems.append(
+                f"{path.name}: {key!r} lacks a {measured_key}/{bound_key} pair"
+            )
+            continue
+        holds = measured >= bound if direction == ">=" else measured <= bound
+        status = "ok" if holds else "REGRESSION"
+        if not quiet:
+            print(
+                f"  {path.name:>22} {key:<28} {measured_key} "
+                f"{measured:,.0f} {direction} {bound:,.0f}  {status}"
+            )
+        if not holds:
+            problems.append(
+                f"{path.name}: {key} {measured_key} {measured:,.0f} violates "
+                f"its bound of {direction} {bound:,.0f}"
+            )
     return problems
 
 

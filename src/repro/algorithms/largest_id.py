@@ -52,6 +52,18 @@ class LargestIdAlgorithm(BallAlgorithm):
 
         return MaxScanRule(instance)
 
+    def compile_scale_rule(self, csr):
+        """Plan-free large-n rule: early-stop BFS to the nearest larger ID.
+
+        The scale sibling of :class:`~repro.kernel.rules.MaxScanRule` — no
+        per-centre plans, just the streamed CSR adjacency — which is what
+        lets the ``scale`` query mode sample this algorithm on 10^6-node
+        topologies with bounded memory (see :mod:`repro.kernel.shard`).
+        """
+        from repro.kernel.shard import MaxScanScaleRule
+
+        return MaxScanScaleRule(csr)
+
 
 def predicted_largest_id_radii(graph: Graph, ids: IdentifierAssignment) -> dict[int, int]:
     """Closed-form radii of :class:`LargestIdAlgorithm` on any connected graph.

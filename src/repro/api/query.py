@@ -42,10 +42,14 @@ from repro.engine.campaign import (
     DistSpec,
 )
 from repro.errors import ConfigurationError
+from repro.kernel.shard import SCALE_ALGORITHMS
 from repro.model.identifiers import ID_FAMILIES
+from repro.topology.stream import STREAM_TOPOLOGIES
 
-#: The four kinds of question the API answers.
-MODES = ("simulate", "worst-case", "distribution", "sweep")
+#: The five kinds of question the API answers.  ``scale`` is the
+#: million-node sampling mode: streamed CSR topologies, sharded plan-free
+#: kernel execution, sampling-only measures (see ``docs/performance.md``).
+MODES = ("simulate", "worst-case", "distribution", "sweep", "scale")
 
 #: Document tag and schema version of the JSON form (see ``docs/api.md``).
 QUERY_KIND = "repro-query"
@@ -113,6 +117,10 @@ class Query:
     exact_max_nodes: int = 12
     #: Cap on ``n!/|Aut|`` canonical classes for exact distributions.
     max_classes: int = 250_000
+    #: ``scale`` mode: sampled assignment rows per sharded task.
+    row_block: int = 4
+    #: ``scale`` mode: centres per sharded task (the memory/fan-out knob).
+    center_chunk: int = 65536
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "topologies", _as_tuple(self.topologies, "topologies"))
@@ -156,6 +164,24 @@ class Query:
             raise ConfigurationError(f"samples must be positive, got {self.samples}")
         if self.workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {self.workers}")
+        for knob, value in (("row_block", self.row_block), ("center_chunk", self.center_chunk)):
+            if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+                raise ConfigurationError(f"{knob} must be a positive int, got {value!r}")
+        if self.mode == "scale":
+            # The scale path has its own, stricter registries: only streamed
+            # CSR families and plan-free (compile_scale_rule) algorithms.
+            for name in self.topologies:
+                if name not in STREAM_TOPOLOGIES:
+                    raise ConfigurationError(
+                        f"topology {name!r} does not stream; scale mode supports: "
+                        f"{', '.join(STREAM_TOPOLOGIES)}"
+                    )
+            for name in self.algorithms:
+                if name not in SCALE_ALGORITHMS:
+                    raise ConfigurationError(
+                        f"algorithm {name!r} has no scale rule; scale mode "
+                        f"supports: {', '.join(sorted(SCALE_ALGORITHMS))}"
+                    )
         try:
             get_measure(self.measure)
         except Exception as exc:  # AnalysisError; re-tag as a spec problem
@@ -332,6 +358,11 @@ class QueryBuilder:
     def sweep(self) -> "QueryBuilder":
         """Answer with a full campaign grid of adversarial searches."""
         self._fields["mode"] = "sweep"
+        return self
+
+    def scale(self) -> "QueryBuilder":
+        """Answer with sharded million-node sampling (streamed topologies)."""
+        self._fields["mode"] = "scale"
         return self
 
     # -- the grid -------------------------------------------------------

@@ -48,6 +48,10 @@ _TABLE_COLUMNS = {
         "topology", "n", "algorithm", "method", "weight", "avg_mean",
         "avg_std", "avg_q90", "avg_se", "max_mean", "max_std",
     ),
+    "scale": (
+        "topology", "n", "algorithm", "samples", "avg_mean", "avg_se",
+        "max_mean", "max_q90", "nodes_per_s",
+    ),
 }
 
 
@@ -127,7 +131,7 @@ def _headline_measures(mode: str, rows: Sequence[Mapping]) -> dict:
     if mode in ("worst-case", "sweep"):
         name = get_measure(rows[0]["objective"]).name
         return {name: max(row["value"] for row in rows)}
-    if mode == "distribution":
+    if mode in ("distribution", "scale"):
         return {
             "average": max(row["average"]["mean"] for row in rows),
             "classic": max(row["max"]["mean"] for row in rows),
@@ -219,6 +223,7 @@ class Result:
             "worst-case": f"worst-case {measure} over identifier assignments",
             "sweep": f"sweep: worst-case {measure} over identifier assignments",
             "distribution": "dist: measure distributions over identifier assignments",
+            "scale": "scale: sharded sampling on streamed topologies",
         }
         table = Table(columns=columns, title=titles[self.mode])
         for row in self.rows:

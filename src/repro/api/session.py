@@ -20,8 +20,9 @@ calls:
 fresh per-call setup by well over the asserted 1.5× on repeated-query
 workloads (artifact ``BENCH_api.json``).
 
-The four public methods — :meth:`Session.simulate`, :meth:`Session.worst_case`,
-:meth:`Session.distribution`, :meth:`Session.sweep` — all accept a
+The five public methods — :meth:`Session.simulate`, :meth:`Session.worst_case`,
+:meth:`Session.distribution`, :meth:`Session.sweep`,
+:meth:`Session.scale` — all accept a
 :class:`~repro.api.query.Query` (or its keyword arguments) and return a
 :class:`~repro.api.results.Result`.  Module level,
 :func:`query` runs against a lazily created default session — the one-liner
@@ -57,9 +58,12 @@ from repro.engine.campaign import (
     run_dist_cell,
     search_cell_row,
 )
+from repro.dist.sampling import fold_scale_stats
 from repro.engine.frontier import FrontierRunner
 from repro.errors import ConfigurationError
 from repro.kernel.compile import CompiledInstance, compile_instance
+from repro.kernel.shard import ShardedKernelExecutor
+from repro.topology.stream import STREAM_DETERMINISTIC, CSRTopology, build_csr
 from repro.model.graph import Graph
 from repro.model.identifiers import IdentifierAssignment, make_identifier_assignment
 from repro.model.trace import ExecutionTrace
@@ -80,6 +84,11 @@ SESSION_MAX_GRAPHS = 256
 SESSION_MAX_ALGORITHMS = 256
 SESSION_MAX_RUNNERS = 64
 SESSION_MAX_KERNELS = 64
+
+#: Bound on retained streamed CSR topologies.  Deliberately small: one
+#: million-node CSR is tens of megabytes, so the scale cache trades warmth
+#: for a hard memory ceiling.
+SESSION_MAX_CSRS = 8
 
 
 class _LruCache:
@@ -240,6 +249,93 @@ def run_simulate_cell(cell: SimulateCell) -> dict:
     return simulate_cell_row(cell)
 
 
+@dataclass(frozen=True)
+class ScaleCell:
+    """One fully specified point of a ``scale`` grid.
+
+    ``csr_seed`` builds the streamed topology (all algorithms of one
+    coordinate sample the identical CSR); ``seed`` additionally folds the
+    algorithm in and seeds the per-row identifier permutations.
+    """
+
+    index: int
+    topology: str
+    n: int
+    algorithm: str
+    csr_seed: int
+    seed: int
+
+
+def scale_cells(query: Query) -> list[ScaleCell]:
+    """Expand a ``scale`` query into deterministic, individually seeded cells."""
+    import itertools
+
+    grid = itertools.product(query.topologies, query.sizes, query.algorithms)
+    return [
+        ScaleCell(
+            index=index,
+            topology=topology,
+            n=n,
+            algorithm=algorithm,
+            csr_seed=derive_task_seed(query.seed, "scale", topology, n),
+            seed=derive_task_seed(query.seed, "scale", topology, n, algorithm),
+        )
+        for index, (topology, n, algorithm) in enumerate(grid)
+    ]
+
+
+def scale_cell_row(
+    cell: ScaleCell,
+    csr: CSRTopology,
+    algorithm,
+    samples: int,
+    workers: int,
+    row_block: int,
+    center_chunk: int,
+) -> dict:
+    """Execute one scale cell and return its JSON-friendly result row.
+
+    The row mirrors the sampled-distribution shape (``average`` / ``max``
+    estimate dicts, ``exact: False``) so the Result table and headline
+    machinery treat both sampling modes uniformly — but it carries no joint
+    distribution: the scale path never materialises per-node radii.
+    """
+    executor = ShardedKernelExecutor(
+        csr,
+        algorithm,
+        workers=workers,
+        row_block=row_block,
+        center_chunk=center_chunk,
+    )
+    started = time.perf_counter()
+    stats = executor.sample_measures(samples, seed=cell.seed)
+    elapsed = time.perf_counter() - started
+    folded = fold_scale_stats(stats, seed=cell.seed)
+    nodes = csr.n * folded.samples
+    return {
+        "index": cell.index,
+        "topology": cell.topology,
+        "n": cell.n,
+        "graph_n": csr.n,
+        "graph_m": csr.m,
+        "graph": csr.name,
+        "algorithm": cell.algorithm,
+        "samples": folded.samples,
+        "seed": cell.seed,
+        "csr_seed": cell.csr_seed,
+        "average": folded.average.as_dict(),
+        "max": folded.maximum.as_dict(),
+        "uncertainty": {
+            "average": folded.average.as_dict(),
+            "max": folded.maximum.as_dict(),
+        },
+        "nodes_per_s": nodes / elapsed if elapsed > 0 else float("inf"),
+        "exact": False,
+        "kernel": executor.describe(),
+        "wall_time_s": elapsed,
+    }
+
+
 class Session:
     """Shared-infrastructure owner executing :class:`~repro.api.query.Query` objects.
 
@@ -267,6 +363,7 @@ class Session:
         max_algorithms: int = SESSION_MAX_ALGORITHMS,
         max_runners: int = SESSION_MAX_RUNNERS,
         max_kernels: int = SESSION_MAX_KERNELS,
+        max_csrs: int = SESSION_MAX_CSRS,
     ) -> None:
         if workers is not None and workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
@@ -275,6 +372,7 @@ class Session:
         self._algorithms = _LruCache(max_algorithms)
         self._runners = _LruCache(max_runners)
         self._kernels = _LruCache(max_kernels)
+        self._csrs = _LruCache(max_csrs)
         #: Queries executed so far (diagnostic only).
         self.queries = 0
 
@@ -283,7 +381,7 @@ class Session:
     # ------------------------------------------------------------------
     def cache_info(self) -> dict:
         """Combined hit/miss/eviction counters of the session's object caches."""
-        caches = (self._graphs, self._algorithms, self._runners, self._kernels)
+        caches = (self._graphs, self._algorithms, self._runners, self._kernels, self._csrs)
         return {
             "hits": sum(cache.hits for cache in caches),
             "misses": sum(cache.misses for cache in caches),
@@ -366,6 +464,21 @@ class Session:
             self._kernels.put(key, entry)
         return entry[2]
 
+    def csr(self, topology: str, n: int, seed: int = 0) -> CSRTopology:
+        """A streamed CSR topology, cached per ``(topology, n, seed)``.
+
+        The scale-mode sibling of :meth:`graph`: deterministic stream
+        families (cycle) share one instance across seeds.  The cache is
+        small (:data:`SESSION_MAX_CSRS`) because each entry can be tens of
+        megabytes at n = 10^6.
+        """
+        key = (topology, n, 0 if topology in STREAM_DETERMINISTIC else seed)
+        csr = self._csrs.get(key)
+        if csr is None:
+            csr = build_csr(topology, n, seed)
+            self._csrs.put(key, csr)
+        return csr
+
     def trace(self, graph: Graph, ids: IdentifierAssignment, algorithm) -> ExecutionTrace:
         """Run one algorithm on one explicit instance through the session.
 
@@ -395,6 +508,7 @@ class Session:
             "worst-case": self.worst_case,
             "distribution": self.distribution,
             "sweep": self.sweep,
+            "scale": self.scale,
         }[query.mode]
         return method(query)
 
@@ -483,6 +597,45 @@ class Session:
             rows = sorted(rows, key=lambda row: row["index"])
         return Result.from_rows(
             "sweep",
+            query.to_dict(),
+            rows,
+            session_cache=self.cache_info(),
+            profile=self._query_profile(root),
+        )
+
+    def scale(self, query: Optional[Query] = None, **kwargs) -> Result:
+        """Sharded million-node sampling on streamed CSR topologies.
+
+        ``workers`` feeds the :class:`~repro.kernel.shard.ShardedKernelExecutor`
+        process pool *inside* each cell (shard-level fan-out), not cell
+        sharding — one million-node cell dominates any grid, so fanning the
+        shards out is where the parallelism lives.  Results are
+        bit-identical at any worker count (the executor's decomposition is
+        fixed by ``row_block`` × ``center_chunk``).
+        """
+        query = _coerce(query, kwargs, mode="scale")
+        self.queries += 1
+        cells = scale_cells(query)
+        workers = self._workers_for(query)
+        with _obs_span("api.query", mode="scale", cells=len(cells)) as root:
+            rows = []
+            for cell in cells:
+                csr = self.csr(cell.topology, cell.n, cell.csr_seed)
+                algorithm = self.ball_algorithm(cell.algorithm, cell.n)
+                rows.append(
+                    scale_cell_row(
+                        cell,
+                        csr,
+                        algorithm,
+                        samples=query.samples,
+                        workers=workers,
+                        row_block=query.row_block,
+                        center_chunk=query.center_chunk,
+                    )
+                )
+            rows.sort(key=lambda row: row["index"])
+        return Result.from_rows(
+            "scale",
             query.to_dict(),
             rows,
             session_cache=self.cache_info(),

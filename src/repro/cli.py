@@ -21,6 +21,10 @@ any Python:
                                    — the distribution of both measures over
                                      identifier assignments, exact and/or
                                      sampled;
+* ``scale --topology cycle --n 1000000 --samples 2``
+                                   — sharded, memory-bounded sampling of
+                                     both measures on a streamed CSR
+                                     topology (the million-node path);
 * ``query --spec spec.json``       — run a declarative
                                      :class:`~repro.api.query.Query` JSON
                                      document (any mode) and optionally
@@ -63,6 +67,8 @@ from repro.engine.campaign import (
 )
 from repro.errors import ConfigurationError
 from repro.kernel.backend import active_backend
+from repro.kernel.shard import SCALE_ALGORITHMS
+from repro.topology.stream import STREAM_TOPOLOGIES
 from repro.utils.ascii_plot import plot_experiment_column
 from repro.utils.tables import Table
 
@@ -254,6 +260,46 @@ def build_parser() -> argparse.ArgumentParser:
         "--output",
         default=None,
         help="write rows + aggregates as a repro-dist JSON document",
+    )
+
+    scale_parser = commands.add_parser(
+        "scale",
+        help="sharded million-node sampling on a streamed CSR topology",
+    )
+    scale_parser.add_argument(
+        "--topology",
+        default="cycle",
+        choices=STREAM_TOPOLOGIES,
+        help="streamed topology family",
+    )
+    scale_parser.add_argument(
+        "--n", type=int, default=100_000, help="number of nodes"
+    )
+    scale_parser.add_argument(
+        "--algorithm",
+        default="largest-id",
+        help=f"scale-capable algorithm ({', '.join(sorted(SCALE_ALGORITHMS))})",
+    )
+    scale_parser.add_argument(
+        "--samples", type=int, default=2, help="sampled identifier assignments"
+    )
+    scale_parser.add_argument("--seed", type=int, default=0)
+    scale_parser.add_argument(
+        "--workers", type=int, default=1, help="worker processes for the shards"
+    )
+    scale_parser.add_argument(
+        "--row-block", type=int, default=4, help="sampled rows per sharded task"
+    )
+    scale_parser.add_argument(
+        "--center-chunk",
+        type=int,
+        default=65536,
+        help="centres per sharded task (the memory/fan-out knob)",
+    )
+    scale_parser.add_argument(
+        "--output",
+        default=None,
+        help="write the versioned repro-result JSON document to this file",
     )
 
     query_parser = commands.add_parser(
@@ -476,6 +522,38 @@ def _cmd_dist(args: argparse.Namespace, session: Session) -> int:
     return 0
 
 
+def _cmd_scale(args: argparse.Namespace, session: Session) -> int:
+    result = session.scale(
+        Query(
+            mode="scale",
+            topologies=args.topology,
+            sizes=args.n,
+            algorithms=args.algorithm,
+            seed=args.seed,
+            samples=args.samples,
+            workers=args.workers,
+            row_block=args.row_block,
+            center_chunk=args.center_chunk,
+        )
+    )
+    row = result.rows[0]
+    print(f"algorithm        : {row['algorithm']}")
+    print(f"graph            : {row['graph']} ({row['graph_n']} nodes, {row['graph_m']} edges)")
+    print(f"samples          : {row['samples']}")
+    print(
+        f"average measure  : {row['average']['mean']:.4f} "
+        f"(se {row['average']['std_error']:.4f})"
+    )
+    print(f"classic (max)    : {row['max']['mean']:.1f}")
+    print(f"throughput       : {row['nodes_per_s']:.0f} nodes/s")
+    print(f"kernel           : {row['kernel']['rule']} (workers {row['kernel']['workers']})")
+    print(format_timing(result))
+    if args.output:
+        result.save(args.output)
+        print(f"wrote repro-result document to {args.output}")
+    return 0
+
+
 def format_timing(result) -> str:
     """The CLI's timing read-out for one :class:`~repro.api.results.Result`.
 
@@ -556,6 +634,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_sweep(args, session)
     if args.command == "dist":
         return _cmd_dist(args, session)
+    if args.command == "scale":
+        return _cmd_scale(args, session)
     if args.command == "query":
         return _cmd_query(args, session)
     parser.error(f"unhandled command {args.command!r}")

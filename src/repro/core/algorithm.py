@@ -85,6 +85,21 @@ class BallAlgorithm(abc.ABC):
         """
         return None
 
+    def compile_scale_rule(self, csr: Any) -> Optional[Any]:
+        """A plan-free large-n rule for a streamed CSR topology, or ``None``.
+
+        ``csr`` is a :class:`~repro.topology.stream.CSRTopology`.  Algorithms
+        whose stopping radius can be evaluated directly against flat CSR
+        adjacency — without per-centre frontier plans — return a
+        :class:`~repro.kernel.shard.ScaleRule` here and become usable in the
+        ``scale`` query mode at millions of nodes (largest-ID's early-stop
+        BFS, :class:`~repro.kernel.shard.MaxScanScaleRule`, is the
+        reference).  The default ``None`` keeps the algorithm out of the
+        scale path; :data:`~repro.kernel.shard.SCALE_ALGORITHMS` must list
+        exactly the registry names that override this.
+        """
+        return None
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r}, problem={self.problem!r})"
 

@@ -38,10 +38,12 @@ from repro.dist.sampling import (
     MeasureEstimate,
     P2Quantile,
     SampledDistributionResult,
+    ScaleSampleResult,
     StreamingMoments,
     draw_sample_rows,
     estimate_expected_measures,
     fold_sampled_radii,
+    fold_scale_stats,
     sample_round_distribution,
 )
 
@@ -54,12 +56,14 @@ __all__ = [
     "P2Quantile",
     "RoundDistribution",
     "SampledDistributionResult",
+    "ScaleSampleResult",
     "StreamingMoments",
     "ascii_pmf",
     "brute_force_round_distribution",
     "draw_sample_rows",
     "estimate_expected_measures",
     "fold_sampled_radii",
+    "fold_scale_stats",
     "exact_round_distribution",
     "sample_round_distribution",
 ]

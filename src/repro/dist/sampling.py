@@ -295,6 +295,66 @@ class SampledDistributionResult:
         }
 
 
+@dataclass(frozen=True)
+class ScaleSampleResult:
+    """Sampling-only measure estimates from the sharded scale path.
+
+    The million-node counterpart of :class:`SampledDistributionResult`:
+    the scale executor never materialises per-node radius vectors (a joint
+    distribution at n = 10^6 would defeat the memory bound), only exact
+    per-row ``(sum, max)`` partials — so this result carries the two
+    measure estimates and nothing else.
+    """
+
+    average: MeasureEstimate
+    maximum: MeasureEstimate
+    samples: int
+    seed: Optional[int]
+
+    def as_dict(self) -> dict:
+        """JSON-friendly form (result rows, CLI artifacts)."""
+        return {
+            "average": self.average.as_dict(),
+            "maximum": self.maximum.as_dict(),
+            "samples": self.samples,
+            "seed": self.seed,
+        }
+
+
+def fold_scale_stats(row_stats: Sequence, seed: SeedLike = None) -> ScaleSampleResult:
+    """Fold sharded per-row measure partials into streaming estimates.
+
+    ``row_stats`` is the row-ordered output of
+    :meth:`repro.kernel.shard.ShardedKernelExecutor.sample_measures` — one
+    exact ``(sum, max)`` pair per sampled assignment, already merged across
+    centre shards.  Folding happens here, in row order, with the same
+    estimator stack as :func:`fold_sampled_radii` (Welford moments, P²
+    sketches), so the estimates are deterministic at any worker count.
+    """
+    avg_moments, max_moments = StreamingMoments(), StreamingMoments()
+    avg_median, avg_q90 = P2Quantile(0.5), P2Quantile(0.9)
+    max_median, max_q90 = P2Quantile(0.5), P2Quantile(0.9)
+    count = 0
+    for stats in row_stats:
+        average = stats.average_radius
+        maximum = float(stats.max_radius)
+        avg_moments.update(average)
+        avg_median.update(average)
+        avg_q90.update(average)
+        max_moments.update(maximum)
+        max_median.update(maximum)
+        max_q90.update(maximum)
+        count += 1
+    if count == 0:
+        raise AnalysisError("scale sampling needs at least one row of measures")
+    return ScaleSampleResult(
+        average=MeasureEstimate.from_stream(avg_moments, avg_median, avg_q90),
+        maximum=MeasureEstimate.from_stream(max_moments, max_median, max_q90),
+        samples=count,
+        seed=seed if isinstance(seed, int) else None,
+    )
+
+
 def _draw_assignments(n: int, samples: int, seed: SeedLike):
     """Deterministic assignment stream: one master seed, one child per draw."""
     master = make_rng(seed)

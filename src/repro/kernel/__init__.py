@@ -33,9 +33,19 @@ from repro.kernel.compile import (
     simulate_batch,
     simulate_many,
 )
+from repro.kernel.compile import PlanStats
 from repro.kernel.cone import GreedyConeRule, RingMISConeRule
 from repro.kernel.cvring import ColeVishkinRingRule
 from repro.kernel.rules import KernelRule, MaxScanRule, RunnerTableRule
+from repro.kernel.shard import (
+    SCALE_ALGORITHMS,
+    MaxScanScaleRule,
+    ScaleRowStats,
+    ScaleRule,
+    ShardedKernelExecutor,
+    run_scale_probe,
+    scale_rule_for,
+)
 
 __all__ = [
     "BatchRequest",
@@ -48,12 +58,20 @@ __all__ = [
     "KernelRule",
     "KernelStats",
     "MaxScanRule",
+    "MaxScanScaleRule",
+    "PlanStats",
     "RingMISConeRule",
     "RunnerTableRule",
+    "SCALE_ALGORITHMS",
+    "ScaleRowStats",
+    "ScaleRule",
+    "ShardedKernelExecutor",
     "active_backend",
     "compile_instance",
     "numpy_available",
     "resolve_backend",
+    "run_scale_probe",
+    "scale_rule_for",
     "simulate_batch",
     "simulate_many",
 ]

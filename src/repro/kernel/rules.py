@@ -121,14 +121,26 @@ class MaxScanRule(KernelRule):
 
     name = "max-scan"
     vectorized = True
+    #: The radius of a centre depends only on its own plan, so the rule can
+    #: evaluate centre-major against transient plan chunks — the property
+    #: ``plan_chunk`` mode of :class:`~repro.kernel.compile.CompiledInstance`
+    #: requires of its rule.
+    supports_plan_chunk = True
 
     def __init__(self, instance: "CompiledInstance") -> None:
         self._backend = instance.backend
         self._n = instance.n
-        self._discovery = instance.discovery
-        self._distances = instance.distances
+        self._instance = instance
+        self._chunked = getattr(instance, "plan_chunk", None) is not None
+        # Eager instances expose their resident plan prefixes directly; a
+        # chunked instance never has them all at once, so the rule walks
+        # ``iter_plan_chunks`` per batch instead.
+        self._discovery = None if self._chunked else instance.discovery
+        self._distances = None if self._chunked else instance.distances
         self._saturation = instance.saturation
         self._np_tables = None
+        self._np_padded = None
+        self._np_group = None
 
     # ------------------------------------------------------------------
     # stdlib path
@@ -182,15 +194,179 @@ class MaxScanRule(KernelRule):
         return radii, larger_seen
 
     # ------------------------------------------------------------------
+    # chunked-plan path (plan_chunk instances, both backends)
+    # ------------------------------------------------------------------
+    def _batch_chunked(self, rows: Rows):
+        """Centre-major sweep over transient plan chunks.
+
+        Same comparisons, same order, as the eager paths — only the plan
+        lifetime differs — so the results are bit-identical to an eager
+        instance on the same graph (the plan-chunk tests assert this).
+        """
+        count = len(rows)
+        if self._backend == "numpy":
+            from repro.kernel.backend import numpy_module
+
+            np = numpy_module()
+            ids = np.asarray(rows, dtype=np.int64)
+            radii = np.empty((count, self._n), dtype=np.int64)
+            larger_seen = np.empty((count, self._n), dtype=bool)
+            for centers, plans in self._instance.iter_plan_chunks():
+                for v, plan in zip(centers, plans):
+                    discovery = np.asarray(plan.discovery, dtype=np.int64)
+                    distances = np.asarray(plan.distances, dtype=np.int64)
+                    gathered = ids[:, discovery]
+                    mask = gathered > ids[:, v, None]
+                    seen = mask.any(axis=1)
+                    first = mask.argmax(axis=1)
+                    radii[:, v] = np.where(seen, distances[first], self._saturation[v])
+                    larger_seen[:, v] = seen
+            return (
+                [tuple(row) for row in radii.tolist()],
+                [tuple(row) for row in larger_seen.tolist()],
+            )
+        radii_rows = [[0] * self._n for _ in range(count)]
+        larger_rows = [[False] * self._n for _ in range(count)]
+        for centers, plans in self._instance.iter_plan_chunks():
+            for v, plan in zip(centers, plans):
+                discovery = plan.discovery
+                distances = plan.distances
+                saturation = self._saturation[v]
+                for r, ids in enumerate(rows):
+                    own = ids[v]
+                    radius = saturation
+                    larger = False
+                    for index, position in enumerate(discovery):
+                        if ids[position] > own:
+                            radius = distances[index]
+                            larger = True
+                            break
+                    radii_rows[r][v] = radius
+                    larger_rows[r][v] = larger
+        return (
+            [tuple(row) for row in radii_rows],
+            [tuple(row) for row in larger_rows],
+        )
+
+    # ------------------------------------------------------------------
+    # padded same-shape group path (numpy, eager instances)
+    # ------------------------------------------------------------------
+    def _padded_own_tables(self):
+        """This rule's gather/layer tables as dense ``(n, width)`` matrices.
+
+        Each centre's row is right-padded **with the centre's own position**
+        (layer 0): a gathered identifier equal to the centre's own can never
+        satisfy the strict ``>`` comparison, so padded columns are inert.
+        Built once per rule and cached — the padded group path stacks these
+        across instances on every chunk.
+        """
+        if self._np_padded is None:
+            from repro.kernel.backend import numpy_module
+
+            np = numpy_module()
+            width = max(len(table) for table in self._discovery)
+            gather = np.tile(
+                np.arange(self._n, dtype=np.int64)[:, None], (1, width)
+            )
+            layers = np.zeros((self._n, width), dtype=np.int64)
+            for v in range(self._n):
+                table = self._discovery[v]
+                gather[v, : len(table)] = table
+                layers[v, : len(table)] = self._distances[v]
+            self._np_padded = (gather, layers)
+        return self._np_padded
+
+    @staticmethod
+    def _group_tables(rules: Sequence["MaxScanRule"]):
+        """Stacked gather/layer tensors for one same-shape instance group.
+
+        Stacks every rule's :meth:`_padded_own_tables` into ``(groups, n,
+        width)`` tensors (padded again with each centre's own position, so
+        the extra columns stay inert) plus the flat gather indices into the
+        group's transposed id block.  Cached on ``rules[0]`` keyed by the
+        exact rule tuple — the tuple holds strong references, so object
+        identity is a sound cache key — because the same instance group
+        recurs across sampling chunks and calls.
+        """
+        key = tuple(rules)
+        cached = rules[0]._np_group
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        from repro.kernel.backend import numpy_module
+
+        np = numpy_module()
+        n = rules[0]._n
+        groups = len(rules)
+        tables = [rule._padded_own_tables() for rule in rules]
+        width = max(gather.shape[1] for gather, _ in tables)
+        stacked_gather = np.tile(
+            np.arange(n, dtype=np.int64)[None, :, None], (groups, 1, width)
+        )
+        stacked_layers = np.zeros((groups, n, width), dtype=np.int64)
+        for g, (gather, layers) in enumerate(tables):
+            stacked_gather[g, :, : gather.shape[1]] = gather
+            stacked_layers[g, :, : layers.shape[1]] = layers
+        # Flat row indices into the (groups * n, rows) transposed id block:
+        # row g*n + stacked_gather[g, v, k] holds the gathered position's
+        # identifiers across the whole sample batch.
+        flat_gather = (
+            np.arange(groups, dtype=np.int64)[:, None, None] * n + stacked_gather
+        ).reshape(-1)
+        saturation = np.asarray(
+            [rule._saturation for rule in rules], dtype=np.int64
+        )
+        built = (np, n, groups, width, flat_gather, stacked_layers, saturation)
+        rules[0]._np_group = (key, built)
+        return built
+
+    @staticmethod
+    def padded_batch_radii(
+        rules: Sequence["MaxScanRule"], row_blocks: Sequence[Rows]
+    ) -> list[list[tuple[int, ...]]]:
+        """One stacked, padded array evaluation across same-shape instances.
+
+        ``row_blocks[g]`` holds the rows of ``rules[g]``; every block must
+        have the same ``(rows, n)`` shape (the caller,
+        :func:`~repro.kernel.compile.simulate_many`, groups by shape).  The
+        group's stacked tables answer every centre of every instance in one
+        contiguous row gather — no per-centre python loop — and the padded
+        columns can never satisfy the strict ``>`` comparison, so the result
+        is bit-identical to evaluating each instance sequentially (the
+        property wall proves it for every registered topology shape).
+        """
+        np, n, groups, width, flat_gather, stacked_layers, saturation = (
+            MaxScanRule._group_tables(rules)
+        )
+        ids = np.asarray(row_blocks, dtype=np.int64)  # (groups, rows, n)
+        rows = ids.shape[1]
+        # Position-major layout: reductions run over the contiguous last
+        # axis, and the gather copies whole per-position sample rows.
+        ids_t = np.ascontiguousarray(ids.transpose(0, 2, 1))  # (groups, n, rows)
+        gathered = ids_t.reshape(groups * n, rows)[flat_gather].reshape(
+            groups, n, width, rows
+        )
+        mask = gathered > ids_t[:, :, None, :]
+        seen = mask.any(axis=2)
+        first = mask.argmax(axis=2)  # (groups, n, rows)
+        layer_hit = np.take_along_axis(stacked_layers, first, axis=2)
+        radii = np.where(seen, layer_hit, saturation[:, :, None]).transpose(0, 2, 1)
+        return [[tuple(row) for row in block] for block in radii.tolist()]
+
+    # ------------------------------------------------------------------
     # KernelRule interface
     # ------------------------------------------------------------------
     def batch_radii(self, rows: Rows) -> list[tuple[int, ...]]:
+        if self._chunked:
+            return self._batch_chunked(rows)[0]
         if self._backend == "numpy":
             radii, _ = self._batch_numpy(rows)
             return [tuple(row) for row in radii.tolist()]
         return [self._row(ids)[0] for ids in rows]
 
     def batch_radii_outputs(self, rows):
+        if self._chunked:
+            radii, larger_rows = self._batch_chunked(rows)
+            return radii, [tuple(not larger for larger in row) for row in larger_rows]
         if self._backend == "numpy":
             radii, larger_seen = self._batch_numpy(rows)
             outputs = (~larger_seen).tolist()

@@ -1,0 +1,507 @@
+"""Sharded, memory-bounded kernel execution for million-node instances.
+
+:class:`~repro.kernel.compile.CompiledInstance` precomputes per-centre BFS
+plans — O(n · ball) memory — which is exactly right up to ~10^4 nodes and
+exactly wrong at 10^6.  This module is the large-n path: no plans at all.
+A :class:`ScaleRule` evaluates centres directly against the streamed CSR
+adjacency of a :class:`~repro.topology.stream.CSRTopology`, one early-stop
+BFS per centre, and a :class:`ShardedKernelExecutor` splits the work into
+**row blocks × centre chunks** over a :class:`~repro.engine.batch.BatchExecutor`
+process pool.
+
+Determinism is structural, not scheduled: every radius is a pure integer
+function of ``(topology, n, seed, row)``, the task decomposition is fixed by
+``row_block``/``center_chunk`` (never by the worker count), per-row identifier
+permutations derive from :func:`~repro.engine.batch.derive_task_seed`, and
+partial aggregates (sum, max) merge in task order — so results are
+bit-identical at any worker count and any chunk size, which
+``tests/property/test_property_scale.py`` asserts.
+
+Workers never receive megabytes over a pipe: a task payload carries the CSR
+*spec* ``(topology, n, seed)`` plus scalar coordinates, and each worker
+process rebuilds (and caches) the CSR, the rule and the row permutations
+locally.
+
+Algorithms opt in through
+:meth:`~repro.core.algorithm.BallAlgorithm.compile_scale_rule`;
+:data:`SCALE_ALGORITHMS` names the registry entries that do (the paper's
+largest-ID algorithm, whose :class:`MaxScanScaleRule` fuses the BFS with the
+stopping rule so the expected per-centre work is the *output* radius, not
+the graph size).
+"""
+
+from __future__ import annotations
+
+import resource
+import time
+from array import array
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.engine.batch import BatchExecutor, derive_task_seed
+from repro.errors import ConfigurationError, IdentifierError, TopologyError
+from repro.obs import metrics as _metrics
+from repro.obs.spans import obs_enabled as _obs_enabled, span as _obs_span
+from repro.topology.stream import CSRTopology, build_csr
+from repro.utils.rng import make_rng
+
+#: Registry names whose algorithms implement ``compile_scale_rule``.  The
+#: Query layer validates ``scale`` mode against this set eagerly;
+#: ``tests/kernel/test_shard.py`` asserts it matches the hooks.
+SCALE_ALGORITHMS = frozenset({"largest-id"})
+
+#: Default rows per sharded task (each row is one sampled assignment).
+DEFAULT_ROW_BLOCK = 4
+
+#: Default centres per sharded task.  16 chunks at n = 10^6: coarse enough
+#: to amortise the per-task CSR lookup, fine enough to fan out.
+DEFAULT_CENTER_CHUNK = 65536
+
+
+class ScaleRule:
+    """Plan-free evaluation of one algorithm against a CSR topology."""
+
+    #: Short rule identifier recorded in result rows and benchmark artifacts.
+    name: str = "scale-rule"
+
+    def row_radii(self, ids: Sequence[int], start: int, stop: int) -> list[int]:
+        """Output radii of centres ``start..stop-1`` under one assignment."""
+        raise NotImplementedError
+
+    def row_stats(self, ids: Sequence[int], start: int, stop: int) -> tuple[int, int]:
+        """``(sum, max)`` of the radii of centres ``start..stop-1``."""
+        radii = self.row_radii(ids, start, stop)
+        return sum(radii), max(radii)
+
+
+class MaxScanScaleRule(ScaleRule):
+    """Largest-ID at scale: early-stop BFS fused with the stopping rule.
+
+    A centre's radius is the BFS distance to the nearest strictly larger
+    identifier — so the BFS stops at the first layer containing one, and the
+    expected work per centre is proportional to the (typically tiny) output
+    ball, not to ``n``.  Only the centre carrying the row's maximum
+    identifier saturates; its radius is its eccentricity, which is
+    assignment-independent and therefore cached across rows.
+
+    Bit-identical to :class:`~repro.kernel.rules.MaxScanRule` on the
+    materialised graph: both compute the same uniquely defined integers
+    (``tests/kernel/test_shard.py`` cross-checks them).
+    """
+
+    name = "max-scan-stream"
+
+    def __init__(self, csr: CSRTopology) -> None:
+        self._csr = csr
+        self._indptr = csr.indptr
+        self._indices = csr.indices
+        self._n = csr.n
+        self._visited: Optional[array] = None
+        self._stamp = 0
+        # centre -> eccentricity; only ever holds argmax centres seen so far.
+        self._eccentricity: dict[int, int] = {}
+
+    def _radius(self, ids: Sequence[int], center: int) -> int:
+        """Distance to the nearest larger identifier (eccentricity if none)."""
+        if self._visited is None:
+            self._visited = array("q", bytes(8 * self._n))
+        indptr, indices, visited = self._indptr, self._indices, self._visited
+        self._stamp += 1
+        stamp = self._stamp
+        own = ids[center]
+        visited[center] = stamp
+        frontier = [center]
+        radius = 0
+        while True:
+            next_layer = []
+            for u in frontier:
+                for k in range(indptr[u], indptr[u + 1]):
+                    w = indices[k]
+                    if visited[w] != stamp:
+                        visited[w] = stamp
+                        next_layer.append(w)
+            if not next_layer:
+                # The whole graph is smaller: this centre holds the global
+                # maximum and its radius is its eccentricity.
+                self._eccentricity.setdefault(center, radius)
+                return radius
+            radius += 1
+            for w in next_layer:
+                if ids[w] > own:
+                    return radius
+            frontier = next_layer
+
+    def row_radii(self, ids: Sequence[int], start: int, stop: int) -> list[int]:
+        row_max = max(ids)
+        radii = []
+        for v in range(start, stop):
+            if ids[v] == row_max:
+                cached = self._eccentricity.get(v)
+                radii.append(cached if cached is not None else self._radius(ids, v))
+            else:
+                radii.append(self._radius(ids, v))
+        return radii
+
+    def row_stats(self, ids: Sequence[int], start: int, stop: int) -> tuple[int, int]:
+        row_max = max(ids)
+        total = 0
+        worst = 0
+        for v in range(start, stop):
+            if ids[v] == row_max:
+                radius = self._eccentricity.get(v)
+                if radius is None:
+                    radius = self._radius(ids, v)
+            else:
+                radius = self._radius(ids, v)
+            total += radius
+            if radius > worst:
+                worst = radius
+        return total, worst
+
+
+def scale_rule_for(algorithm, csr: CSRTopology) -> ScaleRule:
+    """The algorithm's scale rule, or a clear error when it has none."""
+    rule = algorithm.compile_scale_rule(csr)
+    if rule is None:
+        raise ConfigurationError(
+            f"algorithm {algorithm.name!r} has no scale rule "
+            f"(compile_scale_rule returned None); scale-capable algorithms: "
+            f"{', '.join(sorted(SCALE_ALGORITHMS))}"
+        )
+    return rule
+
+
+def scale_row_ids(n: int, base_seed: int, row_index: int) -> list[int]:
+    """The deterministic identifier permutation of one sampled row.
+
+    A pure function of ``(n, base_seed, row_index)`` — workers regenerate
+    rows locally instead of receiving 8 MB of identifiers per task.
+    """
+    ids = list(range(n))
+    make_rng(derive_task_seed(base_seed, "scale", row_index)).shuffle(ids)
+    return ids
+
+
+# ----------------------------------------------------------------------
+# worker-side caches (one per process; payloads carry only scalars)
+# ----------------------------------------------------------------------
+_worker_csrs: dict[tuple, CSRTopology] = {}
+_worker_rules: dict[tuple, ScaleRule] = {}
+_worker_rows: dict[tuple, list[int]] = {}
+
+
+def _rule_for_spec(spec: tuple[str, int, int], algorithm_name: str) -> ScaleRule:
+    key = (spec, algorithm_name)
+    rule = _worker_rules.get(key)
+    if rule is None:
+        csr = _worker_csrs.get(spec)
+        if csr is None:
+            csr = build_csr(*spec)
+            _worker_csrs.clear()
+            _worker_csrs[spec] = csr
+        from repro.engine.campaign import make_ball_algorithm
+
+        algorithm = make_ball_algorithm(algorithm_name, csr.n)
+        rule = scale_rule_for(algorithm, csr)
+        _worker_rules.clear()
+        _worker_rules[key] = rule
+    return rule
+
+
+def _row_for(n: int, base_seed: int, row_index: int) -> list[int]:
+    key = (n, base_seed, row_index)
+    ids = _worker_rows.get(key)
+    if ids is None:
+        ids = scale_row_ids(n, base_seed, row_index)
+        while len(_worker_rows) >= 4:
+            _worker_rows.pop(next(iter(_worker_rows)))
+        _worker_rows[key] = ids
+    return ids
+
+
+def run_scale_task(payload: tuple) -> list:
+    """Worker entry point: one ``(rows × centre range)`` shard.
+
+    Two payload shapes, discriminated by the first element:
+
+    * ``("stats", spec, algorithm, base_seed, row_start, row_stop, c0, c1)``
+      → per-row ``(sum, max)`` partials over the centre range;
+    * ``("radii", spec, algorithm, rows, c0, c1)``
+      → per-row radii lists over the centre range (explicit-row path).
+    """
+    kind = payload[0]
+    if kind == "stats":
+        _, spec, algorithm_name, base_seed, row_start, row_stop, c0, c1 = payload
+        rule = _rule_for_spec(spec, algorithm_name)
+        n = spec[1]
+        return [
+            rule.row_stats(_row_for(n, base_seed, row), c0, c1)
+            for row in range(row_start, row_stop)
+        ]
+    _, spec, algorithm_name, rows, c0, c1 = payload
+    rule = _rule_for_spec(spec, algorithm_name)
+    return [rule.row_radii(ids, c0, c1) for ids in rows]
+
+
+@dataclass(frozen=True)
+class ScaleRowStats:
+    """Folded per-row aggregates of one sampled assignment."""
+
+    row: int
+    sum_radius: int
+    max_radius: int
+    average_radius: float
+
+
+class ShardedKernelExecutor:
+    """Row-block × centre-chunk sharding of scale evaluation over processes.
+
+    The decomposition — and therefore every partial and its merge order —
+    is fixed by ``row_block`` and ``center_chunk`` alone; ``workers`` only
+    decides how many tasks run concurrently.  Results are bit-identical at
+    any worker count.  With ``workers == 1`` every shard runs in-process
+    under a ``kernel.shard`` observability span, so ``repro query --profile``
+    attributes wall time per shard.
+    """
+
+    def __init__(
+        self,
+        csr: CSRTopology,
+        algorithm,
+        workers: int = 1,
+        row_block: int = DEFAULT_ROW_BLOCK,
+        center_chunk: int = DEFAULT_CENTER_CHUNK,
+    ) -> None:
+        if row_block < 1:
+            raise ConfigurationError(f"row_block must be >= 1, got {row_block}")
+        if center_chunk < 1:
+            raise ConfigurationError(f"center_chunk must be >= 1, got {center_chunk}")
+        self.csr = csr
+        self.algorithm = algorithm
+        self.workers = workers
+        self.row_block = row_block
+        self.center_chunk = center_chunk
+        self._rule = scale_rule_for(algorithm, csr)
+
+    def _center_ranges(self) -> list[tuple[int, int]]:
+        n = self.csr.n
+        return [
+            (start, min(n, start + self.center_chunk))
+            for start in range(0, n, self.center_chunk)
+        ]
+
+    def _run_tasks(self, payloads: list[tuple]) -> list:
+        """Execute shards (serial path instrumented, parallel path pooled)."""
+        if self.workers > 1 and len(payloads) > 1:
+            return BatchExecutor(self.workers).map(run_scale_task, payloads)
+        results = []
+        for payload in payloads:
+            if _obs_enabled():
+                rows = (
+                    payload[5] - payload[4]
+                    if payload[0] == "stats"
+                    else len(payload[3])
+                )
+                _metrics.add("kernel.shard.tasks")
+                with _obs_span(
+                    "kernel.shard",
+                    rows=rows,
+                    centers=payload[-1] - payload[-2],
+                    rule=self._rule.name,
+                ):
+                    results.append(run_scale_task(payload))
+            else:
+                results.append(run_scale_task(payload))
+        return results
+
+    # ------------------------------------------------------------------
+    # sampled measures: the million-node path
+    # ------------------------------------------------------------------
+    def sample_measures(self, samples: int, seed: int = 0) -> list[ScaleRowStats]:
+        """Per-row (sum/max/average radius) stats of ``samples`` seeded rows.
+
+        Memory is O(row ids + CSR) regardless of ``samples``: no radii
+        matrix is ever materialised.  Rows derive from
+        :func:`scale_row_ids`, so the stats are a pure function of
+        ``(csr.spec, seed, samples)``.
+        """
+        if samples < 1:
+            raise ConfigurationError(f"samples must be positive, got {samples}")
+        spec = self.csr.spec
+        name = self.algorithm.name
+        ranges = self._center_ranges()
+        payloads = [
+            ("stats", spec, name, seed, row_start, min(samples, row_start + self.row_block), c0, c1)
+            for row_start in range(0, samples, self.row_block)
+            for (c0, c1) in ranges
+        ]
+        results = self._run_tasks(payloads)
+        # Merge partials per row, in centre-range order within each block.
+        n = self.csr.n
+        stats: list[ScaleRowStats] = []
+        index = 0
+        for row_start in range(0, samples, self.row_block):
+            row_stop = min(samples, row_start + self.row_block)
+            block = [(0, 0)] * (row_stop - row_start)
+            for _ in ranges:
+                partials = results[index]
+                index += 1
+                block = [
+                    (total + part_sum, max(worst, part_max))
+                    for (total, worst), (part_sum, part_max) in zip(block, partials)
+                ]
+            for offset, (total, worst) in enumerate(block):
+                stats.append(
+                    ScaleRowStats(
+                        row=row_start + offset,
+                        sum_radius=total,
+                        max_radius=worst,
+                        average_radius=total / n,
+                    )
+                )
+        return stats
+
+    # ------------------------------------------------------------------
+    # explicit rows: the parity/test path
+    # ------------------------------------------------------------------
+    def batch_radii(self, ids_matrix: Sequence) -> list[tuple[int, ...]]:
+        """Full radii rows for explicit assignments (small-n parity surface).
+
+        Validates like the compiled kernel and returns exactly what
+        :meth:`CompiledInstance.batch_radii
+        <repro.kernel.compile.CompiledInstance.batch_radii>` returns on the
+        materialised graph — the property wall asserts the equality.
+        """
+        n = self.csr.n
+        rows = []
+        for row in ids_matrix:
+            identifiers = row.identifiers() if hasattr(row, "identifiers") else row
+            values = tuple(int(identifier) for identifier in identifiers)
+            if len(values) != n:
+                raise TopologyError(
+                    f"assignment row covers {len(values)} positions "
+                    f"but topology has {n}"
+                )
+            if len(set(values)) != n:
+                raise IdentifierError("identifiers must be pairwise distinct")
+            rows.append(values)
+        if not rows:
+            return []
+        spec = self.csr.spec
+        name = self.algorithm.name
+        ranges = self._center_ranges()
+        blocks = [
+            rows[start : start + self.row_block]
+            for start in range(0, len(rows), self.row_block)
+        ]
+        payloads = [
+            ("radii", spec, name, tuple(block), c0, c1)
+            for block in blocks
+            for (c0, c1) in ranges
+        ]
+        results = self._run_tasks(payloads)
+        radii_rows: list[tuple[int, ...]] = []
+        index = 0
+        for block in blocks:
+            pieces = [results[index + k] for k in range(len(ranges))]
+            index += len(ranges)
+            for offset in range(len(block)):
+                merged: list[int] = []
+                for piece in pieces:
+                    merged.extend(piece[offset])
+                radii_rows.append(tuple(merged))
+        return radii_rows
+
+    def describe(self) -> dict:
+        """JSON-friendly identity (result rows, benchmark artifacts)."""
+        return {
+            "rule": self._rule.name,
+            "workers": self.workers,
+            "row_block": self.row_block,
+            "center_chunk": self.center_chunk,
+            "topology": self.csr.describe(),
+        }
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident set size of this process and its children, in bytes.
+
+    Prefers ``VmHWM`` from ``/proc/self/status`` for the process itself:
+    unlike ``ru_maxrss`` (kept in the signal struct, so it survives
+    ``execve`` and a probe subprocess forked off a large parent would
+    inherit the parent's high-water mark), ``VmHWM`` lives in the memory
+    map and resets on exec — it measures only what *this* program
+    resident-peaked at.  Falls back to ``ru_maxrss`` where ``/proc`` is
+    unavailable.
+    """
+    self_bytes = _vm_hwm_bytes()
+    if self_bytes is None:
+        self_bytes = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+    children_bytes = (
+        resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss * 1024
+    )
+    return max(self_bytes, children_bytes)
+
+
+def _vm_hwm_bytes() -> Optional[int]:
+    """``VmHWM`` of this process in bytes, or ``None`` without procfs."""
+    try:
+        with open("/proc/self/status", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1]) * 1024
+    except OSError:
+        return None
+    return None
+
+
+def run_scale_probe(
+    topology: str,
+    n: int,
+    algorithm: str = "largest-id",
+    samples: int = 2,
+    seed: int = 0,
+    workers: int = 1,
+    row_block: int = DEFAULT_ROW_BLOCK,
+    center_chunk: int = DEFAULT_CENTER_CHUNK,
+) -> dict:
+    """One end-to-end scale measurement, JSON-friendly (the bench harness).
+
+    ``benchmarks/test_bench_scale.py`` runs this in a fresh subprocess per
+    size so the recorded ``peak_rss_bytes`` is the probe's own high-water
+    mark, not the test session's.
+    """
+    from repro.engine.campaign import make_ball_algorithm
+
+    build_started = time.perf_counter()
+    csr = build_csr(topology, n, seed=seed)
+    build_s = time.perf_counter() - build_started
+    executor = ShardedKernelExecutor(
+        csr,
+        make_ball_algorithm(algorithm, n),
+        workers=workers,
+        row_block=row_block,
+        center_chunk=center_chunk,
+    )
+    started = time.perf_counter()
+    stats = executor.sample_measures(samples, seed=seed)
+    elapsed = time.perf_counter() - started
+    nodes = n * samples
+    return {
+        "topology": topology,
+        "n": n,
+        "m": csr.m,
+        "algorithm": algorithm,
+        "samples": samples,
+        "seed": seed,
+        "workers": workers,
+        "row_block": row_block,
+        "center_chunk": center_chunk,
+        "build_s": build_s,
+        "elapsed_s": elapsed,
+        "nodes_per_s": nodes / elapsed if elapsed > 0 else float("inf"),
+        "peak_rss_bytes": peak_rss_bytes(),
+        "avg_mean": sum(s.average_radius for s in stats) / len(stats),
+        "max_mean": sum(s.max_radius for s in stats) / len(stats),
+        "rule": executor.describe()["rule"],
+    }

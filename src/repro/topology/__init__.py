@@ -16,10 +16,25 @@ from repro.topology.random_graphs import (
     random_regular_graph,
     random_tree,
 )
+from repro.topology.stream import (
+    DEFAULT_STREAM_CHUNK,
+    STREAM_DETERMINISTIC,
+    STREAM_TOPOLOGIES,
+    CSRChunk,
+    CSRTopology,
+    build_csr,
+    stream_adjacency,
+)
 from repro.topology.tree import balanced_tree, caterpillar_tree, spider_tree
 
 __all__ = [
+    "CSRChunk",
+    "CSRTopology",
+    "DEFAULT_STREAM_CHUNK",
+    "STREAM_DETERMINISTIC",
+    "STREAM_TOPOLOGIES",
     "balanced_tree",
+    "build_csr",
     "caterpillar_tree",
     "complete_graph",
     "cycle_graph",
@@ -31,5 +46,6 @@ __all__ = [
     "random_tree",
     "spider_tree",
     "star_graph",
+    "stream_adjacency",
     "torus_graph",
 ]

@@ -1,0 +1,105 @@
+"""Chunked centre plans: bounded residency, eager parity, compile guards."""
+
+import pytest
+
+from repro.algorithms.greedy_coloring import GreedyColoringByID
+from repro.algorithms.largest_id import LargestIdAlgorithm
+from repro.core.algorithm import FunctionBallAlgorithm
+from repro.errors import ConfigurationError
+from repro.kernel import compile_instance, numpy_available, simulate_batch
+from repro.model.identifiers import random_assignment
+from repro.topology.cycle import cycle_graph
+from repro.topology.random_graphs import random_tree
+
+BACKENDS = ("python",) + (("numpy",) if numpy_available() else ())
+
+
+def _rows(n, count, base_seed=0):
+    return [
+        random_assignment(n, seed=base_seed + draw).identifiers()
+        for draw in range(count)
+    ]
+
+
+class TestChunkedParity:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("plan_chunk", [1, 3, 5, 64])
+    def test_chunked_radii_match_eager(self, backend, plan_chunk):
+        graph = cycle_graph(11)
+        algorithm = LargestIdAlgorithm()
+        rows = _rows(11, 8)
+        eager = compile_instance(graph, algorithm, backend=backend)
+        chunked = compile_instance(
+            graph, algorithm, backend=backend, plan_chunk=plan_chunk
+        )
+        assert simulate_batch(chunked, rows) == simulate_batch(eager, rows)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_chunked_outputs_match_eager(self, backend):
+        graph = random_tree(9, seed=3)
+        algorithm = LargestIdAlgorithm()
+        rows = _rows(9, 6, base_seed=50)
+        eager = compile_instance(graph, algorithm, backend=backend)
+        chunked = compile_instance(graph, algorithm, backend=backend, plan_chunk=2)
+        assert chunked._vector_rule.batch_radii_outputs(rows) == (
+            eager._vector_rule.batch_radii_outputs(rows)
+        )
+
+
+class TestPlanResidency:
+    def test_peak_resident_plans_never_exceed_the_chunk(self):
+        graph = cycle_graph(17)
+        instance = compile_instance(graph, LargestIdAlgorithm(), plan_chunk=4)
+        simulate_batch(instance, _rows(17, 5))
+        stats = instance.plan_stats.as_dict()
+        assert stats["peak_resident"] <= 4
+        # Every batch rebuilds every chunk, so far more plans were built
+        # than were ever resident — the memory bound is the point.
+        assert stats["built"] >= 17
+
+    def test_eager_instances_keep_all_plans_resident(self):
+        graph = cycle_graph(9)
+        instance = compile_instance(graph, LargestIdAlgorithm())
+        assert instance.plan_stats.as_dict()["peak_resident"] == 9
+
+    def test_describe_reports_the_plan_mode_and_bytes(self):
+        graph = cycle_graph(13)
+        eager = compile_instance(graph, LargestIdAlgorithm())
+        chunked = compile_instance(graph, LargestIdAlgorithm(), plan_chunk=3)
+        eager_description = eager.describe()
+        chunked_description = chunked.describe()
+        assert eager_description["plan_mode"] == "eager"
+        assert chunked_description["plan_mode"] == "chunked"
+        assert chunked_description["plan_chunk"] == 3
+        # A 3-centre chunk holds a fraction of the full plan tables.
+        assert 0 < chunked_description["plan_bytes"] < eager_description["plan_bytes"]
+
+
+class TestCompileGuards:
+    def test_plan_chunk_requires_a_chunk_capable_rule(self):
+        # An opaque FunctionBallAlgorithm compiles no kernel rule, so the
+        # fallback would need the full plan tables — rejected up front.
+        algorithm = FunctionBallAlgorithm(
+            GreedyColoringByID().decide,
+            name="greedy-opaque-plan-chunk",
+            problem="coloring",
+            order_invariant=True,
+            uses_ports=False,
+        )
+        with pytest.raises(ConfigurationError):
+            compile_instance(cycle_graph(8), algorithm, plan_chunk=2)
+
+    def test_plan_tables_are_never_fully_resident(self):
+        instance = compile_instance(cycle_graph(8), LargestIdAlgorithm(), plan_chunk=2)
+        for label in ("discovery", "distances", "member_counts"):
+            with pytest.raises(ConfigurationError):
+                getattr(instance, label)
+
+    def test_eager_instances_do_not_stream_plan_chunks(self):
+        instance = compile_instance(cycle_graph(8), LargestIdAlgorithm())
+        with pytest.raises(ConfigurationError):
+            next(instance.iter_plan_chunks())
+
+    def test_plan_chunk_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            compile_instance(cycle_graph(8), LargestIdAlgorithm(), plan_chunk=0)

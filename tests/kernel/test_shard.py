@@ -1,0 +1,130 @@
+"""Sharded scale execution: rule parity, registry hooks, probe surface."""
+
+import pytest
+
+from repro.algorithms.registry import algorithm_registry
+from repro.engine.campaign import make_ball_algorithm
+from repro.kernel import (
+    SCALE_ALGORITHMS,
+    MaxScanScaleRule,
+    ShardedKernelExecutor,
+    compile_instance,
+    run_scale_probe,
+    scale_rule_for,
+)
+from repro.kernel.shard import scale_row_ids
+from repro.topology.stream import STREAM_TOPOLOGIES, build_csr
+
+
+class TestScaleRuleParity:
+    @pytest.mark.parametrize("topology", STREAM_TOPOLOGIES)
+    def test_scale_radii_match_the_compiled_kernel(self, topology):
+        """The plan-free early-stop BFS equals the plan-table kernel."""
+        csr = build_csr(topology, 19, seed=4)
+        rule = scale_rule_for(make_ball_algorithm("largest-id", 19), csr)
+        instance = compile_instance(csr.to_graph(), make_ball_algorithm("largest-id", 19))
+        for row_seed in range(4):
+            ids = scale_row_ids(19, 7, row_seed)
+            expected = instance.batch_radii([tuple(ids)])[0]
+            assert tuple(rule.row_radii(ids, 0, 19)) == expected
+
+    def test_row_stats_fold_the_full_row(self):
+        csr = build_csr("cycle", 12)
+        rule = MaxScanScaleRule(csr)
+        ids = scale_row_ids(12, 3, 0)
+        radii = rule.row_radii(ids, 0, 12)
+        total, largest = rule.row_stats(ids, 0, 12)
+        assert total == sum(radii)
+        assert largest == max(radii)
+
+    def test_partial_center_ranges_compose(self):
+        csr = build_csr("random-tree", 15, seed=9)
+        rule = MaxScanScaleRule(csr)
+        ids = scale_row_ids(15, 11, 2)
+        whole = rule.row_radii(ids, 0, 15)
+        assert rule.row_radii(ids, 0, 7) + rule.row_radii(ids, 7, 15) == whole
+
+
+class TestRegistryHooks:
+    def test_scale_algorithms_mirror_the_compile_hook(self):
+        """SCALE_ALGORITHMS and compile_scale_rule must agree, per name."""
+        csr = build_csr("cycle", 8)
+        for name in sorted(algorithm_registry()):
+            algorithm = make_ball_algorithm(name, 8)
+            rule = algorithm.compile_scale_rule(csr)
+            if name in SCALE_ALGORITHMS:
+                assert rule is not None, f"{name} lost its scale rule"
+            else:
+                assert rule is None, f"{name} must be added to SCALE_ALGORITHMS"
+
+    def test_unsupported_algorithms_are_rejected(self):
+        from repro.errors import ConfigurationError
+
+        csr = build_csr("cycle", 8)
+        with pytest.raises(ConfigurationError):
+            scale_rule_for(make_ball_algorithm("greedy-mis", 8), csr)
+
+
+class TestShardedExecutor:
+    def test_sample_measures_row_count_and_determinism(self):
+        csr = build_csr("cycle", 32)
+        executor = ShardedKernelExecutor(csr, make_ball_algorithm("largest-id", 32), center_chunk=10)
+        stats = executor.sample_measures(3, seed=5)
+        assert len(stats) == 3
+        assert stats == executor.sample_measures(3, seed=5)
+        for row_stats in stats:
+            assert row_stats.max_radius == 16  # the cycle's eccentricity
+            assert row_stats.average_radius == row_stats.sum_radius / 32
+
+    def test_batch_radii_matches_the_compiled_kernel(self):
+        csr = build_csr("gnp", 14, seed=6)
+        executor = ShardedKernelExecutor(csr, make_ball_algorithm("largest-id", 14), center_chunk=5)
+        instance = compile_instance(
+            csr.to_graph(), make_ball_algorithm("largest-id", 14)
+        )
+        rows = [tuple(scale_row_ids(14, 1, index)) for index in range(3)]
+        assert executor.batch_radii(rows) == instance.batch_radii(rows)
+
+    def test_describe_reports_the_shard_grid(self):
+        csr = build_csr("cycle", 100)
+        executor = ShardedKernelExecutor(
+            csr,
+            make_ball_algorithm("largest-id", 100),
+            workers=2,
+            row_block=3,
+            center_chunk=40,
+        )
+        description = executor.describe()
+        assert description["workers"] == 2
+        assert description["row_block"] == 3
+        assert description["center_chunk"] == 40
+        assert description["topology"]["n"] == 100
+        assert len(executor._center_ranges()) == 3  # ceil(100 / 40)
+
+
+class TestScaleProbe:
+    def test_probe_reports_the_full_surface(self):
+        probe = run_scale_probe("cycle", 64, samples=2, seed=3)
+        for key in (
+            "topology",
+            "n",
+            "m",
+            "algorithm",
+            "samples",
+            "seed",
+            "workers",
+            "row_block",
+            "center_chunk",
+            "build_s",
+            "elapsed_s",
+            "nodes_per_s",
+            "peak_rss_bytes",
+            "avg_mean",
+            "max_mean",
+            "rule",
+        ):
+            assert key in probe, key
+        assert probe["n"] == 64
+        assert probe["max_mean"] == 32.0
+        assert probe["nodes_per_s"] > 0
+        assert probe["peak_rss_bytes"] > 0

@@ -196,6 +196,58 @@ def test_simulate_many_matches_per_instance_batches(backend):
         assert rows == simulate_batch(request.instance, list(request.rows))
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_padded_batching_is_bit_identical_for_every_algorithm(backend):
+    # The padded same-shape fast path (numpy + MaxScanRule groups) and the
+    # sequential path must agree bit for bit; algorithms and backends the
+    # fast path does not cover must fall through to sequential untouched.
+    # Separately-compiled same-shape instances make eligible groups.
+    for name in sorted(algorithm_registry()):
+        instances = [
+            compile_instance(
+                cycle_graph(6), make_ball_algorithm(name, 6), backend=backend
+            )
+            for _ in range(3)
+        ]
+        requests = [
+            BatchRequest(
+                instance,
+                [
+                    tuple(random_assignment(6, seed=17 * index + s).identifiers())
+                    for s in range(4)
+                ],
+            )
+            for index, instance in enumerate(instances)
+        ]
+        padded = simulate_many(requests)
+        sequential = simulate_many(requests, pad_same_shape=False)
+        assert padded == sequential, f"{name}/{backend} padded path diverges"
+        for request, rows in zip(requests, padded):
+            assert rows == request.instance.batch_radii(list(request.rows))
+
+
+@pytest.mark.parametrize("shape", [(5, 3), (6, 2), (7, 4)])
+def test_padded_groups_match_mixed_shape_sequential(shape):
+    # Same-shape groups inside a heterogeneous request list: the group runs
+    # padded (when numpy is available) while the rest run sequentially, and
+    # every request still gets exactly its own rows.
+    from repro.algorithms.largest_id import LargestIdAlgorithm
+
+    n, group_size = shape
+    group = [
+        compile_instance(cycle_graph(n), LargestIdAlgorithm())
+        for _ in range(group_size)
+    ]
+    odd = compile_instance(random_tree(n, seed=2), LargestIdAlgorithm())
+    requests = [
+        BatchRequest(
+            instance, [random_assignment(n, seed=s).identifiers() for s in range(3)]
+        )
+        for instance in group
+    ] + [BatchRequest(odd, [random_assignment(n, seed=9).identifiers()])]
+    assert simulate_many(requests) == simulate_many(requests, pad_same_shape=False)
+
+
 def test_simulate_many_validates_untrusted_rows():
     from repro.algorithms.largest_id import LargestIdAlgorithm
     from repro.errors import IdentifierError, TopologyError

@@ -97,3 +97,55 @@ class TestGuardLogic:
     def test_empty_root_fails(self, tmp_path, quiet, capsys):
         argv = ["--root", str(tmp_path)] + (["--quiet"] if quiet else [])
         assert check_bench_floors.main(argv) == 1
+
+    def _scale_document(self, **overrides):
+        entry = {
+            "nodes_per_s": 100_000.0,
+            "min_nodes_per_s": 5_000.0,
+            "peak_rss_bytes": 80 * 1024**2,
+            "max_rss_bytes": 2 * 1024**3,
+        }
+        entry.update(overrides)
+        return {"kind": "repro-bench-scale", "results": {"scale_cycle_n10000": entry}}
+
+    def test_scale_artifact_gates_on_throughput_and_rss(self, tmp_path):
+        self._write(tmp_path, "BENCH_scale.json", self._scale_document())
+        assert check_bench_floors.main(["--root", str(tmp_path), "--quiet"]) == 0
+
+    def test_scale_regressed_throughput_fails(self, tmp_path):
+        self._write(
+            tmp_path, "BENCH_scale.json", self._scale_document(nodes_per_s=400.0)
+        )
+        assert check_bench_floors.main(["--root", str(tmp_path), "--quiet"]) == 1
+
+    def test_scale_rss_over_ceiling_fails(self, tmp_path):
+        self._write(
+            tmp_path,
+            "BENCH_scale.json",
+            self._scale_document(peak_rss_bytes=3 * 1024**3),
+        )
+        assert check_bench_floors.main(["--root", str(tmp_path), "--quiet"]) == 1
+
+    def test_scale_entry_missing_a_bound_fails(self, tmp_path):
+        document = self._scale_document()
+        del document["results"]["scale_cycle_n10000"]["max_rss_bytes"]
+        self._write(tmp_path, "BENCH_scale.json", document)
+        assert check_bench_floors.main(["--root", str(tmp_path), "--quiet"]) == 1
+
+
+class TestScaleBenchSmokeMode:
+    def test_smoke_sizes_stay_small(self, monkeypatch):
+        """The CI smoke job must never launch a million-node probe."""
+        import importlib
+
+        monkeypatch.syspath_prepend(str(REPO_ROOT / "benchmarks"))
+        import bench_smoke
+
+        module = importlib.import_module("test_bench_scale")
+        assert max(module.SIZES_SMOKE) <= 10**3
+        assert max(module.SIZES_FULL) == 10**6
+        # The module-level pick() is what selects them, so smoke mode can
+        # never reach the full sizes.
+        assert module.SIZES == (
+            module.SIZES_SMOKE if bench_smoke.SMOKE else module.SIZES_FULL
+        )

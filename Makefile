@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test docs bench bench-floors bench-trend bench-smoke sweep-smoke examples clean
+.PHONY: test docs bench bench-floors bench-trend bench-smoke sweep-smoke serve examples clean
 
 ## tier-1 test suite (tests + benchmarks), exactly as CI runs it
 test:
@@ -13,7 +13,7 @@ docs:
 
 ## the speedup benchmarks with their JSON artifacts, plus the micro suite
 bench:
-	REPRO_BENCH_WRITE=1 $(PYTHON) -m pytest -q benchmarks/test_bench_engine.py benchmarks/test_bench_search.py benchmarks/test_bench_dist.py benchmarks/test_bench_api.py benchmarks/test_bench_kernel.py benchmarks/test_bench_obs.py benchmarks/test_bench_scale.py benchmarks/test_bench_micro.py
+	REPRO_BENCH_WRITE=1 $(PYTHON) -m pytest -q benchmarks/test_bench_engine.py benchmarks/test_bench_search.py benchmarks/test_bench_dist.py benchmarks/test_bench_api.py benchmarks/test_bench_kernel.py benchmarks/test_bench_obs.py benchmarks/test_bench_scale.py benchmarks/test_bench_serve.py benchmarks/test_bench_micro.py
 
 ## assert every committed BENCH_*.json speedup still meets its floor
 bench-floors:
@@ -27,6 +27,10 @@ bench-trend:
 ## JSON artifacts), so BENCH_*.json regressions surface on PRs
 bench-smoke:
 	REPRO_BENCH_SMOKE=1 REPRO_BENCH_WRITE=1 $(PYTHON) -m pytest -q benchmarks
+
+## run the HTTP query service on its default port (guide: docs/service.md)
+serve:
+	$(PYTHON) -m repro serve --port 8000 --store repro-store
 
 ## a tiny end-to-end sweep through the campaign CLI
 sweep-smoke:

@@ -46,6 +46,7 @@ GUIDE_PAGES = (
     "distributions.md",
     "performance.md",
     "observability.md",
+    "service.md",
 )
 
 

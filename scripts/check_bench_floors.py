@@ -62,6 +62,12 @@ GATED_RESULTS = {
     # Million-node scale path: gated on throughput + memory, not speedup
     # (see GATED_METRICS).
     "repro-bench-scale": (("scale_cycle", True),),
+    # The query service: a store hit must beat cold compute >= 5x, both
+    # in-process and across a process restart (the on-disk tier).
+    "repro-bench-serve": (
+        ("store_hit_vs_cold", True),
+        ("store_hit_across_restart", True),
+    ),
 }
 
 #: kind -> ((measured key, bound key, direction), ...) for artifacts whose

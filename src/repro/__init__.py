@@ -36,7 +36,12 @@ for the LOCAL Model* (PODC 2015).  The library provides:
 * the cross-cutting instrumentation subsystem (:mod:`repro.obs`) —
   hierarchical spans, a process-wide metrics registry, per-query
   ``profile`` blocks and Chrome trace export, switched by
-  ``REPRO_OBS={on,off}`` and near-free while off.
+  ``REPRO_OBS={on,off}`` and near-free while off; and
+* the query service (:mod:`repro.service`) — ``repro serve``: a stdlib
+  HTTP front door over a persistent content-addressed result store
+  (compute once, serve forever), a multi-process worker pool, and
+  resumable sampling estimates whose confidence intervals tighten across
+  requests.
 
 Quick start::
 
@@ -132,7 +137,10 @@ from repro.api import (
     query,
 )
 
-__version__ = "1.3.0"
+# The query service sits on top of the API (store-backed `repro serve`).
+from repro.service import QueryService, ResultStore
+
+__version__ = "1.4.0"
 
 __all__ = [
     "AlgorithmError",
@@ -166,9 +174,11 @@ __all__ = [
     "PrunedExhaustiveAdversary",
     "Query",
     "QueryBuilder",
+    "QueryService",
     "RandomSearchAdversary",
     "ReproError",
     "Result",
+    "ResultStore",
     "RoundAlgorithm",
     "RoundDistribution",
     "Session",

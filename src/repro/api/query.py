@@ -28,6 +28,7 @@ construction time, so a misspelt grid fails before any simulation runs.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 from dataclasses import dataclass
 from typing import Mapping, Optional
@@ -54,6 +55,13 @@ MODES = ("simulate", "worst-case", "distribution", "sweep", "scale")
 #: Document tag and schema version of the JSON form (see ``docs/api.md``).
 QUERY_KIND = "repro-query"
 QUERY_VERSION = 1
+
+#: Budget/execution fields excluded from the *family* hash: two sampling
+#: queries that differ only here describe the same estimand, so a stored
+#: result for one can be resumed (its estimators continued) to answer the
+#: other.  ``workers`` never changes any row (the determinism contract);
+#: ``samples`` is the resumable budget itself.
+FAMILY_EXCLUDED_FIELDS = ("samples", "workers")
 
 
 def _as_tuple(value, kind) -> tuple:
@@ -280,6 +288,52 @@ class Query:
     def to_json(self) -> str:
         """Serialise as a ``repro-query`` JSON document."""
         return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    # ------------------------------------------------------------------
+    # content addressing (the service's cache keys, see docs/service.md)
+    # ------------------------------------------------------------------
+    def canonical_preimage(self) -> str:
+        """The canonical serialisation the content hash is computed over.
+
+        Compact key-sorted JSON of :meth:`to_dict` — i.e. of the *validated*
+        query, after scalar→tuple promotion and with every defaulted field
+        written out explicitly, with the document kind and schema version in
+        the preimage.  Two semantically equal queries (scalar vs tuple
+        spellings, any key order, defaulted vs explicit fields) therefore
+        serialise identically, and a schema bump re-keys the store.
+        """
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":"), ensure_ascii=True
+        )
+
+    def canonical_hash(self) -> str:
+        """The content address of this query: SHA-256 of the canonical preimage.
+
+        Stable across processes and interpreters (no dependence on
+        ``PYTHONHASHSEED``): the exact-result store keys on it, because
+        exact answers are pure functions of the spec.
+
+        >>> Query(topologies="cycle").canonical_hash() == Query(
+        ...     topologies=("cycle",)).canonical_hash()
+        True
+        """
+        return hashlib.sha256(self.canonical_preimage().encode("ascii")).hexdigest()
+
+    def family_hash(self) -> str:
+        """The resume key: the canonical hash minus the resumable budgets.
+
+        Strips :data:`FAMILY_EXCLUDED_FIELDS` (``samples``, ``workers``)
+        from the preimage and tags it as a family document, so a sampling
+        query finds stored estimator state written under a smaller budget.
+        """
+        document = self.to_dict()
+        document["kind"] = QUERY_KIND + "-family"
+        for field in FAMILY_EXCLUDED_FIELDS:
+            document.pop(field, None)
+        preimage = json.dumps(
+            document, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+        )
+        return hashlib.sha256(preimage.encode("ascii")).hexdigest()
 
     @classmethod
     def from_dict(cls, document: Mapping) -> "Query":

@@ -305,9 +305,15 @@ class Result:
         return json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n"
 
     def save(self, path: str) -> None:
-        """Write :meth:`to_json` to ``path``."""
-        with open(path, "w", encoding="utf-8") as handle:
-            handle.write(self.to_json())
+        """Write :meth:`to_json` to ``path`` atomically (temp + ``os.replace``).
+
+        An interrupted ``repro query --output`` therefore never leaves a
+        truncated document behind — the destination holds either the old
+        content or the complete new one.
+        """
+        from repro.utils.io import atomic_write_text
+
+        atomic_write_text(path, self.to_json())
 
     @classmethod
     def from_dict(cls, document: Mapping) -> "Result":

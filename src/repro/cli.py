@@ -29,7 +29,14 @@ any Python:
                                      :class:`~repro.api.query.Query` JSON
                                      document (any mode) and optionally
                                      write the versioned
-                                     :class:`~repro.api.results.Result`.
+                                     :class:`~repro.api.results.Result`;
+* ``serve --port 8000 --store repro-store``
+                                   — run the query service: an HTTP front
+                                     door over a persistent
+                                     content-addressed result store
+                                     (``POST /v1/query``, cached repeats,
+                                     resumable sampling estimates; guide in
+                                     ``docs/service.md``).
 
 Running ``python -m repro`` with no arguments prints this subcommand summary
 and exits 0; ``--version`` prints the library version.
@@ -331,6 +338,31 @@ def build_parser() -> argparse.ArgumentParser:
         "(load in chrome://tracing or Perfetto)",
     )
 
+    serve_parser = commands.add_parser(
+        "serve",
+        help="run the HTTP query service over a persistent result store",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="interface to bind (default: loopback)"
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=8000, help="port to bind (0 picks an ephemeral port)"
+    )
+    serve_parser.add_argument(
+        "--store",
+        default="repro-store",
+        help="directory of the content-addressed result store and job ledger",
+    )
+    serve_parser.add_argument(
+        "--max-parallel",
+        type=int,
+        default=1,
+        help="worker processes for queued cold queries",
+    )
+    serve_parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-request access logging"
+    )
+
     return parser
 
 
@@ -625,6 +657,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_run_experiment(args)
     if args.command == "gap":
         return _cmd_gap(args)
+    if args.command == "serve":
+        from repro.service import serve
+
+        return serve(
+            host=args.host,
+            port=args.port,
+            root=args.store,
+            max_parallel=args.max_parallel,
+            quiet=args.quiet,
+        )
     session = Session()
     if args.command == "simulate":
         return _cmd_simulate(args, session)

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Mapping, Optional, Sequence
 
 from repro.core.algorithm import BallAlgorithm
 from repro.dist.distribution import RoundDistribution
@@ -77,6 +77,25 @@ class StreamingMoments:
         delta = value - self.mean
         self.mean += delta / self.count
         self._m2 += delta * (value - self.mean)
+
+    def state_dict(self) -> dict:
+        """The complete internal state, JSON-safe and lossless.
+
+        Floats survive a JSON round trip bit-for-bit (Python serialises the
+        shortest round-tripping representation), so an estimator restored
+        with :meth:`from_state` continues *exactly* where this one stopped —
+        the foundation of the service's resumable sampling queries.
+        """
+        return {"count": self.count, "mean": self.mean, "m2": self._m2}
+
+    @classmethod
+    def from_state(cls, state: Mapping) -> "StreamingMoments":
+        """Rebuild an estimator from :meth:`state_dict` output."""
+        moments = cls()
+        moments.count = int(state["count"])
+        moments.mean = float(state["mean"])
+        moments._m2 = float(state["m2"])
+        return moments
 
     @property
     def variance(self) -> float:
@@ -187,6 +206,29 @@ class P2Quantile:
             index = min(len(self._initial) - 1, int(self.p * len(self._initial)))
             return self._initial[index]
         return self._q[2]
+
+    def state_dict(self) -> dict:
+        """The complete marker state, JSON-safe and lossless (cf.
+        :meth:`StreamingMoments.state_dict`)."""
+        return {
+            "p": self.p,
+            "count": self.count,
+            "initial": list(self._initial),
+            "q": list(self._q),
+            "n": list(self._n),
+            "desired": list(self._desired),
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping) -> "P2Quantile":
+        """Rebuild a sketch from :meth:`state_dict` output."""
+        sketch = cls(float(state["p"]))
+        sketch.count = int(state["count"])
+        sketch._initial = [float(x) for x in state["initial"]]
+        sketch._q = [float(x) for x in state["q"]]
+        sketch._n = [float(x) for x in state["n"]]
+        sketch._desired = [float(x) for x in state["desired"]]
+        return sketch
 
 
 @dataclass(frozen=True)
@@ -415,6 +457,57 @@ class _DistributionFold:
         self.max_q90.update(float(max_radius))
         self.count += 1
 
+    def state_dict(self) -> dict:
+        """The complete fold state — counts plus live estimator internals.
+
+        Everything :class:`SampledDistributionResult` is computed from, in a
+        lossless JSON-safe form (joint keys become ``[max, sum, count]``
+        triples), so a fold restored with :meth:`load_state` and fed the
+        draws ``count+1..m`` produces bit-for-bit the result of a fresh fold
+        over draws ``1..m``.
+        """
+        return {
+            "n": self.n,
+            "count": self.count,
+            "joint": [
+                [key[0], key[1], weight] for key, weight in sorted(self.joint.items())
+            ],
+            "marginals": [sorted(counts.items()) for counts in self.marginals],
+            "avg_moments": self.avg_moments.state_dict(),
+            "max_moments": self.max_moments.state_dict(),
+            "avg_median": self.avg_median.state_dict(),
+            "avg_q90": self.avg_q90.state_dict(),
+            "max_median": self.max_median.state_dict(),
+            "max_q90": self.max_q90.state_dict(),
+        }
+
+    def load_state(self, state: Mapping) -> None:
+        """Restore a fold previously exported with :meth:`state_dict`."""
+        if int(state["n"]) != self.n:
+            raise AnalysisError(
+                f"estimator state is for n={state['n']}, cannot resume at n={self.n}"
+            )
+        self.count = int(state["count"])
+        self.joint = {
+            (int(maximum), int(total)): int(weight)
+            for maximum, total, weight in state["joint"]
+        }
+        self.marginals = [
+            {int(radius): int(weight) for radius, weight in counts}
+            for counts in state["marginals"]
+        ]
+        if len(self.marginals) != self.n:
+            raise AnalysisError(
+                f"estimator state carries {len(self.marginals)} marginals "
+                f"for n={self.n}"
+            )
+        self.avg_moments = StreamingMoments.from_state(state["avg_moments"])
+        self.max_moments = StreamingMoments.from_state(state["max_moments"])
+        self.avg_median = P2Quantile.from_state(state["avg_median"])
+        self.avg_q90 = P2Quantile.from_state(state["avg_q90"])
+        self.max_median = P2Quantile.from_state(state["max_median"])
+        self.max_q90 = P2Quantile.from_state(state["max_q90"])
+
     def result(self, seed_record: Optional[int]) -> SampledDistributionResult:
         distribution = RoundDistribution.from_counts(
             n=self.n, joint=self.joint, node_marginals=self.marginals
@@ -533,6 +626,140 @@ def sample_round_distribution(
             for radii in kernel.batch_radii(chunk, pre_validated=trusted):
                 fold.fold(radii)
     return fold.result(seed_record)
+
+
+#: Document tag and schema version of the portable estimator state
+#: (persisted by the service store next to sampled results; see
+#: ``docs/service.md``).
+ESTIMATOR_STATE_KIND = "repro-estimator-state"
+ESTIMATOR_STATE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ResumableSample:
+    """One resumable sampling outcome: the result plus portable estimator state.
+
+    ``state`` is a versioned JSON-safe document
+    (:data:`ESTIMATOR_STATE_KIND`) holding the draw count, the seed contract
+    and the full fold internals (Welford moments, P² sketches, joint and
+    marginal counts); feeding it back into
+    :func:`sample_round_distribution_resumable` with a larger budget
+    continues the estimate instead of restarting it.
+    """
+
+    result: SampledDistributionResult
+    state: dict
+
+
+def _validate_estimator_state(state: Mapping, n: int, seed_record: Optional[int]) -> dict:
+    """Check a resume state's tag, version and seed/n contract."""
+    if state.get("kind") != ESTIMATOR_STATE_KIND:
+        raise AnalysisError(
+            f"not an estimator state document: kind={state.get('kind')!r}"
+        )
+    if state.get("version") != ESTIMATOR_STATE_VERSION:
+        raise AnalysisError(
+            f"unsupported estimator state version {state.get('version')!r} "
+            f"(this library reads version {ESTIMATOR_STATE_VERSION})"
+        )
+    if int(state["n"]) != n:
+        raise AnalysisError(
+            f"estimator state is for n={state['n']}, cannot resume at n={n}"
+        )
+    if state.get("seed") != seed_record:
+        raise AnalysisError(
+            f"estimator state was drawn under seed {state.get('seed')!r}, "
+            f"cannot resume under seed {seed_record!r} (the draw streams differ)"
+        )
+    return dict(state)
+
+
+def sample_round_distribution_resumable(
+    graph: Graph,
+    algorithm: BallAlgorithm,
+    samples: int,
+    seed: SeedLike = None,
+    kernel: Optional[CompiledInstance] = None,
+    state: Optional[Mapping] = None,
+) -> ResumableSample:
+    """Sample with exportable estimator state, resuming from ``state`` if given.
+
+    The resumable sibling of :func:`sample_round_distribution`, with the
+    identical seed contract: the returned estimate for a total budget of
+    ``samples`` draws is **bit-for-bit** the estimate a single fresh run
+    with ``samples`` draws would produce, whether the draws were folded in
+    one pass or across any number of resumed continuations.  Draws already
+    folded into ``state`` are skipped by replaying only the master RNG's
+    child-seed stream (no simulation), so a continuation pays for its *new*
+    draws only.
+
+    ``samples`` is the **total** budget (old + new); resuming with a budget
+    smaller than the stored draw count is an error — the fold cannot
+    un-observe.
+
+    >>> from repro.algorithms.largest_id import LargestIdAlgorithm
+    >>> from repro.topology.cycle import cycle_graph
+    >>> graph, algorithm = cycle_graph(6), LargestIdAlgorithm()
+    >>> first = sample_round_distribution_resumable(graph, algorithm, 8, seed=7)
+    >>> resumed = sample_round_distribution_resumable(
+    ...     graph, algorithm, 32, seed=7, state=first.state
+    ... )
+    >>> fresh = sample_round_distribution(graph, algorithm, samples=32, seed=7)
+    >>> resumed.result == fresh
+    True
+    >>> resumed.state["draws"]
+    32
+    """
+    if samples <= 0:
+        raise AnalysisError(f"samples must be positive, got {samples}")
+    seed_record = seed if isinstance(seed, int) else None
+    n = graph.n
+    fold = _DistributionFold(n)
+    consumed = 0
+    if state is not None:
+        document = _validate_estimator_state(state, n, seed_record)
+        consumed = int(document["draws"])
+        if consumed > samples:
+            raise AnalysisError(
+                f"estimator state already folded {consumed} draws; the total "
+                f"budget {samples} must not shrink"
+            )
+        fold.load_state(document["fold"])
+        if fold.count != consumed:
+            raise AnalysisError(
+                f"estimator state is inconsistent: draws={consumed} but the "
+                f"fold counted {fold.count}"
+            )
+    if kernel is None:
+        kernel = compile_instance(graph, algorithm, validate=False)
+    remaining = samples - consumed
+    with _obs_span("dist.sampling.resumable", n=n, samples=samples, resumed=consumed):
+        master = make_rng(seed)
+        # Replay the child-seed stream of the already-folded draws so draw
+        # k+1 of this continuation is exactly draw k+1 of a fresh run.
+        for _ in range(consumed):
+            master.getrandbits(64)
+        chunk: list[tuple[int, ...]] = []
+        for _ in range(remaining):
+            chunk.append(random_assignment(n, seed=master.getrandbits(64)).identifiers())
+            if len(chunk) >= DEFAULT_BATCH_ROWS:
+                for radii in kernel.batch_radii(chunk, pre_validated=True):
+                    fold.fold(radii)
+                chunk.clear()
+        if chunk:
+            for radii in kernel.batch_radii(chunk, pre_validated=True):
+                fold.fold(radii)
+    if fold.count == 0:
+        raise AnalysisError("sampling needs at least one radii row")
+    new_state = {
+        "kind": ESTIMATOR_STATE_KIND,
+        "version": ESTIMATOR_STATE_VERSION,
+        "n": n,
+        "seed": seed_record,
+        "draws": fold.count,
+        "fold": fold.state_dict(),
+    }
+    return ResumableSample(result=fold.result(seed_record), state=new_state)
 
 
 def estimate_expected_measures(

@@ -316,13 +316,14 @@ def run_campaign(spec: CampaignSpec, workers: Optional[int] = 1) -> list[dict]:
 
 
 def write_rows(rows: Sequence[dict], path: str) -> None:
-    """Write campaign rows as a JSON document with a self-describing header."""
-    import json
+    """Write campaign rows as a JSON document with a self-describing header.
 
-    document = {"kind": "repro-sweep", "version": 1, "rows": list(rows)}
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(document, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    The write is atomic (temp file + :func:`os.replace`), so an interrupted
+    run never leaves a truncated document at ``path``.
+    """
+    from repro.utils.io import atomic_write_json
+
+    atomic_write_json(path, {"kind": "repro-sweep", "version": 1, "rows": list(rows)})
 
 
 def load_rows(path: str) -> list[dict]:
@@ -518,6 +519,67 @@ def _dist_row(
     }
 
 
+def dist_cell_row_resumed(
+    spec: DistSpec,
+    cell: DistCell,
+    graph: Optional[Graph] = None,
+    algorithm=None,
+    kernel=None,
+    state: Optional[dict] = None,
+) -> tuple[dict, dict]:
+    """Execute one *sampled* cell resumably; return ``(row, estimator_state)``.
+
+    The service-layer sibling of :func:`dist_cell_row` for ``method ==
+    "sample"`` cells: the cell's draws stream through
+    :func:`repro.dist.sampling.sample_round_distribution_resumable`, so the
+    returned row is identical to :func:`dist_cell_row`'s (same schema, same
+    estimates bit-for-bit, only ``wall_time_s`` differs) while the second
+    return value is the portable estimator state a later, larger-budget
+    repeat of the same cell continues from.  ``state`` accepts that earlier
+    state; ``cell.samples`` is the *total* draw budget.
+    """
+    from repro.dist.sampling import sample_round_distribution_resumable
+
+    if cell.method != "sample":
+        raise ConfigurationError(
+            f"dist_cell_row_resumed handles sampled cells only, got "
+            f"{cell.method!r} (cell {cell.index})"
+        )
+    if graph is None:
+        graph = build_topology(cell.topology, cell.n, cell.graph_seed)
+    if algorithm is None:
+        algorithm = make_ball_algorithm(cell.algorithm, graph.n)
+    if kernel is None:
+        from repro.kernel.compile import compile_instance
+
+        kernel = compile_instance(graph, algorithm, validate=False)
+    started = time.perf_counter()
+    with _obs_span(
+        "engine.dist_cell",
+        topology=cell.topology,
+        n=cell.n,
+        method=cell.method,
+    ):
+        outcome = sample_round_distribution_resumable(
+            graph,
+            algorithm,
+            samples=cell.samples,
+            seed=cell.seed,
+            kernel=kernel,
+            state=state,
+        )
+    elapsed = time.perf_counter() - started
+    sampled = outcome.result
+    uncertainty = {
+        "average": sampled.average.as_dict(),
+        "maximum": sampled.maximum.as_dict(),
+    }
+    row = _dist_row(
+        cell, graph, sampled.distribution, None, uncertainty, kernel.describe(), elapsed
+    )
+    return row, outcome.state
+
+
 def dist_cell_rows_batched(
     spec: DistSpec,
     cells: Sequence[DistCell],
@@ -683,7 +745,7 @@ def write_dist_rows(
     ``aggregates`` accepts a precomputed :func:`aggregate_dist_rows` result
     (recomputing it re-deserializes every row's distribution).
     """
-    import json
+    from repro.utils.io import atomic_write_json
 
     if aggregates is None:
         aggregates = aggregate_dist_rows(rows)
@@ -693,9 +755,7 @@ def write_dist_rows(
         "rows": list(rows),
         "aggregates": list(aggregates),
     }
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(document, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    atomic_write_json(path, document)
 
 
 def load_dist_rows(path: str) -> list[dict]:

@@ -1,0 +1,196 @@
+"""The stdlib HTTP front door of the query service (``repro serve``).
+
+Three endpoints, JSON in and out, no dependencies beyond ``http.server``:
+
+* ``POST /v1/query`` — body is a ``repro-query`` document.  Answers with
+  the ``repro-result`` document through the service's cache tiers; the
+  ``X-Repro-Cache`` header says how (``hit`` / ``resume`` / ``miss``) and
+  ``X-Repro-Hash`` carries the canonical content address.  With
+  ``?stream=1`` a sampling query streams chunked NDJSON instead: one
+  ``{"type": "progress"}`` line per draw-budget increment (current
+  estimate, standard error, 95% CI per cell — the interval visibly
+  tightens), then the final ``{"type": "result"}`` line with the full
+  document.
+* ``GET /v1/result/<hash>`` — a stored result document by content address
+  (404 when the store has no such object).
+* ``GET /v1/healthz`` — liveness + store statistics.
+
+Malformed bodies and unknown query fields answer 400 with a JSON error
+document; unknown paths 404.  The server is a
+:class:`~http.server.ThreadingHTTPServer` (clients never block each other
+on I/O) over the thread-safe :class:`~repro.service.service.QueryService`.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+from urllib.parse import parse_qs, urlparse
+
+from repro.errors import AnalysisError, ConfigurationError, ReproError
+from repro.service.service import QueryService
+
+#: The protocol prefix every route lives under.
+API_PREFIX = "/v1"
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """A threading HTTP server owning one :class:`QueryService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], service: QueryService, quiet: bool = True) -> None:
+        super().__init__(address, ServiceRequestHandler)
+        self.service = service
+        self.quiet = quiet
+
+    @property
+    def url(self) -> str:
+        """The server's base URL (with the actually bound port)."""
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Route ``/v1/*`` requests onto the owning server's service."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing -------------------------------------------------------
+    @property
+    def service(self) -> QueryService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not getattr(self.server, "quiet", True):
+            super().log_message(format, *args)
+
+    def _send_json(
+        self, status: int, document: dict, headers: Optional[dict] = None
+    ) -> None:
+        body = (json.dumps(document, indent=2, sort_keys=True) + "\n").encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    def _write_chunk(self, payload: bytes) -> None:
+        self.wfile.write(f"{len(payload):x}\r\n".encode("ascii"))
+        self.wfile.write(payload)
+        self.wfile.write(b"\r\n")
+
+    # -- routes ---------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        parsed = urlparse(self.path)
+        if parsed.path == f"{API_PREFIX}/healthz":
+            self._send_json(200, self.service.healthz())
+            return
+        prefix = f"{API_PREFIX}/result/"
+        if parsed.path.startswith(prefix):
+            digest = parsed.path[len(prefix):]
+            try:
+                document, tier = self.service.store.get(digest)
+            except ConfigurationError as exc:
+                self._send_error_json(400, str(exc))
+                return
+            if document is None:
+                self._send_error_json(404, f"no stored result for {digest}")
+                return
+            self._send_json(
+                200, document, headers={"X-Repro-Cache": "hit", "X-Repro-Hash": digest}
+            )
+            return
+        self._send_error_json(404, f"unknown path {parsed.path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server naming)
+        parsed = urlparse(self.path)
+        if parsed.path != f"{API_PREFIX}/query":
+            self._send_error_json(404, f"unknown path {parsed.path!r}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            body = self.rfile.read(length)
+            document = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            self._send_error_json(400, f"request body is not valid JSON: {exc}")
+            return
+        stream = parse_qs(parsed.query).get("stream", ["0"])[0] not in ("", "0", "false")
+        try:
+            if stream:
+                self._stream_query(document)
+            else:
+                outcome = self.service.execute_document(document)
+                self._send_json(
+                    200,
+                    outcome.document,
+                    headers={
+                        "X-Repro-Cache": outcome.cached,
+                        "X-Repro-Hash": outcome.digest,
+                    },
+                )
+        except (ConfigurationError, AnalysisError) as exc:
+            self._send_error_json(400, str(exc))
+        except ReproError as exc:
+            self._send_error_json(500, str(exc))
+
+    def _stream_query(self, document: dict) -> None:
+        """Answer ``POST /v1/query?stream=1`` as chunked NDJSON events."""
+        from repro.api.query import Query
+
+        query = Query.from_dict(document)  # validate before committing to 200
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.send_header("X-Repro-Hash", query.canonical_hash())
+        self.end_headers()
+        for event in self.service.execute_stream(query):
+            line = json.dumps(event, sort_keys=True) + "\n"
+            self._write_chunk(line.encode("utf-8"))
+        self._write_chunk(b"")
+
+
+def make_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    root: str = "repro-store",
+    max_parallel: int = 1,
+    service: Optional[QueryService] = None,
+    quiet: bool = True,
+) -> ServiceServer:
+    """Build a ready-to-serve :class:`ServiceServer` (port 0 = ephemeral).
+
+    Startup recovers any crash-interrupted jobs the store's ledger still
+    records, so a restarted service finishes what its predecessor began
+    before taking traffic.
+    """
+    if service is None:
+        service = QueryService(root=root, max_parallel=max_parallel)
+    service.recover()
+    return ServiceServer((host, port), service, quiet=quiet)
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    root: str = "repro-store",
+    max_parallel: int = 1,
+    quiet: bool = False,
+) -> int:
+    """Run the service until interrupted (the ``repro serve`` entry point)."""
+    server = make_server(host=host, port=port, root=root, max_parallel=max_parallel, quiet=quiet)
+    print(f"repro serve: listening on {server.url} (store: {server.service.store.root})")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0

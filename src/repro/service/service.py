@@ -1,0 +1,388 @@
+"""The query service: cache tiers, resume, worker dispatch — one front door.
+
+:class:`QueryService` sits on top of the Session/Query API and answers one
+question: *given this validated query document, what is its result
+document?* — as cheaply as truth allows:
+
+1. **L1/L2 hit** — the query's canonical hash is in the store: the stored
+   ``repro-result`` document is returned verbatim, zero recomputation.
+2. **Resume** — a *sampling* query misses, but its family hash (the spec
+   minus ``samples``/``workers``) has stored estimator state with a draw
+   count within the requested budget: the Welford moments and P² sketches
+   continue from where they stopped, so only the *new* draws are simulated
+   and the answer is bit-for-bit the one a fresh run with the combined
+   budget would produce.
+3. **Miss** — the query computes cold: distribution queries with sampled
+   cells go through the resumable per-cell path in-process (capturing the
+   estimator state that makes step 2 possible next time); everything else
+   dispatches through the :class:`~repro.service.workers.QueryWorkerPool`.
+
+Every compute is bracketed by a crash-safety job file (see
+:mod:`repro.service.workers`); :meth:`QueryService.recover` re-runs jobs a
+previous process left behind.  The service is thread-safe (one internal
+lock serialises execution — Sessions are not thread-safe), which is what
+the threading HTTP front door in :mod:`repro.service.http` relies on.
+
+Metrics (``REPRO_OBS=on``): ``service.requests``, per-tier counters
+``service.cache.{l1_hits,l2_hits,resumes,misses}``, the
+``service.queue_depth`` gauge and the ``service.latency`` timer; spans
+``service.execute`` / ``service.compute`` nest the engine's own.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Optional, Sequence, Union
+
+from repro.api.query import Query
+from repro.api.results import Result
+from repro.api.session import Session
+from repro.engine.campaign import dist_cell_row, dist_cell_row_resumed
+from repro.errors import ConfigurationError
+from repro.obs import metrics as _metrics
+from repro.obs.spans import span as _obs_span
+from repro.service.store import ResultStore
+from repro.service.workers import (
+    QueryWorkerPool,
+    ServiceConfig,
+    clear_job,
+    pending_jobs,
+    write_job,
+)
+
+#: Progress chunks a streamed sampling query is split into (at most; each
+#: chunk continues the previous one's estimator state, so the final answer
+#: is identical to a single-run evaluation of the full budget).
+DEFAULT_STREAM_CHUNKS = 8
+
+
+@dataclass(frozen=True)
+class ServeOutcome:
+    """One answered query: the result document, its address and the tier.
+
+    ``tier`` is ``"l1"`` / ``"l2"`` (store hits), ``"resume"`` (continued
+    estimator state) or ``"miss"`` (computed cold).  ``cached`` collapses
+    that to the ``X-Repro-Cache: hit|resume|miss`` header value.
+    """
+
+    digest: str
+    document: dict
+    tier: str
+
+    @property
+    def cached(self) -> str:
+        if self.tier in ("l1", "l2"):
+            return "hit"
+        return self.tier
+
+
+def _cell_key(cell) -> str:
+    """The estimator-state key of one sampled cell (stable across budgets)."""
+    return f"{cell.topology}|{cell.n}|{cell.algorithm}"
+
+
+class QueryService:
+    """Store-backed, resumable execution of validated queries."""
+
+    def __init__(
+        self,
+        root: Union[str, Path] = "repro-store",
+        max_parallel: int = 1,
+        l1_limit: int = 128,
+        session: Optional[Session] = None,
+    ) -> None:
+        self.config = ServiceConfig(root=Path(root), max_parallel=max_parallel, l1_limit=l1_limit)
+        self.store = ResultStore(self.config.root, l1_limit=l1_limit)
+        self.session = session if session is not None else Session()
+        self.pool = QueryWorkerPool(max_parallel, session=self.session)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # the front door
+    # ------------------------------------------------------------------
+    def execute(self, query: Query) -> ServeOutcome:
+        """Answer one query through the cache tiers (see the module docs)."""
+        started = time.perf_counter()
+        with self._lock:
+            with _obs_span("service.execute", mode=query.mode):
+                outcome = self._execute_locked(query)
+        _metrics.add("service.requests")
+        _metrics.add(f"service.cache.{self._tier_metric(outcome.tier)}")
+        _metrics.observe("service.latency", time.perf_counter() - started)
+        return outcome
+
+    @staticmethod
+    def _tier_metric(tier: str) -> str:
+        return {"l1": "l1_hits", "l2": "l2_hits", "resume": "resumes"}.get(tier, "misses")
+
+    def _execute_locked(self, query: Query) -> ServeOutcome:
+        digest = query.canonical_hash()
+        document, tier = self.store.get(digest)
+        if document is not None:
+            return ServeOutcome(digest=digest, document=document, tier=tier)
+        query_document = query.to_dict()
+        write_job(self.config, digest, query_document)
+        try:
+            with _obs_span("service.compute", mode=query.mode):
+                if self._resumable(query):
+                    document, tier = self._compute_distribution(query)
+                else:
+                    document = self.pool.run_many([query_document])[0]
+                    tier = "miss"
+            self.store.put(digest, document, meta={"mode": query.mode})
+        finally:
+            clear_job(self.config, digest)
+        return ServeOutcome(digest=digest, document=document, tier=tier)
+
+    def execute_document(self, document: dict) -> ServeOutcome:
+        """:meth:`execute` for a raw ``repro-query`` dict (the HTTP body)."""
+        return self.execute(Query.from_dict(document))
+
+    def execute_many(self, documents: Sequence[dict]) -> list[ServeOutcome]:
+        """Answer a queue of query documents, fanning cold ones out.
+
+        Store hits and resumable sampling queries answer in-process; the
+        remaining cold documents dispatch together over the worker pool
+        (``max_parallel`` processes).  Outcomes come back in queue order.
+        """
+        queue = [Query.from_dict(document) for document in documents]
+        _metrics.set_gauge("service.queue_depth", len(queue))
+        outcomes: list[Optional[ServeOutcome]] = [None] * len(queue)
+        cold: dict[str, list[int]] = {}
+        with self._lock:
+            for position, query in enumerate(queue):
+                digest = query.canonical_hash()
+                if digest in cold:
+                    # A duplicate of a query already queued cold: computed
+                    # once, answered here from the just-populated store.
+                    cold[digest].append(position)
+                    continue
+                document, tier = self.store.get(digest)
+                if document is not None:
+                    outcomes[position] = ServeOutcome(digest, document, tier)
+                elif self._resumable(query):
+                    outcomes[position] = self._execute_locked(query)
+                else:
+                    cold[digest] = [position]
+                    write_job(self.config, digest, query.to_dict())
+            if cold:
+                firsts = [positions[0] for positions in cold.values()]
+                computed = self.pool.run_many([queue[i].to_dict() for i in firsts])
+                for (digest, positions), document in zip(cold.items(), computed):
+                    query = queue[positions[0]]
+                    self.store.put(digest, document, meta={"mode": query.mode})
+                    clear_job(self.config, digest)
+                    for position in positions:
+                        tier = "miss" if position == positions[0] else "l1"
+                        outcomes[position] = ServeOutcome(digest, document, tier)
+        _metrics.set_gauge("service.queue_depth", 0)
+        for outcome in outcomes:
+            _metrics.add("service.requests")
+            _metrics.add(f"service.cache.{self._tier_metric(outcome.tier)}")
+        return outcomes  # type: ignore[return-value]
+
+    def recover(self) -> list[str]:
+        """Re-run the job files a crashed process left behind.
+
+        Returns the recovered hashes.  A job whose result actually reached
+        the store before the crash resolves as a store hit (zero
+        recompute); the rest compute cold.  Either way the ledger entry is
+        cleared.
+        """
+        recovered = []
+        for job in pending_jobs(self.config):
+            outcome = self.execute_document(job["query"])
+            clear_job(self.config, job["hash"])
+            recovered.append(outcome.digest)
+        return recovered
+
+    # ------------------------------------------------------------------
+    # the resumable distribution path
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _resumable(query: Query) -> bool:
+        """Whether the query's estimators can persist and resume."""
+        return query.mode == "distribution" and "sample" in query.methods
+
+    def _load_family_states(self, query: Query) -> dict:
+        """The stored per-cell estimator states usable at this budget."""
+        stored = self.store.get_state(query.family_hash())
+        if stored is None:
+            return {}
+        if int(stored.get("samples", 0)) > query.samples:
+            # Drawn under a larger budget: the estimate cannot run backwards.
+            return {}
+        return dict(stored.get("states") or {})
+
+    def _compute_distribution(self, query: Query) -> tuple[dict, str]:
+        """Evaluate a sampled-distribution query resumably, persisting state.
+
+        Sampled cells stream through
+        :func:`~repro.engine.campaign.dist_cell_row_resumed` — continuing
+        stored estimator state when the family has any — and their final
+        states persist under the family hash for the next, larger budget.
+        Exact cells evaluate exactly as in
+        :meth:`~repro.api.session.Session.distribution`.
+        """
+        spec = query.to_dist_spec()
+        cells = spec.cells()
+        prior = self._load_family_states(query)
+        resumed = False
+        states: dict = {}
+        rows = []
+        for cell in cells:
+            graph = self.session.graph(cell.topology, cell.n, cell.graph_seed)
+            algorithm = self.session.ball_algorithm(cell.algorithm, graph.n)
+            if cell.method == "sample":
+                kernel = self.session.kernel(graph, algorithm)
+                state = prior.get(_cell_key(cell))
+                resumed = resumed or state is not None
+                row, new_state = dist_cell_row_resumed(
+                    spec, cell, graph, algorithm, kernel, state=state
+                )
+                states[_cell_key(cell)] = new_state
+                rows.append(row)
+            else:
+                rows.append(dist_cell_row(spec, cell, graph, algorithm))
+        rows.sort(key=lambda row: row["index"])
+        result = Result.from_rows(
+            "distribution", query.to_dict(), rows, session_cache=self.session.cache_info()
+        )
+        if states:
+            self.store.put_state(query.family_hash(), query.samples, states)
+        return result.as_dict(), ("resume" if resumed else "miss")
+
+    # ------------------------------------------------------------------
+    # streaming (chunked progressive responses)
+    # ------------------------------------------------------------------
+    def execute_stream(
+        self, query: Query, chunks: int = DEFAULT_STREAM_CHUNKS
+    ) -> Iterator[dict]:
+        """Answer one query as a stream of progress events plus the result.
+
+        For a resumable sampling query the draw budget splits into up to
+        ``chunks`` increments; after each one a ``{"type": "progress"}``
+        event reports every sampled cell's current estimate with its
+        standard error and 95% confidence interval — the client watches the
+        interval tighten live.  Chunking changes nothing about the answer
+        (each chunk resumes the previous one's state), and the final
+        ``{"type": "result"}`` event carries the identical document a
+        non-streamed :meth:`execute` would return — which is also what the
+        store persists.  Store hits and non-sampling queries emit the
+        result event alone.
+        """
+        if chunks < 1:
+            raise ConfigurationError(f"chunks must be >= 1, got {chunks}")
+        started = time.perf_counter()
+        with self._lock:
+            digest = query.canonical_hash()
+            document, tier = self.store.get(digest)
+            if document is None and self._resumable(query):
+                yield from self._stream_distribution(query, digest, chunks)
+                _metrics.add("service.requests")
+                _metrics.observe("service.latency", time.perf_counter() - started)
+                return
+            if document is None:
+                outcome = self._execute_locked(query)
+                document, tier = outcome.document, outcome.tier
+        _metrics.add("service.requests")
+        _metrics.add(f"service.cache.{self._tier_metric(tier)}")
+        _metrics.observe("service.latency", time.perf_counter() - started)
+        yield {"type": "result", "hash": digest, "cache": ServeOutcome(digest, document, tier).cached, "document": document}
+
+    def _stream_distribution(self, query: Query, digest: str, chunks: int) -> Iterator[dict]:
+        """The chunked resumable evaluation behind :meth:`execute_stream`."""
+        spec = query.to_dist_spec()
+        cells = spec.cells()
+        sampled = [cell for cell in cells if cell.method == "sample"]
+        prior = self._load_family_states(query)
+        resumed = any(_cell_key(cell) in prior for cell in sampled)
+        consumed = min(
+            (int(prior[_cell_key(cell)]["draws"]) for cell in sampled if _cell_key(cell) in prior),
+            default=0,
+        )
+        total = query.samples
+        budgets = sorted(
+            {
+                max(consumed + 1, (total * step) // chunks)
+                for step in range(1, chunks + 1)
+                if (total * step) // chunks > consumed
+            }
+        )
+        if not budgets or budgets[-1] != total:
+            budgets.append(total)
+        write_job(self.config, digest, query.to_dict())
+        try:
+            states = dict(prior)
+            final_rows: dict[str, dict] = {}
+            for budget in budgets:
+                chunk_spec = dataclasses.replace(spec, samples=budget)
+                progress = []
+                for cell in chunk_spec.cells():
+                    if cell.method != "sample":
+                        continue
+                    graph = self.session.graph(cell.topology, cell.n, cell.graph_seed)
+                    algorithm = self.session.ball_algorithm(cell.algorithm, graph.n)
+                    kernel = self.session.kernel(graph, algorithm)
+                    key = _cell_key(cell)
+                    row, state = dist_cell_row_resumed(
+                        chunk_spec, cell, graph, algorithm, kernel, state=states.get(key)
+                    )
+                    states[key] = state
+                    final_rows[key] = row
+                    mean = row["average"]["mean"]
+                    std_error = (row.get("uncertainty") or {}).get("average", {}).get("std_error")
+                    progress.append(
+                        {
+                            "topology": cell.topology,
+                            "n": cell.n,
+                            "algorithm": cell.algorithm,
+                            "draws": int(state["draws"]),
+                            "mean": mean,
+                            "std_error": std_error,
+                            "ci95": None
+                            if std_error is None
+                            else [mean - 1.96 * std_error, mean + 1.96 * std_error],
+                        }
+                    )
+                yield {
+                    "type": "progress",
+                    "draws": budget,
+                    "samples": total,
+                    "cells": progress,
+                }
+            rows = [final_rows[_cell_key(cell)] for cell in sampled]
+            for cell in cells:
+                if cell.method == "sample":
+                    continue
+                graph = self.session.graph(cell.topology, cell.n, cell.graph_seed)
+                algorithm = self.session.ball_algorithm(cell.algorithm, graph.n)
+                rows.append(dist_cell_row(spec, cell, graph, algorithm))
+            rows.sort(key=lambda row: row["index"])
+            result = Result.from_rows(
+                "distribution", query.to_dict(), rows, session_cache=self.session.cache_info()
+            )
+            document = result.as_dict()
+            if states:
+                self.store.put_state(query.family_hash(), total, states)
+            self.store.put(digest, document, meta={"mode": query.mode})
+        finally:
+            clear_job(self.config, digest)
+        tier = "resume" if resumed else "miss"
+        _metrics.add(f"service.cache.{self._tier_metric(tier)}")
+        yield {"type": "result", "hash": digest, "cache": tier, "document": document}
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict:
+        """The health/diagnostics payload of ``GET /v1/healthz``."""
+        return {
+            "status": "ok",
+            "max_parallel": self.config.max_parallel,
+            "store": self.store.stats(),
+        }

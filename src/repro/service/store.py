@@ -1,0 +1,241 @@
+"""The persistent, content-addressed result store behind ``repro serve``.
+
+Exact answers — worst cases, exact distributions, deterministic simulate
+rows — are pure functions of their validated
+:class:`~repro.api.query.Query`, so the store keys each ``repro-result``
+document by the query's :meth:`~repro.api.query.Query.canonical_hash` and
+serves it forever.  Two cache tiers answer a lookup:
+
+* **L1** — an in-process :class:`~repro.api.session._LruCache` of
+  recently served documents (the PR-5 LRU, promoted to the store's front);
+* **L2** — a sharded on-disk layout, ``objects/<hash[:2]>/<hash>.json``,
+  written atomically (temp file + ``os.replace``) so a crash mid-write
+  never leaves a torn object, plus a ``manifest.json`` index.
+
+Sampling queries additionally persist their **estimator state**
+(:data:`~repro.dist.sampling.ESTIMATOR_STATE_KIND` documents: Welford
+moments, P² sketches, draw counts) under the query's
+:meth:`~repro.api.query.Query.family_hash` in ``state/<hash[:2]>/``, so a
+repeat query with a larger ``samples`` budget resumes the stored
+estimators instead of restarting (see ``docs/service.md``).
+
+Metrics (``REPRO_OBS=on``): ``service.store.l1_hits`` /
+``service.store.l2_hits`` / ``service.store.misses`` count lookups by the
+tier that answered; ``service.store.objects`` gauges the persisted count.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Mapping, Optional, Union
+
+from repro.api.session import _LruCache
+from repro.errors import ConfigurationError
+from repro.obs import metrics as _metrics
+from repro.utils.io import atomic_write_json
+
+#: Document tag and schema version of ``manifest.json``.
+MANIFEST_KIND = "repro-store-manifest"
+MANIFEST_VERSION = 1
+
+#: Document tag and schema version of the per-family estimator-state files.
+STATE_KIND = "repro-store-state"
+STATE_VERSION = 1
+
+#: Default bound on the L1 tier (documents, not bytes).
+DEFAULT_L1_LIMIT = 128
+
+
+def _check_digest(digest: str) -> str:
+    """Reject anything that is not a lowercase hex SHA-256 digest.
+
+    The digest becomes a path component, so this is also the traversal
+    guard for hashes arriving over HTTP (``GET /v1/result/<hash>``).
+    """
+    if (
+        not isinstance(digest, str)
+        or len(digest) != 64
+        or any(ch not in "0123456789abcdef" for ch in digest)
+    ):
+        raise ConfigurationError(f"not a canonical query hash: {digest!r}")
+    return digest
+
+
+class ResultStore:
+    """Content-addressed persistence of ``repro-result`` documents.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the store (created on first write).  Layout::
+
+            root/
+              manifest.json                    # index of stored objects
+              objects/<hash[:2]>/<hash>.json   # repro-result documents
+              state/<hash[:2]>/<hash>.json     # per-family estimator state
+
+    l1_limit:
+        Bound on the in-process L1 document cache.
+    """
+
+    def __init__(self, root: Union[str, Path], l1_limit: int = DEFAULT_L1_LIMIT) -> None:
+        self.root = Path(root)
+        self.objects_dir = self.root / "objects"
+        self.state_dir = self.root / "state"
+        self.manifest_path = self.root / "manifest.json"
+        self._l1 = _LruCache(l1_limit)
+        self._manifest: Optional[dict] = None
+
+    # ------------------------------------------------------------------
+    # paths
+    # ------------------------------------------------------------------
+    def object_path(self, digest: str) -> Path:
+        """The sharded on-disk location of one stored result document."""
+        digest = _check_digest(digest)
+        return self.objects_dir / digest[:2] / f"{digest}.json"
+
+    def state_path(self, family: str) -> Path:
+        """The sharded on-disk location of one family's estimator state."""
+        family = _check_digest(family)
+        return self.state_dir / family[:2] / f"{family}.json"
+
+    # ------------------------------------------------------------------
+    # the manifest
+    # ------------------------------------------------------------------
+    def manifest(self) -> dict:
+        """The store's index document (loaded lazily, empty when absent)."""
+        if self._manifest is None:
+            if self.manifest_path.exists():
+                with open(self.manifest_path, "r", encoding="utf-8") as handle:
+                    document = json.load(handle)
+                if document.get("kind") != MANIFEST_KIND:
+                    raise ConfigurationError(
+                        f"not a store manifest: kind={document.get('kind')!r} "
+                        f"at {self.manifest_path}"
+                    )
+                if document.get("version") != MANIFEST_VERSION:
+                    raise ConfigurationError(
+                        f"unsupported store manifest version "
+                        f"{document.get('version')!r} at {self.manifest_path}"
+                    )
+                self._manifest = document
+            else:
+                self._manifest = {
+                    "kind": MANIFEST_KIND,
+                    "version": MANIFEST_VERSION,
+                    "entries": {},
+                }
+        return self._manifest
+
+    def _save_manifest(self) -> None:
+        atomic_write_json(self.manifest_path, self.manifest())
+
+    # ------------------------------------------------------------------
+    # result documents
+    # ------------------------------------------------------------------
+    def get(self, digest: str) -> tuple[Optional[dict], str]:
+        """Look one document up; returns ``(document, tier)``.
+
+        ``tier`` is ``"l1"`` or ``"l2"`` on a hit and ``"miss"`` otherwise
+        (document ``None``).  An L2 hit promotes the document into L1.
+        """
+        digest = _check_digest(digest)
+        document = self._l1.get(digest)
+        if document is not None:
+            _metrics.add("service.store.l1_hits")
+            return document, "l1"
+        path = self.object_path(digest)
+        if path.exists():
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+            self._l1.put(digest, document)
+            _metrics.add("service.store.l2_hits")
+            return document, "l2"
+        _metrics.add("service.store.misses")
+        return None, "miss"
+
+    def put(self, digest: str, document: Mapping, meta: Optional[Mapping] = None) -> Path:
+        """Persist one result document under its content address.
+
+        Writes the sharded object atomically, records it in the manifest
+        (``meta`` — e.g. the producing query's mode — travels with the
+        entry) and seeds the L1 tier.  Returns the object path.
+        """
+        digest = _check_digest(digest)
+        path = self.object_path(digest)
+        atomic_write_json(path, dict(document))
+        self._l1.put(digest, dict(document))
+        entries = self.manifest()["entries"]
+        entry = {"path": str(path.relative_to(self.root))}
+        if meta:
+            entry.update(dict(meta))
+        entries[digest] = entry
+        self._save_manifest()
+        _metrics.add("service.store.writes")
+        _metrics.set_gauge("service.store.objects", len(entries))
+        return path
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._l1 or self.object_path(digest).exists()
+
+    def __len__(self) -> int:
+        return len(self.manifest()["entries"])
+
+    # ------------------------------------------------------------------
+    # estimator state (the resume path)
+    # ------------------------------------------------------------------
+    def get_state(self, family: str) -> Optional[dict]:
+        """The stored estimator-state document of one query family, if any."""
+        path = self.state_path(family)
+        if not path.exists():
+            return None
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        if document.get("kind") != STATE_KIND or document.get("version") != STATE_VERSION:
+            return None
+        return document
+
+    def put_state(self, family: str, samples: int, states: Mapping) -> Optional[Path]:
+        """Persist one family's estimator states at budget ``samples``.
+
+        ``states`` maps cell keys (``topology|n|algorithm``) to
+        :data:`~repro.dist.sampling.ESTIMATOR_STATE_KIND` documents.  The
+        write is *monotone*: a state drawn under a smaller budget never
+        overwrites one drawn under a larger budget (resume always continues
+        the furthest estimate), in which case ``None`` is returned.
+        """
+        family = _check_digest(family)
+        existing = self.get_state(family)
+        if existing is not None and int(existing.get("samples", 0)) >= samples:
+            return None
+        path = self.state_path(family)
+        atomic_write_json(
+            path,
+            {
+                "kind": STATE_KIND,
+                "version": STATE_VERSION,
+                "family": family,
+                "samples": samples,
+                "states": dict(states),
+            },
+        )
+        _metrics.add("service.store.state_writes")
+        return path
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """JSON-friendly store statistics (the ``/v1/healthz`` payload)."""
+        return {
+            "root": str(self.root),
+            "objects": len(self),
+            "l1": {
+                "entries": len(self._l1),
+                "limit": self._l1.limit,
+                "hits": self._l1.hits,
+                "misses": self._l1.misses,
+                "evictions": self._l1.evictions,
+            },
+        }

@@ -1,0 +1,51 @@
+"""Crash-safe file writes.
+
+Every JSON artifact the library persists — ``repro-result`` documents,
+campaign row dumps, the service's content-addressed store objects and its
+manifest — goes through :func:`atomic_write_text`: the content is written to
+a temporary sibling file and moved into place with :func:`os.replace`, which
+is atomic on POSIX and Windows.  An interrupted run therefore never leaves a
+truncated document at the destination path: readers observe either the old
+content or the new content, nothing in between.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Union
+
+
+def atomic_write_text(path: Union[str, Path], text: str, encoding: str = "utf-8") -> None:
+    """Write ``text`` to ``path`` via a temporary file and :func:`os.replace`.
+
+    The temporary file lives in the destination directory (``os.replace``
+    must not cross filesystems) and is cleaned up on any write failure, so a
+    crash mid-write leaves the destination untouched and no stray temp file
+    behind on the happy path.
+    """
+    path = Path(path)
+    directory = path.parent
+    if directory and not directory.exists():
+        directory.mkdir(parents=True, exist_ok=True)
+    descriptor, temp_name = tempfile.mkstemp(
+        prefix=path.name + ".", suffix=".tmp", dir=str(directory) or None
+    )
+    try:
+        with os.fdopen(descriptor, "w", encoding=encoding) as handle:
+            handle.write(text)
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_json(path: Union[str, Path], document) -> None:
+    """Serialise ``document`` as indented, key-sorted JSON and write atomically."""
+    import json
+
+    atomic_write_text(path, json.dumps(document, indent=2, sort_keys=True) + "\n")

@@ -1,0 +1,28 @@
+"""Shared fixtures of the service tests: obs isolation + throwaway stores."""
+
+import pytest
+
+from repro.obs import metrics, spans
+from repro.service import QueryService
+
+
+@pytest.fixture(autouse=True)
+def _obs_isolation():
+    """Restore the process-global obs switch and registries around every test."""
+    state = spans._state
+    yield
+    spans._state = state
+    spans.reset_spans()
+    metrics.reset_metrics()
+
+
+@pytest.fixture
+def store_root(tmp_path):
+    """A throwaway store directory."""
+    return tmp_path / "store"
+
+
+@pytest.fixture
+def service(store_root):
+    """A fresh single-process service over a throwaway store."""
+    return QueryService(root=store_root)

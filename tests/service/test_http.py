@@ -1,0 +1,176 @@
+"""The HTTP front door, end to end over a live (threaded) server."""
+
+import json
+import subprocess
+import sys
+import urllib.error
+import urllib.request
+from threading import Thread
+
+import pytest
+
+from repro.api import Query
+from repro.obs import enable, metrics_snapshot, reset_metrics
+from repro.service import make_server
+
+SWEEP = {
+    "kind": "repro-query",
+    "version": 1,
+    "mode": "sweep",
+    "topologies": ["cycle"],
+    "sizes": [6],
+    "algorithms": ["largest-id"],
+    "adversaries": ["branch-and-bound"],
+}
+
+SAMPLED = {
+    "kind": "repro-query",
+    "version": 1,
+    "mode": "distribution",
+    "topologies": ["cycle"],
+    "sizes": [10],
+    "algorithms": ["greedy-mis"],
+    "methods": ["sample"],
+    "samples": 24,
+    "seed": 5,
+}
+
+
+@pytest.fixture
+def server(store_root):
+    instance = make_server(root=store_root)
+    thread = Thread(target=instance.serve_forever, daemon=True)
+    thread.start()
+    yield instance
+    instance.shutdown()
+    instance.server_close()
+    thread.join(timeout=5)
+
+
+def _post(url: str, document: dict):
+    request = urllib.request.Request(
+        url, data=json.dumps(document).encode(), headers={"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(request) as response:
+        return json.load(response), dict(response.headers)
+
+
+def test_healthz(server):
+    with urllib.request.urlopen(f"{server.url}/v1/healthz") as response:
+        payload = json.load(response)
+    assert payload["status"] == "ok"
+    assert "store" in payload
+
+
+def test_post_query_miss_then_hit_bit_identical(server):
+    first, headers1 = _post(f"{server.url}/v1/query", SWEEP)
+    second, headers2 = _post(f"{server.url}/v1/query", SWEEP)
+    assert headers1["X-Repro-Cache"] == "miss"
+    assert headers2["X-Repro-Cache"] == "hit"
+    assert headers1["X-Repro-Hash"] == headers2["X-Repro-Hash"]
+    assert first["kind"] == "repro-result" and first["version"] == 1
+    assert json.dumps(first, sort_keys=True) == json.dumps(second, sort_keys=True)
+
+
+def test_second_post_recomputes_nothing(server):
+    """The acceptance check: a store hit leaves every compute counter flat."""
+    enable()
+    reset_metrics()
+    _post(f"{server.url}/v1/query", SAMPLED)  # cold: kernel counters move
+    before = metrics_snapshot()["counters"]
+    assert before.get("kernel.batches", 0) > 0
+    assert before.get("kernel.rows", 0) > 0
+    _, headers = _post(f"{server.url}/v1/query", SAMPLED)
+    after = metrics_snapshot()["counters"]
+    assert headers["X-Repro-Cache"] == "hit"
+    for name in ("kernel.batches", "kernel.rows", "engine.runs"):
+        assert after.get(name, 0) == before.get(name, 0), name
+    assert after["service.cache.l1_hits"] == before.get("service.cache.l1_hits", 0) + 1
+
+
+def test_get_result_by_hash(server):
+    document, headers = _post(f"{server.url}/v1/query", SWEEP)
+    digest = headers["X-Repro-Hash"]
+    assert digest == Query.from_dict(SWEEP).canonical_hash()
+    with urllib.request.urlopen(f"{server.url}/v1/result/{digest}") as response:
+        assert json.load(response) == document
+
+
+def test_get_missing_result_404(server):
+    with pytest.raises(urllib.error.HTTPError) as info:
+        urllib.request.urlopen(f"{server.url}/v1/result/{'0' * 64}")
+    assert info.value.code == 404
+
+
+def test_get_malformed_hash_400(server):
+    with pytest.raises(urllib.error.HTTPError) as info:
+        urllib.request.urlopen(f"{server.url}/v1/result/not-a-hash")
+    assert info.value.code == 400
+
+
+def test_post_invalid_json_400(server):
+    request = urllib.request.Request(f"{server.url}/v1/query", data=b"{nope")
+    with pytest.raises(urllib.error.HTTPError) as info:
+        urllib.request.urlopen(request)
+    assert info.value.code == 400
+
+
+def test_post_unknown_field_400(server):
+    bad = dict(SWEEP, cromulence=3)
+    request = urllib.request.Request(f"{server.url}/v1/query", data=json.dumps(bad).encode())
+    with pytest.raises(urllib.error.HTTPError) as info:
+        urllib.request.urlopen(request)
+    assert info.value.code == 400
+    assert "cromulence" in json.load(info.value)["error"]
+
+
+def test_unknown_path_404(server):
+    with pytest.raises(urllib.error.HTTPError) as info:
+        urllib.request.urlopen(f"{server.url}/v1/nope")
+    assert info.value.code == 404
+
+
+def test_streamed_query_sends_progress_then_result(server):
+    request = urllib.request.Request(
+        f"{server.url}/v1/query?stream=1", data=json.dumps(SAMPLED).encode()
+    )
+    with urllib.request.urlopen(request) as response:
+        assert response.headers["Content-Type"] == "application/x-ndjson"
+        events = [json.loads(line) for line in response.read().decode().strip().splitlines()]
+    kinds = [event["type"] for event in events]
+    assert kinds[-1] == "result"
+    assert kinds.count("progress") >= 2
+    errors = [
+        event["cells"][0]["std_error"] for event in events if event["type"] == "progress"
+    ]
+    assert errors[-1] < errors[0]
+    # The streamed final document equals the plain-POST answer (a store hit now).
+    document, headers = _post(f"{server.url}/v1/query", SAMPLED)
+    assert headers["X-Repro-Cache"] == "hit"
+    assert document == events[-1]["document"]
+
+
+def test_store_survives_a_process_restart(server, store_root):
+    """The acceptance check: a hit across a *fresh subprocess* on the store."""
+    document, headers = _post(f"{server.url}/v1/query", SWEEP)
+    digest = headers["X-Repro-Hash"]
+    script = (
+        "import json, sys\n"
+        "from repro.api import Query\n"
+        "from repro.service import QueryService\n"
+        "service = QueryService(root=sys.argv[1])\n"
+        "query = Query.from_dict(json.loads(sys.argv[2]))\n"
+        "outcome = service.execute(query)\n"
+        "print(json.dumps({'tier': outcome.tier, 'digest': outcome.digest,\n"
+        "                  'document': outcome.document}))\n"
+    )
+    completed = subprocess.run(
+        [sys.executable, "-c", script, str(store_root), json.dumps(SWEEP)],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    answer = json.loads(completed.stdout)
+    assert answer["tier"] == "l2"
+    assert answer["digest"] == digest
+    assert answer["document"] == document

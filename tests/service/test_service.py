@@ -1,0 +1,179 @@
+"""QueryService: cache tiers, resume semantics, crash recovery, dispatch."""
+
+import json
+
+from repro.api import Query, Session
+from repro.api.results import strip_volatile
+from repro.service import QueryService
+from repro.service.workers import pending_jobs, write_job
+
+EXACT = Query(
+    mode="sweep",
+    topologies="cycle",
+    sizes=(6, 8),
+    algorithms="largest-id",
+    adversaries="branch-and-bound",
+    measure="average",
+)
+
+SAMPLED = Query(
+    mode="distribution",
+    topologies="cycle",
+    sizes=12,
+    algorithms="greedy-mis",
+    methods="sample",
+    samples=16,
+    seed=3,
+)
+
+
+def test_exact_query_miss_then_hit_bit_identical(service):
+    first = service.execute(EXACT)
+    second = service.execute(EXACT)
+    assert first.tier == "miss" and first.cached == "miss"
+    assert second.tier == "l1" and second.cached == "hit"
+    # The stored document is returned verbatim: bit-identical.
+    assert json.dumps(first.document, sort_keys=True) == json.dumps(
+        second.document, sort_keys=True
+    )
+    assert first.document["kind"] == "repro-result"
+
+
+def test_store_survives_service_restart(service, store_root):
+    first = service.execute(EXACT)
+    fresh = QueryService(root=store_root)
+    again = fresh.execute(EXACT)
+    assert again.tier == "l2"
+    assert again.document == first.document
+
+
+def test_semantically_equal_spellings_share_the_store_entry(service):
+    scalar = Query(mode="sweep", topologies="cycle", sizes=6, adversaries="branch-and-bound")
+    tupled = Query(mode="sweep", topologies=("cycle",), sizes=(6,), adversaries=("branch-and-bound",))
+    assert service.execute(scalar).tier == "miss"
+    assert service.execute(tupled).tier == "l1"
+
+
+def test_sampling_resume_matches_fresh_combined_run(service, tmp_path):
+    small = service.execute(SAMPLED)
+    assert small.tier == "miss"
+    larger = SAMPLED.with_changes(samples=48)
+    resumed = service.execute(larger)
+    assert resumed.tier == "resume"
+    # Total draws are the combined budget...
+    assert all(row["samples"] == 48 for row in resumed.document["rows"])
+    # ... and the estimate is bit-for-bit the fresh single-run answer.
+    fresh = QueryService(root=tmp_path / "fresh").execute(larger)
+    assert strip_volatile(resumed.document["rows"]) == strip_volatile(
+        fresh.document["rows"]
+    )
+    assert resumed.document["measures"] == fresh.document["measures"]
+
+
+def test_resume_is_chainable(service, tmp_path):
+    service.execute(SAMPLED)
+    service.execute(SAMPLED.with_changes(samples=32))
+    final = service.execute(SAMPLED.with_changes(samples=64))
+    assert final.tier == "resume"
+    fresh = QueryService(root=tmp_path / "fresh").execute(SAMPLED.with_changes(samples=64))
+    assert strip_volatile(final.document["rows"]) == strip_volatile(fresh.document["rows"])
+
+
+def test_smaller_budget_after_larger_computes_cold(service):
+    service.execute(SAMPLED.with_changes(samples=48))
+    smaller = service.execute(SAMPLED)  # 16 < 48: estimators cannot run backwards
+    assert smaller.tier == "miss"
+
+
+def test_worker_count_is_volatile_for_the_family_but_not_the_hash(service):
+    service.execute(SAMPLED)
+    other_workers = SAMPLED.with_changes(samples=48, workers=2)
+    # Different canonical hash (workers differs) but the same family: resume.
+    assert other_workers.canonical_hash() != SAMPLED.canonical_hash()
+    assert other_workers.family_hash() == SAMPLED.family_hash()
+    assert service.execute(other_workers).tier == "resume"
+
+
+def test_execute_many_fans_out_and_preserves_order(service):
+    queries = [
+        EXACT.to_dict(),
+        Query(mode="simulate", topologies="cycle", sizes=16).to_dict(),
+        EXACT.to_dict(),
+    ]
+    outcomes = service.execute_many(queries)
+    assert [outcome.tier for outcome in outcomes] == ["miss", "miss", "l1"]
+    assert outcomes[0].document == outcomes[2].document
+    assert outcomes[1].document["mode"] == "simulate"
+
+
+def test_execute_many_multiprocess_matches_serial(tmp_path):
+    serial = QueryService(root=tmp_path / "serial")
+    parallel = QueryService(root=tmp_path / "parallel", max_parallel=2)
+    documents = [
+        Query(mode="simulate", topologies="cycle", sizes=16).to_dict(),
+        Query(mode="simulate", topologies="path", sizes=16).to_dict(),
+    ]
+    rows_serial = [o.document["rows"] for o in serial.execute_many(documents)]
+    rows_parallel = [o.document["rows"] for o in parallel.execute_many(documents)]
+    for left, right in zip(rows_serial, rows_parallel):
+        assert strip_volatile(left) == strip_volatile(right)
+
+
+def test_recover_reruns_abandoned_jobs(service, store_root):
+    # Simulate a crash: a job file exists, but no result reached the store.
+    digest = EXACT.canonical_hash()
+    write_job(service.config, digest, EXACT.to_dict())
+    assert pending_jobs(service.config)
+    recovered = QueryService(root=store_root)
+    assert recovered.recover() == [digest]
+    assert not pending_jobs(recovered.config)
+    # The recovered result now serves as a store hit.
+    assert recovered.execute(EXACT).tier in ("l1", "l2")
+
+
+def test_jobs_clear_after_successful_compute(service):
+    service.execute(EXACT)
+    assert pending_jobs(service.config) == []
+
+
+def test_streaming_progress_tightens_and_final_matches(service, tmp_path):
+    query = SAMPLED.with_changes(samples=64)
+    events = list(service.execute_stream(query))
+    progress = [event for event in events if event["type"] == "progress"]
+    assert len(progress) >= 2
+    draws = [event["draws"] for event in progress]
+    assert draws == sorted(draws) and draws[-1] == 64
+    errors = [event["cells"][0]["std_error"] for event in progress]
+    assert errors[-1] < errors[0]  # the CI tightens as draws accumulate
+    for event in progress:
+        cell = event["cells"][0]
+        low, high = cell["ci95"]
+        assert low <= cell["mean"] <= high
+    final = events[-1]
+    assert final["type"] == "result" and final["cache"] == "miss"
+    fresh = QueryService(root=tmp_path / "fresh").execute(query)
+    assert strip_volatile(final["document"]["rows"]) == strip_volatile(
+        fresh.document["rows"]
+    )
+
+
+def test_streaming_persists_the_result_and_the_state(service):
+    query = SAMPLED.with_changes(samples=64)
+    list(service.execute_stream(query))
+    assert service.execute(query).tier == "l1"
+    # The streamed run's estimator state resumes a later, larger budget.
+    assert service.execute(query.with_changes(samples=96)).tier == "resume"
+
+
+def test_streaming_a_store_hit_emits_only_the_result(service):
+    service.execute(EXACT)
+    events = list(service.execute_stream(EXACT))
+    assert [event["type"] for event in events] == ["result"]
+    assert events[0]["cache"] == "hit"
+
+
+def test_shared_session_is_used(store_root):
+    session = Session()
+    service = QueryService(root=store_root, session=session)
+    service.execute(EXACT)
+    assert session.queries > 0

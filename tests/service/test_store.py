@@ -1,0 +1,98 @@
+"""The content-addressed result store: tiers, sharding, atomicity, states."""
+
+import json
+
+import pytest
+
+from repro.api import Query
+from repro.errors import ConfigurationError
+from repro.service import ResultStore
+
+DOC = {"kind": "repro-result", "version": 1, "mode": "sweep", "rows": []}
+
+
+def _digest(**fields) -> str:
+    return Query(**fields).canonical_hash()
+
+
+def test_miss_then_put_then_tiered_hits(store_root):
+    store = ResultStore(store_root)
+    digest = _digest(mode="sweep")
+    assert store.get(digest) == (None, "miss")
+    store.put(digest, DOC, meta={"mode": "sweep"})
+    document, tier = store.get(digest)
+    assert document == DOC and tier == "l1"
+    # A fresh instance over the same root has a cold L1: the disk answers.
+    fresh = ResultStore(store_root)
+    document, tier = fresh.get(digest)
+    assert document == DOC and tier == "l2"
+    # ... and the L2 hit promoted the document into L1.
+    assert fresh.get(digest)[1] == "l1"
+
+
+def test_objects_are_sharded_by_hash_prefix(store_root):
+    store = ResultStore(store_root)
+    digest = _digest(mode="sweep")
+    path = store.put(digest, DOC)
+    assert path.parent.name == digest[:2]
+    assert path.name == f"{digest}.json"
+    assert json.loads(path.read_text()) == DOC
+
+
+def test_manifest_records_entries(store_root):
+    store = ResultStore(store_root)
+    first, second = _digest(mode="sweep"), _digest(mode="simulate")
+    store.put(first, DOC, meta={"mode": "sweep"})
+    store.put(second, dict(DOC, mode="simulate"), meta={"mode": "simulate"})
+    manifest = json.loads((store_root / "manifest.json").read_text())
+    assert manifest["kind"] == "repro-store-manifest"
+    assert set(manifest["entries"]) == {first, second}
+    assert manifest["entries"][first]["mode"] == "sweep"
+    assert len(ResultStore(store_root)) == 2
+
+
+@pytest.mark.parametrize(
+    "bad",
+    ["", "abc", "../../etc/passwd", "Z" * 64, "0" * 63, "0" * 65, None, 7],
+)
+def test_digest_validation_rejects_non_hashes(store_root, bad):
+    store = ResultStore(store_root)
+    with pytest.raises(ConfigurationError):
+        store.get(bad)
+
+
+def test_l1_is_bounded(store_root):
+    store = ResultStore(store_root, l1_limit=2)
+    digests = [_digest(mode="simulate", seed=seed) for seed in range(3)]
+    for digest in digests:
+        store.put(digest, DOC)
+    assert store._l1.evictions == 1
+    # The evicted entry still answers from disk.
+    assert store.get(digests[0])[1] == "l2"
+
+
+def test_state_round_trip_and_monotonicity(store_root):
+    store = ResultStore(store_root)
+    family = Query(mode="distribution", methods="sample").family_hash()
+    assert store.get_state(family) is None
+    assert store.put_state(family, 32, {"cycle|8|largest-id": {"draws": 32}}) is not None
+    stored = store.get_state(family)
+    assert stored["samples"] == 32
+    assert stored["states"]["cycle|8|largest-id"]["draws"] == 32
+    # A smaller budget never overwrites a larger one.
+    assert store.put_state(family, 16, {"cycle|8|largest-id": {"draws": 16}}) is None
+    assert store.get_state(family)["samples"] == 32
+    # A larger one does.
+    assert store.put_state(family, 64, {"cycle|8|largest-id": {"draws": 64}}) is not None
+    assert store.get_state(family)["samples"] == 64
+
+
+def test_contains_and_stats(store_root):
+    store = ResultStore(store_root)
+    digest = _digest(mode="sweep")
+    assert digest not in store
+    store.put(digest, DOC)
+    assert digest in store
+    stats = store.stats()
+    assert stats["objects"] == 1
+    assert stats["l1"]["entries"] == 1

@@ -13,7 +13,7 @@ docs:
 
 ## the speedup benchmarks with their JSON artifacts, plus the micro suite
 bench:
-	REPRO_BENCH_WRITE=1 $(PYTHON) -m pytest -q benchmarks/test_bench_engine.py benchmarks/test_bench_search.py benchmarks/test_bench_dist.py benchmarks/test_bench_api.py benchmarks/test_bench_kernel.py benchmarks/test_bench_obs.py benchmarks/test_bench_scale.py benchmarks/test_bench_serve.py benchmarks/test_bench_micro.py
+	REPRO_BENCH_WRITE=1 $(PYTHON) -m pytest -q benchmarks/test_bench_engine.py benchmarks/test_bench_search.py benchmarks/test_bench_dist.py benchmarks/test_bench_api.py benchmarks/test_bench_kernel.py benchmarks/test_bench_obs.py benchmarks/test_bench_scale.py benchmarks/test_bench_parallel.py benchmarks/test_bench_serve.py benchmarks/test_bench_micro.py
 
 ## assert every committed BENCH_*.json speedup still meets its floor
 bench-floors:

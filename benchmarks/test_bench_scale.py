@@ -28,6 +28,8 @@ from pathlib import Path
 
 from bench_smoke import SMOKE, artifact_path, pick
 
+from repro.kernel.backend import numpy_available
+
 ARTIFACT_PATH = artifact_path("BENCH_scale.json")
 
 #: Full-mode sizes: the tentpole claim is the 10^6-node cycle end to end.
@@ -48,6 +50,14 @@ MIN_NODES_PER_S = pick(5_000.0, 2_000.0)
 #: Peak-RSS ceiling for the probe subprocess.  The acceptance bound: the
 #: 10^6-node cycle must sample end to end in well under 2 GiB.
 MAX_RSS_BYTES = 2 * 1024**3
+
+#: Scaling ratchet: every size's nodes/s relative to the smallest probed
+#: size.  The ring-scan rule removed the per-centre BFS log factor, so the
+#: rate must stay essentially flat as n grows — on the numpy backend the
+#: measured relative rate at 10^6 is ~3x (small sizes pay fixed startup),
+#: on the pure-python fallback ~0.63.  The floors below only trip when the
+#: rule's per-centre cost stops being size-independent again.
+MIN_REL_NODES_PER_S = pick(0.8 if numpy_available() else 0.45, 0.1)
 
 SEED = 20260808
 
@@ -107,6 +117,7 @@ def _write_artifact() -> None:
 
 def test_bench_scale_cycle_sizes():
     report_lines = []
+    entries = []
     for n in SIZES:
         probe = _probe_in_subprocess(n)
         assert probe["n"] == n and probe["samples"] == SAMPLES
@@ -123,12 +134,8 @@ def test_bench_scale_cycle_sizes():
             "max_mean": probe["max_mean"],
             "rule": probe["rule"],
         }
+        entries.append(entry)
         _RESULTS[f"scale_cycle_n{n}"] = entry
-        report_lines.append(
-            f"n={n}: {probe['nodes_per_s']:.0f} nodes/s, "
-            f"rss {probe['peak_rss_bytes'] / 1024**2:.0f} MiB, "
-            f"avg {probe['avg_mean']:.3f}, max {probe['max_mean']:.0f}"
-        )
         # The cycle's classic measure is its eccentricity: floor(n/2).
         assert probe["max_mean"] == n // 2
         assert probe["nodes_per_s"] >= MIN_NODES_PER_S, (
@@ -138,6 +145,24 @@ def test_bench_scale_cycle_sizes():
         assert probe["peak_rss_bytes"] <= MAX_RSS_BYTES, (
             f"n={n}: peak RSS {probe['peak_rss_bytes']} over "
             f"{MAX_RSS_BYTES} ceiling"
+        )
+    # The scaling ratchet: throughput relative to the smallest probed size
+    # must not collapse as n grows (the baseline gates trivially at 1.0).
+    baseline = entries[0]["nodes_per_s"]
+    for entry in entries:
+        entry["rel_nodes_per_s"] = entry["nodes_per_s"] / baseline
+        entry["min_rel_nodes_per_s"] = (
+            0.0 if entry is entries[0] else MIN_REL_NODES_PER_S
+        )
+        report_lines.append(
+            f"n={entry['n']}: {entry['nodes_per_s']:.0f} nodes/s "
+            f"(rel {entry['rel_nodes_per_s']:.2f}), "
+            f"rss {entry['peak_rss_bytes'] / 1024**2:.0f} MiB, "
+            f"avg {entry['avg_mean']:.3f}, max {entry['max_mean']:.0f}"
+        )
+        assert entry["rel_nodes_per_s"] >= entry["min_rel_nodes_per_s"], (
+            f"n={entry['n']}: relative rate {entry['rel_nodes_per_s']:.2f} "
+            f"below the {entry['min_rel_nodes_per_s']:.2f} scaling floor"
         )
     _write_artifact()
     print("\nscale path (cycle, largest-id, fresh subprocess per size):")

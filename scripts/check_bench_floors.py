@@ -68,6 +68,13 @@ GATED_RESULTS = {
         ("store_hit_vs_cold", True),
         ("store_hit_across_restart", True),
     ),
+    # The persistent worker runtime: repeated dispatch over the warm pool
+    # vs a fresh multiprocessing.Pool per call, and handle-based task
+    # messages vs inline-pickled CSR arrays (speedup = byte ratio).
+    "repro-bench-parallel": (
+        ("warm_pool_dispatch", True),
+        ("shm_fanout", True),
+    ),
 }
 
 #: kind -> ((measured key, bound key, direction), ...) for artifacts whose
@@ -78,6 +85,9 @@ GATED_METRICS = {
     "repro-bench-scale": (
         ("nodes_per_s", "min_nodes_per_s", ">="),
         ("peak_rss_bytes", "max_rss_bytes", "<="),
+        # The scaling ratchet: nodes/s relative to the smallest probed size
+        # (the baseline entry carries a trivial 0.0 floor).
+        ("rel_nodes_per_s", "min_rel_nodes_per_s", ">="),
     ),
 }
 

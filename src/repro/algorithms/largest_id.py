@@ -59,9 +59,15 @@ class LargestIdAlgorithm(BallAlgorithm):
         per-centre plans, just the streamed CSR adjacency — which is what
         lets the ``scale`` query mode sample this algorithm on 10^6-node
         topologies with bounded memory (see :mod:`repro.kernel.shard`).
+        On the cycle — the paper's own topology — the BFS specialises to a
+        whole-row vectorised ring sweep
+        (:class:`~repro.kernel.shard.RingScanScaleRule`), bit-identical but
+        without the per-centre ball walk.
         """
-        from repro.kernel.shard import MaxScanScaleRule
+        from repro.kernel.shard import MaxScanScaleRule, RingScanScaleRule
 
+        if csr.topology == "cycle":
+            return RingScanScaleRule(csr)
         return MaxScanScaleRule(csr)
 
 

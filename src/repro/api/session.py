@@ -134,6 +134,10 @@ class _LruCache:
             self._entries.popitem(last=False)
             self.evictions += 1
 
+    def pop(self, key) -> None:
+        """Drop one entry if present (external invalidation, e.g. store GC)."""
+        self._entries.pop(key, None)
+
 
 @dataclass(frozen=True)
 class SimulateCell:
@@ -650,34 +654,39 @@ class Session:
         cells = spec.cells()
         workers = self._workers_for(query)
         with _obs_span("api.query", mode="distribution", cells=len(cells)) as root:
-            if workers > 1 and len(cells) > 1:
-                rows = BatchExecutor(workers).map(
-                    run_dist_cell, [(spec, cell) for cell in cells]
+            rows = []
+            # Sampled cells go through the kernel as ONE cross-cell
+            # multi-instance batch (cells sharing a cached compiled
+            # instance merge into a single row stream); with workers > 1
+            # the batch fans out over the warm pool instead — same radii,
+            # same rows, bit-identical at any worker count.  The exact
+            # cells evaluate leaves inside their own search sessions
+            # (pooled per cell when parallel).
+            sampled = [cell for cell in cells if cell.method == "sample"]
+            exact = [cell for cell in cells if cell.method != "sample"]
+            if sampled:
+                rows.extend(
+                    dist_cell_rows_batched(
+                        spec,
+                        sampled,
+                        graph_for=lambda cell: self.graph(
+                            cell.topology, cell.n, cell.graph_seed
+                        ),
+                        algorithm_for=lambda cell, graph: self.ball_algorithm(
+                            cell.algorithm, graph.n
+                        ),
+                        kernel_for=self.kernel,
+                        workers=workers,
+                    )
+                )
+            if workers > 1 and len(exact) > 1:
+                rows.extend(
+                    BatchExecutor(workers).map(
+                        run_dist_cell, [(spec, cell) for cell in exact]
+                    )
                 )
             else:
-                rows = []
-                # Sampled cells go through the kernel as ONE cross-cell
-                # multi-instance batch (cells sharing a cached compiled
-                # instance merge into a single row stream); the exact cells
-                # evaluate leaves inside their own search sessions.
-                sampled = [cell for cell in cells if cell.method == "sample"]
-                if sampled:
-                    rows.extend(
-                        dist_cell_rows_batched(
-                            spec,
-                            sampled,
-                            graph_for=lambda cell: self.graph(
-                                cell.topology, cell.n, cell.graph_seed
-                            ),
-                            algorithm_for=lambda cell, graph: self.ball_algorithm(
-                                cell.algorithm, graph.n
-                            ),
-                            kernel_for=self.kernel,
-                        )
-                    )
-                for cell in cells:
-                    if cell.method == "sample":
-                        continue
+                for cell in exact:
                     graph = self.graph(cell.topology, cell.n, cell.graph_seed)
                     algorithm = self.ball_algorithm(cell.algorithm, graph.n)
                     rows.append(dist_cell_row(spec, cell, graph, algorithm))

@@ -187,7 +187,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     search_parser.add_argument("--seed", type=int, default=0)
     search_parser.add_argument(
-        "--workers", type=int, default=1, help="worker processes (portfolio only)"
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes, portfolio only (default: REPRO_WORKERS, then 1)",
     )
 
     sweep_parser = commands.add_parser(
@@ -223,7 +226,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_parser.add_argument("--seed", type=int, default=0)
     sweep_parser.add_argument(
-        "--workers", type=int, default=1, help="worker processes for the cell grid"
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the cell grid (default: REPRO_WORKERS, then 1)",
     )
     sweep_parser.add_argument(
         "--output", default=None, help="write the result rows to this JSON file"
@@ -256,7 +262,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     dist_parser.add_argument("--seed", type=int, default=0)
     dist_parser.add_argument(
-        "--workers", type=int, default=1, help="worker processes for the cell grid"
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the cell grid (default: REPRO_WORKERS, then 1)",
     )
     dist_parser.add_argument(
         "--plot",
@@ -292,7 +301,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scale_parser.add_argument("--seed", type=int, default=0)
     scale_parser.add_argument(
-        "--workers", type=int, default=1, help="worker processes for the shards"
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the shards (default: REPRO_WORKERS, then 1)",
     )
     scale_parser.add_argument(
         "--row-block", type=int, default=4, help="sampled rows per sharded task"
@@ -356,8 +368,22 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--max-parallel",
         type=int,
-        default=1,
-        help="worker processes for queued cold queries",
+        default=None,
+        help="worker processes for queued cold queries "
+        "(default: REPRO_WORKERS, then 1)",
+    )
+    serve_parser.add_argument(
+        "--store-max-objects",
+        type=int,
+        default=None,
+        help="LRU-evict stored results beyond this count (default: unbounded)",
+    )
+    serve_parser.add_argument(
+        "--store-max-bytes",
+        type=int,
+        default=None,
+        help="LRU-evict stored results beyond this many on-disk bytes "
+        "(default: unbounded)",
     )
     serve_parser.add_argument(
         "--quiet", action="store_true", help="suppress per-request access logging"
@@ -449,7 +475,7 @@ def _cmd_search(args: argparse.Namespace, session: Session) -> int:
             adversaries=args.adversary,
             measure=args.objective,
             seed=args.seed,
-            workers=args.workers,
+            workers=_resolve_workers_flag(args.workers),
         )
     )
     row = result.rows[0]
@@ -467,6 +493,13 @@ def _cmd_search(args: argparse.Namespace, session: Session) -> int:
         print(f"certificate      : {row['certificate']}")
     print(format_timing(result))
     return 0
+
+
+def _resolve_workers_flag(value):
+    """CLI worker-count precedence: explicit flag > ``REPRO_WORKERS`` > 1."""
+    from repro.engine.pool import resolve_workers
+
+    return resolve_workers(value, fallback=1)
 
 
 def _parse_csv(raw: str) -> tuple[str, ...]:
@@ -492,7 +525,7 @@ def _cmd_sweep(args: argparse.Namespace, session: Session) -> int:
             seed=args.seed,
             samples=args.samples,
             restarts=args.restarts,
-            workers=args.workers,
+            workers=_resolve_workers_flag(args.workers),
         )
     )
     print(result.table())
@@ -515,7 +548,7 @@ def _cmd_dist(args: argparse.Namespace, session: Session) -> int:
             methods=_parse_csv(args.methods),
             seed=args.seed,
             samples=args.samples,
-            workers=args.workers,
+            workers=_resolve_workers_flag(args.workers),
         )
     )
     rows = result.rows
@@ -563,7 +596,7 @@ def _cmd_scale(args: argparse.Namespace, session: Session) -> int:
             algorithms=args.algorithm,
             seed=args.seed,
             samples=args.samples,
-            workers=args.workers,
+            workers=_resolve_workers_flag(args.workers),
             row_block=args.row_block,
             center_chunk=args.center_chunk,
         )
@@ -664,8 +697,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             host=args.host,
             port=args.port,
             root=args.store,
-            max_parallel=args.max_parallel,
+            max_parallel=_resolve_workers_flag(args.max_parallel),
             quiet=args.quiet,
+            store_max_objects=args.store_max_objects,
+            store_max_bytes=args.store_max_bytes,
         )
     session = Session()
     if args.command == "simulate":

@@ -2,9 +2,12 @@
 
 Sweeps over identifier assignments, graphs and campaign cells are
 embarrassingly parallel: every task is a pure function of its inputs.
-:class:`BatchExecutor` shards such tasks over a ``multiprocessing`` pool and
-returns results **in submission order**, so parallel runs are bit-identical
-to serial ones.
+:class:`BatchExecutor` shards such tasks over the process-wide **warm
+worker pool** (:mod:`repro.engine.pool`) and returns results **in
+submission order**, so parallel runs are bit-identical to serial ones.
+The pool's workers persist across ``.map()`` calls — repeated dispatch
+pays no pool start-up — and its shared-memory transport and worker-side
+caches are available to callers that pass large buffers.
 
 Determinism across workers is preserved by *per-task seeding*: any task that
 needs randomness derives its seed with :func:`derive_task_seed`, a stable
@@ -20,11 +23,10 @@ process pays the per-graph precomputation once per shard, not once per task.
 from __future__ import annotations
 
 import hashlib
-import multiprocessing
-import os
 from typing import TYPE_CHECKING, Callable, Optional, Sequence, TypeVar
 
 from repro.engine.cache import DecisionCache
+from repro.engine.pool import WorkerPool, get_pool, in_worker, resolve_workers
 from repro.engine.frontier import FrontierRunner
 from repro.model.graph import Graph
 from repro.model.identifiers import IdentifierAssignment
@@ -51,32 +53,48 @@ def derive_task_seed(base_seed: int, *coordinates: object) -> int:
 
 
 class BatchExecutor:
-    """Run picklable tasks across a process pool, preserving order.
+    """Run picklable tasks across the warm process pool, preserving order.
 
     Parameters
     ----------
     workers:
-        Number of worker processes.  ``None`` uses the CPU count; ``1`` (or
-        fewer tasks than two) runs serially in-process, which keeps small
-        jobs free of pool start-up cost and makes the executor safe to use
-        unconditionally.
+        Number of worker processes.  ``None`` resolves through
+        :func:`repro.engine.pool.resolve_workers` (the ``REPRO_WORKERS``
+        environment override, then the CPU count); ``1`` (or fewer tasks
+        than two) runs serially in-process, which keeps small jobs free of
+        dispatch cost and makes the executor safe to use unconditionally.
+        Inside a pool worker the executor always runs serially, so nested
+        fan-out cannot fork from a daemon process.
     """
 
     def __init__(self, workers: Optional[int] = None) -> None:
-        if workers is None:
-            workers = os.cpu_count() or 1
-        if workers < 1:
+        if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
-        self.workers = workers
+        self.workers = resolve_workers(workers)
 
-    def map(self, fn: Callable[[T], R], payloads: Sequence[T]) -> list[R]:
-        """Apply ``fn`` to every payload, in order; fan out when worthwhile."""
+    @property
+    def pool(self) -> Optional[WorkerPool]:
+        """The warm pool this executor dispatches through (``None`` serial)."""
+        if self.workers == 1 or in_worker():
+            return None
+        return get_pool(self.workers)
+
+    def map(
+        self,
+        fn: Callable[[T], R],
+        payloads: Sequence[T],
+        keys: Optional[Sequence] = None,
+    ) -> list[R]:
+        """Apply ``fn`` to every payload, in order; fan out when worthwhile.
+
+        ``keys`` (optional) gives per-task affinity hints: tasks sharing a
+        key run on the same worker so its caches are reused (see
+        :meth:`repro.engine.pool.WorkerPool.map`).
+        """
         payloads = list(payloads)
-        if self.workers == 1 or len(payloads) <= 1:
+        if self.workers == 1 or len(payloads) <= 1 or in_worker():
             return [fn(payload) for payload in payloads]
-        processes = min(self.workers, len(payloads))
-        with multiprocessing.get_context().Pool(processes=processes) as pool:
-            return pool.map(fn, payloads)
+        return get_pool(self.workers).map(fn, payloads, keys=keys)
 
 
 def simulate_shard(

@@ -20,10 +20,12 @@ from __future__ import annotations
 
 import itertools
 import time
+from array import array
 from dataclasses import dataclass
 from typing import Any, Callable, Optional, Sequence
 
 from repro.engine.batch import BatchExecutor, derive_task_seed
+from repro.engine.pool import fetch_memoryview, worker_cache
 from repro.errors import ConfigurationError
 from repro.model.graph import Graph
 from repro.obs.spans import span as _obs_span
@@ -586,6 +588,7 @@ def dist_cell_rows_batched(
     graph_for: Callable[[DistCell], Graph],
     algorithm_for: Callable[[DistCell, Graph], Any],
     kernel_for: Callable[[Graph, Any], Any],
+    workers: int = 1,
 ) -> list[dict]:
     """Evaluate a grid's *sampled* cells as one cross-cell kernel submission.
 
@@ -598,6 +601,14 @@ def dist_cell_rows_batched(
     for the same seed.  Rows are identical to :func:`dist_cell_row` apart
     from timing: a cell's ``wall_time_s`` is its own fold time plus its
     row-count share of the shared kernel call.
+
+    With ``workers > 1`` the per-cell simulations fan out over the warm
+    :mod:`~repro.engine.pool` instead: each cell's ID matrix is published
+    into shared memory (inline fallback when unavailable), workers
+    reconstruct and cache the graph/kernel per cell family, and affinity
+    keys pin a family's cells to one worker.  The radii — and therefore the
+    folded rows — are bit-identical to the serial batch at any worker
+    count; only the wall-time attribution differs.
 
     ``graph_for`` / ``algorithm_for`` / ``kernel_for`` resolve per-cell
     objects, so the session layer can pass its caches.  Exact cells are
@@ -622,12 +633,16 @@ def dist_cell_rows_batched(
         return []
     total_rows = sum(len(rows) for _, _, _, rows in prepared)
     batch_started = time.perf_counter()
-    radii_blocks = simulate_many(
-        [
-            BatchRequest(kernel, rows, pre_validated=True)
-            for _, _, kernel, rows in prepared
-        ]
-    )
+    executor = BatchExecutor(workers) if workers and workers > 1 else None
+    if executor is not None and len(prepared) > 1 and executor.pool is not None:
+        radii_blocks = _simulate_cells_pooled(executor, prepared)
+    else:
+        radii_blocks = simulate_many(
+            [
+                BatchRequest(kernel, rows, pre_validated=True)
+                for _, _, kernel, rows in prepared
+            ]
+        )
     batch_elapsed = time.perf_counter() - batch_started
     out = []
     for (cell, graph, kernel, rows), radii in zip(prepared, radii_blocks):
@@ -659,6 +674,96 @@ def dist_cell_rows_batched(
             )
         )
     return out
+
+
+def _simulate_cells_pooled(executor: BatchExecutor, prepared: Sequence[tuple]) -> list:
+    """Fan per-cell simulations out over the warm pool; radii in cell order.
+
+    Each cell's ID matrix is published once into shared memory and shipped
+    as a handle (inline rows when shared memory is unavailable); tasks of
+    the same ``(topology, n, graph_seed, algorithm)`` family share an
+    affinity key so the worker that compiled that family's kernel serves
+    all of them.
+    """
+    pool = executor.pool
+    payloads = []
+    keys = []
+    pinned = []
+    for cell, graph, _, rows in prepared:
+        rows_field: Any = tuple(rows)
+        if pool is not None:
+            flat = array("q")
+            for row in rows:
+                flat.extend(row)
+            ref = pool.publish(flat)
+            if ref is not None:
+                pinned.append(ref)
+                rows_field = ("rows-ref", 0, len(rows), graph.n, ref)
+        payloads.append(
+            (
+                cell.topology,
+                cell.n,
+                cell.graph_seed,
+                cell.algorithm,
+                cell.samples,
+                cell.seed,
+                rows_field,
+            )
+        )
+        keys.append((cell.topology, cell.n, cell.graph_seed, cell.algorithm))
+    try:
+        return executor.map(run_dist_simulate, payloads, keys=keys)
+    finally:
+        for ref in pinned:
+            pool.release(ref)
+
+
+def run_dist_simulate(payload: tuple) -> list:
+    """Worker entry point: simulate one sampled cell's draw stream.
+
+    The payload carries the cell's family coordinates plus its ID matrix
+    (a shared-memory handle or inline rows); the reconstructed graph and
+    compiled kernel are cached per worker via
+    :func:`repro.engine.pool.worker_cache`, and a vanished shared segment
+    degrades to re-drawing the rows from the cell's seed — every path
+    yields the same radii.
+    """
+    from repro.kernel.compile import BatchRequest, compile_instance, simulate_many
+
+    topology, n, graph_seed, algorithm_name, samples, seed, rows_field = payload
+    graph = worker_cache(
+        "dist.graph",
+        (topology, n, graph_seed),
+        lambda: build_topology(topology, n, graph_seed),
+    )
+    kernel = worker_cache(
+        "dist.kernel",
+        (topology, n, graph_seed, algorithm_name),
+        lambda: compile_instance(
+            graph, make_ball_algorithm(algorithm_name, graph.n), validate=False
+        ),
+    )
+    rows = _dist_rows_from_field(rows_field, graph.n, samples, seed)
+    return simulate_many([BatchRequest(kernel, rows, pre_validated=True)])[0]
+
+
+def _dist_rows_from_field(rows_field, n: int, samples: int, seed: int):
+    """Materialise a cell's ID matrix: shm handle, inline rows, or re-draw."""
+    if rows_field and rows_field[0] == "rows-ref":
+        from repro.dist.sampling import draw_sample_rows
+
+        _, offset, count, width, ref = rows_field
+        try:
+            flat = fetch_memoryview(ref).cast("q")
+        except LookupError:
+            # The segment is gone (publisher exited, eviction): the draw
+            # stream is a pure function of (n, samples, seed) — redraw it.
+            return draw_sample_rows(n, samples, seed)
+        return [
+            tuple(flat[(offset + index) * width : (offset + index + 1) * width])
+            for index in range(count)
+        ]
+    return rows_field
 
 
 def run_dist_cell(payload: tuple[DistSpec, DistCell]) -> dict:

@@ -18,16 +18,26 @@ bit-identical at any worker count and any chunk size, which
 ``tests/property/test_property_scale.py`` asserts.
 
 Workers never receive megabytes over a pipe: a task payload carries the CSR
-*spec* ``(topology, n, seed)`` plus scalar coordinates, and each worker
-process rebuilds (and caches) the CSR, the rule and the row permutations
-locally.
+*spec* ``(topology, n, seed)`` plus scalar coordinates — and, when the warm
+pool's shared-memory transport is live, :class:`~repro.engine.pool.ShmRef`
+handles to the CSR arrays (and to explicit row matrices), so workers attach
+the published buffers zero-copy instead of rebuilding or unpickling them.
+Reconstructed CSRs, rules and row permutations are cached per worker via
+:func:`~repro.engine.pool.worker_cache` (the hit counts surface as
+``pool.worker_cache_hits``), and tasks carry row-block affinity keys so all
+centre chunks of one sampled row land on the worker that already holds that
+row's state.
 
 Algorithms opt in through
 :meth:`~repro.core.algorithm.BallAlgorithm.compile_scale_rule`;
 :data:`SCALE_ALGORITHMS` names the registry entries that do (the paper's
 largest-ID algorithm, whose :class:`MaxScanScaleRule` fuses the BFS with the
 stopping rule so the expected per-centre work is the *output* radius, not
-the graph size).
+the graph size).  On the paper's own topology — the cycle — the algorithm
+specialises further: :class:`RingScanScaleRule` replaces the per-centre BFS
+with a whole-row vectorised ring sweep (every undecided centre advances one
+ring distance per round), which removes the ``O(log n)`` per-centre factor
+and keeps nodes/s flat from 10^4 to 10^6.
 """
 
 from __future__ import annotations
@@ -39,7 +49,9 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.engine.batch import BatchExecutor, derive_task_seed
+from repro.engine.pool import ShmRef, fetch_memoryview, worker_cache
 from repro.errors import ConfigurationError, IdentifierError, TopologyError
+from repro.kernel.backend import numpy_available, numpy_module
 from repro.obs import metrics as _metrics
 from repro.obs.spans import obs_enabled as _obs_enabled, span as _obs_span
 from repro.topology.stream import CSRTopology, build_csr
@@ -64,6 +76,11 @@ class ScaleRule:
     #: Short rule identifier recorded in result rows and benchmark artifacts.
     name: str = "scale-rule"
 
+    #: Rules that evaluate a whole row at once (see :class:`RingScanScaleRule`)
+    #: set this; :func:`run_scale_task` then computes :meth:`full_radii` once
+    #: per row, caches it per worker, and serves centre chunks by slicing.
+    full_row: bool = False
+
     def row_radii(self, ids: Sequence[int], start: int, stop: int) -> list[int]:
         """Output radii of centres ``start..stop-1`` under one assignment."""
         raise NotImplementedError
@@ -72,6 +89,10 @@ class ScaleRule:
         """``(sum, max)`` of the radii of centres ``start..stop-1``."""
         radii = self.row_radii(ids, start, stop)
         return sum(radii), max(radii)
+
+    def full_radii(self, ids: Sequence[int]) -> Sequence[int]:
+        """All ``n`` radii of one assignment (only on ``full_row`` rules)."""
+        raise NotImplementedError
 
 
 class MaxScanScaleRule(ScaleRule):
@@ -159,6 +180,118 @@ class MaxScanScaleRule(ScaleRule):
         return total, worst
 
 
+class RingScanScaleRule(ScaleRule):
+    """Largest-ID on the cycle: one vectorised ring sweep per row.
+
+    On a cycle the BFS layer at distance ``r`` from centre ``v`` is exactly
+    ``{v - r, v + r} (mod n)``, so a centre's output radius is the first
+    ``r`` at which either ring position carries a larger identifier — no
+    adjacency walk, no visited set.  The sweep advances *all* undecided
+    centres one distance per round with two gather-and-compare array
+    operations; a centre leaves the active set the round it decides.  The
+    row's maximum identifier never finds a larger one and outputs at its
+    eccentricity ``n // 2``.
+
+    This removes the ``O(log n)`` expected per-centre BFS factor of
+    :class:`MaxScanScaleRule` — per-row work is ``O(sum of radii)`` with an
+    array-speed constant — which is what keeps scale-mode nodes/s flat from
+    10^4 to 10^6 (``BENCH_scale.json`` gates the ratio).  Bit-identical to
+    the BFS rule: both compute the same uniquely defined integers, which the
+    parity tests in ``tests/kernel/test_shard.py`` cross-check.
+
+    Runs on the numpy backend when available and falls back to a pure-Python
+    two-pointer scan under ``REPRO_KERNEL=python`` (same integers, smaller
+    constant than the BFS either way).
+    """
+
+    name = "ring-scan-stream"
+    full_row = True
+
+    #: Below this many undecided centres the sweep finishes them directly
+    #: (per-centre nearest-larger scan) instead of paying whole-array rounds
+    #: for a tiny tail.  Any threshold yields the same radii.
+    TAIL_DIRECT = 64
+
+    def __init__(self, csr: CSRTopology) -> None:
+        if csr.topology != "cycle":
+            raise ConfigurationError(
+                f"RingScanScaleRule requires a cycle, got {csr.topology!r}"
+            )
+        self._csr = csr
+        self._n = csr.n
+
+    def full_radii(self, ids: Sequence[int]) -> Sequence[int]:
+        if numpy_available():
+            return self._full_radii_numpy(ids)
+        return self._full_radii_python(ids)
+
+    def _full_radii_numpy(self, ids: Sequence[int]):
+        np = numpy_module()
+        n = self._n
+        a = np.frombuffer(ids, dtype=np.int64) if isinstance(ids, array) else np.asarray(
+            ids, dtype=np.int64
+        )
+        radii = np.zeros(n, dtype=np.int64)
+        half = n // 2
+        largest = int(a.argmax())
+        active = np.arange(n, dtype=np.int64)
+        active = active[active != largest]
+        own = a[active]
+        r = 0
+        while active.size:
+            r += 1
+            if active.size <= self.TAIL_DIRECT or r > half:
+                # Finish stragglers directly: nearest larger id by ring
+                # distance (min of clockwise and counter-clockwise).
+                for pos, mine in zip(active.tolist(), own.tolist()):
+                    higher = np.nonzero(a > mine)[0]
+                    delta = np.abs(higher - pos)
+                    radii[pos] = int(np.minimum(delta, n - delta).min())
+                break
+            left = a[(active - r) % n]
+            right = a[(active + r) % n]
+            decided = (left > own) | (right > own)
+            if decided.any():
+                radii[active[decided]] = r
+                keep = ~decided
+                active = active[keep]
+                own = own[keep]
+        radii[largest] = half
+        return radii
+
+    def _full_radii_python(self, ids: Sequence[int]) -> list[int]:
+        n = self._n
+        half = n // 2
+        radii = [0] * n
+        largest = max(range(n), key=ids.__getitem__)
+        for v in range(n):
+            if v == largest:
+                radii[v] = half
+                continue
+            own = ids[v]
+            r = 1
+            # Some strictly larger id sits within ring distance n // 2, so
+            # this terminates with r <= half for every non-maximum centre.
+            while ids[v - r] <= own and ids[(v + r) % n] <= own:
+                r += 1
+            radii[v] = r
+        return radii
+
+    def row_radii(self, ids: Sequence[int], start: int, stop: int) -> list[int]:
+        return [int(radius) for radius in self.full_radii(ids)[start:stop]]
+
+    def row_stats(self, ids: Sequence[int], start: int, stop: int) -> tuple[int, int]:
+        return segment_stats(self.full_radii(ids), start, stop)
+
+
+def segment_stats(radii: Sequence[int], start: int, stop: int) -> tuple[int, int]:
+    """``(sum, max)`` of one centre range of a full-row radii vector."""
+    segment = radii[start:stop]
+    if hasattr(segment, "sum"):  # numpy path
+        return int(segment.sum()), int(segment.max())
+    return sum(segment), max(segment)
+
+
 def scale_rule_for(algorithm, csr: CSRTopology) -> ScaleRule:
     """The algorithm's scale rule, or a clear error when it has none."""
     rule = algorithm.compile_scale_rule(csr)
@@ -183,64 +316,106 @@ def scale_row_ids(n: int, base_seed: int, row_index: int) -> list[int]:
 
 
 # ----------------------------------------------------------------------
-# worker-side caches (one per process; payloads carry only scalars)
+# worker-side caches (pool-backed; payloads carry scalars and shm handles)
 # ----------------------------------------------------------------------
-_worker_csrs: dict[tuple, CSRTopology] = {}
-_worker_rules: dict[tuple, ScaleRule] = {}
-_worker_rows: dict[tuple, list[int]] = {}
+def _csr_for_spec(
+    spec: tuple[str, int, int], refs: Optional[tuple[ShmRef, ShmRef]] = None
+) -> CSRTopology:
+    """The CSR for one spec: attach the published arrays, else rebuild."""
+
+    def build() -> CSRTopology:
+        if refs is not None:
+            try:
+                indptr = fetch_memoryview(refs[0]).cast("q")
+                indices = fetch_memoryview(refs[1]).cast("q")
+                return CSRTopology(spec[0], spec[1], spec[2], indptr, indices)
+            except LookupError:
+                pass  # segment evicted or publisher gone: rebuild from spec
+        return build_csr(*spec)
+
+    return worker_cache("shard.csr", spec, build)
 
 
-def _rule_for_spec(spec: tuple[str, int, int], algorithm_name: str) -> ScaleRule:
-    key = (spec, algorithm_name)
-    rule = _worker_rules.get(key)
-    if rule is None:
-        csr = _worker_csrs.get(spec)
-        if csr is None:
-            csr = build_csr(*spec)
-            _worker_csrs.clear()
-            _worker_csrs[spec] = csr
+def _rule_for_spec(
+    spec: tuple[str, int, int],
+    algorithm_name: str,
+    refs: Optional[tuple[ShmRef, ShmRef]] = None,
+) -> ScaleRule:
+    def build() -> ScaleRule:
         from repro.engine.campaign import make_ball_algorithm
 
-        algorithm = make_ball_algorithm(algorithm_name, csr.n)
-        rule = scale_rule_for(algorithm, csr)
-        _worker_rules.clear()
-        _worker_rules[key] = rule
-    return rule
+        csr = _csr_for_spec(spec, refs)
+        return scale_rule_for(make_ball_algorithm(algorithm_name, csr.n), csr)
+
+    return worker_cache("shard.rule", (spec, algorithm_name), build)
 
 
-def _row_for(n: int, base_seed: int, row_index: int) -> list[int]:
-    key = (n, base_seed, row_index)
-    ids = _worker_rows.get(key)
-    if ids is None:
-        ids = scale_row_ids(n, base_seed, row_index)
-        while len(_worker_rows) >= 4:
-            _worker_rows.pop(next(iter(_worker_rows)))
-        _worker_rows[key] = ids
-    return ids
+def _row_for(n: int, base_seed: int, row_index: int) -> array:
+    """One cached row permutation, packed as ``array('q')`` (8 bytes/id)."""
+    return worker_cache(
+        "shard.row",
+        (n, base_seed, row_index),
+        lambda: array("q", scale_row_ids(n, base_seed, row_index)),
+    )
+
+
+def _rows_from_payload(rows) -> Sequence[Sequence[int]]:
+    """Materialise the explicit-row field: inline tuples or one shm matrix."""
+    if rows and rows[0] == "rows-ref":
+        _, offset, count, width, ref = rows
+        flat = fetch_memoryview(ref).cast("q")
+        return [
+            flat[(offset + index) * width : (offset + index + 1) * width]
+            for index in range(count)
+        ]
+    return rows
 
 
 def run_scale_task(payload: tuple) -> list:
     """Worker entry point: one ``(rows × centre range)`` shard.
 
-    Two payload shapes, discriminated by the first element:
+    Two payload shapes, discriminated by the first element (each may carry
+    one trailing element: the :class:`~repro.engine.pool.ShmRef` pair of the
+    published CSR arrays, absent on the serial path or when shared memory is
+    unavailable):
 
-    * ``("stats", spec, algorithm, base_seed, row_start, row_stop, c0, c1)``
+    * ``("stats", spec, algorithm, base_seed, row_start, row_stop, c0, c1[, refs])``
       → per-row ``(sum, max)`` partials over the centre range;
-    * ``("radii", spec, algorithm, rows, c0, c1)``
-      → per-row radii lists over the centre range (explicit-row path).
+    * ``("radii", spec, algorithm, rows, c0, c1[, refs])``
+      → per-row radii lists over the centre range (explicit-row path), where
+      ``rows`` is either a tuple of inline identifier rows or
+      ``("rows-ref", offset, count, width, ref)`` naming a published row
+      matrix.
+
+    ``full_row`` rules compute each row's complete radii vector once, cache
+    it per worker keyed by ``(spec, algorithm, seed, row)``, and serve every
+    centre chunk by slicing — which is why the executor gives all chunks of
+    one row block the same affinity key.
     """
     kind = payload[0]
     if kind == "stats":
-        _, spec, algorithm_name, base_seed, row_start, row_stop, c0, c1 = payload
-        rule = _rule_for_spec(spec, algorithm_name)
+        _, spec, algorithm_name, base_seed, row_start, row_stop, c0, c1 = payload[:8]
+        refs = payload[8] if len(payload) > 8 else None
+        rule = _rule_for_spec(spec, algorithm_name, refs)
         n = spec[1]
+        if rule.full_row:
+            partials = []
+            for row in range(row_start, row_stop):
+                radii = worker_cache(
+                    "shard.radii",
+                    (spec, algorithm_name, base_seed, row),
+                    lambda row=row: rule.full_radii(_row_for(n, base_seed, row)),
+                )
+                partials.append(segment_stats(radii, c0, c1))
+            return partials
         return [
             rule.row_stats(_row_for(n, base_seed, row), c0, c1)
             for row in range(row_start, row_stop)
         ]
-    _, spec, algorithm_name, rows, c0, c1 = payload
-    rule = _rule_for_spec(spec, algorithm_name)
-    return [rule.row_radii(ids, c0, c1) for ids in rows]
+    _, spec, algorithm_name, rows, c0, c1 = payload[:6]
+    refs = payload[6] if len(payload) > 6 else None
+    rule = _rule_for_spec(spec, algorithm_name, refs)
+    return [rule.row_radii(ids, c0, c1) for ids in _rows_from_payload(rows)]
 
 
 @dataclass(frozen=True)
@@ -290,10 +465,33 @@ class ShardedKernelExecutor:
             for start in range(0, n, self.center_chunk)
         ]
 
-    def _run_tasks(self, payloads: list[tuple]) -> list:
-        """Execute shards (serial path instrumented, parallel path pooled)."""
+    def _run_tasks(self, payloads: list[tuple], keys: Optional[list] = None) -> list:
+        """Execute shards (serial path instrumented, parallel path pooled).
+
+        On the pooled path the CSR arrays are published once into shared
+        memory and every payload carries their handles; ``keys`` (row-block
+        identities) pin all centre chunks of one row block to one worker so
+        its cached row state is reused, never duplicated.
+        """
         if self.workers > 1 and len(payloads) > 1:
-            return BatchExecutor(self.workers).map(run_scale_task, payloads)
+            executor = BatchExecutor(self.workers)
+            pool = executor.pool
+            pinned: list[ShmRef] = []
+            if pool is not None:
+                indptr_ref = pool.publish(self.csr.indptr)
+                indices_ref = pool.publish(self.csr.indices)
+                if indptr_ref is not None and indices_ref is not None:
+                    pinned = [indptr_ref, indices_ref]
+                    refs = (indptr_ref, indices_ref)
+                    payloads = [payload + (refs,) for payload in payloads]
+                else:
+                    pool.release(indptr_ref)
+                    pool.release(indices_ref)
+            try:
+                return executor.map(run_scale_task, payloads, keys=keys)
+            finally:
+                for ref in pinned:
+                    pool.release(ref)
         results = []
         for payload in payloads:
             if _obs_enabled():
@@ -335,7 +533,12 @@ class ShardedKernelExecutor:
             for row_start in range(0, samples, self.row_block)
             for (c0, c1) in ranges
         ]
-        results = self._run_tasks(payloads)
+        keys = [
+            row_start
+            for row_start in range(0, samples, self.row_block)
+            for _ in ranges
+        ]
+        results = self._run_tasks(payloads, keys=keys)
         # Merge partials per row, in centre-range order within each block.
         n = self.csr.n
         stats: list[ScaleRowStats] = []
@@ -394,12 +597,37 @@ class ShardedKernelExecutor:
             rows[start : start + self.row_block]
             for start in range(0, len(rows), self.row_block)
         ]
+        parallel = self.workers > 1 and len(blocks) * len(ranges) > 1
+        pool = BatchExecutor(self.workers).pool if parallel else None
+        matrix_ref = None
+        if pool is not None:
+            # One flat row-major int64 matrix, published once; every task
+            # references its block by (offset, count) instead of carrying
+            # n identifiers per row inline.
+            flat = array("q")
+            for row in rows:
+                flat.extend(row)
+            matrix_ref = pool.publish(flat)
+        if matrix_ref is not None:
+            row_fields = [
+                ("rows-ref", start, len(block), n, matrix_ref)
+                for start, block in zip(range(0, len(rows), self.row_block), blocks)
+            ]
+        else:
+            row_fields = [tuple(block) for block in blocks]
         payloads = [
-            ("radii", spec, name, tuple(block), c0, c1)
-            for block in blocks
+            ("radii", spec, name, row_field, c0, c1)
+            for row_field in row_fields
             for (c0, c1) in ranges
         ]
-        results = self._run_tasks(payloads)
+        keys = [
+            block_index for block_index in range(len(blocks)) for _ in ranges
+        ]
+        try:
+            results = self._run_tasks(payloads, keys=keys)
+        finally:
+            if pool is not None:
+                pool.release(matrix_ref)
         radii_rows: list[tuple[int, ...]] = []
         index = 0
         for block in blocks:

@@ -164,15 +164,24 @@ def make_server(
     max_parallel: int = 1,
     service: Optional[QueryService] = None,
     quiet: bool = True,
+    store_max_objects: Optional[int] = None,
+    store_max_bytes: Optional[int] = None,
 ) -> ServiceServer:
     """Build a ready-to-serve :class:`ServiceServer` (port 0 = ephemeral).
 
     Startup recovers any crash-interrupted jobs the store's ledger still
     records, so a restarted service finishes what its predecessor began
-    before taking traffic.
+    before taking traffic.  ``store_max_objects`` / ``store_max_bytes``
+    bound the on-disk store via LRU eviction (see
+    :meth:`~repro.service.store.ResultStore.gc`).
     """
     if service is None:
-        service = QueryService(root=root, max_parallel=max_parallel)
+        service = QueryService(
+            root=root,
+            max_parallel=max_parallel,
+            store_max_objects=store_max_objects,
+            store_max_bytes=store_max_bytes,
+        )
     service.recover()
     return ServiceServer((host, port), service, quiet=quiet)
 
@@ -183,9 +192,19 @@ def serve(
     root: str = "repro-store",
     max_parallel: int = 1,
     quiet: bool = False,
+    store_max_objects: Optional[int] = None,
+    store_max_bytes: Optional[int] = None,
 ) -> int:
     """Run the service until interrupted (the ``repro serve`` entry point)."""
-    server = make_server(host=host, port=port, root=root, max_parallel=max_parallel, quiet=quiet)
+    server = make_server(
+        host=host,
+        port=port,
+        root=root,
+        max_parallel=max_parallel,
+        quiet=quiet,
+        store_max_objects=store_max_objects,
+        store_max_bytes=store_max_bytes,
+    )
     print(f"repro serve: listening on {server.url} (store: {server.service.store.root})")
     try:
         server.serve_forever()

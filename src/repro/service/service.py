@@ -94,12 +94,38 @@ class QueryService:
         max_parallel: int = 1,
         l1_limit: int = 128,
         session: Optional[Session] = None,
+        store_max_objects: Optional[int] = None,
+        store_max_bytes: Optional[int] = None,
     ) -> None:
-        self.config = ServiceConfig(root=Path(root), max_parallel=max_parallel, l1_limit=l1_limit)
+        self.config = ServiceConfig(
+            root=Path(root),
+            max_parallel=max_parallel,
+            l1_limit=l1_limit,
+            store_max_objects=store_max_objects,
+            store_max_bytes=store_max_bytes,
+        )
         self.store = ResultStore(self.config.root, l1_limit=l1_limit)
         self.session = session if session is not None else Session()
         self.pool = QueryWorkerPool(max_parallel, session=self.session)
         self._lock = threading.Lock()
+        self._maybe_gc()
+
+    def _maybe_gc(self) -> None:
+        """Run the store's LRU sweep when the config bounds the on-disk tier."""
+        if self.config.store_max_objects is not None or self.config.store_max_bytes is not None:
+            self.store.gc(
+                max_objects=self.config.store_max_objects,
+                max_bytes=self.config.store_max_bytes,
+            )
+
+    def _put_meta(self, query: Query) -> dict:
+        """Manifest metadata of one stored result (mode, resume family)."""
+        meta = {"mode": query.mode}
+        if self._resumable(query):
+            # The family link lets the GC sweep drop a family's estimator
+            # state once no stored result references it anymore.
+            meta["family"] = query.family_hash()
+        return meta
 
     # ------------------------------------------------------------------
     # the front door
@@ -133,7 +159,8 @@ class QueryService:
                 else:
                     document = self.pool.run_many([query_document])[0]
                     tier = "miss"
-            self.store.put(digest, document, meta={"mode": query.mode})
+            self.store.put(digest, document, meta=self._put_meta(query))
+            self._maybe_gc()
         finally:
             clear_job(self.config, digest)
         return ServeOutcome(digest=digest, document=document, tier=tier)
@@ -174,11 +201,12 @@ class QueryService:
                 computed = self.pool.run_many([queue[i].to_dict() for i in firsts])
                 for (digest, positions), document in zip(cold.items(), computed):
                     query = queue[positions[0]]
-                    self.store.put(digest, document, meta={"mode": query.mode})
+                    self.store.put(digest, document, meta=self._put_meta(query))
                     clear_job(self.config, digest)
                     for position in positions:
                         tier = "miss" if position == positions[0] else "l1"
                         outcomes[position] = ServeOutcome(digest, document, tier)
+                self._maybe_gc()
         _metrics.set_gauge("service.queue_depth", 0)
         for outcome in outcomes:
             _metrics.add("service.requests")
@@ -369,7 +397,8 @@ class QueryService:
             document = result.as_dict()
             if states:
                 self.store.put_state(query.family_hash(), total, states)
-            self.store.put(digest, document, meta={"mode": query.mode})
+            self.store.put(digest, document, meta=self._put_meta(query))
+            self._maybe_gc()
         finally:
             clear_job(self.config, digest)
         tier = "resume" if resumed else "miss"

@@ -19,9 +19,19 @@ moments, P² sketches, draw counts) under the query's
 repeat query with a larger ``samples`` budget resumes the stored
 estimators instead of restarting (see ``docs/service.md``).
 
+The on-disk tier is bounded by :meth:`ResultStore.gc`: manifest entries
+carry a monotone access ``stamp`` (refreshed on every write and L2 read)
+and their object's ``bytes``, and the sweep evicts least-recently-used
+objects until both ``max_objects`` and ``max_bytes`` hold — removing the
+object file, the manifest entry, the L1 copy and, when no surviving entry
+references it, the evicted query's family estimator state.  ``repro serve
+--store-max-objects/--store-max-bytes`` runs the sweep at startup and
+after every store write.
+
 Metrics (``REPRO_OBS=on``): ``service.store.l1_hits`` /
 ``service.store.l2_hits`` / ``service.store.misses`` count lookups by the
-tier that answered; ``service.store.objects`` gauges the persisted count.
+tier that answered; ``service.store.objects`` gauges the persisted count
+and ``service.store.evictions`` counts GC removals.
 """
 
 from __future__ import annotations
@@ -150,10 +160,24 @@ class ResultStore:
             with open(path, "r", encoding="utf-8") as handle:
                 document = json.load(handle)
             self._l1.put(digest, document)
+            self._touch(digest)
             _metrics.add("service.store.l2_hits")
             return document, "l2"
         _metrics.add("service.store.misses")
         return None, "miss"
+
+    def _next_stamp(self) -> int:
+        """Advance the manifest's monotone access clock."""
+        manifest = self.manifest()
+        stamp = int(manifest.get("clock", 0)) + 1
+        manifest["clock"] = stamp
+        return stamp
+
+    def _touch(self, digest: str) -> None:
+        """Refresh one entry's recency stamp (persisted with the next save)."""
+        entry = self.manifest()["entries"].get(digest)
+        if entry is not None:
+            entry["stamp"] = self._next_stamp()
 
     def put(self, digest: str, document: Mapping, meta: Optional[Mapping] = None) -> Path:
         """Persist one result document under its content address.
@@ -167,7 +191,11 @@ class ResultStore:
         atomic_write_json(path, dict(document))
         self._l1.put(digest, dict(document))
         entries = self.manifest()["entries"]
-        entry = {"path": str(path.relative_to(self.root))}
+        entry = {
+            "path": str(path.relative_to(self.root)),
+            "stamp": self._next_stamp(),
+            "bytes": path.stat().st_size,
+        }
         if meta:
             entry.update(dict(meta))
         entries[digest] = entry
@@ -224,6 +252,83 @@ class ResultStore:
         return path
 
     # ------------------------------------------------------------------
+    # eviction
+    # ------------------------------------------------------------------
+    def _entry_bytes(self, digest: str, entry: Mapping) -> int:
+        """One entry's object size (stat'd lazily for pre-GC manifests)."""
+        size = entry.get("bytes")
+        if size is None:
+            try:
+                size = self.object_path(digest).stat().st_size
+            except OSError:
+                size = 0
+        return int(size)
+
+    def total_bytes(self) -> int:
+        """Persisted result-document bytes the manifest accounts for."""
+        return sum(
+            self._entry_bytes(digest, entry)
+            for digest, entry in self.manifest()["entries"].items()
+        )
+
+    def gc(
+        self, max_objects: Optional[int] = None, max_bytes: Optional[int] = None
+    ) -> dict:
+        """Evict least-recently-used objects until both bounds hold.
+
+        ``None`` bounds don't constrain.  Evicting a document removes its
+        object file, its manifest entry and its L1 copy; after the sweep,
+        estimator-state files whose query family no longer appears among the
+        surviving entries are removed too (a family's state is only useful
+        to resume queries the store still remembers).  The manifest is saved
+        once, atomically — a crash mid-sweep leaves at worst already-deleted
+        objects that the next manifest save forgets.
+
+        Returns a JSON-friendly summary: ``{"evicted", "objects", "bytes"}``.
+        """
+        entries = self.manifest()["entries"]
+        evicted = 0
+        if max_objects is not None or max_bytes is not None:
+            by_age = sorted(
+                entries, key=lambda digest: int(entries[digest].get("stamp", 0))
+            )
+            total = self.total_bytes()
+            cursor = 0
+            while cursor < len(by_age) and (
+                (max_objects is not None and len(entries) > max_objects)
+                or (max_bytes is not None and total > max_bytes)
+            ):
+                digest = by_age[cursor]
+                cursor += 1
+                entry = entries.pop(digest)
+                total -= self._entry_bytes(digest, entry)
+                try:
+                    self.object_path(digest).unlink()
+                except OSError:
+                    pass
+                self._l1.pop(digest)
+                evicted += 1
+            if evicted:
+                surviving_families = {
+                    entry.get("family") for entry in entries.values()
+                } - {None}
+                state_files = (
+                    sorted(self.state_dir.glob("*/*.json"))
+                    if self.state_dir.exists()
+                    else []
+                )
+                for path in state_files:
+                    if path.stem not in surviving_families:
+                        try:
+                            path.unlink()
+                        except OSError:
+                            pass
+                self._save_manifest()
+                _metrics.add("service.store.evictions", evicted)
+                _metrics.set_gauge("service.store.objects", len(entries))
+        return {"evicted": evicted, "objects": len(entries), "bytes": self.total_bytes()}
+
+    # ------------------------------------------------------------------
     # diagnostics
     # ------------------------------------------------------------------
     def stats(self) -> dict:
@@ -231,6 +336,7 @@ class ResultStore:
         return {
             "root": str(self.root),
             "objects": len(self),
+            "bytes": self.total_bytes(),
             "l1": {
                 "entries": len(self._l1),
                 "limit": self._l1.limit,

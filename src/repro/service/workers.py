@@ -1,11 +1,13 @@
 """The service's multi-process worker pool and crash-safe job ledger.
 
 Queued queries dispatch over a :class:`~repro.engine.batch.BatchExecutor`
-with ``max_parallel`` worker processes; each worker builds its own
-:class:`~repro.api.session.Session` and returns the finished
-``repro-result`` document (a plain dict, picklable).  The parent process
-performs every store write, so the manifest is single-writer by
-construction.
+with ``max_parallel`` worker processes — since the executor rides the warm
+:mod:`~repro.engine.pool` runtime, the service's workers persist across
+batches, and each keeps one **worker-global**
+:class:`~repro.api.session.Session` whose compiled kernels and graphs are
+reused from job to job.  Workers return the finished ``repro-result``
+document (a plain dict, picklable); the parent process performs every
+store write, so the manifest is single-writer by construction.
 
 Determinism: a query's cell seeds derive from its own ``seed`` field
 (:func:`~repro.engine.batch.derive_task_seed`), so the same query document
@@ -46,12 +48,17 @@ class ServiceConfig:
     ``root`` holds everything the service persists: the content-addressed
     store (``objects/``, ``state/``, ``manifest.json``) and the job ledger
     (``jobs/``).  ``max_parallel`` bounds the worker-pool fan-out;
-    ``l1_limit`` the in-process document cache.
+    ``l1_limit`` the in-process document cache.  ``store_max_objects`` /
+    ``store_max_bytes`` bound the on-disk tier: when either is set, the
+    service runs :meth:`~repro.service.store.ResultStore.gc` at startup and
+    after every store write (``None`` leaves the store unbounded).
     """
 
     root: Path
     max_parallel: int = 1
     l1_limit: int = 128
+    store_max_objects: Optional[int] = None
+    store_max_bytes: Optional[int] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "root", Path(self.root))
@@ -59,6 +66,10 @@ class ServiceConfig:
             raise ConfigurationError(
                 f"max_parallel must be >= 1, got {self.max_parallel}"
             )
+        for name in ("store_max_objects", "store_max_bytes"):
+            bound = getattr(self, name)
+            if bound is not None and bound < 1:
+                raise ConfigurationError(f"{name} must be >= 1, got {bound}")
 
     @property
     def jobs_dir(self) -> Path:
@@ -113,14 +124,20 @@ def pending_jobs(config: ServiceConfig) -> list[dict]:
 
 
 def run_query_job(document: dict) -> dict:
-    """Worker entry point: compute one query document in a fresh Session.
+    """Worker entry point: compute one query document in the worker's Session.
 
     Module-level (picklable) for :class:`~repro.engine.batch.BatchExecutor`
     dispatch; the returned ``repro-result`` dict travels back to the parent,
-    which owns the store.
+    which owns the store.  The Session is **worker-global** (cached via
+    :func:`repro.engine.pool.worker_cache`): the warm pool keeps its workers
+    alive across dispatches, so repeated jobs reuse the worker's compiled
+    kernels, graphs and plans instead of rebuilding them per job.
     """
+    from repro.engine.pool import worker_cache
+
     query = Query.from_dict(document)
-    return Session().run(query).as_dict()
+    session = worker_cache("service.session", "session", Session)
+    return session.run(query).as_dict()
 
 
 class QueryWorkerPool:

@@ -1,0 +1,259 @@
+"""The warm worker pool: resolution, ordering, affinity, crashes, shm."""
+
+import os
+import signal
+
+import pytest
+
+from repro.engine.pool import (
+    MAX_TASK_ATTEMPTS,
+    WORKER_CACHE_LIMIT,
+    ShmRef,
+    WorkerCrashError,
+    WorkerPool,
+    clear_worker_caches,
+    fetch_memoryview,
+    get_pool,
+    in_worker,
+    resolve_workers,
+    shm_transport_enabled,
+    worker_cache,
+)
+from repro.errors import ConfigurationError
+
+
+# Module-level task functions: pickled by reference into the workers.
+def _square(x):
+    return x * x
+
+
+def _raise_on_odd(x):
+    if x % 2:
+        raise ValueError(f"odd payload {x}")
+    return x
+
+
+def _pid_of(_payload):
+    return os.getpid()
+
+
+def _kill_once(payload):
+    """Die by SIGKILL on first sight of the flag path, succeed after."""
+    flag, value = payload
+    if not os.path.exists(flag):
+        with open(flag, "w", encoding="utf-8") as handle:
+            handle.write("seen")
+        os.kill(os.getpid(), signal.SIGKILL)
+    return value
+
+
+def _kill_always(_payload):
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _read_segment(payload):
+    ref, prefix = payload
+    view = fetch_memoryview(ref)
+    return bytes(view[:prefix])
+
+
+class TestResolveWorkers:
+    def test_explicit_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "7")
+        assert resolve_workers(3) == 3
+
+    def test_env_wins_over_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "5")
+        assert resolve_workers(None, fallback=1) == 5
+
+    def test_fallback_then_cpu_count(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers(None, fallback=2) == 2
+        assert resolve_workers(None) == (os.cpu_count() or 1)
+
+    @pytest.mark.parametrize("bad", ["zero", "1.5", "0", "-3"])
+    def test_bad_env_values_are_rejected(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_WORKERS", bad)
+        with pytest.raises(ConfigurationError):
+            resolve_workers(None)
+
+    def test_explicit_below_one_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_workers(0)
+
+    def test_shm_gate(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHM", raising=False)
+        assert shm_transport_enabled()
+        for off in ("off", "0", "false", "OFF"):
+            monkeypatch.setenv("REPRO_SHM", off)
+            assert not shm_transport_enabled()
+
+    def test_parent_process_is_not_a_worker(self):
+        assert not in_worker()
+
+
+class TestMapSemantics:
+    def test_matches_serial_in_submission_order(self):
+        payloads = list(range(23))
+        with WorkerPool(3) as pool:
+            assert pool.map(_square, payloads) == [_square(x) for x in payloads]
+
+    def test_single_worker_and_single_payload_run_inline(self):
+        with WorkerPool(1) as pool:
+            assert pool.map(_pid_of, [1, 2, 3]) == [os.getpid()] * 3
+        with WorkerPool(2) as pool:
+            assert pool.map(_pid_of, [1]) == [os.getpid()]
+
+    def test_empty_map(self):
+        with WorkerPool(2) as pool:
+            assert pool.map(_square, []) == []
+
+    def test_warm_reuse_across_dispatches(self):
+        with WorkerPool(2) as pool:
+            first = set(pool.map(_pid_of, list(range(8))))
+            second = set(pool.map(_pid_of, list(range(8))))
+            # Same warm processes answered both dispatches.
+            assert first == second
+            assert pool.stats["dispatches"] == 2
+            assert pool.stats["tasks"] == 16
+
+    def test_affinity_pins_equal_keys_to_one_worker(self):
+        keys = ["a", "b", "a", "b", "a", "b"]
+        with WorkerPool(2) as pool:
+            pids = pool.map(_pid_of, list(range(6)), keys=keys)
+            by_key = {}
+            for key, pid in zip(keys, pids):
+                by_key.setdefault(key, set()).add(pid)
+            assert all(len(pids) == 1 for pids in by_key.values())
+            # Distinct keys round-robin across distinct workers.
+            assert by_key["a"] != by_key["b"]
+
+    def test_keys_length_mismatch_is_rejected(self):
+        with WorkerPool(2) as pool:
+            with pytest.raises(ConfigurationError):
+                pool.map(_square, [1, 2, 3], keys=["a"])
+
+    def test_task_errors_raise_lowest_index_and_pool_survives(self):
+        with WorkerPool(2) as pool:
+            with pytest.raises(ValueError, match="odd payload 1"):
+                pool.map(_raise_on_odd, [0, 1, 2, 3, 5])
+            # The pool is not poisoned by a failed dispatch.
+            assert pool.map(_square, [2, 3]) == [4, 9]
+
+    def test_closed_pool_rejects_map(self):
+        pool = WorkerPool(2)
+        pool.close()
+        with pytest.raises(ConfigurationError):
+            pool.map(_square, [1, 2])
+
+
+class TestCrashRecovery:
+    def test_killed_worker_is_respawned_and_task_resubmitted(self, tmp_path):
+        flag = tmp_path / "killed-once"
+        payloads = [(str(flag), value) for value in range(6)]
+        with WorkerPool(2) as pool:
+            results = pool.map(_kill_once, payloads)
+            assert results == list(range(6))
+            assert pool.stats["resubmissions"] >= 1
+            assert pool.stats["respawns"] >= 1
+            # The survivors keep serving.
+            assert pool.map(_square, [4, 5]) == [16, 25]
+
+    def test_deterministic_crasher_raises_worker_crash_error(self):
+        with WorkerPool(2) as pool:
+            with pytest.raises(WorkerCrashError):
+                pool.map(_kill_always, [1, 2])
+            assert pool.stats["resubmissions"] >= MAX_TASK_ATTEMPTS - 1
+
+
+class TestSharedMemory:
+    def test_publish_fetch_round_trip_in_workers(self):
+        blob = bytes(range(256)) * 64
+        with WorkerPool(2) as pool:
+            ref = pool.publish(blob)
+            if ref is None:
+                pytest.skip("shared memory unavailable on this platform")
+            assert ref.size == len(blob)
+            results = pool.map(_read_segment, [(ref, 16)] * 4)
+            assert results == [blob[:16]] * 4
+            pool.release(ref)
+
+    def test_publish_same_content_reuses_the_segment(self):
+        with WorkerPool(2) as pool:
+            first = pool.publish(b"x" * 1024)
+            if first is None:
+                pytest.skip("shared memory unavailable on this platform")
+            second = pool.publish(b"x" * 1024)
+            assert first == second
+            assert pool.stats["segments_published"] == 1
+            pool.release(first)
+            pool.release(second)
+
+    def test_parent_side_fetch_and_cache_clear(self):
+        with WorkerPool(2) as pool:
+            ref = pool.publish(b"payload-bytes")
+            if ref is None:
+                pytest.skip("shared memory unavailable on this platform")
+            view = fetch_memoryview(ref)
+            assert bytes(view) == b"payload-bytes"
+            del view
+            clear_worker_caches()
+            pool.release(ref)
+
+    def test_missing_segment_raises_lookup_error(self):
+        bogus = ShmRef(name="repro-no-such-segment", size=4, digest="0" * 32)
+        with pytest.raises(LookupError):
+            fetch_memoryview(bogus)
+
+    def test_use_shm_false_disables_publishing(self):
+        with WorkerPool(2, use_shm=False) as pool:
+            assert pool.publish(b"data") is None
+
+    def test_env_off_disables_publishing(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM", "off")
+        with WorkerPool(2) as pool:
+            assert pool.publish(b"data") is None
+        # Inline fallback still computes correctly.
+        monkeypatch.setenv("REPRO_SHM", "off")
+        with WorkerPool(2) as pool:
+            assert pool.map(_square, [1, 2, 3, 4]) == [1, 4, 9, 16]
+
+
+class TestWorkerCache:
+    def setup_method(self):
+        clear_worker_caches()
+
+    def test_build_once_then_hit(self):
+        calls = []
+
+        def build():
+            calls.append(1)
+            return "value"
+
+        assert worker_cache("t.ns", "k", build) == "value"
+        assert worker_cache("t.ns", "k", build) == "value"
+        assert len(calls) == 1
+
+    def test_namespace_is_lru_bounded(self):
+        for index in range(WORKER_CACHE_LIMIT + 3):
+            worker_cache("t.bound", index, lambda index=index: index)
+        live = [
+            key
+            for key in range(WORKER_CACHE_LIMIT + 3)
+            if worker_cache("t.bound", key, lambda: "rebuilt") != "rebuilt"
+        ]
+        assert len(live) <= WORKER_CACHE_LIMIT
+
+
+class TestPoolRegistry:
+    def test_get_pool_is_keyed_and_warm(self):
+        pool = get_pool(2)
+        assert get_pool(2) is pool
+        assert get_pool(3) is not pool
+
+    def test_closed_registry_entry_is_replaced(self):
+        pool = get_pool(2)
+        pool.close()
+        fresh = get_pool(2)
+        assert fresh is not pool
+        assert not fresh.closed

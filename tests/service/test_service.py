@@ -177,3 +177,37 @@ def test_shared_session_is_used(store_root):
     service = QueryService(root=store_root, session=session)
     service.execute(EXACT)
     assert session.queries > 0
+
+
+def test_store_bounds_run_gc_after_writes(store_root):
+    service = QueryService(root=store_root, store_max_objects=2)
+    queries = [
+        Query(mode="simulate", topologies="cycle", sizes=16, seed=seed)
+        for seed in range(4)
+    ]
+    for query in queries:
+        service.execute(query)
+    assert len(service.store) <= 2
+    # The newest answers survived and still serve as hits.
+    assert service.execute(queries[-1]).tier in ("l1", "l2")
+
+
+def test_store_bounds_run_gc_at_startup(store_root):
+    unbounded = QueryService(root=store_root)
+    for seed in range(4):
+        unbounded.execute(Query(mode="simulate", topologies="cycle", sizes=16, seed=seed))
+    assert len(unbounded.store) == 4
+    bounded = QueryService(root=store_root, store_max_objects=1)
+    assert len(bounded.store) == 1
+
+
+def test_gc_drops_evicted_familys_estimator_state(store_root):
+    service = QueryService(root=store_root, store_max_objects=1)
+    service.execute(SAMPLED)
+    family_state = service.store.get_state(SAMPLED.family_hash())
+    assert family_state is not None
+    # An unrelated query evicts the sampled result: its state goes too.
+    service.execute(Query(mode="simulate", topologies="cycle", sizes=16))
+    assert service.store.get_state(SAMPLED.family_hash()) is None
+    # ... so the sampled query now recomputes cold rather than resuming.
+    assert service.execute(SAMPLED.with_changes(samples=32)).tier == "miss"

@@ -95,4 +95,88 @@ def test_contains_and_stats(store_root):
     assert digest in store
     stats = store.stats()
     assert stats["objects"] == 1
+    assert stats["bytes"] > 0
     assert stats["l1"]["entries"] == 1
+
+
+class TestGc:
+    def _fill(self, store, count):
+        digests = [_digest(mode="simulate", seed=seed) for seed in range(count)]
+        for digest in digests:
+            store.put(digest, DOC)
+        return digests
+
+    def test_unbounded_gc_is_a_no_op(self, store_root):
+        store = ResultStore(store_root)
+        digests = self._fill(store, 3)
+        summary = store.gc()
+        assert summary == {"evicted": 0, "objects": 3, "bytes": store.total_bytes()}
+        assert all(digest in store for digest in digests)
+
+    def test_max_objects_evicts_least_recently_used_first(self, store_root):
+        store = ResultStore(store_root)
+        digests = self._fill(store, 4)
+        summary = store.gc(max_objects=2)
+        assert summary["evicted"] == 2 and summary["objects"] == 2
+        # The two oldest writes went; the two newest survive.
+        assert store.get(digests[0]) == (None, "miss")
+        assert store.get(digests[1]) == (None, "miss")
+        assert store.get(digests[2])[0] == DOC
+        assert store.get(digests[3])[0] == DOC
+        # Their object files are really gone and the manifest agrees.
+        assert not store.object_path(digests[0]).exists()
+        manifest = json.loads((store_root / "manifest.json").read_text())
+        assert set(manifest["entries"]) == {digests[2], digests[3]}
+
+    def test_l2_read_refreshes_recency(self, store_root):
+        store = ResultStore(store_root)
+        digests = self._fill(store, 3)
+        # Re-read the oldest entry through a cold L1 (an L2 hit).
+        fresh = ResultStore(store_root)
+        assert fresh.get(digests[0])[1] == "l2"
+        fresh.gc(max_objects=2)
+        # The touched oldest entry survived; the untouched next-oldest went.
+        assert fresh.get(digests[0])[0] == DOC
+        assert fresh.get(digests[1]) == (None, "miss")
+
+    def test_max_bytes_bound(self, store_root):
+        store = ResultStore(store_root)
+        digests = self._fill(store, 4)
+        per_object = store.total_bytes() // 4
+        summary = store.gc(max_bytes=2 * per_object)
+        assert summary["bytes"] <= 2 * per_object
+        assert digests[3] in store
+
+    def test_eviction_drops_the_l1_copy(self, store_root):
+        store = ResultStore(store_root, l1_limit=8)
+        digests = self._fill(store, 2)
+        store.gc(max_objects=1)
+        # A pure-L1 answer for the evicted digest would be a stale hit.
+        assert store.get(digests[0]) == (None, "miss")
+
+    def test_orphaned_family_state_is_removed(self, store_root):
+        store = ResultStore(store_root)
+        keep = Query(mode="distribution", methods="sample", seed=1)
+        drop = Query(mode="distribution", methods="sample", seed=2)
+        store.put(drop.canonical_hash(), DOC, meta={"family": drop.family_hash()})
+        store.put_state(drop.family_hash(), 16, {"cycle|8|largest-id": {"draws": 16}})
+        store.put(keep.canonical_hash(), DOC, meta={"family": keep.family_hash()})
+        store.put_state(keep.family_hash(), 16, {"cycle|8|largest-id": {"draws": 16}})
+        store.gc(max_objects=1)
+        # The evicted result's family lost its estimator state; the
+        # surviving result's family kept it.
+        assert store.get_state(drop.family_hash()) is None
+        assert store.get_state(keep.family_hash()) is not None
+
+    def test_pre_gc_manifest_entries_are_sized_lazily(self, store_root):
+        store = ResultStore(store_root)
+        digest = _digest(mode="sweep")
+        store.put(digest, DOC)
+        # Strip the new bookkeeping fields, as a manifest from an older
+        # version would have them.
+        manifest = store.manifest()
+        manifest["entries"][digest].pop("bytes")
+        manifest["entries"][digest].pop("stamp")
+        manifest.pop("clock")
+        assert store.total_bytes() == store.object_path(digest).stat().st_size
+        assert store.gc(max_objects=1)["evicted"] == 0

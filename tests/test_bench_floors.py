@@ -104,6 +104,8 @@ class TestGuardLogic:
             "min_nodes_per_s": 5_000.0,
             "peak_rss_bytes": 80 * 1024**2,
             "max_rss_bytes": 2 * 1024**3,
+            "rel_nodes_per_s": 1.0,
+            "min_rel_nodes_per_s": 0.0,
         }
         entry.update(overrides)
         return {"kind": "repro-bench-scale", "results": {"scale_cycle_n10000": entry}}
@@ -130,6 +132,43 @@ class TestGuardLogic:
         document = self._scale_document()
         del document["results"]["scale_cycle_n10000"]["max_rss_bytes"]
         self._write(tmp_path, "BENCH_scale.json", document)
+        assert check_bench_floors.main(["--root", str(tmp_path), "--quiet"]) == 1
+
+    def test_scale_collapsed_relative_rate_fails(self, tmp_path):
+        self._write(
+            tmp_path,
+            "BENCH_scale.json",
+            self._scale_document(rel_nodes_per_s=0.3, min_rel_nodes_per_s=0.8),
+        )
+        assert check_bench_floors.main(["--root", str(tmp_path), "--quiet"]) == 1
+
+    def _parallel_document(self, **overrides):
+        entries = {
+            "warm_pool_dispatch_w2": {"speedup": 20.0, "min_speedup": 3.0},
+            "shm_fanout_n100000": {"speedup": 100.0, "min_speedup": 10.0},
+        }
+        for key, value in overrides.items():
+            entries[key].update(value)
+        return {"kind": "repro-bench-parallel", "results": entries}
+
+    def test_parallel_artifact_meets_both_floors(self, tmp_path):
+        self._write(tmp_path, "BENCH_parallel.json", self._parallel_document())
+        assert check_bench_floors.main(["--root", str(tmp_path), "--quiet"]) == 0
+
+    def test_parallel_regressed_dispatch_fails(self, tmp_path):
+        self._write(
+            tmp_path,
+            "BENCH_parallel.json",
+            self._parallel_document(warm_pool_dispatch_w2={"speedup": 1.5}),
+        )
+        assert check_bench_floors.main(["--root", str(tmp_path), "--quiet"]) == 1
+
+    def test_parallel_regressed_fanout_fails(self, tmp_path):
+        self._write(
+            tmp_path,
+            "BENCH_parallel.json",
+            self._parallel_document(shm_fanout_n100000={"speedup": 4.0}),
+        )
         assert check_bench_floors.main(["--root", str(tmp_path), "--quiet"]) == 1
 
 

@@ -408,3 +408,56 @@ class TestQueryProfiling:
         output = capsys.readouterr().out
         assert "wall time:" in output
         assert "per-query span profile" not in output
+
+
+class TestWorkerResolution:
+    def test_explicit_flag_beats_the_environment(self, monkeypatch):
+        from repro.cli import _resolve_workers_flag
+
+        monkeypatch.setenv("REPRO_WORKERS", "7")
+        assert _resolve_workers_flag(3) == 3
+
+    def test_environment_beats_the_default(self, monkeypatch):
+        from repro.cli import _resolve_workers_flag
+
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        assert _resolve_workers_flag(None) == 2
+        monkeypatch.delenv("REPRO_WORKERS")
+        assert _resolve_workers_flag(None) == 1
+
+    def test_invalid_environment_value_is_rejected(self, monkeypatch):
+        from repro.cli import _resolve_workers_flag
+
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        with pytest.raises(ConfigurationError):
+            _resolve_workers_flag(None)
+
+    def test_workers_flags_default_to_unset(self):
+        parser = build_parser()
+        assert parser.parse_args(["dist"]).workers is None
+        assert parser.parse_args(["sweep"]).workers is None
+        assert parser.parse_args(["serve"]).max_parallel is None
+        assert parser.parse_args(["serve"]).store_max_objects is None
+        assert parser.parse_args(["serve"]).store_max_bytes is None
+
+    def test_dist_honours_repro_workers_end_to_end(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        assert (
+            main(
+                [
+                    "dist",
+                    "--topologies",
+                    "cycle",
+                    "--sizes",
+                    "10,12",
+                    "--methods",
+                    "sample",
+                    "--samples",
+                    "8",
+                    "--seed",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        assert "cycle" in capsys.readouterr().out
